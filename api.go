@@ -1,0 +1,292 @@
+// Package shearwarp is a parallel volume renderer based on the shear-warp
+// factorization, reproducing Jiang & Singh, "Improving Parallel Shear-Warp
+// Volume Rendering on Shared Address Space Multiprocessors" (PPOPP 1997).
+//
+// The package renders 3-D scalar volumes by factoring the viewing
+// transformation into a shear (composited over a run-length-encoded volume
+// with early ray termination) and a 2-D warp. Three renderers are
+// provided:
+//
+//   - Serial: the sequential shear warper (Lacroute's algorithm).
+//   - OldParallel: the original parallel algorithm — interleaved chunks of
+//     intermediate-image scanlines with task stealing, a barrier, and
+//     round-robin final-image tiles.
+//   - NewParallel: the paper's algorithm — contiguous, profile-balanced
+//     partitions of the intermediate image used identically by both
+//     phases, with chunked stealing and no inter-phase barrier.
+//
+// All three produce bit-identical images. A ray-casting baseline, a
+// multiprocessor cache/directory simulator, an SVM (shared virtual memory)
+// simulator, and a harness regenerating every figure of the paper's
+// evaluation live under internal/ and are reachable through RunFigure.
+package shearwarp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/experiments"
+	"shearwarp/internal/img"
+	"shearwarp/internal/newalg"
+	"shearwarp/internal/oldalg"
+	"shearwarp/internal/raycast"
+	"shearwarp/internal/render"
+	"shearwarp/internal/vol"
+	"shearwarp/internal/xform"
+)
+
+// Algorithm selects a rendering strategy.
+type Algorithm int
+
+// Rendering strategies.
+const (
+	Serial Algorithm = iota
+	OldParallel
+	NewParallel
+	RayCast // the image-order baseline, for comparison
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Serial:
+		return "serial"
+	case OldParallel:
+		return "old"
+	case NewParallel:
+		return "new"
+	case RayCast:
+		return "raycast"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a name ("serial", "old", "new", "raycast").
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "serial":
+		return Serial, nil
+	case "old":
+		return OldParallel, nil
+	case "new":
+		return NewParallel, nil
+	case "raycast":
+		return RayCast, nil
+	}
+	return 0, fmt.Errorf("shearwarp: unknown algorithm %q", s)
+}
+
+// Transfer selects a classification transfer function.
+type Transfer int
+
+// Built-in transfer functions.
+const (
+	TransferMRI Transfer = iota // soft-tissue classification
+	TransferCT                  // bone-isolating classification
+)
+
+// Config configures a Renderer.
+type Config struct {
+	Algorithm Algorithm
+	Procs     int      // workers for the parallel algorithms (default 1)
+	Transfer  Transfer // classification preset
+	// OpacityCorrection enables the view-dependent correction of stored
+	// opacities for the shear's per-slice sample spacing (Lacroute). The
+	// ray-casting baseline samples at unit spacing and ignores it.
+	OpacityCorrection bool
+}
+
+// Renderer renders frames of one volume. It is not safe for concurrent
+// use; the parallelism lives inside each Render call.
+type Renderer struct {
+	cfg Config
+	r   *render.Renderer
+	nr  *newalg.Renderer // cross-frame state for NewParallel
+	rc  *raycast.Renderer
+}
+
+// Image is a rendered frame.
+type Image struct{ f *img.Final }
+
+// Width returns the image width in pixels.
+func (im *Image) Width() int { return im.f.W }
+
+// Height returns the image height in pixels.
+func (im *Image) Height() int { return im.f.H }
+
+// At returns the 8-bit RGB value of pixel (x, y).
+func (im *Image) At(x, y int) (r, g, b uint8) { return im.f.AtRGB(x, y) }
+
+// WritePPM writes the image as binary PPM.
+func (im *Image) WritePPM(w io.Writer) error { return im.f.WritePPM(w) }
+
+// WritePNG writes the image as PNG.
+func (im *Image) WritePNG(w io.Writer) error { return im.f.WritePNG(w) }
+
+// NonBlackPixels counts pixels with any non-zero channel.
+func (im *Image) NonBlackPixels() int { return im.f.NonBlackCount() }
+
+// FrameInfo reports the modeled work of one rendered frame.
+type FrameInfo struct {
+	Cycles      int64 // modeled instruction cycles (1-CPI cost model)
+	Samples     int64 // composited (resampled + blended) samples
+	Scanlines   int64 // intermediate scanlines processed
+	Steals      int   // task-stealing events (parallel algorithms)
+	Profiled    bool  // whether this frame collected a cost profile
+	IntW, IntH  int   // intermediate image size
+	FinalW      int   // final image size
+	FinalH      int
+	Transparent float64 // transparent fraction of the classified volume
+}
+
+// NewRenderer builds a renderer for a raw 8-bit volume with X varying
+// fastest (data[(z*ny+y)*nx+x]).
+func NewRenderer(data []uint8, nx, ny, nz int, cfg Config) (*Renderer, error) {
+	if len(data) != nx*ny*nz {
+		return nil, fmt.Errorf("shearwarp: volume data length %d != %d*%d*%d", len(data), nx, ny, nz)
+	}
+	if nx < 2 || ny < 2 || nz < 2 {
+		return nil, fmt.Errorf("shearwarp: volume too small (%dx%dx%d)", nx, ny, nz)
+	}
+	v := &vol.Volume{Nx: nx, Ny: ny, Nz: nz, Data: data}
+	return newRenderer(v, cfg), nil
+}
+
+// NewMRIPhantom builds a renderer over the synthetic MRI head phantom.
+func NewMRIPhantom(n int, cfg Config) *Renderer {
+	return newRenderer(vol.MRIBrain(n), cfg)
+}
+
+// NewCTPhantom builds a renderer over the synthetic CT head phantom. When
+// cfg.Transfer is unset it defaults to the CT transfer function.
+func NewCTPhantom(n int, cfg Config) *Renderer {
+	cfg.Transfer = TransferCT
+	return newRenderer(vol.CTHead(n), cfg)
+}
+
+func newRenderer(v *vol.Volume, cfg Config) *Renderer {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	opt := render.Options{
+		OpacityCorrection: cfg.OpacityCorrection,
+		PreprocProcs:      cfg.Procs,
+	}
+	if cfg.Transfer == TransferCT {
+		opt.Transfer = classify.CTTransfer
+	}
+	r := render.New(v, opt)
+	re := &Renderer{cfg: cfg, r: r}
+	if cfg.Algorithm == NewParallel {
+		re.nr = newalg.NewRenderer(r, newalg.Config{Procs: cfg.Procs})
+	}
+	if cfg.Algorithm == RayCast {
+		re.rc = raycast.New(r.Classified)
+	}
+	return re
+}
+
+// Render renders one frame from the given viewpoint (degrees of yaw about
+// the vertical axis, then pitch).
+func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
+	yaw := yawDeg * math.Pi / 180
+	pitch := pitchDeg * math.Pi / 180
+	info := FrameInfo{Transparent: re.r.Classified.TransparentFrac()}
+	var out *img.Final
+	switch re.cfg.Algorithm {
+	case OldParallel:
+		res := oldalg.Render(re.r, yaw, pitch, oldalg.Config{Procs: re.cfg.Procs})
+		st := res.Stats()
+		out = res.Out
+		info.Cycles = st.TotalCycles()
+		info.Samples = st.Composite.Samples
+		info.Scanlines = st.Composite.Scanlines
+		for _, ps := range res.PerProc {
+			info.Steals += ps.Steals
+		}
+	case NewParallel:
+		res := re.nr.RenderFrame(yaw, pitch)
+		st := res.Stats()
+		out = res.Out
+		info.Cycles = st.TotalCycles()
+		info.Samples = st.Composite.Samples
+		info.Scanlines = st.Composite.Scanlines
+		info.Profiled = res.Profiled
+		for _, ps := range res.PerProc {
+			info.Steals += ps.Steals
+		}
+	case RayCast:
+		fr := re.r.Setup(yaw, pitch)
+		var cnt raycast.Counters
+		out = re.rc.Render(&fr.F, &cnt)
+		info.Cycles = cnt.Cycles
+		info.Samples = cnt.Composites
+	default: // Serial
+		o, st := re.r.RenderSerial(yaw, pitch)
+		out = o
+		info.Cycles = st.TotalCycles()
+		info.Samples = st.Composite.Samples
+		info.Scanlines = st.Composite.Scanlines
+	}
+	v := re.r.Vol
+	f := xform.Factorize(v.Nx, v.Ny, v.Nz, xform.ViewMatrix(v.Nx, v.Ny, v.Nz, yaw, pitch))
+	info.IntW, info.IntH = f.IntW, f.IntH
+	info.FinalW, info.FinalH = f.FinalW, f.FinalH
+	return &Image{f: out}, info
+}
+
+// ListFigures returns the IDs and titles of the reproducible paper figures
+// and the ablation studies.
+func ListFigures() [][2]string {
+	var out [][2]string
+	for _, f := range experiments.Everything() {
+		out = append(out, [2]string{f.ID, f.Title})
+	}
+	return out
+}
+
+// RunFigure regenerates one paper figure ("fig2".."fig22"), ablation
+// ("abl-*"), extra ("rates", "attr", "inventory") or "all" at the named
+// scale ("small", "default", "large"), writing text tables to w.
+func RunFigure(id, scale string, w io.Writer) error {
+	return RunFigureFormat(id, scale, "text", w)
+}
+
+// RunFigureFormat is RunFigure with a choice of output format: "text"
+// (aligned tables) or "csv".
+func RunFigureFormat(id, scale, format string, w io.Writer) error {
+	sc, ok := experiments.ScaleByName(scale)
+	if !ok {
+		return fmt.Errorf("shearwarp: unknown scale %q (small, default, large)", scale)
+	}
+	lab := experiments.NewLab(sc)
+	run := func(f experiments.Figure) error {
+		for _, tb := range f.Run(lab) {
+			var s string
+			switch format {
+			case "csv":
+				s = "# == " + tb.ID + ": " + tb.Title + "\n" + tb.CSV()
+			default:
+				s = tb.String()
+			}
+			if _, err := io.WriteString(w, s+"\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if id == "all" {
+		for _, f := range experiments.Everything() {
+			if err := run(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("shearwarp: unknown figure %q", id)
+	}
+	return run(f)
+}

@@ -1,0 +1,154 @@
+package shearwarp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	var images []*Image
+	for _, alg := range []Algorithm{Serial, OldParallel, NewParallel} {
+		r := NewMRIPhantom(20, Config{Algorithm: alg, Procs: 4})
+		im, info := r.Render(30, 15)
+		if im.NonBlackPixels() == 0 {
+			t.Fatalf("%v rendered a black image", alg)
+		}
+		if info.Cycles == 0 || info.Samples == 0 {
+			t.Fatalf("%v: empty frame info %+v", alg, info)
+		}
+		images = append(images, im)
+	}
+	for i := 1; i < len(images); i++ {
+		a, b := images[0], images[i]
+		if a.Width() != b.Width() || a.Height() != b.Height() {
+			t.Fatal("image sizes differ across algorithms")
+		}
+		for y := 0; y < a.Height(); y++ {
+			for x := 0; x < a.Width(); x++ {
+				ar, ag, ab := a.At(x, y)
+				br, bg, bb := b.At(x, y)
+				if ar != br || ag != bg || ab != bb {
+					t.Fatalf("pixel (%d,%d) differs between algorithms", x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestRayCastRenders(t *testing.T) {
+	r := NewMRIPhantom(20, Config{Algorithm: RayCast})
+	im, info := r.Render(30, 15)
+	if im.NonBlackPixels() == 0 {
+		t.Fatal("ray-cast image black")
+	}
+	if info.Samples == 0 {
+		t.Fatal("ray caster took no samples")
+	}
+}
+
+func TestCTPhantom(t *testing.T) {
+	r := NewCTPhantom(24, Config{Algorithm: Serial})
+	im, info := r.Render(40, 10)
+	if im.NonBlackPixels() == 0 {
+		t.Fatal("CT image black")
+	}
+	if info.Transparent < 0.5 {
+		t.Fatalf("CT transparent fraction %.2f implausibly low", info.Transparent)
+	}
+}
+
+func TestNewRendererValidation(t *testing.T) {
+	if _, err := NewRenderer(make([]uint8, 10), 4, 4, 4, Config{}); err == nil {
+		t.Fatal("bad data length accepted")
+	}
+	if _, err := NewRenderer(make([]uint8, 4), 1, 2, 2, Config{}); err == nil {
+		t.Fatal("degenerate volume accepted")
+	}
+	data := make([]uint8, 8*8*8)
+	for i := range data {
+		data[i] = uint8(i)
+	}
+	r, err := NewRenderer(data, 8, 8, 8, Config{Algorithm: NewParallel, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im, _ := r.Render(10, 5); im.Width() <= 0 {
+		t.Fatal("render produced no raster")
+	}
+}
+
+func TestAnimationProfilingCadence(t *testing.T) {
+	r := NewMRIPhantom(20, Config{Algorithm: NewParallel, Procs: 2})
+	profiled := 0
+	for i := 0; i < 6; i++ {
+		_, info := r.Render(float64(10+7*i), 10)
+		if info.Profiled {
+			profiled++
+		}
+	}
+	if profiled == 0 || profiled == 6 {
+		t.Fatalf("profiled %d of 6 frames; expected periodic re-profiling", profiled)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, s := range []string{"serial", "old", "new", "raycast"} {
+		a, err := ParseAlgorithm(s)
+		if err != nil || a.String() != s {
+			t.Fatalf("round trip %q failed: %v %v", s, a, err)
+		}
+	}
+	if _, err := ParseAlgorithm("quantum"); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	r := NewMRIPhantom(16, Config{})
+	im, _ := r.Render(0, 0)
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n") {
+		t.Fatal("not a PPM")
+	}
+}
+
+func TestListFigures(t *testing.T) {
+	figs := ListFigures()
+	if len(figs) < 15 {
+		t.Fatalf("only %d figures listed", len(figs))
+	}
+	if figs[0][0] != "fig2" {
+		t.Fatalf("first figure %q, want fig2", figs[0][0])
+	}
+}
+
+func TestRunFigureSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFigure("fig10", "small", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Per-scanline profile") {
+		t.Fatalf("fig10 output missing: %q", buf.String()[:min(len(buf.String()), 120)])
+	}
+	if err := RunFigure("fig99", "small", &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := RunFigure("fig2", "galactic", &buf); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFigureFormat("fig10", "small", "csv", &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "scanlines,cycles,profile") {
+		t.Fatalf("CSV header missing: %q", s[:min(len(s), 150)])
+	}
+}

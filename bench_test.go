@@ -1,0 +1,220 @@
+package shearwarp
+
+// The benchmark harness: kernel benchmarks for the native renderers plus
+// one benchmark per reproduced paper figure. The figure benchmarks run the
+// full simulation experiment at the small scale and report the key shape
+// metric (speedup or ratio) via b.ReportMetric, so `go test -bench=.`
+// regenerates the paper's result set end to end.
+//
+// Shapes — who wins, by what factor — are the reproduction target, not the
+// paper's absolute times (those came from 1990s hardware).
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/experiments"
+	"shearwarp/internal/render"
+	"shearwarp/internal/rle"
+	"shearwarp/internal/vol"
+	"shearwarp/internal/xform"
+)
+
+// ---- native kernel benchmarks ----
+
+func BenchmarkClassify(b *testing.B) {
+	v := vol.MRIBrain(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classify.Classify(v, classify.Options{})
+	}
+}
+
+func BenchmarkRLEEncode(b *testing.B) {
+	c := classify.Classify(vol.MRIBrain(64), classify.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rle.Encode(c, xform.AxisZ)
+	}
+}
+
+func BenchmarkFactorize(b *testing.B) {
+	view := xform.ViewMatrix(256, 256, 167, 0.5, 0.3)
+	for i := 0; i < b.N; i++ {
+		xform.Factorize(256, 256, 167, view)
+	}
+}
+
+func benchFrame(b *testing.B, alg Algorithm, procs int) {
+	b.Helper()
+	r := NewMRIPhantom(64, Config{Algorithm: alg, Procs: procs})
+	r.Render(30, 15) // warm the encoding cache
+	var yaw float64 = 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		yaw += 3
+		r.Render(yaw, 15)
+	}
+}
+
+func BenchmarkSerialFrame(b *testing.B)      { benchFrame(b, Serial, 1) }
+func BenchmarkOldParallelFrame(b *testing.B) { benchFrame(b, OldParallel, 4) }
+func BenchmarkNewParallelFrame(b *testing.B) { benchFrame(b, NewParallel, 4) }
+func BenchmarkRayCastFrame(b *testing.B)     { benchFrame(b, RayCast, 1) }
+
+func BenchmarkCompositePhaseOnly(b *testing.B) {
+	r := render.New(vol.MRIBrain(64), render.Options{})
+	fr := r.Setup(0.5, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fr.M.Clear()
+		b.StartTimer()
+		out, _ := r.RenderSerial(0.5, 0.25)
+		_ = out
+	}
+}
+
+// ---- per-figure benchmarks ----
+
+// benchFigure runs one paper figure at the small scale and reports a named
+// metric extracted from its tables.
+func benchFigure(b *testing.B, id string, metric func([]figTable) (float64, string)) {
+	b.Helper()
+	f, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	var val float64
+	var name string
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.Small)
+		tables := f.Run(lab)
+		ft := make([]figTable, len(tables))
+		for j := range tables {
+			ft[j] = figTable{rows: tables[j].Rows, cols: tables[j].Columns}
+		}
+		if metric != nil {
+			val, name = metric(ft)
+		}
+	}
+	if metric != nil {
+		b.ReportMetric(val, name)
+	}
+}
+
+type figTable struct {
+	rows [][]string
+	cols []string
+}
+
+// lastCellFloat parses the float in the last row at the given column
+// offset from the end.
+func lastCellFloat(t figTable, fromEnd int) float64 {
+	row := t.rows[len(t.rows)-1]
+	cell := strings.TrimSuffix(row[len(row)-1-fromEnd], "%")
+	v, _ := strconv.ParseFloat(cell, 64)
+	return v
+}
+
+func BenchmarkFig02(b *testing.B) {
+	benchFigure(b, "fig2", func(ts []figTable) (float64, string) {
+		rc, _ := strconv.ParseFloat(ts[0].rows[0][3], 64)
+		sw, _ := strconv.ParseFloat(ts[0].rows[1][3], 64)
+		return rc / sw, "raycast/shearwarp"
+	})
+}
+
+func speedupMetric(name string) func([]figTable) (float64, string) {
+	return func(ts []figTable) (float64, string) {
+		return lastCellFloat(ts[0], 0), name
+	}
+}
+
+func BenchmarkFig04(b *testing.B) { benchFigure(b, "fig4", speedupMetric("old-speedup-maxP")) }
+func BenchmarkFig05(b *testing.B) { benchFigure(b, "fig5", nil) }
+func BenchmarkFig06(b *testing.B) { benchFigure(b, "fig6", nil) }
+func BenchmarkFig07(b *testing.B) {
+	benchFigure(b, "fig7", func(ts []figTable) (float64, string) {
+		// True-sharing misses per 1000 refs at max procs.
+		row := ts[0].rows[len(ts[0].rows)-1]
+		v, _ := strconv.ParseFloat(row[2], 64)
+		return v, "old-trueshare-per-1k"
+	})
+}
+func BenchmarkFig08(b *testing.B) { benchFigure(b, "fig8", nil) }
+func BenchmarkFig09(b *testing.B) { benchFigure(b, "fig9", nil) }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10", nil) }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12", speedupMetric("new-speedup-maxP")) }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13", speedupMetric("new-speedup-maxP")) }
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14", nil) }
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15", speedupMetric("new-ct-speedup-maxP")) }
+func BenchmarkFig16(b *testing.B) {
+	benchFigure(b, "fig16", func(ts []figTable) (float64, string) {
+		row := ts[0].rows[len(ts[0].rows)-1]
+		oldTS, _ := strconv.ParseFloat(row[2], 64)
+		newTS, _ := strconv.ParseFloat(row[5], 64)
+		if newTS == 0 {
+			newTS = 0.01
+		}
+		return oldTS / newTS, "trueshare-reduction"
+	})
+}
+func BenchmarkFig17(b *testing.B) { benchFigure(b, "fig17", nil) }
+func BenchmarkFig18(b *testing.B) { benchFigure(b, "fig18", nil) }
+func BenchmarkFig19(b *testing.B) { benchFigure(b, "fig19", speedupMetric("new-origin-speedup")) }
+func BenchmarkFig20(b *testing.B) { benchFigure(b, "fig20", speedupMetric("new-svm-speedup")) }
+func BenchmarkFig21(b *testing.B) { benchFigure(b, "fig21", nil) }
+func BenchmarkFig22(b *testing.B) { benchFigure(b, "fig22", nil) }
+
+// ---- ablation benchmarks ----
+
+func BenchmarkAblChunk(b *testing.B)   { benchFigure(b, "abl-chunk", nil) }
+func BenchmarkAblSteal(b *testing.B)   { benchFigure(b, "abl-steal", nil) }
+func BenchmarkAblNoSteal(b *testing.B) { benchFigure(b, "abl-nosteal", nil) }
+func BenchmarkAblProfile(b *testing.B) { benchFigure(b, "abl-profile", nil) }
+func BenchmarkAblBarrier(b *testing.B) {
+	benchFigure(b, "abl-barrier", func(ts []figTable) (float64, string) {
+		// Barrier penalty at the largest processor count.
+		row := ts[0].rows[len(ts[0].rows)-1]
+		v, _ := strconv.ParseFloat(row[3], 64)
+		return v, "barrier-penalty"
+	})
+}
+func BenchmarkAblPlacement(b *testing.B) { benchFigure(b, "abl-placement", nil) }
+
+func BenchmarkClassifyParallel4(b *testing.B) {
+	v := vol.MRIBrain(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classify.ClassifyParallel(v, classify.Options{}, 4)
+	}
+}
+
+func BenchmarkRLEEncodeParallel4(b *testing.B) {
+	c := classify.Classify(vol.MRIBrain(64), classify.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rle.EncodeParallel(c, xform.AxisZ, 4)
+	}
+}
+
+func BenchmarkAttr(b *testing.B) {
+	benchFigure(b, "attr", func(ts []figTable) (float64, string) {
+		// int.Pix true-sharing reduction (old/new).
+		for _, row := range ts[0].rows {
+			if row[0] == "int.Pix" {
+				oldT, _ := strconv.ParseFloat(row[1], 64)
+				newT, _ := strconv.ParseFloat(row[4], 64)
+				if newT == 0 {
+					newT = 1
+				}
+				return oldT / newT, "interface-trueshare-reduction"
+			}
+		}
+		return 0, "interface-trueshare-reduction"
+	})
+}

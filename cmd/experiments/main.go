@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables on the deterministic multiprocessor simulator.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig16 -scale default
+//	experiments -fig all -scale default -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"shearwarp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (fig2..fig22) or \"all\"")
+	scale := flag.String("scale", "default", "experiment scale: small | default | large")
+	list := flag.Bool("list", false, "list the available figures and exit")
+	format := flag.String("format", "text", "output format: text | csv")
+	outPath := flag.String("o", "", "also write the tables to this file")
+	flag.Parse()
+
+	if *list {
+		for _, f := range shearwarp.ListFigures() {
+			fmt.Printf("%-7s %s\n", f[0], f[1])
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	if err := shearwarp.RunFigureFormat(*fig, *scale, *format, w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

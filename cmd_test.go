@@ -1,0 +1,82 @@
+package shearwarp
+
+// End-to-end smoke tests for the command-line tools, exercised as real
+// subprocesses through `go run`.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+func TestVolgenAndRenderCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	volPath := filepath.Join(dir, "head.vol")
+	out := runCmd(t, "./cmd/volgen", "-kind", "mri", "-size", "24", "-out", volPath)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("volgen output: %q", out)
+	}
+	if st, err := os.Stat(volPath); err != nil || st.Size() < 16 {
+		t.Fatalf("volume file missing or empty: %v", err)
+	}
+
+	// Resample it up.
+	big := filepath.Join(dir, "big.vol")
+	runCmd(t, "./cmd/volgen", "-in", volPath, "-resample", "32x32x20", "-out", big)
+
+	// Render the generated volume with each algorithm.
+	ppm := filepath.Join(dir, "frame.ppm")
+	for _, alg := range []string{"serial", "old", "new", "raycast"} {
+		out := runCmd(t, "./cmd/shearwarp", "-in", volPath, "-alg", alg,
+			"-procs", "2", "-out", ppm)
+		if !strings.Contains(out, "wrote") {
+			t.Fatalf("shearwarp %s output: %q", alg, out)
+		}
+		data, err := os.ReadFile(ppm)
+		if err != nil || !bytes.HasPrefix(data, []byte("P6\n")) {
+			t.Fatalf("%s did not produce a PPM: %v", alg, err)
+		}
+	}
+
+	// PNG output path.
+	png := filepath.Join(dir, "frame.png")
+	runCmd(t, "./cmd/shearwarp", "-in", volPath, "-alg", "new", "-out", png)
+	data, err := os.ReadFile(png)
+	if err != nil || !bytes.HasPrefix(data, []byte("\x89PNG")) {
+		t.Fatalf("PNG output wrong: %v", err)
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := runCmd(t, "./cmd/experiments", "-list")
+	for _, id := range []string{"fig2", "fig22", "abl-barrier", "attr", "rates"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("-list missing %s:\n%s", id, out)
+		}
+	}
+	out = runCmd(t, "./cmd/experiments", "-fig", "fig10", "-scale", "small")
+	if !strings.Contains(out, "Per-scanline profile") {
+		t.Fatalf("fig10 output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module shearwarp
+
+go 1.22

@@ -1,0 +1,163 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shearwarp/internal/vol"
+)
+
+func TestPackExtractRoundTrip(t *testing.T) {
+	f := func(a, r, g, b uint8) bool {
+		v := Pack(a, r, g, b)
+		gr, gg, gb := RGB(v)
+		return Opacity(v) == a && gr == r && gg == g && gb == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAirIsTransparent(t *testing.T) {
+	v := vol.New(4, 4, 4) // all zero
+	c := Classify(v, Options{})
+	for i, vx := range c.Voxels {
+		if vx != 0 {
+			t.Fatalf("voxel %d of empty volume classified non-transparent", i)
+		}
+	}
+	if got := c.TransparentFrac(); got != 1.0 {
+		t.Fatalf("TransparentFrac = %g, want 1", got)
+	}
+}
+
+func TestMRITransferMonotoneRegions(t *testing.T) {
+	// Below 60 transparent; above, opacity non-decreasing in density.
+	a0, _, _, _ := MRITransfer(30, 0)
+	if a0 != 0 {
+		t.Fatal("density 30 should be transparent")
+	}
+	prev := -1.0
+	for d := 60; d <= 255; d += 5 {
+		a, _, _, _ := MRITransfer(uint8(d), 0)
+		if a < prev-1e-9 {
+			t.Fatalf("opacity decreased at density %d: %g < %g", d, a, prev)
+		}
+		prev = a
+	}
+	aMax, _, _, _ := MRITransfer(255, 0)
+	if aMax < 0.9 {
+		t.Fatalf("max density opacity %g, want near 1", aMax)
+	}
+}
+
+func TestCTTransferBoneOnly(t *testing.T) {
+	if a, _, _, _ := CTTransfer(100, 50); a != 0 {
+		t.Fatal("soft tissue density should be transparent in CT transfer")
+	}
+	aFlat, _, _, _ := CTTransfer(230, 0)
+	aEdge, _, _, _ := CTTransfer(230, 60)
+	if aEdge <= aFlat {
+		t.Fatalf("gradient weighting absent: edge %g <= flat %g", aEdge, aFlat)
+	}
+}
+
+func TestMRIPhantomTransparentFraction(t *testing.T) {
+	// The paper: "70% to 95% of the voxels are found to be transparent".
+	v := vol.MRIBrain(48)
+	c := Classify(v, Options{})
+	frac := c.TransparentFrac()
+	if frac < 0.5 || frac > 0.97 {
+		t.Fatalf("MRI transparent fraction = %.3f, want coherence-friendly range", frac)
+	}
+}
+
+func TestCTPhantomTransparentFraction(t *testing.T) {
+	v := vol.CTHead(48)
+	c := Classify(v, Options{Transfer: CTTransfer})
+	frac := c.TransparentFrac()
+	if frac < 0.7 || frac > 0.99 {
+		t.Fatalf("CT transparent fraction = %.3f, want 0.7-0.99", frac)
+	}
+}
+
+func TestClassifyDeterministic(t *testing.T) {
+	v := vol.MRIBrain(16)
+	a := Classify(v, Options{})
+	b := Classify(v, Options{})
+	for i := range a.Voxels {
+		if a.Voxels[i] != b.Voxels[i] {
+			t.Fatalf("classification not deterministic at voxel %d", i)
+		}
+	}
+}
+
+func TestShadingDarkensFacesAwayFromLight(t *testing.T) {
+	// A density step in x creates opposing gradients on the two faces of a
+	// slab; the face toward the light must be brighter.
+	v := vol.New(16, 8, 8)
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 5; x < 11; x++ {
+				v.Set(x, y, z, 200)
+			}
+		}
+	}
+	lt := Light{Dx: -1, Dy: 0, Dz: 0, Ambient: 0.2, Diffuse: 0.8}
+	c := Classify(v, Options{Light: lt})
+	// Voxel at x=5 has gradient +x (normal -x, toward light at -x): bright.
+	// Voxel at x=10 has gradient -x (normal +x, away): dark.
+	rTow, _, _ := RGB(c.At(5, 4, 4))
+	rAway, _, _ := RGB(c.At(10, 4, 4))
+	if rTow <= rAway {
+		t.Fatalf("lit face %d not brighter than far face %d", rTow, rAway)
+	}
+}
+
+func TestAtOutOfBounds(t *testing.T) {
+	c := Classify(vol.MRIBrain(8), Options{})
+	if c.At(-1, 0, 0) != 0 || c.At(0, 100, 0) != 0 {
+		t.Fatal("out-of-bounds classified access should be transparent")
+	}
+}
+
+func TestMinOpacityThreshold(t *testing.T) {
+	c := &Classified{MinOpacity: 10}
+	if !c.Transparent(Pack(9, 1, 1, 1)) {
+		t.Fatal("opacity 9 should be transparent at threshold 10")
+	}
+	if c.Transparent(Pack(10, 1, 1, 1)) {
+		t.Fatal("opacity 10 should be opaque at threshold 10")
+	}
+}
+
+func TestClassifyParallelBitIdentical(t *testing.T) {
+	for _, n := range []int{7, 16, 33} {
+		v := vol.MRIBrain(n)
+		want := Classify(v, Options{})
+		for _, procs := range []int{2, 3, 8, 100} {
+			got := ClassifyParallel(v, Options{}, procs)
+			if got.MinOpacity != want.MinOpacity || len(got.Voxels) != len(want.Voxels) {
+				t.Fatalf("n=%d procs=%d: shape mismatch", n, procs)
+			}
+			for i := range want.Voxels {
+				if got.Voxels[i] != want.Voxels[i] {
+					t.Fatalf("n=%d procs=%d: voxel %d differs", n, procs, i)
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyParallelCTOptions(t *testing.T) {
+	v := vol.CTHead(20)
+	opt := Options{Transfer: CTTransfer, MinOpacity: 10,
+		Light: Light{Dx: 1, Dy: -1, Dz: 0.5, Ambient: 0.2, Diffuse: 0.8}}
+	want := Classify(v, opt)
+	got := ClassifyParallel(v, opt, 4)
+	for i := range want.Voxels {
+		if got.Voxels[i] != want.Voxels[i] {
+			t.Fatalf("voxel %d differs under custom options", i)
+		}
+	}
+}

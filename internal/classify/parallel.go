@@ -1,0 +1,72 @@
+package classify
+
+import (
+	"sync"
+
+	"shearwarp/internal/vol"
+)
+
+// ClassifyParallel classifies with the given number of goroutines,
+// partitioning the volume by z slices. The output is bit-identical to
+// Classify: classification is per-voxel (gradients read the raw volume,
+// which is immutable), so the decomposition carries no ordering effects.
+//
+// Classification runs once per volume (it is view-independent), but for
+// large volumes it is the dominant preprocessing cost, so the renderer's
+// setup benefits from the same parallelism as its frames.
+func ClassifyParallel(v *vol.Volume, opt Options, procs int) *Classified {
+	if procs < 2 || v.Nz < 2 {
+		return Classify(v, opt)
+	}
+	if procs > v.Nz {
+		procs = v.Nz
+	}
+
+	// Mirror Classify's defaulting so both paths stay in lock step.
+	tf := opt.Transfer
+	if tf == nil {
+		tf = MRITransfer
+	}
+	lt := opt.Light
+	if lt.Diffuse == 0 && lt.Ambient == 0 {
+		lt = DefaultLight
+	}
+	minOp := opt.MinOpacity
+	if minOp == 0 {
+		minOp = 4
+	}
+	c := &Classified{Nx: v.Nx, Ny: v.Ny, Nz: v.Nz,
+		Voxels: make([]Voxel, v.VoxelCount()), MinOpacity: minOp}
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		z0 := p * v.Nz / procs
+		z1 := (p + 1) * v.Nz / procs
+		wg.Add(1)
+		go func(z0, z1 int) {
+			defer wg.Done()
+			classifySlab(v, c, tf, lt, z0, z1)
+		}(z0, z1)
+	}
+	wg.Wait()
+	return c
+}
+
+// classifySlab classifies slices [z0, z1); it is the body of Classify
+// restricted to a slab so serial and parallel paths share the arithmetic.
+func classifySlab(v *vol.Volume, c *Classified, tf TransferFunc, lt Light, z0, z1 int) {
+	ln := normLen(lt)
+	lx, ly, lz := lt.Dx/ln, lt.Dy/ln, lt.Dz/ln
+	for z := z0; z < z1; z++ {
+		for y := 0; y < v.Ny; y++ {
+			base := (z*v.Ny + y) * v.Nx
+			for x := 0; x < v.Nx; x++ {
+				d := v.Data[base+x]
+				if d == 0 {
+					continue
+				}
+				c.Voxels[base+x] = classifyVoxel(v, tf, lt, lx, ly, lz, x, y, z, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package composite implements the compositing phase of the shear-warp
+// algorithm: streaming through the run-length-encoded volume in scanline
+// order and accumulating the sheared slices into the intermediate image,
+// front to back, with early ray termination via the image's opaque-pixel
+// skip links.
+//
+// The unit of work is one intermediate-image scanline — the task
+// granularity of both parallel algorithms in the paper — exposed as
+// Ctx.Scanline. The kernel does the real arithmetic and, when a Tracer is
+// attached, reports the shared-array ranges it touches so the memory-system
+// simulators can replay its reference stream. Work cycles are counted with
+// an explicit cost model (the Pixie basic-block-counting analog).
+package composite
+
+import (
+	"math"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/img"
+	"shearwarp/internal/rle"
+	"shearwarp/internal/trace"
+	"shearwarp/internal/xform"
+)
+
+// Cost model: cycle counts per primitive operation, playing the role of the
+// paper's basic-block instruction counts on a 1-CPI processor. The ratios
+// matter more than absolute values: compositing a sample is an order of
+// magnitude more work than stepping over a run header, matching Figure 2's
+// shear-warp breakdown where compositing dominates looping.
+const (
+	CyclesPerSample     = 22 // bilinear gather of 4 voxels + composite + test
+	CyclesPerEmptyPixel = 3  // pixel visited but sample transparent
+	CyclesPerSkip       = 2  // following one opaque-run link
+	CyclesPerRun        = 4  // decoding one run header
+	CyclesPerVoxelCopy  = 2  // streaming one packed voxel out of the RLE
+	CyclesPerSliceSetup = 14 // per-slice shear setup for a scanline
+	CyclesPerLineSetup  = 30 // per-scanline task setup
+)
+
+// Counters aggregates kernel work. Cycles is the modeled busy time; the
+// remaining fields break it down for the Figure 2-style analyses.
+type Counters struct {
+	Cycles      int64 // total modeled work cycles
+	Samples     int64 // composited (resampled + blended) samples
+	EmptyPixels int64 // pixels visited whose resampled alpha was ~0
+	Skips       int64 // opaque-run link traversals
+	Runs        int64 // run headers decoded
+	VoxelsRead  int64 // packed voxels streamed from the RLE
+	Slices      int64 // slice visits across scanline tasks
+	Scanlines   int64 // scanline tasks executed
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Cycles += other.Cycles
+	c.Samples += other.Samples
+	c.EmptyPixels += other.EmptyPixels
+	c.Skips += other.Skips
+	c.Runs += other.Runs
+	c.VoxelsRead += other.VoxelsRead
+	c.Slices += other.Slices
+	c.Scanlines += other.Scanlines
+}
+
+// LoopingCycles returns the portion of Cycles spent on control overhead and
+// coherence-structure traversal rather than resampling/compositing — the
+// paper's "looping time" (Figure 2).
+func (c *Counters) LoopingCycles() int64 {
+	return c.Cycles - c.Samples*CyclesPerSample
+}
+
+// Arrays holds the trace handles of the shared arrays the kernel touches.
+// A zero value (invalid handles) disables tracing of that array.
+type Arrays struct {
+	RunLens  trace.Array // rle.Volume.RunLens, elem 2 bytes
+	Vox      trace.Array // rle.Volume.Vox, elem 4 bytes
+	IntPix   trace.Array // img.Intermediate.Pix, elem 16 bytes per pixel
+	IntLinks trace.Array // img.Intermediate.Links, elem 4 bytes
+}
+
+// RegisterArrays lays out the kernel's shared arrays in an address space.
+func RegisterArrays(s *trace.AddrSpace, v *rle.Volume, m *img.Intermediate) Arrays {
+	return Arrays{
+		RunLens:  s.Register("rle.RunLens", 2, len(v.RunLens)),
+		Vox:      s.Register("rle.Vox", 4, len(v.Vox)),
+		IntPix:   s.Register("int.Pix", 16, m.W*m.H),
+		IntLinks: s.Register("int.Links", 4, m.W*m.H),
+	}
+}
+
+// Ctx carries everything one processor needs to composite scanlines. Each
+// simulated or native processor owns its own Ctx (the scratch buffers are
+// private); F, V and M are shared.
+type Ctx struct {
+	F *xform.Factorization
+	V *rle.Volume
+	M *img.Intermediate
+
+	Tracer trace.Tracer // nil in native mode
+	Arrays Arrays
+
+	// alphaLUT, when non-nil, applies Lacroute's view-dependent opacity
+	// correction: stored opacities assume unit sample spacing, but the
+	// shear samples once per slice, spacing the samples
+	// d = sqrt(1 + Si^2 + Sj^2) apart along the ray, so the corrected
+	// opacity is 1 - (1-a)^d. Enable with EnableOpacityCorrection.
+	alphaLUT []float32
+
+	// Scratch, private per processor.
+	row0, row1     []classify.Voxel
+	spans0, spans1 []rle.Span
+	merged         []pixSpan
+}
+
+// lutSize is the resolution of the opacity-correction table; resampled
+// alphas index it linearly.
+const lutSize = 1024
+
+// EnableOpacityCorrection builds the per-frame correction table from the
+// factorization's shear coefficients. Every processor rendering the same
+// frame must make the same choice, or images diverge.
+func (c *Ctx) EnableOpacityCorrection() {
+	d := math.Sqrt(1 + c.F.Si*c.F.Si + c.F.Sj*c.F.Sj)
+	c.alphaLUT = make([]float32, lutSize+1)
+	for i := 0; i <= lutSize; i++ {
+		a := float64(i) / lutSize
+		c.alphaLUT[i] = float32(1 - math.Pow(1-a, d))
+	}
+}
+
+// correctAlpha maps a resampled opacity through the correction table (a
+// no-op factor of 1 when correction is disabled).
+func (c *Ctx) correctAlpha(aa float32) float32 {
+	if c.alphaLUT == nil {
+		return aa
+	}
+	idx := int(aa * lutSize)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= lutSize {
+		idx = lutSize
+	}
+	return c.alphaLUT[idx]
+}
+
+// pixSpan is a pixel-index interval [Lo, Hi) of the intermediate scanline
+// that can receive non-transparent samples from the current slice.
+type pixSpan struct{ Lo, Hi int }
+
+// NewCtx builds a per-processor compositing context.
+func NewCtx(f *xform.Factorization, v *rle.Volume, m *img.Intermediate) *Ctx {
+	return &Ctx{
+		F: f, V: v, M: m,
+		row0: make([]classify.Voxel, v.Ni),
+		row1: make([]classify.Voxel, v.Ni),
+	}
+}
+
+// Scanline composites intermediate-image row vRow across all slices, front
+// to back, and returns the work cycles it spent. The returned cycles are
+// also accumulated into cnt along with the detailed counters.
+func (c *Ctx) Scanline(vRow int, cnt *Counters) int64 {
+	f, V, M := c.F, c.V, c.M
+	start := cnt.Cycles
+	cnt.Scanlines++
+	cnt.Cycles += CyclesPerLineSetup
+
+	for idx := 0; idx < f.Nk; idx++ {
+		// Row saturated: early ray termination ends the whole task.
+		if M.Skip(0, vRow) >= M.W {
+			if c.Tracer != nil {
+				c.Tracer.Read(c.Arrays.IntLinks, M.PixelIndex(0, vRow), 1)
+			}
+			cnt.Skips++
+			cnt.Cycles += CyclesPerSkip
+			break
+		}
+		k := f.KFront + idx*f.KStep
+		cnt.Slices++
+		cnt.Cycles += CyclesPerSliceSetup
+
+		tu, tv := f.SliceShift(k)
+		y := float64(vRow) - tv
+		j0 := int(math.Floor(y))
+		wy := y - float64(j0)
+		if j0 < -1 || j0 >= f.Nj {
+			continue // slice does not reach this scanline
+		}
+		have0 := j0 >= 0 && wy < 1
+		have1 := j0+1 < f.Nj && wy > 0
+
+		// Constant resampling weights along the row (see Factorization).
+		tuInt := int(math.Floor(tu))
+		tuFrac := tu - float64(tuInt)
+		off := tuInt // pixel u gathers voxels i0 = u-off(-1) and i0+1
+		wx := 0.0
+		if tuFrac > 0 {
+			off = tuInt + 1
+			wx = 1 - tuFrac
+		}
+		w00 := float32((1 - wx) * (1 - wy))
+		w10 := float32(wx * (1 - wy))
+		w01 := float32((1 - wx) * wy)
+		w11 := float32(wx * wy)
+
+		// Decode the contributing spans of up to two volume scanlines into
+		// private scratch rows (zero elsewhere), and collect the union of
+		// pixel intervals they can affect.
+		c.spans0 = c.spans0[:0]
+		c.spans1 = c.spans1[:0]
+		if have0 {
+			c.spans0 = V.AppendSpans(k, j0, c.spans0)
+			c.decodeSpans(k, j0, c.spans0, c.row0, cnt)
+		}
+		if have1 {
+			c.spans1 = V.AppendSpans(k, j0+1, c.spans1)
+			c.decodeSpans(k, j0+1, c.spans1, c.row1, cnt)
+		}
+		if len(c.spans0)+len(c.spans1) == 0 {
+			continue
+		}
+		c.mergePixelSpans(off, wx > 0)
+
+		c.compositeSpans(vRow, off, w00, w10, w01, w11, have0, have1, cnt)
+
+		// Restore the scratch rows to all-zero for the next slice.
+		if have0 {
+			clearSpans(c.row0, c.spans0)
+		}
+		if have1 {
+			clearSpans(c.row1, c.spans1)
+		}
+	}
+	return cnt.Cycles - start
+}
+
+// decodeSpans streams the non-transparent voxels of scanline (k, j) into
+// the dense scratch row and charges the run-traversal costs.
+func (c *Ctx) decodeSpans(k, j int, spans []rle.Span, row []classify.Voxel, cnt *Counters) {
+	s := c.V.ScanlineID(k, j)
+	runs := int(c.V.RunOff[s+1] - c.V.RunOff[s])
+	cnt.Runs += int64(runs)
+	cnt.Cycles += int64(runs) * CyclesPerRun
+	if c.Tracer != nil && runs > 0 {
+		c.Tracer.Read(c.Arrays.RunLens, int(c.V.RunOff[s]), runs)
+	}
+	voxBase := int(c.V.VoxOff[s])
+	_, vox := c.V.Scanline(k, j)
+	for _, sp := range spans {
+		copy(row[sp.Start:sp.End], vox[sp.VoxStart:sp.VoxStart+sp.End-sp.Start])
+		n := sp.End - sp.Start
+		cnt.VoxelsRead += int64(n)
+		cnt.Cycles += int64(n) * CyclesPerVoxelCopy
+		if c.Tracer != nil {
+			c.Tracer.Read(c.Arrays.Vox, voxBase+sp.VoxStart, n)
+		}
+	}
+}
+
+// clearSpans re-zeroes the span regions of a scratch row.
+func clearSpans(row []classify.Voxel, spans []rle.Span) {
+	for _, sp := range spans {
+		clear(row[sp.Start:sp.End])
+	}
+}
+
+// mergePixelSpans converts the voxel spans of both contributing lines into
+// a coalesced, sorted list of pixel intervals on the intermediate scanline.
+// A voxel span [s, e) is sampled by pixels [s+off-1, e+off) when wx > 0 and
+// [s+off, e+off) when wx == 0.
+func (c *Ctx) mergePixelSpans(off int, fractional bool) {
+	c.merged = c.merged[:0]
+	lead := 0
+	if fractional {
+		lead = 1
+	}
+	i0, i1 := 0, 0
+	W := c.M.W
+	for i0 < len(c.spans0) || i1 < len(c.spans1) {
+		var sp rle.Span
+		if i1 >= len(c.spans1) || (i0 < len(c.spans0) && c.spans0[i0].Start <= c.spans1[i1].Start) {
+			sp = c.spans0[i0]
+			i0++
+		} else {
+			sp = c.spans1[i1]
+			i1++
+		}
+		lo := sp.Start + off - lead
+		hi := sp.End + off
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > W {
+			hi = W
+		}
+		if lo >= hi {
+			continue
+		}
+		if n := len(c.merged); n > 0 && lo <= c.merged[n-1].Hi {
+			if hi > c.merged[n-1].Hi {
+				c.merged[n-1].Hi = hi
+			}
+		} else {
+			c.merged = append(c.merged, pixSpan{lo, hi})
+		}
+	}
+}
+
+// compositeSpans walks the merged pixel intervals of the current slice,
+// skipping saturated pixels via the intermediate image's run links, and
+// composites one resampled sample per live pixel.
+func (c *Ctx) compositeSpans(vRow, off int, w00, w10, w01, w11 float32, have0, have1 bool, cnt *Counters) {
+	M := c.M
+	rowBase := vRow * M.W
+	for _, ps := range c.merged {
+		u := ps.Lo
+		for u < ps.Hi {
+			// Early ray termination: hop over saturated pixels.
+			if M.Links[rowBase+u] > 0 {
+				if c.Tracer != nil {
+					c.Tracer.Read(c.Arrays.IntLinks, rowBase+u, 1)
+				}
+				u = M.Skip(u, vRow)
+				cnt.Skips++
+				cnt.Cycles += CyclesPerSkip
+				continue
+			}
+			segStart := u
+			// Composite a contiguous live segment.
+			for u < ps.Hi && M.Links[rowBase+u] == 0 {
+				c.compositePixel(vRow, u, off, w00, w10, w01, w11, cnt)
+				u++
+			}
+			if c.Tracer != nil && u > segStart {
+				c.Tracer.Read(c.Arrays.IntPix, rowBase+segStart, u-segStart)
+				c.Tracer.Write(c.Arrays.IntPix, rowBase+segStart, u-segStart)
+				c.Tracer.Read(c.Arrays.IntLinks, rowBase+segStart, u-segStart)
+			}
+		}
+	}
+}
+
+// compositePixel resamples the four contributing voxels at pixel u and
+// blends the sample into the intermediate image, front to back.
+func (c *Ctx) compositePixel(vRow, u, off int, w00, w10, w01, w11 float32, cnt *Counters) {
+	i0 := u - off
+	var v00, v10, v01, v11 classify.Voxel
+	if i0 >= 0 && i0 < c.V.Ni {
+		v00 = c.row0[i0]
+		v01 = c.row1[i0]
+	}
+	if i1 := i0 + 1; i1 >= 0 && i1 < c.V.Ni {
+		v10 = c.row0[i1]
+		v11 = c.row1[i1]
+	}
+	// Premultiplied resampling: alpha and alpha-weighted color.
+	aa := w00*alphaOf(v00) + w10*alphaOf(v10) + w01*alphaOf(v01) + w11*alphaOf(v11)
+	if aa < 1.0/512 {
+		cnt.EmptyPixels++
+		cnt.Cycles += CyclesPerEmptyPixel
+		return
+	}
+	// View-dependent opacity correction (identity when disabled). The
+	// premultiplied colors scale by the same factor so hue is preserved.
+	scale := float32(1)
+	if c.alphaLUT != nil {
+		corrected := c.correctAlpha(aa)
+		scale = corrected / aa
+		aa = corrected
+	}
+	var ar, ag, ab float32
+	accum := func(w float32, v classify.Voxel) {
+		if v == 0 || w == 0 {
+			return
+		}
+		a := w * float32(v>>24) * (1.0 / 255)
+		ar += a * float32((v>>16)&0xff)
+		ag += a * float32((v>>8)&0xff)
+		ab += a * float32(v&0xff)
+	}
+	accum(w00, v00)
+	accum(w10, v10)
+	accum(w01, v01)
+	accum(w11, v11)
+
+	M := c.M
+	p := 4 * (vRow*M.W + u)
+	t := scale * (1 - M.Pix[p+3])
+	M.Pix[p] += t * ar * (1.0 / 255)
+	M.Pix[p+1] += t * ag * (1.0 / 255)
+	M.Pix[p+2] += t * ab * (1.0 / 255)
+	M.Pix[p+3] += (1 - M.Pix[p+3]) * aa
+	cnt.Samples++
+	cnt.Cycles += CyclesPerSample
+	if M.Pix[p+3] >= img.OpacityThreshold {
+		M.MarkOpaque(u, vRow)
+		if c.Tracer != nil {
+			c.Tracer.Write(c.Arrays.IntLinks, vRow*M.W+u, 1)
+		}
+	}
+}
+
+func alphaOf(v classify.Voxel) float32 {
+	return float32(v>>24) * (1.0 / 255)
+}

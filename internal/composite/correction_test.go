@@ -1,0 +1,63 @@
+package composite
+
+import (
+	"math"
+	"testing"
+
+	"shearwarp/internal/img"
+)
+
+func TestCorrectAlphaIdentityAtZeroShear(t *testing.T) {
+	f, _, rv := setup(t, 16, 0, 0) // axis-aligned: d = 1
+	m := img.NewIntermediate(f.IntW, f.IntH)
+	ctx := NewCtx(f, rv, m)
+	ctx.EnableOpacityCorrection()
+	for _, a := range []float32{0, 0.25, 0.5, 0.99, 1} {
+		if got := ctx.correctAlpha(a); math.Abs(float64(got-a)) > 1e-3 {
+			t.Fatalf("d=1 correction not identity: %g -> %g", a, got)
+		}
+	}
+}
+
+func TestCorrectAlphaIncreasesWithShear(t *testing.T) {
+	// d > 1: samples are farther apart, each must be more opaque.
+	f, _, rv := setup(t, 16, 0.7, 0.4)
+	if math.Abs(f.Si)+math.Abs(f.Sj) < 0.1 {
+		t.Fatal("test view has no shear")
+	}
+	m := img.NewIntermediate(f.IntW, f.IntH)
+	ctx := NewCtx(f, rv, m)
+	ctx.EnableOpacityCorrection()
+	for _, a := range []float32{0.1, 0.3, 0.6, 0.9} {
+		got := ctx.correctAlpha(a)
+		if got <= a {
+			t.Fatalf("sheared correction did not increase alpha: %g -> %g", a, got)
+		}
+		if got > 1 {
+			t.Fatalf("corrected alpha %g exceeds 1", got)
+		}
+	}
+	// Endpoints fixed.
+	if ctx.correctAlpha(0) != 0 {
+		t.Fatal("corrected 0 != 0")
+	}
+	if c1 := ctx.correctAlpha(1); math.Abs(float64(c1-1)) > 1e-6 {
+		t.Fatalf("corrected 1 = %g", c1)
+	}
+}
+
+func TestCorrectionMonotone(t *testing.T) {
+	f, _, rv := setup(t, 16, 0.5, 0.3)
+	m := img.NewIntermediate(f.IntW, f.IntH)
+	ctx := NewCtx(f, rv, m)
+	ctx.EnableOpacityCorrection()
+	prev := float32(-1)
+	for i := 0; i <= 100; i++ {
+		a := float32(i) / 100
+		got := ctx.correctAlpha(a)
+		if got < prev {
+			t.Fatalf("correction not monotone at %g", a)
+		}
+		prev = got
+	}
+}

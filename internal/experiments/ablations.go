@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shearwarp/internal/machines"
+	"shearwarp/internal/render"
+	"shearwarp/internal/simrun"
+	"shearwarp/internal/stats"
+)
+
+// The ablation experiments quantify the individual design choices the
+// paper discusses but does not plot separately: the old algorithm's
+// empirically-tuned chunk size (section 3.4), the new algorithm's steal
+// granularity (section 4.4, "synchronization overhead ... about 10 times
+// higher" with single-scanline steals), the profiling cadence (section
+// 4.2), the barrier elimination (section 5.5.2), stealing itself, and the
+// round-robin page placement the paper adopts for unpredictable
+// viewpoints.
+
+// Ablations returns the ablation experiments, appended to All() by the
+// harness registry below.
+func Ablations() []Figure {
+	return []Figure{
+		{"abl-chunk", "Old-algorithm sensitivity to compositing chunk size (section 3.4)", AblChunk},
+		{"abl-steal", "New-algorithm steal granularity on SVM (section 4.4)", AblSteal},
+		{"abl-nosteal", "Contribution of task stealing to the new algorithm", AblNoSteal},
+		{"abl-profile", "Profiling cadence: overhead vs predictive accuracy (section 4.2)", AblProfile},
+		{"abl-barrier", "Barrier elimination between phases (section 5.5.2)", AblBarrier},
+		{"abl-placement", "Round-robin vs first-touch page placement", AblPlacement},
+	}
+}
+
+// AblChunk sweeps the old algorithm's chunk size: too small loses spatial
+// locality and pays queue traffic, too large loses load balance — the
+// tradeoff the paper tuned empirically per configuration.
+func AblChunk(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	w := l.Workload("mri", n)
+	var tables []stats.Table
+	for _, m := range []machines.Machine{machines.Simulator(), machines.DASH()} {
+		p := l.maxProcs(m) / 2
+		if p < 2 {
+			p = 2
+		}
+		t := stats.Table{
+			ID:      "abl-chunk",
+			Title:   fmt.Sprintf("Old algorithm vs chunk size on %s, MRI %d, %d procs", m.Name, n, p),
+			Columns: []string{"chunk", "steady kcycles", "steals", "lock kcycles"},
+		}
+		for _, c := range []int{1, 2, 4, 8, 16, 32} {
+			r := simrun.RunOld(w, simrun.OldOptions{Machine: m, Procs: p, ChunkSize: c})
+			var lock int64
+			for _, b := range r.SteadyPerProc {
+				lock += b.LockWait
+			}
+			t.AddRow(stats.I(int64(c)), stats.I(r.SteadyCycles()/1000),
+				stats.I(int64(r.Steals)), stats.I(lock/1000))
+		}
+		t.AddNote("paper: task size is 'a combination between spatial locality and load imbalance,'")
+		t.AddNote("'determined empirically for a given data set, number of processors, and platform'")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// AblSteal sweeps the new algorithm's steal chunk on the SVM platform,
+// where the paper found single-scanline steals cost ~10x the old
+// algorithm's synchronization overhead.
+func AblSteal(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	w := l.Workload("mri", n)
+	p := 16
+	t := stats.Table{
+		ID:      "abl-steal",
+		Title:   fmt.Sprintf("New algorithm vs steal chunk on SVM, MRI %d, %d procs", n, p),
+		Columns: []string{"steal chunk", "steady kcycles", "steals", "lock kcycles"},
+	}
+	for _, c := range []int{1, 2, 4, 8, 16, 0} {
+		r := simrun.RunNewSVM(w, simrun.SVMOptions{Procs: p, StealChunk: c})
+		var lock int64
+		for _, b := range r.SteadyPerProc {
+			lock += b.LockWait
+		}
+		label := stats.I(int64(c))
+		if c == 0 {
+			label = "heuristic"
+		}
+		t.AddRow(label, stats.I(r.SteadyCycles()/1000), stats.I(int64(r.Steals)), stats.I(lock/1000))
+	}
+	t.AddNote("paper: stealing single scanlines made synchronization ~10x the old algorithm's;")
+	t.AddNote("chunked stealing (sized by data set, processors, coherence granularity) fixes it")
+	return []stats.Table{t}
+}
+
+// AblNoSteal isolates stealing: with prediction-based balanced partitions,
+// how much does the dynamic safety net still contribute?
+func AblNoSteal(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	w := l.Workload("mri", n)
+	m := machines.Simulator()
+	t := stats.Table{
+		ID:      "abl-nosteal",
+		Title:   fmt.Sprintf("New algorithm with and without stealing on %s, MRI %d", m.Name, n),
+		Columns: []string{"procs", "with steal", "without", "penalty"},
+	}
+	for _, p := range l.procsFor(m) {
+		if p < 2 {
+			continue
+		}
+		with := simrun.RunNew(w, simrun.NewOptions{Machine: m, Procs: p}).SteadyCycles()
+		without := simrun.RunNew(w, simrun.NewOptions{Machine: m, Procs: p, DisableSteal: true}).SteadyCycles()
+		t.AddRow(stats.I(int64(p)), stats.I(with/1000), stats.I(without/1000),
+			stats.F(float64(without)/float64(with), 3))
+	}
+	t.AddNote("the profile-predicted partition carries most of the balance; stealing covers")
+	t.AddNote("prediction error. At high processor counts with accurate profiles its lock and")
+	t.AddNote("sharing overhead can exceed the benefit; the paper keeps it as a safety net")
+	return []stats.Table{t}
+}
+
+// AblProfile sweeps the re-profiling cadence over a long rotation: profile
+// every frame (maximum overhead), every 15 degrees (the paper's choice),
+// or never after the first frame (stale partitions).
+func AblProfile(l *Lab) []stats.Table {
+	n := l.midMRI()
+	// A longer rotation than the standard workload so staleness can bite.
+	w := l.WorkloadViews("mri", n, 8, 7)
+	m := machines.Simulator()
+	p := 8
+	t := stats.Table{
+		ID:      "abl-profile",
+		Title:   fmt.Sprintf("New algorithm vs re-profiling cadence, MRI %d, %d procs, 8 frames x 7deg", n, p),
+		Columns: []string{"re-profile every", "steady kcycles", "steals"},
+	}
+	for _, deg := range []float64{0.01, 7, 15, 30, 1e9} {
+		r := simrun.RunNew(w, simrun.NewOptions{Machine: m, Procs: p, ReprofileDeg: deg})
+		label := fmt.Sprintf("%.0f deg", deg)
+		switch {
+		case deg < 1:
+			label = "every frame"
+		case deg > 1e6:
+			label = "never"
+		}
+		t.AddRow(label, stats.I(r.SteadyCycles()/1000), stats.I(int64(r.Steals)))
+	}
+	t.AddNote("paper: profiling adds 10-15%% to compositing, but profiles stay predictive")
+	t.AddNote("until the viewpoint moves ~15 degrees — the cadence they chose. With the sound")
+	t.AddNote("region expansion this reproduction adds, stale profiles degrade gracefully, so")
+	t.AddNote("the curve is flat at small rotations; profiling cost dominates the choice")
+	return []stats.Table{t}
+}
+
+// AblBarrier re-inserts the global barrier between compositing and warping
+// that the new algorithm's identical partitioning eliminates (felt most on
+// SVM, where barriers carry the HLRC diff flushes).
+func AblBarrier(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	w := l.Workload("mri", n)
+	t := stats.Table{
+		ID:      "abl-barrier",
+		Title:   fmt.Sprintf("New algorithm with and without the inter-phase barrier, MRI %d (SVM)", n),
+		Columns: []string{"procs", "no barrier", "with barrier", "penalty"},
+	}
+	for _, p := range []int{8, 16, 32} {
+		without := simrun.RunNewSVM(w, simrun.SVMOptions{Procs: p}).SteadyCycles()
+		with := simrun.RunNewSVM(w, simrun.SVMOptions{Procs: p, ForceBarrier: true}).SteadyCycles()
+		t.AddRow(stats.I(int64(p)), stats.I(without/1000), stats.I(with/1000),
+			stats.F(float64(with)/float64(without), 3))
+	}
+	t.AddNote("paper (section 5.5.2): identical partitioning of both phases eliminates the barrier;")
+	t.AddNote("on SVM each barrier also pays the contention-delayed diff flushes")
+	return []stats.Table{t}
+}
+
+// AblPlacement compares round-robin page placement (the paper's choice,
+// because the viewpoint is unpredictable across an animation) with
+// first-touch placement.
+func AblPlacement(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	w := l.Workload("mri", n)
+	m := machines.Simulator()
+	p := l.maxProcs(m)
+	t := stats.Table{
+		ID:      "abl-placement",
+		Title:   fmt.Sprintf("Page placement on %s, MRI %d, %d procs (steady kcycles)", m.Name, n, p),
+		Columns: []string{"algorithm", "round-robin", "first-touch", "ft remote frac", "rr remote frac"},
+	}
+	ft := m
+	ft.Name = m.Name + "-ft"
+	ft.Mem.FirstTouch = true
+	oldRR := simrun.RunOld(w, simrun.OldOptions{Machine: m, Procs: p})
+	oldFT := simrun.RunOld(w, simrun.OldOptions{Machine: ft, Procs: p})
+	newRR := simrun.RunNew(w, simrun.NewOptions{Machine: m, Procs: p})
+	newFT := simrun.RunNew(w, simrun.NewOptions{Machine: ft, Procs: p})
+	t.AddRow("old", stats.I(oldRR.SteadyCycles()/1000), stats.I(oldFT.SteadyCycles()/1000),
+		stats.Pct(oldFT.Mem.Remote, oldFT.Mem.Remote+oldFT.Mem.Local),
+		stats.Pct(oldRR.Mem.Remote, oldRR.Mem.Remote+oldRR.Mem.Local))
+	t.AddRow("new", stats.I(newRR.SteadyCycles()/1000), stats.I(newFT.SteadyCycles()/1000),
+		stats.Pct(newFT.Mem.Remote, newFT.Mem.Remote+newFT.Mem.Local),
+		stats.Pct(newRR.Mem.Remote, newRR.Mem.Remote+newRR.Mem.Local))
+	t.AddNote("paper: 'owing to the unpredictability of the viewing position ... pages of data")
+	t.AddNote("are initially distributed round-robin across memories'; first-touch helps the new")
+	t.AddNote("algorithm more because its contiguous partitions revisit the same data")
+	return []stats.Table{t}
+}
+
+// WorkloadViews is a Lab workload with a custom frame count and rotation
+// step (used by the profiling-cadence ablation).
+func (l *Lab) WorkloadViews(kind string, n, frames int, stepDeg float64) *simrun.Workload {
+	key := fmt.Sprintf("%s-%d-f%d-s%.1f", kind, n, frames, stepDeg)
+	if w, ok := l.wl[key]; ok {
+		return w
+	}
+	r := l.Workload(kind, n).R // reuse the classified renderer
+	w := simrun.NewWorkload(r, render.Rotation(frames, 0.3, 0.2, stepDeg))
+	l.wl[key] = w
+	return w
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"shearwarp/internal/machines"
+)
+
+func machineForAttr() machines.Machine { return machines.Simulator() }
+
+func cellInt(t *testing.T, cell string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(cell, 10, 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestAblationsRunAtSmallScale(t *testing.T) {
+	l := NewLab(Small)
+	for _, f := range Ablations() {
+		tables := f.Run(l)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", f.ID)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", f.ID)
+			}
+		}
+	}
+}
+
+func TestEverythingIncludesAblationsAndExtras(t *testing.T) {
+	if len(Everything()) != len(All())+len(Ablations())+len(Extras()) {
+		t.Fatal("Everything misses entries")
+	}
+	for _, id := range []string{"abl-barrier", "rates", "inventory"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("%s not resolvable by id", id)
+		}
+	}
+}
+
+func TestAblChunkLargeChunksHurt(t *testing.T) {
+	// Huge chunks destroy load balance: the largest chunk must be clearly
+	// slower than the best small-to-mid chunk.
+	l := NewLab(Small)
+	tb := AblChunk(l)[0]
+	best := int64(1 << 62)
+	for _, row := range tb.Rows[:4] { // chunks 1..8
+		if v := cellInt(t, row[1]); v < best {
+			best = v
+		}
+	}
+	worst := cellInt(t, tb.Rows[len(tb.Rows)-1][1]) // chunk 32
+	if worst <= best {
+		t.Fatalf("chunk 32 (%d) not slower than best small chunk (%d)", worst, best)
+	}
+}
+
+func TestAblStealFineGrainCostsLocks(t *testing.T) {
+	// Section 4.4: single-scanline steals pay far more lock time than
+	// chunked steals.
+	l := NewLab(Small)
+	tb := AblSteal(l)[0]
+	lock1 := cellInt(t, tb.Rows[0][3]) // steal chunk 1
+	lock8 := cellInt(t, tb.Rows[3][3]) // steal chunk 8
+	if lock1 <= 2*lock8 {
+		t.Fatalf("single-scanline lock cost %d not well above chunked %d", lock1, lock8)
+	}
+}
+
+func TestAblBarrierCostsOnSVM(t *testing.T) {
+	// Section 5.5.2: re-inserting the inter-phase barrier slows every
+	// multi-node configuration.
+	l := NewLab(Small)
+	tb := AblBarrier(l)[0]
+	for _, row := range tb.Rows {
+		without := cellInt(t, row[1])
+		with := cellInt(t, row[2])
+		if with <= without {
+			t.Fatalf("P=%s: barrier run %d not slower than barrier-free %d", row[0], with, without)
+		}
+	}
+}
+
+func TestAblPlacementShapes(t *testing.T) {
+	l := NewLab(Small)
+	tb := AblPlacement(l)[0]
+	// First-touch must lower the remote fraction for the new algorithm
+	// (contiguous partitions revisit their pages).
+	newRow := tb.Rows[1]
+	ftFrac := newRow[3]
+	rrFrac := newRow[4]
+	if ftFrac >= rrFrac { // lexicographic works for "NN.N%" of equal width
+		t.Fatalf("first-touch remote fraction %s not below round-robin %s", ftFrac, rrFrac)
+	}
+}
+
+func TestWorkloadViewsCachedAndSized(t *testing.T) {
+	l := NewLab(Small)
+	a := l.WorkloadViews("mri", 24, 6, 7)
+	b := l.WorkloadViews("mri", 24, 6, 7)
+	if a != b {
+		t.Fatal("custom-view workload not cached")
+	}
+	if len(a.Views) != 6 {
+		t.Fatalf("views = %d, want 6", len(a.Views))
+	}
+	if c := l.WorkloadViews("mri", 24, 4, 7); c == a {
+		t.Fatal("different frame count returned the same workload")
+	}
+}
+
+func TestAttributionFindsPhaseInterface(t *testing.T) {
+	// Section 3.4.2: the old algorithm's true sharing concentrates on the
+	// intermediate image; the new algorithm removes most of it.
+	l := NewLab(Small)
+	tb := Attribution(l)[0]
+	var oldIntTrue, newIntTrue, oldTotalTrue int64
+	for _, row := range tb.Rows {
+		ot := cellInt(t, row[1])
+		oldTotalTrue += ot
+		if row[0] == "int.Pix" {
+			oldIntTrue = ot
+			newIntTrue = cellInt(t, row[4])
+		}
+	}
+	if oldIntTrue == 0 {
+		t.Fatal("no intermediate-image true sharing recorded for the old algorithm")
+	}
+	if 2*oldIntTrue < oldTotalTrue {
+		t.Fatalf("int.Pix true sharing %d not the majority of %d", oldIntTrue, oldTotalTrue)
+	}
+	if newIntTrue*2 > oldIntTrue {
+		t.Fatalf("new algorithm int.Pix true sharing %d not well below old %d", newIntTrue, oldIntTrue)
+	}
+}
+
+func TestAttributionSumsToTotals(t *testing.T) {
+	l := NewLab(Small)
+	n := Small.MRISizes[len(Small.MRISizes)-1]
+	res := l.RunOld("mri", n, machineForAttr(), 4)
+	var segTotal int64
+	for _, s := range res.SegMisses {
+		for _, m := range s.Misses {
+			segTotal += m
+		}
+	}
+	if segTotal != res.Mem.TotalMisses() {
+		t.Fatalf("attributed %d != total %d", segTotal, res.Mem.TotalMisses())
+	}
+}

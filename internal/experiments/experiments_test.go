@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseSpeedup reads a formatted speedup cell.
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestAllFiguresRunAtSmallScale(t *testing.T) {
+	l := NewLab(Small)
+	for _, f := range All() {
+		tables := f.Run(l)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", f.ID)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table %q", f.ID, tb.Title)
+			}
+			s := tb.String()
+			if !strings.Contains(s, tb.Title) {
+				t.Fatalf("%s: rendering lost the title", f.ID)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig16"); !ok {
+		t.Fatal("fig16 missing")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("fig99 should not exist")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "default", "large"} {
+		if _, ok := ScaleByName(name); !ok {
+			t.Fatalf("scale %q missing", name)
+		}
+	}
+	if _, ok := ScaleByName("huge"); ok {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestFig2ShearWarpBeatsRayCast(t *testing.T) {
+	l := NewLab(Small)
+	tb := Fig2(l)[0]
+	// Row 0 = ray caster, row 1 = shear warper; column 3 = total cycles.
+	rc, _ := strconv.ParseInt(tb.Rows[0][3], 10, 64)
+	sw, _ := strconv.ParseInt(tb.Rows[1][3], 10, 64)
+	if sw*2 > rc {
+		t.Fatalf("shear warper (%d) not clearly faster than ray caster (%d)", sw, rc)
+	}
+}
+
+func TestFig12NewBeatsOldAtMaxProcs(t *testing.T) {
+	l := NewLab(Small)
+	tb := Fig12(l)[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	// Columns: procs, (old,new) per size. Compare the largest size's pair.
+	oldS := parseSpeedup(t, last[len(last)-2])
+	newS := parseSpeedup(t, last[len(last)-1])
+	if newS <= oldS {
+		t.Fatalf("new speedup %.2f not above old %.2f at max procs", newS, oldS)
+	}
+}
+
+func TestFig16TrueSharingCollapses(t *testing.T) {
+	l := NewLab(Small)
+	tb := Fig16(l)[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	oldTS, _ := strconv.ParseFloat(last[2], 64)
+	newTS, _ := strconv.ParseFloat(last[5], 64)
+	if newTS >= oldTS {
+		t.Fatalf("new true-sharing rate %.2f not below old %.2f", newTS, oldTS)
+	}
+}
+
+func TestFig9MissRateFallsWithCache(t *testing.T) {
+	l := NewLab(Small)
+	tb := Fig9(l)[0]
+	first := tb.Rows[0][1]
+	last := tb.Rows[len(tb.Rows)-1][1]
+	f, _ := strconv.ParseFloat(strings.TrimSuffix(first, "%"), 64)
+	g, _ := strconv.ParseFloat(strings.TrimSuffix(last, "%"), 64)
+	if g >= f {
+		t.Fatalf("miss rate did not fall with cache size: %.2f -> %.2f", f, g)
+	}
+}
+
+func TestFig20NewWinsOnSVM(t *testing.T) {
+	l := NewLab(Small)
+	tb := Fig20(l)[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	oldS := parseSpeedup(t, last[len(last)-2])
+	newS := parseSpeedup(t, last[len(last)-1])
+	if newS <= oldS {
+		t.Fatalf("SVM: new speedup %.2f not above old %.2f", newS, oldS)
+	}
+}
+
+func TestLabCachesRuns(t *testing.T) {
+	l := NewLab(Small)
+	a := l.RunOldSVM("mri", Small.MRISizes[0], 4)
+	b := l.RunOldSVM("mri", Small.MRISizes[0], 4)
+	if a != b {
+		t.Fatal("identical runs not cached")
+	}
+}

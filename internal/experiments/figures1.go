@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shearwarp/internal/machines"
+	"shearwarp/internal/memsim"
+	"shearwarp/internal/newalg"
+	"shearwarp/internal/raycast"
+	"shearwarp/internal/stats"
+)
+
+// Fig2 reproduces Figure 2: the serial rendering-time breakdown of the
+// ray caster and the shear warper on the MRI data, split into looping
+// (control + coherence-structure traversal + addressing) and
+// compositing/resampling work. The paper: the ray caster is loop-bound
+// and 4-7x slower overall.
+func Fig2(l *Lab) []stats.Table {
+	n := l.midMRI()
+	w := l.Workload("mri", n)
+	view := w.Views[len(w.Views)-1]
+
+	_, swStats := w.R.RenderSerial(view[0], view[1])
+	swLoop := swStats.Composite.LoopingCycles() + swStats.Warp.Cycles
+	swComp := swStats.Composite.Samples * 22 // composite.CyclesPerSample
+	swTotal := swStats.TotalCycles()
+
+	rc := raycast.New(w.R.Classified)
+	fr := w.R.Setup(view[0], view[1])
+	var rcCnt raycast.Counters
+	rc.Render(&fr.F, &rcCnt)
+
+	t := stats.Table{
+		ID:      "fig2",
+		Title:   fmt.Sprintf("Serial breakdown, MRI %d phantom (modeled cycles)", n),
+		Columns: []string{"renderer", "looping", "compositing", "total", "loop share"},
+	}
+	t.AddRow("ray caster (r-c)", stats.I(rcCnt.LoopingCycles()), stats.I(rcCnt.CompositeCycles()),
+		stats.I(rcCnt.Cycles), stats.Pct(rcCnt.LoopingCycles(), rcCnt.Cycles))
+	t.AddRow("shear warper (s-w)", stats.I(swLoop), stats.I(swComp),
+		stats.I(swTotal), stats.Pct(swLoop, swTotal))
+	ratio := float64(rcCnt.Cycles) / float64(swTotal)
+	t.AddNote("shear warper is %.1fx faster overall (paper: 4-7x)", ratio)
+	t.AddNote("compositing operations: r-c %d vs s-w %d (paper: almost identical counts)",
+		rcCnt.Composites, swStats.Composite.Samples)
+	return []stats.Table{t}
+}
+
+// Fig4 reproduces Figure 4: speedups of the old parallel shear warper on
+// the three platforms for the largest data set.
+func Fig4(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	ms := []machines.Machine{machines.DASH(), machines.Challenge(), machines.Simulator()}
+	t := stats.Table{
+		ID:      "fig4",
+		Title:   fmt.Sprintf("Old-algorithm speedups, MRI %d phantom", n),
+		Columns: []string{"procs"},
+	}
+	for _, m := range ms {
+		t.Columns = append(t.Columns, m.Name)
+	}
+	t.Columns = append(t.Columns, "ray-cast (Sim)")
+	base := map[string]int64{}
+	for _, m := range ms {
+		base[m.Name] = l.RunOld("mri", n, m, 1).SteadyCycles()
+	}
+	sim := machines.Simulator()
+	rcBase := l.RunRayCast("mri", n, sim, 1).SteadyCycles()
+	for _, p := range l.Scale.Procs {
+		row := []string{stats.I(int64(p))}
+		for _, m := range ms {
+			if p > m.MaxProcs {
+				row = append(row, "-")
+				continue
+			}
+			r := l.RunOld("mri", n, m, p)
+			row = append(row, stats.Speedup(base[m.Name], r.SteadyCycles()))
+		}
+		row = append(row, stats.Speedup(rcBase, l.RunRayCast("mri", n, sim, p).SteadyCycles()))
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: speedups fall off with processor count, worst on distributed-memory DASH")
+	t.AddNote("the ray-cast column is the section 3.4.1 foil: the shear warper 'does not obtain")
+	t.AddNote("nearly as good self-relative speedup on multiprocessors as a ray caster'")
+	return []stats.Table{t}
+}
+
+// Fig5 reproduces Figure 5: the cumulative execution-time breakdown of the
+// old program (busy / memory stall / synchronization) on the distributed
+// machines.
+func Fig5(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	var tables []stats.Table
+	for _, m := range []machines.Machine{machines.DASH(), machines.Simulator()} {
+		t := stats.Table{
+			ID:      "fig5",
+			Title:   fmt.Sprintf("Old-algorithm time breakdown on %s, MRI %d", m.Name, n),
+			Columns: []string{"procs", "busy", "mem stall", "sync", "lock"},
+		}
+		for _, p := range l.procsFor(m) {
+			r := l.RunOld("mri", n, m, p)
+			var b int64
+			var mem, sync, lock int64
+			for _, pb := range r.SteadyPerProc {
+				b += pb.Busy
+				mem += pb.MemStall
+				sync += pb.SyncWait
+				lock += pb.LockWait
+			}
+			total := b + mem + sync + lock
+			t.AddRow(stats.I(int64(p)), stats.Pct(b, total), stats.Pct(mem, total),
+				stats.Pct(sync, total), stats.Pct(lock, total))
+		}
+		t.AddNote("paper: memory-system stall grows to ~50%% of execution on DASH at 32 procs")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig6 reproduces Figure 6: old-algorithm speedups for the three data set
+// sizes on DASH and the Challenge.
+func Fig6(l *Lab) []stats.Table {
+	var tables []stats.Table
+	for _, m := range []machines.Machine{machines.DASH(), machines.Challenge()} {
+		t := stats.Table{
+			ID:      "fig6",
+			Title:   fmt.Sprintf("Old-algorithm speedups by data size on %s", m.Name),
+			Columns: []string{"procs"},
+		}
+		for _, n := range l.Scale.MRISizes {
+			t.Columns = append(t.Columns, fmt.Sprintf("mri-%d", n))
+		}
+		base := map[int]int64{}
+		for _, n := range l.Scale.MRISizes {
+			base[n] = l.RunOld("mri", n, m, 1).SteadyCycles()
+		}
+		for _, p := range l.procsFor(m) {
+			row := []string{stats.I(int64(p))}
+			for _, n := range l.Scale.MRISizes {
+				r := l.RunOld("mri", n, m, p)
+				row = append(row, stats.Speedup(base[n], r.SteadyCycles()))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("paper: DASH speedups best at the intermediate size; Challenge less size-sensitive")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig7 reproduces Figure 7: the old algorithm's cache-miss breakdown vs
+// processor count, omitting cold misses as the paper does. The cache is
+// sized below the data set (the paper's 512^3 regime) so capacity misses
+// are visible alongside sharing misses.
+func Fig7(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	m := l.capacityMachine("mri", n)
+	t := stats.Table{
+		ID:      "fig7",
+		Title:   fmt.Sprintf("Old-algorithm miss breakdown on %s, MRI %d (misses per 1000 refs)", m.Name, n),
+		Columns: []string{"procs", "capacity", "true-share", "false-share", "remote frac"},
+	}
+	for _, p := range l.procsFor(m) {
+		if p < 2 {
+			continue // sharing misses need at least two processors
+		}
+		r := l.RunOld("mri", n, m, p)
+		refs := r.Mem.Refs
+		t.AddRow(stats.I(int64(p)),
+			stats.PerThousand(r.Mem.Misses[memsim.Capacity], refs),
+			stats.PerThousand(r.Mem.Misses[memsim.TrueSharing], refs),
+			stats.PerThousand(r.Mem.Misses[memsim.FalseSharing], refs),
+			stats.Pct(r.Mem.Remote, r.Mem.Remote+r.Mem.Local))
+	}
+	t.AddNote("cold misses omitted (warm-up frame excluded), as in the paper")
+	t.AddNote("cache scaled below the data set, matching the paper's 512^3-vs-1MB regime")
+	t.AddNote("paper: true sharing grows with processors and dominates; capacity shrinks; remote fraction grows")
+	return []stats.Table{t}
+}
+
+// Fig8 reproduces Figure 8: miss breakdown vs cache line size at the
+// largest processor count (spatial locality of the old program).
+func Fig8(l *Lab) []stats.Table {
+	return missVsLineSize(l, "fig8", false)
+}
+
+// missVsLineSize implements Figures 8 and 17. Misses are reported in
+// absolute counts per frame: the two algorithms issue different numbers of
+// references (the new one skips empty scanlines), so per-reference rates
+// would skew the comparison.
+func missVsLineSize(l *Lab, id string, includeNew bool) []stats.Table {
+	n := l.largestMRI()
+	// Run in the paper's capacity regime (data larger than cache): with the
+	// whole volume cache-resident, cross-frame reuse patterns — not spatial
+	// locality — would dominate the comparison.
+	base := l.capacityMachine("mri", n)
+	p := l.maxProcs(base)
+	frames := int64(l.Scale.Frames - 1) // steady-state frames
+	t := stats.Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Misses per frame vs line size on %s, MRI %d, %d procs", base.Name, n, p),
+		Columns: []string{"line size", "old total", "old true-share", "old false-share"},
+	}
+	if includeNew {
+		t.Columns = append(t.Columns, "new total", "new true-share", "new false-share", "new/old")
+	}
+	for _, ls := range l.Scale.LineSweep {
+		m := base
+		m.Name = fmt.Sprintf("%s-l%d", base.Name, ls)
+		m.Mem.LineBytes = ls
+		ro := l.RunOld("mri", n, m, p)
+		row := []string{stats.Bytes(ls),
+			stats.I(ro.Mem.TotalMisses() / frames),
+			stats.I(ro.Mem.Misses[memsim.TrueSharing] / frames),
+			stats.I(ro.Mem.Misses[memsim.FalseSharing] / frames)}
+		if includeNew {
+			rn := l.RunNew("mri", n, m, p)
+			ratio := float64(rn.Mem.TotalMisses()) / float64(max(ro.Mem.TotalMisses(), 1))
+			row = append(row,
+				stats.I(rn.Mem.TotalMisses()/frames),
+				stats.I(rn.Mem.Misses[memsim.TrueSharing]/frames),
+				stats.I(rn.Mem.Misses[memsim.FalseSharing]/frames),
+				stats.F(ratio, 2))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: miss rates drop quickly with line size up to ~256B; false sharing stays minor")
+	if includeNew {
+		t.AddNote("paper: the new algorithm benefits even more from long lines (contiguous partitions)")
+	}
+	return []stats.Table{t}
+}
+
+// Fig9 reproduces Figure 9: miss rate vs per-processor cache size for the
+// data set sizes — the working-set curves of the old program.
+func Fig9(l *Lab) []stats.Table {
+	base := machines.Simulator()
+	p := l.maxProcs(base)
+	t := stats.Table{
+		ID:      "fig9",
+		Title:   fmt.Sprintf("Old-algorithm miss rate vs cache size, %d procs (64B lines, 4-way)", p),
+		Columns: []string{"cache"},
+	}
+	for _, n := range l.Scale.MRISizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("mri-%d", n))
+	}
+	for _, cs := range l.Scale.CacheSweep {
+		row := []string{stats.Bytes(cs)}
+		for _, n := range l.Scale.MRISizes {
+			m := base
+			m.Name = fmt.Sprintf("%s-c%d", base.Name, cs)
+			m.Mem.CacheBytes = cs
+			r := l.RunOld("mri", n, m, p)
+			row = append(row, stats.F(100*r.MissRate, 2)+"%")
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: the knee (working set) grows with data size ~n^2 and is independent of processors")
+	return []stats.Table{t}
+}
+
+// Fig10 reproduces Figure 10 (the per-scanline cost profile with its empty
+// borders) and Figure 11 (the cumulative-profile partition).
+func Fig10(l *Lab) []stats.Table {
+	n := l.midMRI()
+	w := l.Workload("mri", n)
+	nr := newalg.NewRenderer(w.R, newalg.Config{Procs: 1, AlwaysProfile: true})
+	view := w.Views[0]
+	nr.RenderFrame(view[0], view[1])
+	profile := nr.Profile()
+	region := newalg.FindRegion(profile)
+
+	t := stats.Table{
+		ID:      "fig10",
+		Title:   fmt.Sprintf("Per-scanline profile, MRI %d phantom (%d intermediate scanlines)", n, len(profile)),
+		Columns: []string{"scanlines", "cycles", "profile"},
+	}
+	var peak int64
+	for _, v := range profile {
+		if v > peak {
+			peak = v
+		}
+	}
+	const buckets = 16
+	step := (len(profile) + buckets - 1) / buckets
+	for lo := 0; lo < len(profile); lo += step {
+		hi := min(lo+step, len(profile))
+		var sum int64
+		for _, v := range profile[lo:hi] {
+			sum += v
+		}
+		avg := sum / int64(hi-lo)
+		bar := ""
+		if peak > 0 {
+			for i := int64(0); i < 30*avg/peak; i++ {
+				bar += "#"
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d-%d", lo, hi-1), stats.I(avg), bar)
+	}
+	t.AddNote("non-empty region: scanlines [%d, %d) of %d — the old algorithm blindly composites all of them",
+		region.Lo, region.Hi, len(profile))
+
+	// Figure 11: the contiguous equal-area partition for 4 processors.
+	bounds := newalg.Partition(profile, region, 4, 1)
+	t2 := stats.Table{
+		ID:      "fig11",
+		Title:   "Cumulative-profile partition (4 processors)",
+		Columns: []string{"proc", "scanlines", "rows", "cost share"},
+	}
+	var total int64
+	for _, v := range profile {
+		total += v
+	}
+	for pr := 0; pr < 4; pr++ {
+		var c int64
+		for _, v := range profile[bounds[pr]:bounds[pr+1]] {
+			c += v
+		}
+		t2.AddRow(stats.I(int64(pr)), fmt.Sprintf("[%d,%d)", bounds[pr], bounds[pr+1]),
+			stats.I(int64(bounds[pr+1]-bounds[pr])), stats.Pct(c, total))
+	}
+	t2.AddNote("imbalance (max/mean block cost): %.3f", newalg.Imbalance(profile, bounds))
+	return []stats.Table{t, t2}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shearwarp/internal/machines"
+	"shearwarp/internal/memsim"
+	"shearwarp/internal/simrun"
+	"shearwarp/internal/stats"
+)
+
+// speedupCompare implements Figures 12, 13 and 15: old vs new speedup
+// curves per data-set size on one machine.
+func speedupCompare(l *Lab, id, kind string, sizes []int, m machines.Machine) stats.Table {
+	t := stats.Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Old vs new speedups on %s (%s phantoms)", m.Name, kind),
+		Columns: []string{"procs"},
+	}
+	for _, n := range sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%s-%d old", kind, n), fmt.Sprintf("%s-%d new", kind, n))
+	}
+	baseOld := map[int]int64{}
+	baseNew := map[int]int64{}
+	for _, n := range sizes {
+		baseOld[n] = l.RunOld(kind, n, m, 1).SteadyCycles()
+		baseNew[n] = l.RunNew(kind, n, m, 1).SteadyCycles()
+	}
+	for _, p := range l.procsFor(m) {
+		row := []string{stats.I(int64(p))}
+		for _, n := range sizes {
+			ro := l.RunOld(kind, n, m, p)
+			rn := l.RunNew(kind, n, m, p)
+			row = append(row, stats.Speedup(baseOld[n], ro.SteadyCycles()),
+				stats.Speedup(baseNew[n], rn.SteadyCycles()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("speedups are self-relative (each algorithm vs its own 1-processor run), as in the paper")
+	t.AddNote("paper: the new algorithm's speedups are better, especially for larger data and more processors")
+	return t
+}
+
+// Fig12 reproduces Figure 12: old vs new MRI speedups on DASH.
+func Fig12(l *Lab) []stats.Table {
+	return []stats.Table{speedupCompare(l, "fig12", "mri", l.Scale.MRISizes, machines.DASH())}
+}
+
+// Fig13 reproduces Figure 13: old vs new MRI speedups on the Simulator.
+func Fig13(l *Lab) []stats.Table {
+	return []stats.Table{speedupCompare(l, "fig13", "mri", l.Scale.MRISizes, machines.Simulator())}
+}
+
+// Fig14 reproduces Figure 14: old vs new cumulative time breakdowns on
+// DASH and the Simulator.
+func Fig14(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	var tables []stats.Table
+	for _, m := range []machines.Machine{machines.DASH(), machines.Simulator()} {
+		t := stats.Table{
+			ID:    "fig14",
+			Title: fmt.Sprintf("Old vs new cumulative time breakdown on %s, MRI %d (kcycles, summed over procs)", m.Name, n),
+			Columns: []string{"procs", "old busy", "old mem", "old sync", "old total",
+				"new busy", "new mem", "new sync", "new total"},
+		}
+		for _, p := range l.procsFor(m) {
+			ro := l.RunOld("mri", n, m, p)
+			rn := l.RunNew("mri", n, m, p)
+			row := []string{stats.I(int64(p))}
+			for _, r := range []*simrun.Result{ro, rn} {
+				var b, mem, sync int64
+				for _, pb := range r.SteadyPerProc {
+					b += pb.Busy
+					mem += pb.MemStall
+					sync += pb.SyncWait + pb.LockWait
+				}
+				row = append(row, stats.I(b/1000), stats.I(mem/1000), stats.I(sync/1000),
+					stats.I((b+mem+sync)/1000))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("paper: data-access stall no longer dominates in the new program; load balance preserved")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig15 reproduces Figure 15: old vs new speedups on the CT head data.
+func Fig15(l *Lab) []stats.Table {
+	return []stats.Table{
+		speedupCompare(l, "fig15", "ct", l.Scale.CTSizes, machines.DASH()),
+		speedupCompare(l, "fig15", "ct", l.Scale.CTSizes, machines.Simulator()),
+	}
+}
+
+// Fig16 reproduces Figure 16: old vs new miss breakdowns, in the same
+// capacity-visible cache regime as Figure 7.
+func Fig16(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	m := l.capacityMachine("mri", n)
+	t := stats.Table{
+		ID:      "fig16",
+		Title:   fmt.Sprintf("Old vs new miss breakdown on %s, MRI %d (misses per 1000 refs)", m.Name, n),
+		Columns: []string{"procs", "old cap", "old true", "old false", "new cap", "new true", "new false"},
+	}
+	for _, p := range l.procsFor(m) {
+		if p < 2 {
+			continue
+		}
+		ro := l.RunOld("mri", n, m, p)
+		rn := l.RunNew("mri", n, m, p)
+		t.AddRow(stats.I(int64(p)),
+			stats.PerThousand(ro.Mem.Misses[memsim.Capacity], ro.Mem.Refs),
+			stats.PerThousand(ro.Mem.Misses[memsim.TrueSharing], ro.Mem.Refs),
+			stats.PerThousand(ro.Mem.Misses[memsim.FalseSharing], ro.Mem.Refs),
+			stats.PerThousand(rn.Mem.Misses[memsim.Capacity], rn.Mem.Refs),
+			stats.PerThousand(rn.Mem.Misses[memsim.TrueSharing], rn.Mem.Refs),
+			stats.PerThousand(rn.Mem.Misses[memsim.FalseSharing], rn.Mem.Refs))
+	}
+	t.AddNote("paper: the new algorithm greatly decreases sharing misses, particularly true sharing")
+	return []stats.Table{t}
+}
+
+// Fig17 reproduces Figure 17: old vs new spatial locality.
+func Fig17(l *Lab) []stats.Table {
+	return missVsLineSize(l, "fig17", true)
+}
+
+// Fig18 reproduces Figure 18: the new algorithm's working sets — miss rate
+// vs cache size (a) across processor counts and (b) across data sizes.
+func Fig18(l *Lab) []stats.Table {
+	base := machines.Simulator()
+	n := l.largestMRI()
+	pMax := l.maxProcs(base)
+
+	ta := stats.Table{
+		ID:      "fig18",
+		Title:   fmt.Sprintf("New-algorithm miss rate vs cache size, MRI %d, by processors", n),
+		Columns: []string{"cache"},
+	}
+	procSet := []int{}
+	for _, p := range l.procsFor(base) {
+		if p >= 2 {
+			procSet = append(procSet, p)
+		}
+	}
+	for _, p := range procSet {
+		ta.Columns = append(ta.Columns, fmt.Sprintf("%dp", p))
+	}
+	for _, cs := range l.Scale.CacheSweep {
+		m := base
+		m.Name = fmt.Sprintf("%s-c%d", base.Name, cs)
+		m.Mem.CacheBytes = cs
+		row := []string{stats.Bytes(cs)}
+		for _, p := range procSet {
+			r := l.RunNew("mri", n, m, p)
+			row = append(row, stats.F(100*r.MissRate, 2)+"%")
+		}
+		ta.AddRow(row...)
+	}
+	ta.AddNote("paper: unlike the old program, the working set shrinks (slowly) as processors increase")
+
+	tb := stats.Table{
+		ID:      "fig18",
+		Title:   fmt.Sprintf("New-algorithm miss rate vs cache size at %d procs, by data size", pMax),
+		Columns: []string{"cache"},
+	}
+	for _, sz := range l.Scale.MRISizes {
+		tb.Columns = append(tb.Columns, fmt.Sprintf("mri-%d", sz))
+	}
+	for _, cs := range l.Scale.CacheSweep {
+		m := base
+		m.Name = fmt.Sprintf("%s-c%d", base.Name, cs)
+		m.Mem.CacheBytes = cs
+		row := []string{stats.Bytes(cs)}
+		for _, sz := range l.Scale.MRISizes {
+			r := l.RunNew("mri", sz, m, pMax)
+			row = append(row, stats.F(100*r.MissRate, 2)+"%")
+		}
+		tb.AddRow(row...)
+	}
+	tb.AddNote("paper: even the largest set's working set is small (64KB at 512^3 and 32 procs)")
+	return []stats.Table{ta, tb}
+}
+
+// Fig19 reproduces Figure 19: old vs new speedups on the Origin2000.
+func Fig19(l *Lab) []stats.Table {
+	n := l.largestMRI()
+	return []stats.Table{speedupCompare(l, "fig19", "mri", []int{n}, machines.Origin2000())}
+}
+
+// Fig20 reproduces Figure 20: old vs new speedups on the SVM platform.
+func Fig20(l *Lab) []stats.Table {
+	t := stats.Table{
+		ID:      "fig20",
+		Title:   "Old vs new speedups on the SVM platform (4-processor nodes)",
+		Columns: []string{"procs"},
+	}
+	for _, n := range l.Scale.MRISizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("mri-%d old", n), fmt.Sprintf("mri-%d new", n))
+	}
+	baseOld := map[int]int64{}
+	baseNew := map[int]int64{}
+	for _, n := range l.Scale.MRISizes {
+		baseOld[n] = l.RunOldSVM("mri", n, 1).SteadyCycles()
+		baseNew[n] = l.RunNewSVM("mri", n, 1).SteadyCycles()
+	}
+	for _, p := range l.Scale.Procs {
+		if p > 32 {
+			continue
+		}
+		row := []string{stats.I(int64(p))}
+		for _, n := range l.Scale.MRISizes {
+			ro := l.RunOldSVM("mri", n, p)
+			rn := l.RunNewSVM("mri", n, p)
+			row = append(row, stats.Speedup(baseOld[n], ro.SteadyCycles()),
+				stats.Speedup(baseNew[n], rn.SteadyCycles()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("P<=4 is a single SMP node (no page traffic); the SVM effects appear across nodes")
+	t.AddNote("paper: the new algorithm substantially outperforms the old one on SVM")
+	return []stats.Table{t}
+}
+
+// svmBreakdown implements Figures 21 and 22.
+func svmBreakdown(l *Lab, id, alg string) stats.Table {
+	n := l.largestMRI()
+	t := stats.Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s-algorithm SVM execution-time breakdown, MRI %d", alg, n),
+		Columns: []string{"procs", "compute", "data wait", "barrier wait", "lock", "pages moved"},
+	}
+	for _, p := range l.Scale.Procs {
+		if p > 32 || p < 8 {
+			continue // single-node runs have no SVM behaviour to show
+		}
+		var r *simrun.Result
+		if alg == "old" {
+			r = l.RunOldSVM("mri", n, p)
+		} else {
+			r = l.RunNewSVM("mri", n, p)
+		}
+		var b, mem, sync, lock int64
+		for _, pb := range r.SteadyPerProc {
+			b += pb.Busy
+			mem += pb.MemStall
+			sync += pb.SyncWait
+			lock += pb.LockWait
+		}
+		total := b + mem + sync + lock
+		moved := int64(0)
+		if r.Svm != nil {
+			moved = r.Svm.ReadFaults + r.Svm.DirtyFaults + r.SvmFlushedPages
+		}
+		t.AddRow(stats.I(int64(p)), stats.Pct(b, total), stats.Pct(mem, total),
+			stats.Pct(sync, total), stats.Pct(lock, total), stats.I(moved))
+	}
+	if alg == "old" {
+		t.AddNote("paper: extremely high data and barrier wait time; contention delays the barrier itself")
+	} else {
+		t.AddNote("paper: communication and contention greatly reduced; lock time slightly higher from stealing")
+	}
+	return t
+}
+
+// Fig21 reproduces Figure 21: the old program's SVM breakdown.
+func Fig21(l *Lab) []stats.Table { return []stats.Table{svmBreakdown(l, "fig21", "old")} }
+
+// Fig22 reproduces Figure 22: the new program's SVM breakdown.
+func Fig22(l *Lab) []stats.Table { return []stats.Table{svmBreakdown(l, "fig22", "new")} }

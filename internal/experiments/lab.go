@@ -1,0 +1,288 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// as a text table: speedups, execution-time breakdowns, cache-miss
+// classifications, spatial-locality and working-set curves, profiling
+// output, and the SVM results. Each figure has an ID ("fig2".."fig22"),
+// runs at a configurable scale, and records qualitative expectations from
+// the paper in its notes.
+//
+// Absolute cycle counts depend on the simulator's cost model; the
+// reproduction target is the paper's shapes: who wins, how curves bend,
+// and which overhead dominates where.
+package experiments
+
+import (
+	"fmt"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/machines"
+	"shearwarp/internal/render"
+	"shearwarp/internal/simrun"
+	"shearwarp/internal/stats"
+	"shearwarp/internal/vol"
+)
+
+// Scale controls how large the reproduced experiments are. The paper's
+// full 512^3 runs are hours of simulation; the default scale reproduces
+// every shape at tractable sizes.
+type Scale struct {
+	Name     string
+	MRISizes []int // phantom MRI head sizes (the paper's 128/256/512 ladder)
+	CTSizes  []int // phantom CT head sizes
+	Procs    []int // processor counts for speedup curves
+	Frames   int   // animation frames per run (frame 0 is warm-up)
+
+	CacheSweep []int // cache sizes for working-set curves (bytes)
+	LineSweep  []int // line sizes for spatial-locality curves (bytes)
+}
+
+// Small is the test scale: seconds, qualitative shapes only.
+var Small = Scale{
+	Name:     "small",
+	MRISizes: []int{24, 32},
+	CTSizes:  []int{32},
+	Procs:    []int{1, 2, 4, 8},
+	Frames:   3,
+	CacheSweep: []int{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10,
+	},
+	LineSweep: []int{16, 32, 64, 128},
+}
+
+// Default is the harness scale: the full figure set in minutes.
+var Default = Scale{
+	Name:     "default",
+	MRISizes: []int{32, 48, 64},
+	CTSizes:  []int{32, 64},
+	Procs:    []int{1, 2, 4, 8, 16, 32},
+	Frames:   4,
+	CacheSweep: []int{
+		1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10,
+		32 << 10, 64 << 10, 128 << 10, 256 << 10,
+	},
+	LineSweep: []int{16, 32, 64, 128, 256},
+}
+
+// Large approaches the paper's regime (long runtimes).
+var Large = Scale{
+	Name:     "large",
+	MRISizes: []int{64, 96, 128},
+	CTSizes:  []int{64, 128},
+	Procs:    []int{1, 2, 4, 8, 16, 32},
+	Frames:   4,
+	CacheSweep: []int{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20,
+	},
+	LineSweep: []int{16, 32, 64, 128, 256},
+}
+
+// ScaleByName returns a named scale.
+func ScaleByName(name string) (Scale, bool) {
+	for _, s := range []Scale{Small, Default, Large} {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scale{}, false
+}
+
+// Lab caches workloads and simulation results across figures, since many
+// figures share runs (e.g. the old algorithm's speedups feed Figures 4, 5
+// and 6).
+type Lab struct {
+	Scale Scale
+	wl    map[string]*simrun.Workload
+	runs  map[string]*simrun.Result
+}
+
+// NewLab builds an empty lab at a scale.
+func NewLab(scale Scale) *Lab {
+	return &Lab{Scale: scale, wl: map[string]*simrun.Workload{}, runs: map[string]*simrun.Result{}}
+}
+
+// views is the standard animation: Frames frames, 5 degrees of yaw apart.
+func (l *Lab) views() [][2]float64 {
+	return render.Rotation(l.Scale.Frames, 0.3, 0.2, 5)
+}
+
+// Workload returns (and caches) the workload for a phantom kind ("mri" or
+// "ct") and size.
+func (l *Lab) Workload(kind string, n int) *simrun.Workload {
+	key := fmt.Sprintf("%s-%d", kind, n)
+	if w, ok := l.wl[key]; ok {
+		return w
+	}
+	var r *render.Renderer
+	switch kind {
+	case "mri":
+		r = render.New(vol.MRIBrain(n), render.Options{})
+	case "ct":
+		r = render.New(vol.CTHead(n), render.Options{Transfer: classify.CTTransfer})
+	default:
+		panic("experiments: unknown phantom kind " + kind)
+	}
+	w := simrun.NewWorkload(r, l.views())
+	l.wl[key] = w
+	return w
+}
+
+// RunOld runs (and caches) the old algorithm on a hardware machine.
+func (l *Lab) RunOld(kind string, n int, m machines.Machine, procs int) *simrun.Result {
+	key := fmt.Sprintf("old-%s-%d-%s-c%d-l%d-a%d-p%d", kind, n, m.Name,
+		m.Mem.CacheBytes, m.Mem.LineBytes, m.Mem.Assoc, procs)
+	if r, ok := l.runs[key]; ok {
+		return r
+	}
+	r := simrun.RunOld(l.Workload(kind, n), simrun.OldOptions{Machine: m, Procs: procs})
+	l.runs[key] = r
+	return r
+}
+
+// RunNew runs (and caches) the new algorithm on a hardware machine.
+func (l *Lab) RunNew(kind string, n int, m machines.Machine, procs int) *simrun.Result {
+	key := fmt.Sprintf("new-%s-%d-%s-c%d-l%d-a%d-p%d", kind, n, m.Name,
+		m.Mem.CacheBytes, m.Mem.LineBytes, m.Mem.Assoc, procs)
+	if r, ok := l.runs[key]; ok {
+		return r
+	}
+	r := simrun.RunNew(l.Workload(kind, n), simrun.NewOptions{Machine: m, Procs: procs})
+	l.runs[key] = r
+	return r
+}
+
+// RunRayCast runs (and caches) the parallel ray-casting baseline.
+func (l *Lab) RunRayCast(kind string, n int, m machines.Machine, procs int) *simrun.Result {
+	key := fmt.Sprintf("rc-%s-%d-%s-p%d", kind, n, m.Name, procs)
+	if r, ok := l.runs[key]; ok {
+		return r
+	}
+	r := simrun.RunRayCast(l.Workload(kind, n), simrun.RayOptions{Machine: m, Procs: procs})
+	l.runs[key] = r
+	return r
+}
+
+// RunOldSVM and RunNewSVM run (and cache) the SVM-platform executions.
+func (l *Lab) RunOldSVM(kind string, n, procs int) *simrun.Result {
+	key := fmt.Sprintf("oldsvm-%s-%d-p%d", kind, n, procs)
+	if r, ok := l.runs[key]; ok {
+		return r
+	}
+	r := simrun.RunOldSVM(l.Workload(kind, n), simrun.SVMOptions{Procs: procs})
+	l.runs[key] = r
+	return r
+}
+
+// RunNewSVM is the SVM counterpart of RunNew.
+func (l *Lab) RunNewSVM(kind string, n, procs int) *simrun.Result {
+	key := fmt.Sprintf("newsvm-%s-%d-p%d", kind, n, procs)
+	if r, ok := l.runs[key]; ok {
+		return r
+	}
+	r := simrun.RunNewSVM(l.Workload(kind, n), simrun.SVMOptions{Procs: procs})
+	l.runs[key] = r
+	return r
+}
+
+// procsFor clamps the scale's processor list to a machine's maximum.
+func (l *Lab) procsFor(m machines.Machine) []int {
+	var ps []int
+	for _, p := range l.Scale.Procs {
+		if p <= m.MaxProcs {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// maxProcs returns the largest processor count for a machine.
+func (l *Lab) maxProcs(m machines.Machine) int {
+	ps := l.procsFor(m)
+	return ps[len(ps)-1]
+}
+
+// largestMRI is the scale's analog of the paper's 512^3 data set.
+func (l *Lab) largestMRI() int { return l.Scale.MRISizes[len(l.Scale.MRISizes)-1] }
+
+// capacityMachine returns the Simulator preset with its cache shrunk below
+// the working set of the given data set, the regime the paper's 512^3 runs
+// were in (their data outgrew the 1MB caches; our scaled volumes would
+// otherwise fit and hide all capacity misses).
+func (l *Lab) capacityMachine(kind string, n int) machines.Machine {
+	m := machines.Simulator()
+	// The encoded volume is ~n^3 bytes; a ~4*n^2 cache sits between the
+	// old algorithm's plane-proportional working set and the full data,
+	// so capacity misses appear without evicting actively-shared lines.
+	target := 4 * n * n
+	cache := 2 << 10
+	for cache < target {
+		cache <<= 1
+	}
+	m.Mem.CacheBytes = cache
+	m.Name = fmt.Sprintf("%s-cap%d", m.Name, cache)
+	return m
+}
+
+// midMRI is the analog of the 256^3 set (the paper's sweet spot on DASH).
+func (l *Lab) midMRI() int {
+	s := l.Scale.MRISizes
+	return s[(len(s)-1)/2]
+}
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(l *Lab) []stats.Table
+}
+
+// All returns every figure in paper order.
+func All() []Figure {
+	return []Figure{
+		{"fig2", "Serial rendering time breakdown: ray caster vs shear warper", Fig2},
+		{"fig4", "Old-algorithm speedups on DASH, Challenge and the Simulator", Fig4},
+		{"fig5", "Old-algorithm execution-time breakdown vs processors", Fig5},
+		{"fig6", "Old-algorithm speedups across data set sizes", Fig6},
+		{"fig7", "Old-algorithm cache-miss breakdown vs processors", Fig7},
+		{"fig8", "Old-algorithm miss breakdown vs cache line size", Fig8},
+		{"fig9", "Old-algorithm miss rate vs cache size (working sets)", Fig9},
+		{"fig10", "Per-scanline cost profile and region detection (+ Fig 11 partition)", Fig10},
+		{"fig12", "Old vs new speedups on DASH across data sizes", Fig12},
+		{"fig13", "Old vs new speedups on the Simulator across data sizes", Fig13},
+		{"fig14", "Old vs new execution-time breakdowns", Fig14},
+		{"fig15", "Old vs new speedups on the CT head data", Fig15},
+		{"fig16", "Old vs new cache-miss breakdowns", Fig16},
+		{"fig17", "Old vs new spatial locality (miss rate vs line size)", Fig17},
+		{"fig18", "New-algorithm working sets", Fig18},
+		{"fig19", "Old vs new speedups on the Origin2000", Fig19},
+		{"fig20", "Old vs new speedups on the SVM platform", Fig20},
+		{"fig21", "Old-algorithm SVM execution-time breakdown", Fig21},
+		{"fig22", "New-algorithm SVM execution-time breakdown", Fig22},
+	}
+}
+
+// Extras returns the experiments beyond the paper's own figures: the
+// rendering-rate summary and the system inventory.
+func Extras() []Figure {
+	return []Figure{
+		{"rates", "Frames per second at nominal clock rates (real-time claim)", Rates},
+		{"attr", "Miss attribution by shared array (the section 3.4.2 diagnostic)", Attribution},
+		{"inventory", "System inventory: paper component to implementation map", Inventory},
+	}
+}
+
+// Everything returns the paper figures, the ablation studies and the
+// extra summaries.
+func Everything() []Figure {
+	out := append([]Figure{}, All()...)
+	out = append(out, Ablations()...)
+	return append(out, Extras()...)
+}
+
+// ByID finds a figure or ablation by id.
+func ByID(id string) (Figure, bool) {
+	for _, f := range Everything() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}

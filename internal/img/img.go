@@ -1,0 +1,233 @@
+// Package img provides the two image types of the shear-warp pipeline: the
+// intermediate (composited, sheared) image with its opaque-pixel skip links
+// for early ray termination, and the final warped image, plus PPM output
+// and comparison helpers used by the cross-algorithm equality tests.
+package img
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// OpacityThreshold is the accumulated opacity at which an intermediate
+// pixel is considered saturated and further compositing to it is skipped
+// (early ray termination, section 2 of the paper).
+const OpacityThreshold = 0.98
+
+// Intermediate is the composited image in sheared object space. Pixels
+// accumulate premultiplied RGBA in float32. Links holds the early-
+// termination skip structure: Links[p] == 0 means pixel p is still
+// receiving samples; Links[p] == n > 0 means pixels p..p+n-1 are opaque
+// and a compositor may jump ahead n pixels.
+type Intermediate struct {
+	W, H  int
+	Pix   []float32 // 4 per pixel: R, G, B, A premultiplied
+	Links []int32
+}
+
+// NewIntermediate allocates a cleared intermediate image.
+func NewIntermediate(w, h int) *Intermediate {
+	return &Intermediate{W: w, H: h, Pix: make([]float32, 4*w*h), Links: make([]int32, w*h)}
+}
+
+// Clear resets all pixels and links; used between frames.
+func (m *Intermediate) Clear() {
+	clear(m.Pix)
+	clear(m.Links)
+}
+
+// ClearRow resets one scanline; the new algorithm clears only the rows in
+// the composited region.
+func (m *Intermediate) ClearRow(v int) {
+	base := v * m.W
+	clear(m.Pix[4*base : 4*(base+m.W)])
+	clear(m.Links[base : base+m.W])
+}
+
+// PixelIndex returns the flat pixel index of (u, v).
+func (m *Intermediate) PixelIndex(u, v int) int { return v*m.W + u }
+
+// At returns the accumulated premultiplied RGBA at (u, v).
+func (m *Intermediate) At(u, v int) (r, g, b, a float32) {
+	p := 4 * (v*m.W + u)
+	return m.Pix[p], m.Pix[p+1], m.Pix[p+2], m.Pix[p+3]
+}
+
+// Opaque reports whether pixel (u, v) is saturated.
+func (m *Intermediate) Opaque(u, v int) bool { return m.Links[v*m.W+u] > 0 }
+
+// MarkOpaque records that pixel (u, v) has saturated and coalesces the skip
+// link with an immediately following opaque run, so long saturated spans
+// are jumped in O(1) amortized.
+func (m *Intermediate) MarkOpaque(u, v int) {
+	p := v*m.W + u
+	n := int32(1)
+	if u+1 < m.W && m.Links[p+1] > 0 {
+		n += m.Links[p+1]
+	}
+	m.Links[p] = n
+	// Extend a preceding run that now abuts this one.
+	if u > 0 && m.Links[p-1] > 0 {
+		m.Links[p-1] = n + 1
+	}
+}
+
+// Skip returns the first pixel index >= u in row v that is not known
+// opaque, compressing links along the way. Returns m.W if the rest of the
+// row is opaque.
+func (m *Intermediate) Skip(u, v int) int {
+	base := v * m.W
+	start := u
+	for u < m.W && m.Links[base+u] > 0 {
+		u += int(m.Links[base+u])
+	}
+	if u > start {
+		// Path compression: remember the full jump at the starting pixel.
+		m.Links[base+start] = int32(u - start)
+	}
+	return u
+}
+
+// RowOpaqueCount returns the number of saturated pixels in row v
+// (diagnostic; drives early-termination statistics).
+func (m *Intermediate) RowOpaqueCount(v int) int {
+	n := 0
+	for u := 0; u < m.W; u++ {
+		if m.Links[v*m.W+u] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Final is the warped output image, stored as 4 bytes per pixel (RGBX) so
+// pixels are word-aligned in the simulated address space.
+type Final struct {
+	W, H int
+	Pix  []uint8 // 4 per pixel: R, G, B, unused
+}
+
+// NewFinal allocates a cleared final image.
+func NewFinal(w, h int) *Final {
+	return &Final{W: w, H: h, Pix: make([]uint8, 4*w*h)}
+}
+
+// Clear resets all pixels.
+func (f *Final) Clear() { clear(f.Pix) }
+
+// SetRGB stores a pixel.
+func (f *Final) SetRGB(x, y int, r, g, b uint8) {
+	p := 4 * (y*f.W + x)
+	f.Pix[p], f.Pix[p+1], f.Pix[p+2] = r, g, b
+}
+
+// AtRGB reads a pixel.
+func (f *Final) AtRGB(x, y int) (r, g, b uint8) {
+	p := 4 * (y*f.W + x)
+	return f.Pix[p], f.Pix[p+1], f.Pix[p+2]
+}
+
+// WritePPM serializes the image as binary PPM (P6).
+func (f *Final) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	row := make([]byte, 3*f.W)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			p := 4 * (y*f.W + x)
+			row[3*x], row[3*x+1], row[3*x+2] = f.Pix[p], f.Pix[p+1], f.Pix[p+2]
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two final images are identical in size and pixels.
+func Equal(a, b *Final) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff summarizes the difference between two equally-sized final images.
+type Diff struct {
+	RMSE    float64 // root mean square error over RGB channels
+	MaxAbs  int     // largest absolute channel difference
+	Differs int     // number of differing pixels
+}
+
+// Compare computes a Diff; it panics if sizes differ.
+func Compare(a, b *Final) Diff {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("img: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var d Diff
+	var sq float64
+	for y := 0; y < a.H; y++ {
+		for x := 0; x < a.W; x++ {
+			p := 4 * (y*a.W + x)
+			px := false
+			for c := 0; c < 3; c++ {
+				e := int(a.Pix[p+c]) - int(b.Pix[p+c])
+				if e != 0 {
+					px = true
+				}
+				if e < 0 {
+					e = -e
+				}
+				if e > d.MaxAbs {
+					d.MaxAbs = e
+				}
+				sq += float64(e) * float64(e)
+			}
+			if px {
+				d.Differs++
+			}
+		}
+	}
+	d.RMSE = math.Sqrt(sq / float64(3*a.W*a.H))
+	return d
+}
+
+// NonBlackCount returns how many pixels have any non-zero channel — a cheap
+// sanity check that a render actually produced an image.
+func (f *Final) NonBlackCount() int {
+	n := 0
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			p := 4 * (y*f.W + x)
+			if f.Pix[p] != 0 || f.Pix[p+1] != 0 || f.Pix[p+2] != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RGBA converts the final image to a standard library image (alpha 255).
+func (f *Final) RGBA() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			p := 4 * (y*f.W + x)
+			out.SetRGBA(x, y, color.RGBA{R: f.Pix[p], G: f.Pix[p+1], B: f.Pix[p+2], A: 255})
+		}
+	}
+	return out
+}
+
+// WritePNG serializes the image as PNG.
+func (f *Final) WritePNG(w io.Writer) error { return png.Encode(w, f.RGBA()) }

@@ -1,0 +1,245 @@
+package img
+
+import (
+	"bytes"
+	"image/png"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestIntermediateClearAndAt(t *testing.T) {
+	m := NewIntermediate(8, 4)
+	p := 4 * m.PixelIndex(3, 2)
+	m.Pix[p+3] = 0.5
+	if _, _, _, a := m.At(3, 2); a != 0.5 {
+		t.Fatalf("At alpha = %g, want 0.5", a)
+	}
+	m.Clear()
+	if _, _, _, a := m.At(3, 2); a != 0 {
+		t.Fatal("Clear did not reset pixel")
+	}
+}
+
+func TestClearRowOnlyTouchesRow(t *testing.T) {
+	m := NewIntermediate(4, 3)
+	for i := range m.Pix {
+		m.Pix[i] = 1
+	}
+	for i := range m.Links {
+		m.Links[i] = 1
+	}
+	m.ClearRow(1)
+	for u := 0; u < 4; u++ {
+		if _, _, _, a := m.At(u, 1); a != 0 {
+			t.Fatal("row 1 not cleared")
+		}
+		if _, _, _, a := m.At(u, 0); a != 1 {
+			t.Fatal("row 0 was disturbed")
+		}
+		if _, _, _, a := m.At(u, 2); a != 1 {
+			t.Fatal("row 2 was disturbed")
+		}
+	}
+}
+
+func TestSkipOverOpaqueRun(t *testing.T) {
+	m := NewIntermediate(10, 1)
+	for u := 2; u <= 5; u++ {
+		m.MarkOpaque(u, 0)
+	}
+	if got := m.Skip(0, 0); got != 0 {
+		t.Fatalf("Skip(0) = %d, want 0", got)
+	}
+	if got := m.Skip(2, 0); got != 6 {
+		t.Fatalf("Skip(2) = %d, want 6", got)
+	}
+	if got := m.Skip(4, 0); got != 6 {
+		t.Fatalf("Skip(4) = %d, want 6", got)
+	}
+	// After compression, the jump at 2 is direct.
+	if m.Links[2] != 4 {
+		t.Fatalf("link at 2 = %d after compression, want 4", m.Links[2])
+	}
+}
+
+func TestSkipToEndOfRow(t *testing.T) {
+	m := NewIntermediate(5, 2)
+	for u := 0; u < 5; u++ {
+		m.MarkOpaque(u, 1)
+	}
+	if got := m.Skip(0, 1); got != 5 {
+		t.Fatalf("Skip over fully opaque row = %d, want W=5", got)
+	}
+	// Row 0 unaffected.
+	if got := m.Skip(0, 0); got != 0 {
+		t.Fatalf("row 0 Skip = %d, want 0", got)
+	}
+}
+
+func TestMarkOpaqueCoalescesBackward(t *testing.T) {
+	m := NewIntermediate(10, 1)
+	m.MarkOpaque(3, 0)
+	m.MarkOpaque(4, 0) // extends the run starting at 3
+	if m.Links[3] < 2 {
+		t.Fatalf("link at 3 = %d, want >= 2 after coalescing", m.Links[3])
+	}
+	if got := m.Skip(3, 0); got != 5 {
+		t.Fatalf("Skip(3) = %d, want 5", got)
+	}
+}
+
+func TestMarkOpaqueCoalescesForward(t *testing.T) {
+	m := NewIntermediate(10, 1)
+	m.MarkOpaque(5, 0)
+	m.MarkOpaque(4, 0) // run at 4 should absorb run at 5
+	if got := m.Skip(4, 0); got != 6 {
+		t.Fatalf("Skip(4) = %d, want 6", got)
+	}
+}
+
+func TestRowOpaqueCount(t *testing.T) {
+	m := NewIntermediate(8, 2)
+	m.MarkOpaque(1, 0)
+	m.MarkOpaque(2, 0)
+	m.MarkOpaque(7, 0)
+	if got := m.RowOpaqueCount(0); got != 3 {
+		t.Fatalf("RowOpaqueCount = %d, want 3", got)
+	}
+	if got := m.RowOpaqueCount(1); got != 0 {
+		t.Fatalf("row 1 count = %d, want 0", got)
+	}
+}
+
+func TestFinalSetAt(t *testing.T) {
+	f := NewFinal(6, 5)
+	f.SetRGB(2, 3, 10, 20, 30)
+	r, g, b := f.AtRGB(2, 3)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("AtRGB = (%d,%d,%d)", r, g, b)
+	}
+	if f.NonBlackCount() != 1 {
+		t.Fatalf("NonBlackCount = %d, want 1", f.NonBlackCount())
+	}
+	f.Clear()
+	if f.NonBlackCount() != 0 {
+		t.Fatal("Clear left non-black pixels")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	f := NewFinal(2, 2)
+	f.SetRGB(0, 0, 255, 0, 0)
+	f.SetRGB(1, 1, 0, 0, 255)
+	var buf bytes.Buffer
+	if err := f.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P6\n2 2\n255\n") {
+		t.Fatalf("bad PPM header: %q", s[:min(len(s), 20)])
+	}
+	body := buf.Bytes()[len("P6\n2 2\n255\n"):]
+	if len(body) != 12 {
+		t.Fatalf("PPM body %d bytes, want 12", len(body))
+	}
+	if body[0] != 255 || body[11] != 255 {
+		t.Fatal("pixel bytes misplaced in PPM body")
+	}
+}
+
+func TestEqualAndCompare(t *testing.T) {
+	a := NewFinal(3, 3)
+	b := NewFinal(3, 3)
+	if !Equal(a, b) {
+		t.Fatal("empty images should be equal")
+	}
+	b.SetRGB(1, 1, 0, 0, 9)
+	if Equal(a, b) {
+		t.Fatal("differing images reported equal")
+	}
+	d := Compare(a, b)
+	if d.Differs != 1 || d.MaxAbs != 9 {
+		t.Fatalf("Compare = %+v, want 1 differing pixel, max 9", d)
+	}
+	if d.RMSE <= 0 {
+		t.Fatal("RMSE should be positive")
+	}
+}
+
+func TestEqualSizeMismatch(t *testing.T) {
+	if Equal(NewFinal(2, 2), NewFinal(3, 2)) {
+		t.Fatal("size mismatch reported equal")
+	}
+}
+
+func TestComparePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compare with mismatched sizes did not panic")
+		}
+	}()
+	Compare(NewFinal(2, 2), NewFinal(3, 2))
+}
+
+// Property: Skip/MarkOpaque behave exactly like a brute-force boolean mask.
+func TestSkipLinksMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		w := 2 + rng.Intn(40)
+		m := NewIntermediate(w, 1)
+		mask := make([]bool, w)
+		for op := 0; op < 80; op++ {
+			if rng.Intn(2) == 0 {
+				u := rng.Intn(w)
+				if !mask[u] {
+					m.MarkOpaque(u, 0)
+					mask[u] = true
+				}
+				continue
+			}
+			u := rng.Intn(w)
+			got := m.Skip(u, 0)
+			want := u
+			for want < w && mask[want] {
+				want++
+			}
+			if got != want {
+				t.Fatalf("trial %d: Skip(%d) = %d, want %d (mask %v)", trial, u, got, want, mask)
+			}
+		}
+		if got, want := m.RowOpaqueCount(0), countTrue(mask); got != want {
+			t.Fatalf("opaque count %d, want %d", got, want)
+		}
+	}
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWritePNG(t *testing.T) {
+	f := NewFinal(3, 2)
+	f.SetRGB(1, 1, 200, 100, 50)
+	var buf bytes.Buffer
+	if err := f.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 3 || decoded.Bounds().Dy() != 2 {
+		t.Fatalf("decoded bounds %v", decoded.Bounds())
+	}
+	r, g, b, a := decoded.At(1, 1).RGBA()
+	if r>>8 != 200 || g>>8 != 100 || b>>8 != 50 || a>>8 != 255 {
+		t.Fatalf("pixel (%d,%d,%d,%d)", r>>8, g>>8, b>>8, a>>8)
+	}
+}

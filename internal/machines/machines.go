@@ -1,0 +1,116 @@
+// Package machines holds the presets for the five shared-address-space
+// platforms the paper evaluates (sections 3.2 and 5.5), expressed as
+// memory-system simulator configurations. Latencies are in processor
+// cycles of each machine's own processors, following the parameters the
+// paper lists; where the paper gives only bandwidths, the cycle costs are
+// derived estimates. Shapes (who wins, where curves bend), not absolute
+// cycle counts, are the reproduction target.
+package machines
+
+import "shearwarp/internal/memsim"
+
+// Machine is a simulated platform preset.
+type Machine struct {
+	Name     string
+	MaxProcs int
+
+	// Memory system template; Procs is filled in per run.
+	Mem memsim.Config
+
+	// Synchronization costs for the execution engine.
+	BarrierCost int64
+	LockCost    int64
+}
+
+// NewSystem instantiates the machine's memory system for a processor count.
+func (m Machine) NewSystem(procs int) *memsim.System {
+	cfg := m.Mem
+	cfg.Procs = procs
+	return memsim.New(cfg)
+}
+
+// DASH models the Stanford DASH prototype: 4-processor bus-based nodes on
+// a 2-D mesh, 256 KB second-level caches with small 16-byte lines, and a
+// distributed directory protocol. The small lines and distributed memory
+// give it the paper's highest miss rates and remote costs.
+func DASH() Machine {
+	return Machine{
+		Name:     "DASH",
+		MaxProcs: 32,
+		Mem: memsim.Config{
+			CacheBytes: 256 << 10, LineBytes: 16, Assoc: 1,
+			LocalMiss: 30, Remote2Hop: 100, Remote3Hop: 130, UpgradeLat: 60,
+			ProcsPerNode: 4, PageBytes: 4096, Occupancy: 5,
+		},
+		BarrierCost: 2000,
+		LockCost:    80,
+	}
+}
+
+// Challenge models the SGI Challenge: a 16-processor bus-based centralized
+// shared-memory machine with 1 MB caches and 128-byte lines. All misses
+// cost the same and contend on the single bus.
+func Challenge() Machine {
+	return Machine{
+		Name:     "Challenge",
+		MaxProcs: 16,
+		Mem: memsim.Config{
+			CacheBytes: 1 << 20, LineBytes: 128, Assoc: 2,
+			LocalMiss: 60, Remote2Hop: 60, Remote3Hop: 60, UpgradeLat: 40,
+			Centralized: true, ProcsPerNode: 16, PageBytes: 4096, Occupancy: 8,
+		},
+		BarrierCost: 800,
+		LockCost:    60,
+	}
+}
+
+// Simulator is the paper's "pure" modern CC-NUMA machine (section 3.2):
+// one processor per node, 1 MB 4-way caches with 64-byte lines, and the
+// quoted 70 / 210 / 280 cycle miss costs.
+func Simulator() Machine {
+	return Machine{
+		Name:     "Simulator",
+		MaxProcs: 64,
+		Mem: memsim.Config{
+			CacheBytes: 1 << 20, LineBytes: 64, Assoc: 4,
+			LocalMiss: 70, Remote2Hop: 210, Remote3Hop: 280, UpgradeLat: 120,
+			ProcsPerNode: 1, PageBytes: 4096, Occupancy: 6,
+		},
+		BarrierCost: 1500,
+		LockCost:    70,
+	}
+}
+
+// Origin2000 models the SGI Origin2000 (section 5.5.1): two processors per
+// node, 4 MB 2-way caches with 128-byte lines, and a lower remote-to-local
+// latency ratio than DASH.
+func Origin2000() Machine {
+	return Machine{
+		Name:     "Origin2000",
+		MaxProcs: 16,
+		Mem: memsim.Config{
+			CacheBytes: 4 << 20, LineBytes: 128, Assoc: 2,
+			LocalMiss: 80, Remote2Hop: 160, Remote3Hop: 210, UpgradeLat: 90,
+			ProcsPerNode: 2, PageBytes: 4096, Occupancy: 5,
+		},
+		BarrierCost: 1000,
+		LockCost:    60,
+	}
+}
+
+// All returns the hardware-coherent presets in the order the paper
+// discusses them. (The SVM platform lives in package svmsim; it is not a
+// cache-coherent preset.)
+func All() []Machine {
+	return []Machine{DASH(), Challenge(), Simulator(), Origin2000()}
+}
+
+// ByName looks a preset up by its name; it returns false for unknown names.
+func ByName(name string) (Machine, bool) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}

@@ -1,0 +1,60 @@
+package machines
+
+import "testing"
+
+func TestAllPresetsWellFormed(t *testing.T) {
+	for _, m := range All() {
+		if m.Name == "" || m.MaxProcs < 2 {
+			t.Fatalf("bad preset %+v", m)
+		}
+		c := m.Mem
+		if c.CacheBytes < 1<<10 || c.LineBytes < 16 || c.Assoc < 1 {
+			t.Fatalf("%s: implausible cache geometry %+v", m.Name, c)
+		}
+		if c.LocalMiss <= 0 || c.Remote2Hop < c.LocalMiss || c.Remote3Hop < c.Remote2Hop {
+			t.Fatalf("%s: latencies must be ordered local <= 2hop <= 3hop: %+v", m.Name, c)
+		}
+		if m.BarrierCost <= 0 || m.LockCost <= 0 {
+			t.Fatalf("%s: missing sync costs", m.Name)
+		}
+		sys := m.NewSystem(4)
+		if sys == nil || sys.Cfg.Procs != 4 {
+			t.Fatalf("%s: NewSystem broken", m.Name)
+		}
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	// The paper states these exactly (sections 3.2 and 5.5.1).
+	sim := Simulator()
+	if sim.Mem.CacheBytes != 1<<20 || sim.Mem.LineBytes != 64 || sim.Mem.Assoc != 4 {
+		t.Fatalf("Simulator cache geometry %+v does not match the paper", sim.Mem)
+	}
+	if sim.Mem.LocalMiss != 70 || sim.Mem.Remote2Hop != 210 || sim.Mem.Remote3Hop != 280 {
+		t.Fatalf("Simulator latencies %+v do not match the paper's 70/210/280", sim.Mem)
+	}
+	d := DASH()
+	if d.Mem.LineBytes != 16 || d.Mem.CacheBytes != 256<<10 || d.Mem.ProcsPerNode != 4 {
+		t.Fatalf("DASH geometry %+v does not match the paper", d.Mem)
+	}
+	ch := Challenge()
+	if !ch.Mem.Centralized || ch.Mem.LineBytes != 128 || ch.Mem.CacheBytes != 1<<20 {
+		t.Fatalf("Challenge geometry %+v does not match the paper", ch.Mem)
+	}
+	o := Origin2000()
+	if o.Mem.CacheBytes != 4<<20 || o.Mem.LineBytes != 128 || o.Mem.Assoc != 2 || o.Mem.ProcsPerNode != 2 {
+		t.Fatalf("Origin2000 geometry %+v does not match the paper", o.Mem)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"DASH", "Challenge", "Simulator", "Origin2000"} {
+		m, ok := ByName(name)
+		if !ok || m.Name != name {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("CM-5"); ok {
+		t.Fatal("unknown machine resolved")
+	}
+}

@@ -1,0 +1,114 @@
+// Package memsim is the trace-driven multiprocessor memory-system
+// simulator used for every cache-behaviour figure in the paper: per-
+// processor set-associative LRU caches kept coherent by a directory-based
+// invalidation protocol over physically distributed (or centralized)
+// memory, with miss classification into cold, capacity (replacement), true
+// sharing and false sharing misses following Dubois/Woo et al., plus
+// local-vs-remote costing and per-node contention — the role Tango-Lite
+// plus the memory-system simulator played for the authors (section 3.2).
+package memsim
+
+// Cache models one processor's cache as tags only (data values live in the
+// real Go arrays; the simulator needs residency, not contents).
+type Cache struct {
+	sets  int
+	assoc int
+	// ways[set*assoc+way] holds the line address + 1 (0 = invalid).
+	ways []uint64
+	// lru[set*assoc+way] holds the last-use tick.
+	lru  []int64
+	tick int64
+}
+
+// NewCache builds a cache of the given total size, line size and
+// associativity (all in bytes / ways). Size is rounded down to a whole
+// number of sets; a cache smaller than assoc lines becomes fully
+// associative with one set.
+func NewCache(sizeBytes, lineBytes, assoc int) *Cache {
+	lines := sizeBytes / lineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	if assoc < 1 {
+		assoc = 1
+	}
+	if assoc > lines {
+		assoc = lines
+	}
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	// Power-of-two sets for cheap indexing.
+	p2 := 1
+	for p2*2 <= sets {
+		p2 *= 2
+	}
+	sets = p2
+	return &Cache{
+		sets:  sets,
+		assoc: assoc,
+		ways:  make([]uint64, sets*assoc),
+		lru:   make([]int64, sets*assoc),
+	}
+}
+
+// Lines returns the cache capacity in lines.
+func (c *Cache) Lines() int { return c.sets * c.assoc }
+
+func (c *Cache) set(line uint64) int { return int(line % uint64(c.sets)) }
+
+// Lookup reports whether the line is resident, updating LRU state on a hit.
+func (c *Cache) Lookup(line uint64) bool {
+	base := c.set(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.ways[base+w] == line+1 {
+			c.tick++
+			c.lru[base+w] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Insert brings the line into the cache, returning the evicted line (and
+// true) if a valid line was displaced.
+func (c *Cache) Insert(line uint64) (uint64, bool) {
+	base := c.set(line) * c.assoc
+	victim := 0
+	for w := 0; w < c.assoc; w++ {
+		if c.ways[base+w] == 0 {
+			victim = w
+			break
+		}
+		if c.lru[base+w] < c.lru[base+victim] {
+			victim = w
+		}
+	}
+	old := c.ways[base+victim]
+	c.tick++
+	c.ways[base+victim] = line + 1
+	c.lru[base+victim] = c.tick
+	if old == 0 {
+		return 0, false
+	}
+	return old - 1, true
+}
+
+// Invalidate drops the line if resident, reporting whether it was.
+func (c *Cache) Invalidate(line uint64) bool {
+	base := c.set(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.ways[base+w] == line+1 {
+			c.ways[base+w] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// Clear invalidates the whole cache (between simulated frames/experiments).
+func (c *Cache) Clear() {
+	clear(c.ways)
+	clear(c.lru)
+}

@@ -1,0 +1,526 @@
+package memsim
+
+import (
+	"fmt"
+
+	"shearwarp/internal/trace"
+)
+
+// wordBytes is the granularity of write tracking for true/false sharing
+// classification.
+const wordBytes = 4
+
+// Config describes a simulated shared-address-space machine's memory
+// system. All latencies are in processor cycles; the processor itself is
+// the paper's idealized 1-CPI machine, so cache hits cost nothing beyond
+// the instruction cycles the kernels already count.
+type Config struct {
+	Procs      int
+	CacheBytes int
+	LineBytes  int
+	Assoc      int
+
+	LocalMiss  int // satisfied in the local node's memory
+	Remote2Hop int // clean copy at a remote home
+	Remote3Hop int // dirty copy in a third node
+	UpgradeLat int // write hit on a shared line (invalidation round)
+
+	Centralized  bool // bus-based (Challenge): every miss costs LocalMiss + bus contention
+	ProcsPerNode int  // node size for home placement (DASH: 4; Simulator: 1)
+	PageBytes    int  // placement granularity; pages are homed round-robin
+	Occupancy    int  // controller/bus occupancy per request (drives contention)
+
+	// FirstTouch homes each page at the node of its first accessor instead
+	// of round-robin. The paper uses round-robin because the viewpoint is
+	// unpredictable; the ablation experiment quantifies the difference.
+	FirstTouch bool
+}
+
+func (c *Config) normalize() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.LineBytes < wordBytes {
+		c.LineBytes = wordBytes
+	}
+	if c.Assoc < 1 {
+		c.Assoc = 1
+	}
+	if c.ProcsPerNode < 1 {
+		c.ProcsPerNode = 1
+	}
+	if c.PageBytes < c.LineBytes {
+		c.PageBytes = 4096
+	}
+	if c.Occupancy < 1 {
+		c.Occupancy = 1
+	}
+}
+
+// MissClass labels why a miss occurred.
+type MissClass int
+
+// Miss classes, following the operational Dubois/Woo scheme described in
+// DESIGN.md. Conflict misses are folded into Capacity (replacement).
+const (
+	Cold MissClass = iota
+	Capacity
+	TrueSharing
+	FalseSharing
+	numClasses
+)
+
+func (m MissClass) String() string {
+	switch m {
+	case Cold:
+		return "cold"
+	case Capacity:
+		return "capacity"
+	case TrueSharing:
+		return "true-sharing"
+	case FalseSharing:
+		return "false-sharing"
+	}
+	return fmt.Sprintf("MissClass(%d)", int(m))
+}
+
+// ProcStats accumulates one processor's memory behaviour.
+type ProcStats struct {
+	Refs       int64 // word references issued
+	Misses     [numClasses]int64
+	Upgrades   int64 // write hits that had to invalidate sharers
+	Remote     int64 // misses not satisfied in the local node
+	Local      int64 // misses satisfied locally
+	StallCyc   int64 // latency cycles (excluding contention waits)
+	ContendCyc int64 // extra cycles waiting for busy controllers
+	WaitN      int64 // misses that had to wait at all
+	WaitMax    int64 // largest single contention wait
+}
+
+// TotalMisses sums all miss classes.
+func (s ProcStats) TotalMisses() int64 {
+	var t int64
+	for _, m := range s.Misses {
+		t += m
+	}
+	return t
+}
+
+// lineState is the directory entry plus classification metadata for one
+// cache line.
+type lineState struct {
+	sharers     uint64 // procs with a valid copy
+	owner       int8   // proc with the dirty copy, or -1
+	everTouched uint64 // procs that ever referenced the line (cold detection)
+	wordWriter  []int8 // last writer per word, or -1
+	wordSeq     []uint32
+	lostSeq     []uint32 // per proc: global write seq when the proc lost its copy
+	lostInval   uint64   // per-proc bit: lost to invalidation (else replacement)
+}
+
+// SegMisses attributes misses to a named shared array (the per-data-
+// structure view the paper's authors wanted from the R10000 counters but
+// could not get, section 5.5.1).
+type SegMisses struct {
+	Name   string
+	Misses [numClasses]int64
+}
+
+// System is one simulated machine instance. It is not goroutine-safe: the
+// deterministic engine drives it from a single thread.
+type System struct {
+	Cfg    Config
+	caches []*Cache
+	lines  map[uint64]*lineState
+	// busyUntil per node (or a single bus when centralized), plus the last
+	// requester: consecutive requests from one processor are already spaced
+	// by its own miss latency, so they do not queue behind themselves.
+	busyUntil []int64
+	lastProc  []int16
+	writeSeq  uint32
+	nodes     int
+	pageHome  map[uint64]int16 // first-touch homes (when Cfg.FirstTouch)
+
+	// Segment attribution (optional): sorted by base address.
+	segs     []trace.Segment
+	segStats []SegMisses
+
+	Stats []ProcStats
+}
+
+// New builds a simulated memory system.
+func New(cfg Config) *System {
+	cfg.normalize()
+	nodes := (cfg.Procs + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	s := &System{
+		Cfg:       cfg,
+		caches:    make([]*Cache, cfg.Procs),
+		lines:     make(map[uint64]*lineState, 1<<16),
+		busyUntil: make([]int64, max(nodes, 1)),
+		lastProc:  make([]int16, max(nodes, 1)),
+		pageHome:  make(map[uint64]int16),
+		nodes:     nodes,
+		Stats:     make([]ProcStats, cfg.Procs),
+	}
+	for p := range s.caches {
+		s.caches[p] = NewCache(cfg.CacheBytes, cfg.LineBytes, cfg.Assoc)
+	}
+	return s
+}
+
+// node returns the node a processor belongs to.
+func (s *System) node(p int) int { return p / s.Cfg.ProcsPerNode }
+
+// homeNode returns the node whose memory holds the line. Default placement
+// is round-robin by page (as the paper does given unpredictable
+// viewpoints); with FirstTouch the page is homed at the first accessor.
+func (s *System) homeNode(p int, line uint64) int {
+	page := (line * uint64(s.Cfg.LineBytes)) / uint64(s.Cfg.PageBytes)
+	if !s.Cfg.FirstTouch {
+		return int(page % uint64(s.nodes))
+	}
+	if home, ok := s.pageHome[page]; ok {
+		return int(home)
+	}
+	home := s.node(p)
+	s.pageHome[page] = int16(home)
+	return home
+}
+
+func (s *System) line(addr uint64) uint64 { return addr / uint64(s.Cfg.LineBytes) }
+
+func (s *System) state(line uint64) *lineState {
+	st := s.lines[line]
+	if st == nil {
+		words := s.Cfg.LineBytes / wordBytes
+		st = &lineState{
+			owner:      -1,
+			wordWriter: make([]int8, words),
+			wordSeq:    make([]uint32, words),
+			lostSeq:    make([]uint32, s.Cfg.Procs),
+		}
+		for i := range st.wordWriter {
+			st.wordWriter[i] = -1
+		}
+		s.lines[line] = st
+	}
+	return st
+}
+
+// Access simulates one processor referencing [addr, addr+nbytes) at the
+// given simulated time, returning the stall cycles incurred (latency plus
+// contention). The reference is split across the cache lines it covers.
+//
+// `now` is the arrival time used for contention and must be the
+// processor's quantum start time: the engine schedules quanta in global
+// clock order, so quantum starts are causally ordered across processors.
+// Chaining each request's accumulated stall into later arrival times would
+// instead let one processor's long miss chain run far into the simulated
+// future inside a single quantum and charge later-scheduled (but causally
+// earlier) processors phantom waits.
+func (s *System) Access(p int, addr uint64, nbytes int, write bool, now int64) int64 {
+	if nbytes <= 0 {
+		return 0
+	}
+	lb := uint64(s.Cfg.LineBytes)
+	first := addr / lb
+	last := (addr + uint64(nbytes) - 1) / lb
+	var stall int64
+	for ln := first; ln <= last; ln++ {
+		// Word span of this reference within the line.
+		lo := uint64(0)
+		if ln == first {
+			lo = addr % lb
+		}
+		hi := lb
+		if ln == last {
+			hi = (addr+uint64(nbytes)-1)%lb + 1
+		}
+		w0 := int(lo / wordBytes)
+		w1 := int((hi + wordBytes - 1) / wordBytes)
+		s.Stats[p].Refs += int64(w1 - w0)
+		stall += s.accessLine(p, ln, w0, w1, write, now)
+	}
+	return stall
+}
+
+// accessLine handles one reference to words [w0, w1) of a line.
+func (s *System) accessLine(p int, line uint64, w0, w1 int, write bool, now int64) int64 {
+	st := s.state(line)
+	cache := s.caches[p]
+	pbit := uint64(1) << uint(p)
+	var stall int64
+
+	if cache.Lookup(line) {
+		if write {
+			// Write hit: if others share the line, an upgrade invalidates
+			// them (they will re-miss with a sharing classification).
+			if st.sharers&^pbit != 0 || (st.owner >= 0 && int(st.owner) != p) {
+				s.invalidateOthers(p, line, st)
+				s.Stats[p].Upgrades++
+				stall += int64(s.Cfg.UpgradeLat)
+			}
+			st.owner = int8(p)
+			s.recordWrites(p, st, w0, w1)
+		}
+		return stall
+	}
+
+	// Miss: classify before mutating state.
+	class := s.classify(p, st, pbit, w0, w1)
+	s.Stats[p].Misses[class]++
+	s.attribute(line, class)
+
+	// Latency and contention. A processor's consecutive requests to the
+	// same controller are spaced by its own (blocking) miss latency, so
+	// only requests from a different processor queue.
+	lat, contendNode, remote := s.missCost(p, line, st)
+	wait := int64(0)
+	if bu := s.busyUntil[contendNode]; bu > now && int(s.lastProc[contendNode]) != p+1 {
+		wait = bu - now
+	}
+	s.lastProc[contendNode] = int16(p + 1)
+	s.busyUntil[contendNode] = maxI64(now, s.busyUntil[contendNode]) + int64(s.Cfg.Occupancy)
+	stall += int64(lat) + wait
+	s.Stats[p].StallCyc += int64(lat)
+	s.Stats[p].ContendCyc += wait
+	if wait > 0 {
+		s.Stats[p].WaitN++
+		if wait > s.Stats[p].WaitMax {
+			s.Stats[p].WaitMax = wait
+		}
+	}
+	if remote {
+		s.Stats[p].Remote++
+	} else {
+		s.Stats[p].Local++
+	}
+
+	// Coherence actions.
+	if write {
+		s.invalidateOthers(p, line, st)
+		st.owner = int8(p)
+	} else if st.owner >= 0 && int(st.owner) != p {
+		st.owner = -1 // dirty copy written back, now shared-clean
+	}
+	st.sharers |= pbit
+	st.everTouched |= pbit
+	st.lostInval &^= pbit
+
+	if victim, ok := cache.Insert(line); ok {
+		s.evict(p, victim)
+	}
+	if write {
+		s.recordWrites(p, st, w0, w1)
+	}
+	return stall
+}
+
+// classify determines the miss class for processor p touching words
+// [w0, w1) of a line, following the Dubois/Woo essential-miss scheme: a
+// re-miss that fetches a word written by another processor since this
+// processor last held the line is true sharing, whether the copy was lost
+// to an invalidation or to a replacement; an invalidation-caused re-miss
+// with no such word is false sharing; a replacement-caused re-miss with no
+// such word is capacity (conflicts folded in).
+func (s *System) classify(p int, st *lineState, pbit uint64, w0, w1 int) MissClass {
+	if st.everTouched&pbit == 0 {
+		return Cold
+	}
+	lost := st.lostSeq[p]
+	for w := w0; w < w1; w++ {
+		if st.wordWriter[w] >= 0 && int(st.wordWriter[w]) != p && st.wordSeq[w] > lost {
+			return TrueSharing
+		}
+	}
+	if st.lostInval&pbit != 0 {
+		return FalseSharing
+	}
+	return Capacity
+}
+
+// missCost returns the latency of a miss, the node whose controller it
+// occupies, and whether it was remote.
+func (s *System) missCost(p int, line uint64, st *lineState) (lat, contendNode int, remote bool) {
+	if s.Cfg.Centralized {
+		// A single shared bus: all misses cost the same and contend there.
+		return s.Cfg.LocalMiss, 0, false
+	}
+	myNode := s.node(p)
+	home := s.homeNode(p, line)
+	if st.owner >= 0 && int(st.owner) != p && s.node(int(st.owner)) != myNode {
+		// Dirty in another node's cache: 3-hop unless the owner sits at the
+		// home node (then 2-hop).
+		if s.node(int(st.owner)) == home {
+			return s.Cfg.Remote2Hop, home, true
+		}
+		return s.Cfg.Remote3Hop, home, true
+	}
+	if home == myNode {
+		return s.Cfg.LocalMiss, home, false
+	}
+	return s.Cfg.Remote2Hop, home, true
+}
+
+// invalidateOthers removes every other processor's copy, recording why for
+// later classification.
+func (s *System) invalidateOthers(p int, line uint64, st *lineState) {
+	for q := 0; q < s.Cfg.Procs; q++ {
+		if q == p {
+			continue
+		}
+		qbit := uint64(1) << uint(q)
+		if st.sharers&qbit == 0 {
+			continue
+		}
+		s.caches[q].Invalidate(line)
+		st.sharers &^= qbit
+		st.lostSeq[q] = s.writeSeq
+		st.lostInval |= qbit
+	}
+	if st.owner >= 0 && int(st.owner) != p {
+		st.owner = -1
+	}
+}
+
+// evict handles a replacement from p's cache.
+func (s *System) evict(p int, line uint64) {
+	st := s.lines[line]
+	if st == nil {
+		return
+	}
+	pbit := uint64(1) << uint(p)
+	st.sharers &^= pbit
+	if st.owner == int8(p) {
+		st.owner = -1 // write back
+	}
+	st.lostSeq[p] = s.writeSeq
+	st.lostInval &^= pbit
+}
+
+// recordWrites stamps the written words with the writer and a fresh global
+// sequence number.
+func (s *System) recordWrites(p int, st *lineState, w0, w1 int) {
+	s.writeSeq++
+	for w := w0; w < w1; w++ {
+		st.wordWriter[w] = int8(p)
+		st.wordSeq[w] = s.writeSeq
+	}
+}
+
+// SetSegments enables per-array miss attribution using the address space's
+// segment table.
+func (s *System) SetSegments(segs []trace.Segment) {
+	s.segs = append([]trace.Segment(nil), segs...)
+	s.segStats = make([]SegMisses, len(segs))
+	for i, sg := range s.segs {
+		s.segStats[i].Name = sg.Name
+	}
+}
+
+// attribute charges a miss to the segment containing the line.
+func (s *System) attribute(line uint64, class MissClass) {
+	if len(s.segs) == 0 {
+		return
+	}
+	addr := line * uint64(s.Cfg.LineBytes)
+	// Segments are registered in increasing base order; linear scan is fine
+	// for the handful of arrays a renderer registers.
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if addr >= s.segs[i].Base {
+			if addr < s.segs[i].Base+s.segs[i].Bytes+uint64(s.Cfg.LineBytes) {
+				s.segStats[i].Misses[class]++
+			}
+			return
+		}
+	}
+}
+
+// SegmentMisses returns the per-array miss attribution (empty unless
+// SetSegments was called).
+func (s *System) SegmentMisses() []SegMisses {
+	return append([]SegMisses(nil), s.segStats...)
+}
+
+// ResetSegmentStats clears the attribution counters (called with
+// ResetStats by the drivers' warm-up logic).
+
+// Totals aggregates all processors' stats.
+func (s *System) Totals() ProcStats {
+	var t ProcStats
+	for i := range s.Stats {
+		t.Refs += s.Stats[i].Refs
+		for c := 0; c < int(numClasses); c++ {
+			t.Misses[c] += s.Stats[i].Misses[c]
+		}
+		t.Upgrades += s.Stats[i].Upgrades
+		t.Remote += s.Stats[i].Remote
+		t.Local += s.Stats[i].Local
+		t.StallCyc += s.Stats[i].StallCyc
+		t.ContendCyc += s.Stats[i].ContendCyc
+		t.WaitN += s.Stats[i].WaitN
+		if s.Stats[i].WaitMax > t.WaitMax {
+			t.WaitMax = s.Stats[i].WaitMax
+		}
+	}
+	return t
+}
+
+// MissRate returns total misses per reference.
+func (s *System) MissRate() float64 {
+	t := s.Totals()
+	if t.Refs == 0 {
+		return 0
+	}
+	return float64(t.TotalMisses()) / float64(t.Refs)
+}
+
+// ResetStats clears the statistics (including segment attribution) but
+// keeps cache and directory state.
+func (s *System) ResetStats() {
+	for i := range s.Stats {
+		s.Stats[i] = ProcStats{}
+	}
+	for i := range s.segStats {
+		s.segStats[i].Misses = [numClasses]int64{}
+	}
+}
+
+// Tracer binds one simulated processor to the system as a trace.Tracer.
+// The engine sets Now to the processor's clock before each quantum; stall
+// cycles accumulate in Stall and are drained by the engine afterwards.
+type Tracer struct {
+	Sys   *System
+	Proc  int
+	Now   int64
+	Stall int64
+}
+
+// Read implements trace.Tracer.
+func (t *Tracer) Read(a trace.Array, first, n int) {
+	t.Stall += t.Sys.Access(t.Proc, a.Addr(first), n*int(a.Elem), false, t.Now)
+}
+
+// Write implements trace.Tracer.
+func (t *Tracer) Write(a trace.Array, first, n int) {
+	t.Stall += t.Sys.Access(t.Proc, a.Addr(first), n*int(a.Elem), true, t.Now)
+}
+
+// SetNow sets the simulated time of the processor's next quantum
+// (simengine.ProcTracer).
+func (t *Tracer) SetNow(now int64) { t.Now = now }
+
+// DrainStall returns and clears the stall accumulated since the last drain
+// (simengine.ProcTracer).
+func (t *Tracer) DrainStall() int64 {
+	s := t.Stall
+	t.Stall = 0
+	return s
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

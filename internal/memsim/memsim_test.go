@@ -1,0 +1,295 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shearwarp/internal/trace"
+)
+
+func smallCfg(procs int) Config {
+	return Config{
+		Procs: procs, CacheBytes: 1024, LineBytes: 64, Assoc: 2,
+		LocalMiss: 70, Remote2Hop: 210, Remote3Hop: 280, UpgradeLat: 50,
+		ProcsPerNode: 1, PageBytes: 4096, Occupancy: 20,
+	}
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := NewCache(1024, 64, 2)
+	if c.Lookup(5) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(5)
+	if !c.Lookup(5) {
+		t.Fatal("miss after insert")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Fully associative, 4 lines.
+	c := NewCache(4*64, 64, 4)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i)
+	}
+	c.Lookup(0) // make line 0 most recent
+	v, ok := c.Insert(100)
+	if !ok || v != 1 {
+		t.Fatalf("evicted %d (ok=%v), want LRU line 1", v, ok)
+	}
+	if !c.Lookup(0) || c.Lookup(1) {
+		t.Fatal("wrong lines resident after eviction")
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewCache(512, 64, 2) // 8 lines
+		resident := map[uint64]bool{}
+		for _, a := range addrs {
+			line := uint64(a % 64)
+			if c.Lookup(line) {
+				if !resident[line] {
+					return false // hit on non-resident line
+				}
+				continue
+			}
+			if v, ok := c.Insert(line); ok {
+				if !resident[v] {
+					return false // evicted something not resident
+				}
+				delete(resident, v)
+			}
+			resident[line] = true
+			if len(resident) > c.Lines() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheSetConflict(t *testing.T) {
+	// Direct-mapped, 4 sets: lines 0 and 4 conflict.
+	c := NewCache(4*64, 64, 1)
+	c.Insert(0)
+	v, ok := c.Insert(4)
+	if !ok || v != 0 {
+		t.Fatalf("conflicting insert evicted %d (ok=%v), want 0", v, ok)
+	}
+}
+
+func TestColdThenCapacityClassification(t *testing.T) {
+	s := New(smallCfg(1))
+	// 1 KB cache, 64 B lines = 16 lines. Touch 32 distinct lines twice.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 32; i++ {
+			s.Access(0, uint64(i*64), 4, false, 0)
+		}
+	}
+	st := s.Stats[0]
+	if st.Misses[Cold] != 32 {
+		t.Fatalf("cold misses = %d, want 32", st.Misses[Cold])
+	}
+	if st.Misses[Capacity] != 32 {
+		t.Fatalf("capacity misses = %d, want 32 (second sweep)", st.Misses[Capacity])
+	}
+	if st.Misses[TrueSharing]+st.Misses[FalseSharing] != 0 {
+		t.Fatal("sharing misses on a uniprocessor")
+	}
+}
+
+func TestTrueSharingClassification(t *testing.T) {
+	s := New(smallCfg(2))
+	// P0 reads word 0; P1 writes word 0; P0 re-reads word 0: true sharing.
+	s.Access(0, 0, 4, false, 0)
+	s.Access(1, 0, 4, true, 0)
+	s.Access(0, 0, 4, false, 0)
+	if got := s.Stats[0].Misses[TrueSharing]; got != 1 {
+		t.Fatalf("true sharing misses = %d, want 1 (%+v)", got, s.Stats[0])
+	}
+}
+
+func TestFalseSharingClassification(t *testing.T) {
+	s := New(smallCfg(2))
+	// P0 reads word 0; P1 writes word 8 (same 64 B line); P0 re-reads word
+	// 0: the invalidation was for a word P0 never touches -> false sharing.
+	s.Access(0, 0, 4, false, 0)
+	s.Access(1, 32, 4, true, 0)
+	s.Access(0, 0, 4, false, 0)
+	if got := s.Stats[0].Misses[FalseSharing]; got != 1 {
+		t.Fatalf("false sharing misses = %d, want 1 (%+v)", got, s.Stats[0])
+	}
+	if s.Stats[0].Misses[TrueSharing] != 0 {
+		t.Fatal("misclassified as true sharing")
+	}
+}
+
+func TestUpgradeOnSharedWriteHit(t *testing.T) {
+	s := New(smallCfg(2))
+	s.Access(0, 0, 4, false, 0) // P0 caches the line
+	s.Access(1, 0, 4, false, 0) // P1 shares it
+	s.Access(1, 0, 4, true, 0)  // P1 write hit -> upgrade, invalidate P0
+	if s.Stats[1].Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", s.Stats[1].Upgrades)
+	}
+	// P0's next read is a true-sharing miss.
+	s.Access(0, 0, 4, false, 0)
+	if s.Stats[0].Misses[TrueSharing] != 1 {
+		t.Fatalf("post-upgrade read misclassified: %+v", s.Stats[0])
+	}
+}
+
+func TestWriteMissInvalidatesSharers(t *testing.T) {
+	s := New(smallCfg(3))
+	s.Access(0, 0, 4, false, 0)
+	s.Access(1, 0, 4, false, 0)
+	s.Access(2, 0, 64, true, 0) // write miss invalidates both
+	s.Access(0, 0, 4, false, 0)
+	s.Access(1, 0, 4, false, 0)
+	if s.Stats[0].Misses[TrueSharing] != 1 || s.Stats[1].Misses[TrueSharing] != 1 {
+		t.Fatalf("sharers not invalidated: P0 %+v P1 %+v", s.Stats[0], s.Stats[1])
+	}
+}
+
+func TestLocalVsRemoteCosts(t *testing.T) {
+	cfg := smallCfg(2)
+	cfg.PageBytes = 64 // one line per page: lines alternate homes
+	s := New(cfg)
+	// Line 0 homes at node 0, line 1 at node 1.
+	stallLocal := s.Access(0, 0, 4, false, 0)
+	stallRemote := s.Access(0, 64, 4, false, 1_000_000)
+	if stallLocal < 70 || stallLocal >= 210 {
+		t.Fatalf("local miss stall = %d, want ~LocalMiss", stallLocal)
+	}
+	if stallRemote < 210 {
+		t.Fatalf("remote miss stall = %d, want >= Remote2Hop", stallRemote)
+	}
+	if s.Stats[0].Local != 1 || s.Stats[0].Remote != 1 {
+		t.Fatalf("local/remote counts: %+v", s.Stats[0])
+	}
+}
+
+func TestThreeHopDirtyMiss(t *testing.T) {
+	cfg := smallCfg(3)
+	cfg.PageBytes = 64
+	s := New(cfg)
+	// P1 dirties a line homed at node 0; P2 then reads it: dirty in a third
+	// node -> 3 hops.
+	s.Access(1, 0, 4, true, 0)
+	stall := s.Access(2, 0, 4, false, 1_000_000)
+	if stall < 280 {
+		t.Fatalf("dirty remote miss stall = %d, want >= Remote3Hop", stall)
+	}
+}
+
+func TestCentralizedAllMissesEqual(t *testing.T) {
+	cfg := smallCfg(4)
+	cfg.Centralized = true
+	cfg.LocalMiss = 50
+	s := New(cfg)
+	a := s.Access(0, 0, 4, false, 0)
+	b := s.Access(1, 4096, 4, false, 1_000_000)
+	if a != 50 || b != 50 {
+		t.Fatalf("centralized miss costs %d, %d; want 50, 50", a, b)
+	}
+	if s.Stats[0].Remote != 0 || s.Stats[1].Remote != 0 {
+		t.Fatal("centralized machine has no remote misses")
+	}
+}
+
+func TestContentionAtBusyController(t *testing.T) {
+	cfg := smallCfg(2)
+	cfg.Occupancy = 100
+	s := New(cfg)
+	// Two misses to lines homed at the same node at the same time: the
+	// second waits for the first's occupancy.
+	s.Access(0, 0, 4, false, 0)
+	s.Access(1, 64, 4, false, 0) // same page, same home, same instant
+	if s.Stats[1].ContendCyc == 0 {
+		t.Fatalf("no contention recorded: %+v", s.Stats[1])
+	}
+}
+
+func TestSpatialLocalityLongerLinesFewerMisses(t *testing.T) {
+	// Streaming through an array: miss count halves when lines double.
+	run := func(lineBytes int) int64 {
+		cfg := smallCfg(1)
+		cfg.LineBytes = lineBytes
+		cfg.CacheBytes = 4096
+		s := New(cfg)
+		for i := 0; i < 4096; i += 4 {
+			s.Access(0, uint64(i), 4, false, 0)
+		}
+		return s.Totals().TotalMisses()
+	}
+	m64, m128 := run(64), run(128)
+	if m128*2 != m64 {
+		t.Fatalf("misses: 64B=%d 128B=%d; want exact halving", m64, m128)
+	}
+}
+
+func TestWorkingSetKnee(t *testing.T) {
+	// Repeatedly sweep a 2 KB array: caches >= 2 KB capture it after the
+	// first sweep; a 1 KB cache keeps missing.
+	sweep := func(cacheBytes int) float64 {
+		cfg := smallCfg(1)
+		cfg.CacheBytes = cacheBytes
+		s := New(cfg)
+		for r := 0; r < 8; r++ {
+			for i := 0; i < 2048; i += 4 {
+				s.Access(0, uint64(i), 4, false, 0)
+			}
+		}
+		return s.MissRate()
+	}
+	small, big := sweep(1024), sweep(4096)
+	if big >= small {
+		t.Fatalf("miss rate did not drop past the working set: %.4f vs %.4f", small, big)
+	}
+	if big > 0.02 {
+		t.Fatalf("fitting cache still misses at %.4f", big)
+	}
+}
+
+func TestTracerBindsProcAndAccumulatesStall(t *testing.T) {
+	s := New(smallCfg(2))
+	sp := trace.NewAddrSpace()
+	arr := sp.Register("a", 4, 1024)
+	tr := &Tracer{Sys: s, Proc: 1}
+	tr.Read(arr, 0, 16)
+	if tr.Stall == 0 {
+		t.Fatal("tracer recorded no stall for a cold miss")
+	}
+	if s.Stats[1].Refs != 16 {
+		t.Fatalf("refs = %d, want 16", s.Stats[1].Refs)
+	}
+	if s.Stats[0].Refs != 0 {
+		t.Fatal("wrong processor charged")
+	}
+}
+
+func TestRangeAccessSpansLines(t *testing.T) {
+	s := New(smallCfg(1))
+	// 256 bytes starting mid-line: touches 5 lines of 64 B.
+	s.Access(0, 32, 256, false, 0)
+	if got := s.Totals().TotalMisses(); got != 5 {
+		t.Fatalf("misses = %d, want 5 lines touched", got)
+	}
+}
+
+func TestResetStatsKeepsCacheState(t *testing.T) {
+	s := New(smallCfg(1))
+	s.Access(0, 0, 4, false, 0)
+	s.ResetStats()
+	if s.Totals().TotalMisses() != 0 {
+		t.Fatal("stats not cleared")
+	}
+	stall := s.Access(0, 0, 4, false, 0)
+	if stall != 0 {
+		t.Fatal("cache state lost on ResetStats")
+	}
+}

@@ -1,0 +1,148 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomized invariants over the coherence protocol and classifier.
+func TestRandomAccessInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		procs := 1 + rng.Intn(8)
+		cfg := Config{
+			Procs: procs, CacheBytes: 512 << rng.Intn(4), LineBytes: 16 << rng.Intn(3),
+			Assoc:     1 + rng.Intn(4),
+			LocalMiss: 50, Remote2Hop: 150, Remote3Hop: 200, UpgradeLat: 40,
+			ProcsPerNode: 1 + rng.Intn(2), PageBytes: 4096, Occupancy: 4,
+			FirstTouch: rng.Intn(2) == 0,
+		}
+		s := New(cfg)
+		var now int64
+		for i := 0; i < 3000; i++ {
+			p := rng.Intn(procs)
+			addr := uint64(rng.Intn(8192))
+			nb := 1 + rng.Intn(200)
+			write := rng.Intn(3) == 0
+			stall := s.Access(p, addr, nb, write, now)
+			if stall < 0 {
+				t.Fatalf("negative stall %d", stall)
+			}
+			now += 10 + stall
+		}
+		tot := s.Totals()
+		if tot.TotalMisses() > tot.Refs {
+			t.Fatalf("misses %d exceed refs %d", tot.TotalMisses(), tot.Refs)
+		}
+		if tot.Remote+tot.Local != tot.TotalMisses() {
+			t.Fatalf("local %d + remote %d != misses %d", tot.Local, tot.Remote, tot.TotalMisses())
+		}
+		if procs == 1 && tot.Misses[TrueSharing]+tot.Misses[FalseSharing]+tot.Upgrades != 0 {
+			t.Fatal("sharing events on a uniprocessor")
+		}
+		// Directory/cache consistency: every cached line must be in the
+		// directory's sharer set.
+		for p, c := range s.caches {
+			for _, w := range c.ways {
+				if w == 0 {
+					continue
+				}
+				st := s.lines[w-1]
+				if st == nil || st.sharers&(1<<uint(p)) == 0 {
+					t.Fatalf("proc %d caches line %d without a directory entry", p, w-1)
+				}
+			}
+		}
+		// And every directory sharer actually holds the line.
+		for line, st := range s.lines {
+			for p := 0; p < procs; p++ {
+				if st.sharers&(1<<uint(p)) != 0 && !s.caches[p].Lookup(line) {
+					t.Fatalf("directory claims proc %d shares line %d but cache disagrees", p, line)
+				}
+			}
+			if st.owner >= 0 && st.sharers&(1<<uint(st.owner)) == 0 {
+				t.Fatalf("dirty owner %d of line %d is not a sharer", st.owner, line)
+			}
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (ProcStats, int64) {
+		s := New(Config{
+			Procs: 4, CacheBytes: 2048, LineBytes: 32, Assoc: 2,
+			LocalMiss: 50, Remote2Hop: 150, Remote3Hop: 200, UpgradeLat: 40,
+			ProcsPerNode: 1, PageBytes: 4096, Occupancy: 4,
+		})
+		rng := rand.New(rand.NewSource(5))
+		var total int64
+		for i := 0; i < 2000; i++ {
+			total += s.Access(rng.Intn(4), uint64(rng.Intn(4096)), 1+rng.Intn(64),
+				rng.Intn(4) == 0, int64(i*7))
+		}
+		return s.Totals(), total
+	}
+	a, sa := run()
+	b, sb := run()
+	if a != b || sa != sb {
+		t.Fatal("memory simulation not deterministic")
+	}
+}
+
+func TestFirstTouchHomesAtFirstAccessor(t *testing.T) {
+	cfg := Config{
+		Procs: 4, CacheBytes: 1024, LineBytes: 64, Assoc: 2,
+		LocalMiss: 50, Remote2Hop: 150, Remote3Hop: 200, UpgradeLat: 40,
+		ProcsPerNode: 1, PageBytes: 4096, Occupancy: 4, FirstTouch: true,
+	}
+	s := New(cfg)
+	// Proc 3 touches page 0 first: its miss must be local.
+	s.Access(3, 0, 4, false, 0)
+	if s.Stats[3].Local != 1 || s.Stats[3].Remote != 0 {
+		t.Fatalf("first touch not local: %+v", s.Stats[3])
+	}
+	// Proc 0's subsequent access to the same page is remote.
+	s.Access(0, 128, 4, false, 0)
+	if s.Stats[0].Remote != 1 {
+		t.Fatalf("second node's access not remote: %+v", s.Stats[0])
+	}
+}
+
+func TestUpgradeVsMissAccounting(t *testing.T) {
+	s := New(Config{
+		Procs: 2, CacheBytes: 1024, LineBytes: 64, Assoc: 2,
+		LocalMiss: 50, Remote2Hop: 150, Remote3Hop: 200, UpgradeLat: 40,
+		ProcsPerNode: 1, PageBytes: 4096, Occupancy: 4,
+	})
+	s.Access(0, 0, 4, false, 0) // P0 read-miss
+	s.Access(0, 0, 4, true, 0)  // P0 write hit on exclusive line: no upgrade
+	if s.Stats[0].Upgrades != 0 {
+		t.Fatal("write to an exclusive line should not count as an upgrade")
+	}
+	s.Access(1, 0, 4, false, 0) // P1 shares
+	s.Access(0, 4, 4, true, 0)  // P0 write hit on shared line: upgrade
+	if s.Stats[0].Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", s.Stats[0].Upgrades)
+	}
+	if s.Stats[0].TotalMisses() != 1 {
+		t.Fatalf("upgrade wrongly counted as a miss: %+v", s.Stats[0])
+	}
+}
+
+func TestWriteMissTransfersOwnership(t *testing.T) {
+	s := New(Config{
+		Procs: 3, CacheBytes: 1024, LineBytes: 64, Assoc: 2,
+		LocalMiss: 50, Remote2Hop: 150, Remote3Hop: 200, UpgradeLat: 40,
+		ProcsPerNode: 1, PageBytes: 4096, Occupancy: 4,
+	})
+	s.Access(0, 0, 4, true, 0)
+	s.Access(1, 0, 4, true, 0)
+	s.Access(2, 0, 4, true, 0)
+	st := s.lines[0]
+	if st.owner != 2 {
+		t.Fatalf("owner = %d, want 2", st.owner)
+	}
+	if st.sharers != 1<<2 {
+		t.Fatalf("sharers = %b, want only proc 2", st.sharers)
+	}
+}

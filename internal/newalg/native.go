@@ -1,0 +1,252 @@
+package newalg
+
+import (
+	"math"
+	"sync"
+
+	"shearwarp/internal/composite"
+	"shearwarp/internal/img"
+	"shearwarp/internal/par"
+	"shearwarp/internal/render"
+	"shearwarp/internal/warp"
+	"shearwarp/internal/xform"
+)
+
+// Config tunes the new parallel algorithm.
+type Config struct {
+	Procs         int     // number of workers; 0 means 1
+	StealChunk    int     // scanlines per steal; 0 selects StealChunkSize
+	LineBytes     int     // cache line size hint for the steal heuristic; 0 = 64
+	ReprofileDeg  float64 // degrees of rotation between profiles; 0 = 15
+	DisableSteal  bool    // turn off stealing (ablation)
+	AlwaysProfile bool    // profile every frame (ablation)
+}
+
+func (c *Config) normalize() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.ReprofileDeg == 0 {
+		c.ReprofileDeg = 15
+	}
+}
+
+// ProcStats reports one worker's share of a frame.
+type ProcStats struct {
+	Composite composite.Counters
+	Warp      warp.Counters
+	Steals    int   // chunks obtained by stealing
+	Chunks    int   // chunks composited in total
+	Profiled  int64 // profiling overhead cycles charged this frame
+}
+
+// Result is a rendered frame plus its per-processor accounting.
+type Result struct {
+	Out        *img.Final
+	PerProc    []ProcStats
+	Boundaries []int // the partition used (len Procs+1)
+	Profiled   bool  // whether this frame collected a profile
+	Region     Region
+}
+
+// Stats aggregates the per-processor counters.
+func (r *Result) Stats() render.FrameStats {
+	var st render.FrameStats
+	for i := range r.PerProc {
+		st.Composite.Add(r.PerProc[i].Composite)
+		st.Composite.Cycles += r.PerProc[i].Profiled
+		st.Warp.Add(r.PerProc[i].Warp)
+	}
+	return st
+}
+
+// Renderer carries the cross-frame state of the new algorithm: the last
+// collected per-scanline profile and the viewpoint it was collected at.
+type Renderer struct {
+	R   *render.Renderer
+	Cfg Config
+
+	profile    []int64
+	profAxis   xform.Axis
+	profYaw    float64
+	profPitch  float64
+	profValid  bool
+	profImageH int
+	profSj     float64 // v-axis shear of the profiled frame
+	profTv     float64 // v-axis translation of the profiled frame
+}
+
+// NewRenderer wraps a render.Renderer with the new algorithm's state.
+func NewRenderer(r *render.Renderer, cfg Config) *Renderer {
+	cfg.normalize()
+	return &Renderer{R: r, Cfg: cfg}
+}
+
+// needProfile decides whether this frame must (re-)collect the profile.
+func (nr *Renderer) needProfile(f *xform.Factorization, yaw, pitch float64) bool {
+	if nr.Cfg.AlwaysProfile || !nr.profValid {
+		return true
+	}
+	if nr.profAxis != f.Axis {
+		return true // principal axis flip invalidates the profile entirely
+	}
+	if d := nr.profImageH - f.IntH; d > MaxImageDrift || d < -MaxImageDrift {
+		return true // the sheared image changed size drastically
+	}
+	limit := nr.Cfg.ReprofileDeg * math.Pi / 180
+	return math.Abs(yaw-nr.profYaw) >= limit || math.Abs(pitch-nr.profPitch) >= limit
+}
+
+// RenderFrame renders one frame with native goroutines. The output is
+// bit-identical to the serial renderer's for the same viewpoint.
+func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
+	fr := nr.R.Setup(yaw, pitch)
+	cfg := nr.Cfg
+	res := &Result{Out: fr.Out, PerProc: make([]ProcStats, cfg.Procs)}
+
+	profiling := nr.needProfile(&fr.F, yaw, pitch)
+	res.Profiled = profiling
+
+	// Choose the partition: profile-balanced over the non-empty region when
+	// a profile exists, uniform otherwise. The region from the profiled
+	// frame is expanded by a sound geometric bound on how far any voxel's
+	// v coordinate can have moved since (v = j + Sj*k + Tv, so the shift is
+	// at most max(|ΔTv|, |ΔSj|*(Nk-1) + |ΔTv|)), keeping the skip exact:
+	// a scanline outside the expanded region cannot receive samples.
+	var region Region
+	drift := 0
+	if nr.profValid {
+		drift = nr.profImageH - fr.M.H
+		if drift < 0 {
+			drift = -drift
+		}
+	}
+	if nr.profValid && nr.profAxis == fr.F.Axis && drift <= MaxImageDrift {
+		region = FindRegion(nr.profile)
+		if region.Hi > region.Lo {
+			shift0 := math.Abs(fr.F.Tv - nr.profTv)
+			shiftN := math.Abs((fr.F.Sj-nr.profSj)*float64(fr.F.Nk-1) + (fr.F.Tv - nr.profTv))
+			b := int(math.Ceil(math.Max(shift0, shiftN))) + 1
+			region.Lo = max(region.Lo-b, 0)
+			region.Hi = min(region.Hi+b, fr.M.H)
+		}
+		res.Boundaries = Partition(PaddedProfile(nr.profile, region.Hi), region, cfg.Procs, cfg.Procs)
+	} else {
+		region = Region{0, fr.M.H}
+		res.Boundaries = UniformPartition(fr.M.H, cfg.Procs)
+	}
+	res.Region = region
+
+	steal := cfg.StealChunk
+	if steal < 1 {
+		steal = StealChunkSize(region.Hi-region.Lo, cfg.Procs, cfg.LineBytes)
+	}
+
+	bands := par.NewBands(res.Boundaries, steal)
+	var bmu sync.Mutex
+	// Per-band completion signals replace the global barrier.
+	done := make([]chan struct{}, cfg.Procs)
+	for p := range done {
+		done[p] = make(chan struct{})
+		if bands.Complete(p) {
+			close(done[p])
+		}
+	}
+	newProfile := make([]int64, fr.M.H) // rows written disjointly, no lock
+
+	warpTasks := warp.PartitionTasks(res.Boundaries)
+
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ps := &res.PerProc[p]
+			cc := fr.NewCompositeCtx()
+
+			runChunk := func(c par.Chunk, band int) {
+				for row := c.Lo; row < c.Hi; row++ {
+					before := ps.Composite.Samples
+					cycles := cc.Scanline(row, &ps.Composite)
+					if profiling {
+						// A scanline that composited no samples is empty:
+						// zero in the profile so the region excludes it.
+						if ps.Composite.Samples == before {
+							newProfile[row] = 0
+						} else {
+							newProfile[row] = cycles
+						}
+						ps.Profiled += ProfileOverheadCycles(cycles)
+					}
+				}
+				bmu.Lock()
+				if bands.MarkDone(band, c.Hi-c.Lo) {
+					close(done[band])
+				}
+				bmu.Unlock()
+			}
+
+			for {
+				bmu.Lock()
+				c, ok := bands.TakeOwn(p)
+				bmu.Unlock()
+				if !ok {
+					break
+				}
+				ps.Chunks++
+				runChunk(c, p)
+			}
+			if !cfg.DisableSteal {
+				for {
+					bmu.Lock()
+					c, band, ok := bands.TakeSteal()
+					bmu.Unlock()
+					if !ok {
+						break
+					}
+					ps.Chunks++
+					ps.Steals++
+					runChunk(c, band)
+				}
+			}
+
+			// Warp this processor's tasks; each waits only on the bands its
+			// bilinear reads can touch — no global barrier (section 5.5.2).
+			// Interior tasks need only the own band; boundary slivers also
+			// need the adjacent band.
+			wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
+			for _, tk := range warpTasks {
+				if tk.Owner != p {
+					continue
+				}
+				for q := tk.NeedLo; q <= tk.NeedHi; q++ {
+					<-done[q]
+				}
+				for y := 0; y < fr.Out.H; y++ {
+					if x0, x1, ok := wc.RowSpan(y, tk.Band); ok {
+						wc.WarpSpan(y, x0, x1, &ps.Warp)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if profiling {
+		nr.profile = newProfile
+		nr.profAxis = fr.F.Axis
+		nr.profYaw, nr.profPitch = yaw, pitch
+		nr.profImageH = fr.M.H
+		nr.profSj, nr.profTv = fr.F.Sj, fr.F.Tv
+		nr.profValid = true
+	}
+	return res
+}
+
+// Profile returns the current per-scanline cost profile (nil before the
+// first profiled frame). The returned slice is live; callers must not
+// modify it.
+func (nr *Renderer) Profile() []int64 { return nr.profile }

@@ -1,0 +1,182 @@
+// Package newalg implements the paper's new parallel shear-warp algorithm
+// (section 4): contiguous, profile-balanced partitions of the intermediate
+// image used identically by the compositing and warp phases.
+//
+// Per frame:
+//
+//  1. The non-empty region of the intermediate image is determined from
+//     the per-scanline cost profile of a previous frame, skipping the
+//     empty border scanlines the old algorithm composites blindly.
+//  2. A cumulative cost profile is built with a parallel prefix sum and
+//     partition boundaries are found by equal-area binary search, giving
+//     each processor one contiguous block of scanlines (section 4.3).
+//  3. Processors composite their own block front to front, stealing
+//     chunk-sized tails from the most loaded block when idle (section 4.4).
+//  4. Each processor warps exactly the final-image pixels fed by its own
+//     block (section 4.5); the boundary sliver goes to the neighbour with
+//     fewer lines, eliminating final-image write sharing, and per-block
+//     completion counters replace the global barrier between the phases
+//     (section 5.5.2).
+//
+// Profiles are re-collected only when the viewpoint has rotated far enough
+// (default: every 15 degrees), charging the paper's 10-15% profiling
+// overhead only on those frames (section 4.2).
+package newalg
+
+import (
+	"math"
+	"sort"
+
+	"shearwarp/internal/par"
+)
+
+// Region is the half-open scanline interval of the intermediate image that
+// actually receives samples.
+type Region struct{ Lo, Hi int }
+
+// FindRegion locates the non-empty region of a per-scanline cost profile,
+// expanded by one scanline of slack on each side (the next frame's small
+// rotation can shift the image by a little). An all-zero profile yields an
+// empty region.
+func FindRegion(profile []int64) Region {
+	lo := 0
+	for lo < len(profile) && profile[lo] == 0 {
+		lo++
+	}
+	if lo == len(profile) {
+		return Region{}
+	}
+	hi := len(profile)
+	for hi > lo && profile[hi-1] == 0 {
+		hi--
+	}
+	if lo > 0 {
+		lo--
+	}
+	if hi < len(profile) {
+		hi++
+	}
+	return Region{lo, hi}
+}
+
+// Partition computes contiguous, predictively balanced partition
+// boundaries for nprocs processors from a per-scanline cost profile,
+// using a prefix sum over the region and equal-area binary search.
+// boundaries[p]..boundaries[p+1] is processor p's block; boundaries has
+// length nprocs+1 with boundaries[0] = region.Lo and boundaries[nprocs] =
+// region.Hi. prefixProcs controls the parallelism of the prefix sum.
+func Partition(profile []int64, region Region, nprocs, prefixProcs int) []int {
+	n := region.Hi - region.Lo
+	boundaries := make([]int, nprocs+1)
+	for p := range boundaries {
+		boundaries[p] = region.Lo
+	}
+	boundaries[nprocs] = region.Hi
+	if n <= 0 {
+		return boundaries
+	}
+	cum := make([]int64, n)
+	total := par.PrefixSum(cum, profile[region.Lo:region.Hi], prefixProcs)
+	if total == 0 {
+		// Degenerate: fall back to uniform splits.
+		for p := 1; p < nprocs; p++ {
+			boundaries[p] = region.Lo + p*n/nprocs
+		}
+		return boundaries
+	}
+	for p := 1; p < nprocs; p++ {
+		target := total * int64(p) / int64(nprocs)
+		// First scanline whose cumulative cost reaches the target.
+		idx := sort.Search(n, func(i int) bool { return cum[i] >= target })
+		if idx > n-1 {
+			idx = n - 1
+		}
+		boundaries[p] = region.Lo + idx
+	}
+	// Enforce monotonicity (very skewed profiles can collapse splits).
+	for p := 1; p <= nprocs; p++ {
+		if boundaries[p] < boundaries[p-1] {
+			boundaries[p] = boundaries[p-1]
+		}
+	}
+	return boundaries
+}
+
+// UniformPartition splits rows [0, height) evenly — the initial assignment
+// used before any profile exists.
+func UniformPartition(height, nprocs int) []int {
+	boundaries := make([]int, nprocs+1)
+	for p := 0; p <= nprocs; p++ {
+		boundaries[p] = p * height / nprocs
+	}
+	return boundaries
+}
+
+// Imbalance returns max-block-cost / mean-block-cost for a partition over a
+// profile; 1.0 is perfect balance.
+func Imbalance(profile []int64, boundaries []int) float64 {
+	p := len(boundaries) - 1
+	var total, maxBlock int64
+	for b := 0; b < p; b++ {
+		var s int64
+		for r := boundaries[b]; r < boundaries[b+1]; r++ {
+			s += profile[r]
+		}
+		total += s
+		if s > maxBlock {
+			maxBlock = s
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(maxBlock) * float64(p) / float64(total)
+}
+
+// StealChunkSize picks the task-stealing granularity, which the paper ties
+// to the data set size, the processor count and the cache line size
+// (section 4.4): roughly one chunk of scanlines that covers a few cache
+// lines of intermediate image per steal, shrinking as processors multiply.
+func StealChunkSize(regionRows, nprocs, lineBytes int) int {
+	if regionRows <= 0 {
+		return 1
+	}
+	c := regionRows / (nprocs * 16)
+	if c < 1 {
+		c = 1
+	}
+	if lineBytes > 64 {
+		c *= lineBytes / 64 // coarser coherence wants coarser steals
+	}
+	if c > 32 {
+		c = 32
+	}
+	return c
+}
+
+// ProfileOverheadCycles models the instrumentation cost of profiling a
+// scanline whose un-instrumented cost was cycles: an eighth (12.5%), inside
+// the paper's measured 10-15% band.
+func ProfileOverheadCycles(cycles int64) int64 { return cycles / 8 }
+
+// ReprofileAngle is the default viewpoint rotation between profile
+// collections, in radians (the paper's "once every 15 degrees").
+var ReprofileAngle = 15 * math.Pi / 180
+
+// MaxImageDrift is how many scanlines the intermediate image height may
+// change before a stale profile is considered unusable. Small rotations
+// grow or shrink the sheared image by a row or two; the region-expansion
+// bound already covers the content shift, so only large jumps (which the
+// angle threshold catches anyway) force an early re-profile.
+const MaxImageDrift = 16
+
+// PaddedProfile zero-extends a profile to length n (rows the profiled
+// frame did not have carry no cost information and partition as zero).
+func PaddedProfile(profile []int64, n int) []int64 {
+	if len(profile) >= n {
+		return profile
+	}
+	out := make([]int64, n)
+	copy(out, profile)
+	return out
+}

@@ -1,0 +1,117 @@
+// Package octree builds the min-max octree over a classified volume that
+// the ray-casting baseline uses for space leaping — the coherence data
+// structure the paper contrasts with the shear-warp algorithm's run-length
+// encoding (section 2): "Ray casting algorithms use an octree
+// representation of the volume ... so interesting regions of the volume can
+// be easily found."
+package octree
+
+import "shearwarp/internal/classify"
+
+// LeafSize is the edge length in voxels of the finest octree cells.
+const LeafSize = 4
+
+// Tree is a min-max opacity pyramid. Level 0 is the leaf grid (volume
+// diced into LeafSize cubes); each higher level halves the grid. A cell is
+// "empty" when its maximum opacity is below the classification threshold,
+// so rays can leap over it.
+type Tree struct {
+	Levels []Level
+	// MinOpacity mirrors the classified volume's transparency threshold.
+	MinOpacity uint8
+}
+
+// Level is one resolution of the pyramid.
+type Level struct {
+	Nx, Ny, Nz int
+	CellSize   int // voxels per cell edge at this level
+	MaxAlpha   []uint8
+}
+
+// Build constructs the pyramid from a classified volume.
+func Build(c *classify.Classified) *Tree {
+	t := &Tree{MinOpacity: c.MinOpacity}
+
+	// Leaf level: max opacity per LeafSize^3 cell.
+	nx := (c.Nx + LeafSize - 1) / LeafSize
+	ny := (c.Ny + LeafSize - 1) / LeafSize
+	nz := (c.Nz + LeafSize - 1) / LeafSize
+	leaf := Level{Nx: nx, Ny: ny, Nz: nz, CellSize: LeafSize,
+		MaxAlpha: make([]uint8, nx*ny*nz)}
+	for z := 0; z < c.Nz; z++ {
+		cz := z / LeafSize
+		for y := 0; y < c.Ny; y++ {
+			cy := y / LeafSize
+			rowC := (cz*ny + cy) * nx
+			rowV := (z*c.Ny + y) * c.Nx
+			for x := 0; x < c.Nx; x++ {
+				a := uint8(c.Voxels[rowV+x] >> 24)
+				ci := rowC + x/LeafSize
+				if a > leaf.MaxAlpha[ci] {
+					leaf.MaxAlpha[ci] = a
+				}
+			}
+		}
+	}
+	t.Levels = append(t.Levels, leaf)
+
+	// Upper levels: max over 2x2x2 children.
+	for {
+		prev := &t.Levels[len(t.Levels)-1]
+		if prev.Nx <= 1 && prev.Ny <= 1 && prev.Nz <= 1 {
+			break
+		}
+		nx := (prev.Nx + 1) / 2
+		ny := (prev.Ny + 1) / 2
+		nz := (prev.Nz + 1) / 2
+		lvl := Level{Nx: nx, Ny: ny, Nz: nz, CellSize: prev.CellSize * 2,
+			MaxAlpha: make([]uint8, nx*ny*nz)}
+		for z := 0; z < prev.Nz; z++ {
+			for y := 0; y < prev.Ny; y++ {
+				for x := 0; x < prev.Nx; x++ {
+					a := prev.MaxAlpha[(z*prev.Ny+y)*prev.Nx+x]
+					pi := ((z/2)*ny+y/2)*nx + x/2
+					if a > lvl.MaxAlpha[pi] {
+						lvl.MaxAlpha[pi] = a
+					}
+				}
+			}
+		}
+		t.Levels = append(t.Levels, lvl)
+	}
+	return t
+}
+
+// Height returns the number of pyramid levels (the octree height, which
+// the paper notes the ray caster's working set is proportional to).
+func (t *Tree) Height() int { return len(t.Levels) }
+
+// EmptyAt reports whether the cell containing voxel (x, y, z) at the given
+// level is empty, along with the cell's voxel-space bounds [lo, hi).
+// Coordinates outside the volume report empty with a unit cell.
+func (t *Tree) EmptyAt(level, x, y, z int) (empty bool, lox, loy, loz, hix, hiy, hiz int) {
+	l := &t.Levels[level]
+	cx, cy, cz := x/l.CellSize, y/l.CellSize, z/l.CellSize
+	if cx < 0 || cy < 0 || cz < 0 || cx >= l.Nx || cy >= l.Ny || cz >= l.Nz {
+		return true, x, y, z, x + 1, y + 1, z + 1
+	}
+	a := l.MaxAlpha[(cz*l.Ny+cy)*l.Nx+cx]
+	return a < t.MinOpacity,
+		cx * l.CellSize, cy * l.CellSize, cz * l.CellSize,
+		(cx + 1) * l.CellSize, (cy + 1) * l.CellSize, (cz + 1) * l.CellSize
+}
+
+// LeapLevel finds the coarsest level at which the cell containing
+// (x, y, z) is empty, returning -1 when even the leaf cell has opaque
+// content. Rays use the returned cell bounds to advance in one step.
+func (t *Tree) LeapLevel(x, y, z int) int {
+	best := -1
+	for lv := 0; lv < len(t.Levels); lv++ {
+		empty, _, _, _, _, _, _ := t.EmptyAt(lv, x, y, z)
+		if !empty {
+			break
+		}
+		best = lv
+	}
+	return best
+}

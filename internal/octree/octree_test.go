@@ -1,0 +1,105 @@
+package octree
+
+import (
+	"testing"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/vol"
+)
+
+func classified(t *testing.T, n int) *classify.Classified {
+	t.Helper()
+	return classify.Classify(vol.MRIBrain(n), classify.Options{})
+}
+
+func TestBuildPyramidShrinksToOne(t *testing.T) {
+	tr := Build(classified(t, 32))
+	top := tr.Levels[len(tr.Levels)-1]
+	if top.Nx != 1 || top.Ny != 1 || top.Nz != 1 {
+		t.Fatalf("top level = %dx%dx%d, want 1x1x1", top.Nx, top.Ny, top.Nz)
+	}
+	for i := 1; i < len(tr.Levels); i++ {
+		if tr.Levels[i].CellSize != 2*tr.Levels[i-1].CellSize {
+			t.Fatal("cell sizes do not double per level")
+		}
+	}
+}
+
+func TestMaxAlphaIsUpperBound(t *testing.T) {
+	c := classified(t, 24)
+	tr := Build(c)
+	leaf := tr.Levels[0]
+	for z := 0; z < c.Nz; z++ {
+		for y := 0; y < c.Ny; y++ {
+			for x := 0; x < c.Nx; x++ {
+				a := classify.Opacity(c.At(x, y, z))
+				ci := ((z/LeafSize)*leaf.Ny+y/LeafSize)*leaf.Nx + x/LeafSize
+				if a > leaf.MaxAlpha[ci] {
+					t.Fatalf("voxel (%d,%d,%d) alpha %d exceeds leaf max %d",
+						x, y, z, a, leaf.MaxAlpha[ci])
+				}
+			}
+		}
+	}
+}
+
+func TestUpperLevelsDominateLower(t *testing.T) {
+	tr := Build(classified(t, 24))
+	for lv := 1; lv < len(tr.Levels); lv++ {
+		lo, hi := tr.Levels[lv-1], tr.Levels[lv]
+		for z := 0; z < lo.Nz; z++ {
+			for y := 0; y < lo.Ny; y++ {
+				for x := 0; x < lo.Nx; x++ {
+					a := lo.MaxAlpha[(z*lo.Ny+y)*lo.Nx+x]
+					pa := hi.MaxAlpha[((z/2)*hi.Ny+y/2)*hi.Nx+x/2]
+					if a > pa {
+						t.Fatalf("level %d cell exceeds parent", lv-1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAtCornersOfPhantom(t *testing.T) {
+	c := classified(t, 32)
+	tr := Build(c)
+	// The head phantom leaves the volume corners empty.
+	empty, _, _, _, _, _, _ := tr.EmptyAt(0, 0, 0, 0)
+	if !empty {
+		t.Fatal("corner leaf cell should be empty")
+	}
+	// The center is inside the head.
+	empty, _, _, _, _, _, _ = tr.EmptyAt(0, c.Nx/2, c.Ny/2, c.Nz/2)
+	if empty {
+		t.Fatal("center leaf cell should not be empty")
+	}
+}
+
+func TestEmptyAtOutOfBounds(t *testing.T) {
+	tr := Build(classified(t, 16))
+	empty, _, _, _, _, _, _ := tr.EmptyAt(0, -5, 0, 0)
+	if !empty {
+		t.Fatal("out-of-bounds cell must be empty")
+	}
+}
+
+func TestLeapLevel(t *testing.T) {
+	c := classified(t, 32)
+	tr := Build(c)
+	if lv := tr.LeapLevel(c.Nx/2, c.Ny/2, c.Nz/2); lv != -1 {
+		t.Fatalf("center leap level = %d, want -1 (occupied)", lv)
+	}
+	if lv := tr.LeapLevel(0, 0, 0); lv < 0 {
+		t.Fatal("corner should allow a leap")
+	}
+}
+
+func TestEmptyVolumeTreeFullyEmpty(t *testing.T) {
+	c := &classify.Classified{Nx: 16, Ny: 16, Nz: 16,
+		Voxels: make([]classify.Voxel, 4096), MinOpacity: 4}
+	tr := Build(c)
+	if lv := tr.LeapLevel(8, 8, 8); lv != tr.Height()-1 {
+		t.Fatalf("empty volume leap level = %d, want top %d", lv, tr.Height()-1)
+	}
+}

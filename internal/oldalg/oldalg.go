@@ -1,0 +1,150 @@
+// Package oldalg implements the original parallel shear-warp algorithm the
+// paper analyzes in section 3 (Lacroute '95 / Singh et al. '94):
+//
+//   - Compositing: the intermediate-image scanlines are grouped into
+//     fixed-size chunks assigned round-robin (interleaved) to processors;
+//     idle processors steal remaining chunks. The whole intermediate image
+//     is composited "from the very beginning to the end", including empty
+//     border scanlines.
+//   - A global barrier separates the phases.
+//   - Warp: the final image is divided into square tiles assigned
+//     round-robin; no stealing.
+//
+// This file is the native (goroutine) implementation used for correctness
+// testing and host benchmarks; sim.go drives the same scheduling logic on
+// the deterministic multiprocessor simulator.
+package oldalg
+
+import (
+	"sync"
+
+	"shearwarp/internal/composite"
+	"shearwarp/internal/img"
+	"shearwarp/internal/par"
+	"shearwarp/internal/render"
+	"shearwarp/internal/warp"
+)
+
+// Config tunes the old parallel algorithm.
+type Config struct {
+	Procs     int // number of workers; 0 means 1
+	ChunkSize int // scanlines per compositing chunk; 0 selects a heuristic
+	TileSize  int // warp tile edge in pixels; 0 selects 32
+}
+
+// DefaultChunkSize mirrors the paper's empirically-tuned task size: small
+// enough for load balance across P processors, large enough for spatial
+// locality.
+func DefaultChunkSize(height, procs int) int {
+	c := height / (procs * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 16 {
+		c = 16
+	}
+	return c
+}
+
+func (c *Config) normalize(fr *render.Frame) {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.ChunkSize < 1 {
+		c.ChunkSize = DefaultChunkSize(fr.M.H, c.Procs)
+	}
+	if c.TileSize < 1 {
+		c.TileSize = 32
+	}
+}
+
+// ProcStats reports one worker's share of a frame.
+type ProcStats struct {
+	Composite composite.Counters
+	Warp      warp.Counters
+	Steals    int // chunks obtained by stealing
+	Chunks    int // chunks composited in total
+	Tiles     int // warp tiles processed
+}
+
+// Result is a rendered frame plus its per-processor accounting.
+type Result struct {
+	Out     *img.Final
+	PerProc []ProcStats
+}
+
+// Stats aggregates the per-processor counters.
+func (r *Result) Stats() render.FrameStats {
+	var st render.FrameStats
+	for i := range r.PerProc {
+		st.Composite.Add(r.PerProc[i].Composite)
+		st.Warp.Add(r.PerProc[i].Warp)
+	}
+	return st
+}
+
+// Render renders one frame with the old parallel algorithm using native
+// goroutines. The output image is bit-identical to the serial renderer's.
+func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
+	fr := r.Setup(yaw, pitch)
+	cfg.normalize(fr)
+	res := &Result{Out: fr.Out, PerProc: make([]ProcStats, cfg.Procs)}
+
+	queue := par.NewInterleaved(0, fr.M.H, cfg.ChunkSize, cfg.Procs)
+	var qmu sync.Mutex
+	barrier := par.NewBarrier(cfg.Procs)
+	tiles := tileGrid(fr.Out.W, fr.Out.H, cfg.TileSize)
+
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ps := &res.PerProc[p]
+
+			// Compositing phase: own chunks, then stealing.
+			cc := fr.NewCompositeCtx()
+			for {
+				qmu.Lock()
+				c, stolen, ok := queue.Next(p)
+				qmu.Unlock()
+				if !ok {
+					break
+				}
+				ps.Chunks++
+				if stolen {
+					ps.Steals++
+				}
+				for row := c.Lo; row < c.Hi; row++ {
+					cc.Scanline(row, &ps.Composite)
+				}
+			}
+
+			// Global barrier between compositing and warping.
+			barrier.Wait()
+
+			// Warp phase: round-robin tiles, no stealing.
+			wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
+			for t := p; t < len(tiles); t += cfg.Procs {
+				tl := tiles[t]
+				wc.WarpTile(tl[0], tl[1], tl[2], tl[3], &ps.Warp)
+				ps.Tiles++
+			}
+		}(p)
+	}
+	wg.Wait()
+	return res
+}
+
+// tileGrid enumerates the final image's square tiles row-major as
+// [x0, y0, x1, y1].
+func tileGrid(w, h, size int) [][4]int {
+	var tiles [][4]int
+	for y := 0; y < h; y += size {
+		y1 := min(y+size, h)
+		for x := 0; x < w; x += size {
+			tiles = append(tiles, [4]int{x, y, min(x+size, w), y1})
+		}
+	}
+	return tiles
+}

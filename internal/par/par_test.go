@@ -1,0 +1,294 @@
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavedCoversAllRows(t *testing.T) {
+	for _, tc := range []struct{ lo, hi, chunk, procs int }{
+		{0, 100, 4, 3}, {5, 17, 5, 4}, {0, 1, 1, 8}, {0, 64, 64, 2}, {10, 10, 3, 2},
+	} {
+		q := NewInterleaved(tc.lo, tc.hi, tc.chunk, tc.procs)
+		covered := make([]int, tc.hi)
+		for p := 0; ; p = (p + 1) % tc.procs {
+			c, _, ok := q.Next(p)
+			if !ok {
+				break
+			}
+			for r := c.Lo; r < c.Hi; r++ {
+				covered[r]++
+			}
+		}
+		for r := tc.lo; r < tc.hi; r++ {
+			if covered[r] != 1 {
+				t.Fatalf("%+v: row %d covered %d times", tc, r, covered[r])
+			}
+		}
+		if q.Remaining() != 0 {
+			t.Fatalf("%+v: %d chunks left", tc, q.Remaining())
+		}
+	}
+}
+
+func TestInterleavedOwnershipIsRoundRobin(t *testing.T) {
+	q := NewInterleaved(0, 40, 4, 4)
+	// Processor 2's own chunks are rows [8,12), [24,28), ...
+	c, stolen, ok := q.Next(2)
+	if !ok || stolen || c.Lo != 8 || c.Hi != 12 {
+		t.Fatalf("proc 2 first chunk = %+v stolen=%v", c, stolen)
+	}
+	c, stolen, ok = q.Next(2)
+	if !ok || stolen || c.Lo != 24 {
+		t.Fatalf("proc 2 second chunk = %+v", c)
+	}
+}
+
+func TestInterleavedStealingAfterOwnExhausted(t *testing.T) {
+	q := NewInterleaved(0, 30, 3, 2)
+	// Drain proc 0's own chunks.
+	for {
+		_, stolen, ok := q.Next(0)
+		if !ok {
+			t.Fatal("queue drained before stealing observed")
+		}
+		if stolen {
+			break // started stealing proc 1's chunks
+		}
+	}
+	if q.Remaining() >= 5 {
+		t.Fatalf("stealing began with %d chunks left, expected fewer", q.Remaining())
+	}
+}
+
+func TestInterleavedConcurrentSafetyUnderMutex(t *testing.T) {
+	// The state machine guarded by a mutex must distribute each row once
+	// even with goroutine contention.
+	const H, P = 997, 8
+	q := NewInterleaved(0, H, 3, P)
+	var mu sync.Mutex
+	var covered [H]int32
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				c, _, ok := q.Next(p)
+				mu.Unlock()
+				if !ok {
+					return
+				}
+				for r := c.Lo; r < c.Hi; r++ {
+					atomic.AddInt32(&covered[r], 1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for r := range covered {
+		if covered[r] != 1 {
+			t.Fatalf("row %d covered %d times", r, covered[r])
+		}
+	}
+}
+
+func TestBandsOwnConsumptionAndCompletion(t *testing.T) {
+	b := NewBands([]int{0, 10, 25, 30}, 4)
+	var got []Chunk
+	for {
+		c, ok := b.TakeOwn(1)
+		if !ok {
+			break
+		}
+		got = append(got, c)
+	}
+	want := []Chunk{{10, 14}, {14, 18}, {18, 22}, {22, 25}}
+	if len(got) != len(want) {
+		t.Fatalf("chunks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if b.Complete(1) {
+		t.Fatal("band complete before MarkDone")
+	}
+	for _, c := range got {
+		b.MarkDone(1, c.Hi-c.Lo)
+	}
+	if !b.Complete(1) {
+		t.Fatal("band not complete after all rows done")
+	}
+}
+
+func TestBandsStealFromLargest(t *testing.T) {
+	b := NewBands([]int{0, 4, 30, 34}, 5)
+	c, victim, ok := b.TakeSteal()
+	if !ok || victim != 1 {
+		t.Fatalf("steal victim = %d, want 1 (largest band)", victim)
+	}
+	if c.Lo != 25 || c.Hi != 30 {
+		t.Fatalf("stolen chunk %+v, want tail [25,30)", c)
+	}
+}
+
+func TestBandsFullCoverageWithStealing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		h := 1 + rng.Intn(200)
+		p := 1 + rng.Intn(8)
+		// Random monotone boundaries.
+		bd := make([]int, p+1)
+		bd[p] = h
+		for i := 1; i < p; i++ {
+			bd[i] = rng.Intn(h + 1)
+		}
+		for i := 1; i <= p; i++ {
+			if bd[i] < bd[i-1] {
+				bd[i] = bd[i-1]
+			}
+		}
+		b := NewBands(bd, 1+rng.Intn(7))
+		covered := make([]int, h)
+		claim := func(c Chunk, band int) {
+			for r := c.Lo; r < c.Hi; r++ {
+				covered[r]++
+			}
+			b.MarkDone(band, c.Hi-c.Lo)
+		}
+		// Interleave own-take and steal randomly.
+		for {
+			if rng.Intn(2) == 0 {
+				pr := rng.Intn(p)
+				if c, ok := b.TakeOwn(pr); ok {
+					claim(c, pr)
+					continue
+				}
+			}
+			c, band, ok := b.TakeSteal()
+			if !ok {
+				if b.UnclaimedTotal() == 0 {
+					break
+				}
+				continue
+			}
+			claim(c, band)
+		}
+		for r := 0; r < h; r++ {
+			if covered[r] != 1 {
+				t.Fatalf("trial %d: row %d covered %d times", trial, r, covered[r])
+			}
+		}
+		for i := 0; i < p; i++ {
+			if !b.Complete(i) {
+				t.Fatalf("trial %d: band %d incomplete", trial, i)
+			}
+		}
+	}
+}
+
+func TestScanMatchesPrefixSum(t *testing.T) {
+	f := func(vals []int16, procs uint8) bool {
+		src := make([]int64, len(vals))
+		for i, v := range vals {
+			src[i] = int64(v)
+		}
+		p := int(procs)%7 + 1
+		a := make([]int64, len(src))
+		b := make([]int64, len(src))
+		ta := Scan(a, src)
+		tb := PrefixSum(b, src, p)
+		if ta != tb {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSumLarge(t *testing.T) {
+	src := make([]int64, 100000)
+	for i := range src {
+		src[i] = int64(i % 13)
+	}
+	dst := make([]int64, len(src))
+	total := PrefixSum(dst, src, 8)
+	var want int64
+	for _, v := range src {
+		want += v
+	}
+	if total != want {
+		t.Fatalf("total %d, want %d", total, want)
+	}
+	if dst[len(dst)-1] != want {
+		t.Fatal("last prefix element != total")
+	}
+}
+
+func TestPrefixSumInPlace(t *testing.T) {
+	src := []int64{1, 2, 3, 4, 5}
+	Scan(src, src)
+	want := []int64{1, 3, 6, 10, 15}
+	for i := range want {
+		if src[i] != want[i] {
+			t.Fatalf("in-place scan[%d] = %d, want %d", i, src[i], want[i])
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const P, rounds = 6, 20
+	b := NewBarrier(P)
+	var phase int32
+	var wg sync.WaitGroup
+	errs := make(chan string, P*rounds)
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got := atomic.LoadInt32(&phase)
+				if got != int32(r) {
+					errs <- "phase skew detected"
+				}
+				b.Wait()
+				// One participant advances the phase; use a CAS race where
+				// only the winner increments.
+				atomic.CompareAndSwapInt32(&phase, int32(r), int32(r+1))
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if phase != rounds {
+		t.Fatalf("phase = %d, want %d", phase, rounds)
+	}
+}
+
+func TestBandsMarkDonePanicsOnOverComplete(t *testing.T) {
+	b := NewBands([]int{0, 2}, 1)
+	b.MarkDone(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-completion did not panic")
+		}
+	}()
+	b.MarkDone(0, 1)
+}

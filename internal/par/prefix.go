@@ -1,0 +1,107 @@
+package par
+
+import "sync"
+
+// Scan computes the inclusive prefix sum of src into dst (dst[i] = sum of
+// src[0..i]) serially; dst and src may alias. It returns the total.
+func Scan(dst, src []int64) int64 {
+	var acc int64
+	for i, v := range src {
+		acc += v
+		dst[i] = acc
+	}
+	return acc
+}
+
+// PrefixSum computes the inclusive prefix sum of src into dst using nprocs
+// goroutines with the classic two-pass blocked algorithm: each worker scans
+// a block, block totals are scanned serially, then each worker offsets its
+// block. It matches Scan exactly and is the parallel prefix operation the
+// new algorithm uses to build the cumulative cost profile (section 4.3).
+func PrefixSum(dst, src []int64, nprocs int) int64 {
+	n := len(src)
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	if nprocs == 1 || n < 2*nprocs {
+		return Scan(dst, src)
+	}
+	block := (n + nprocs - 1) / nprocs
+	totals := make([]int64, nprocs)
+
+	var wg sync.WaitGroup
+	for p := 0; p < nprocs; p++ {
+		lo, hi := p*block, min((p+1)*block, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			var acc int64
+			for i := lo; i < hi; i++ {
+				acc += src[i]
+				dst[i] = acc
+			}
+			totals[p] = acc
+		}(p, lo, hi)
+	}
+	wg.Wait()
+
+	var carry int64
+	for p := range totals {
+		totals[p], carry = carry, carry+totals[p]
+	}
+	total := carry
+
+	for p := 1; p < nprocs; p++ {
+		lo, hi := p*block, min((p+1)*block, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(off int64, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dst[i] += off
+			}
+		}(totals[p], lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// Barrier is a reusable counting barrier for the native parallel renderers.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait; the barrier then
+// resets for reuse.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

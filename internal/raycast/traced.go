@@ -1,0 +1,162 @@
+package raycast
+
+import (
+	"math"
+
+	"shearwarp/internal/img"
+	"shearwarp/internal/trace"
+	"shearwarp/internal/xform"
+)
+
+// TraceCtx carries one simulated processor's memory instrumentation for
+// the ray caster. The reference pattern it emits is the one the paper
+// analyzes: each sample addresses eight voxels through 3-D indexing, so
+// consecutive reads are far apart in memory (poor spatial locality), while
+// the octree descent touches the same upper-level nodes across nearby rays
+// (high temporal locality) — the inverse of the shear warper's profile.
+type TraceCtx struct {
+	Tracer trace.Tracer
+	Vox    trace.Array   // classified voxels, elem 4 bytes, dense x-fastest
+	Tree   []trace.Array // one per octree level, elem 1 byte
+	Final  trace.Array   // final image pixels, elem 4 bytes
+}
+
+// RenderTileTraced is RenderTile with memory-reference emission; tc may be
+// nil, in which case it behaves exactly like RenderTile.
+func (r *Renderer) RenderTileTraced(f *xform.Factorization, out *img.Final, x0, y0, x1, y1 int, cnt *Counters, tc *TraceCtx) {
+	if tc == nil || tc.Tracer == nil {
+		r.RenderTile(f, out, x0, y0, x1, y1, cnt)
+		return
+	}
+	inv := f.View.Invert()
+	ox, oy := f.FinalOffset()
+	dx, dy, dz := inv.ApplyDir(0, 0, 1)
+	dn := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	dx, dy, dz = dx/dn, dy/dn, dz/dn
+	for y := max(y0, 0); y < min(y1, out.H); y++ {
+		for x := max(x0, 0); x < min(x1, out.W); x++ {
+			r.castRayTraced(&inv, out, x, y, ox, oy, dx, dy, dz, cnt, tc)
+		}
+		tc.Tracer.Write(tc.Final, y*out.W+max(x0, 0), min(x1, out.W)-max(x0, 0))
+	}
+}
+
+// castRayTraced mirrors castRay but emits voxel and octree references.
+// The pixel math is identical (the tracer is observation-only), so traced
+// and untraced renders produce the same image.
+func (r *Renderer) castRayTraced(inv *xform.Mat4, out *img.Final, px, py int, ox, oy, dx, dy, dz float64, cnt *Counters, tc *TraceCtx) {
+	cnt.Rays++
+	cnt.Cycles += CyclesPerRaySetup
+
+	x0, y0, z0 := inv.Apply(float64(px)-ox, float64(py)-oy, 0)
+	tmin, tmax := math.Inf(-1), math.Inf(1)
+	clip := func(o, d float64, n int) bool {
+		if math.Abs(d) < 1e-12 {
+			return o >= 0 && o <= float64(n-1)
+		}
+		t0 := (0 - o) / d
+		t1 := (float64(n-1) - o) / d
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		tmin = math.Max(tmin, t0)
+		tmax = math.Min(tmax, t1)
+		return true
+	}
+	c := r.C
+	if !clip(x0, dx, c.Nx) || !clip(y0, dy, c.Ny) || !clip(z0, dz, c.Nz) || tmin > tmax {
+		out.SetRGB(px, py, 0, 0, 0)
+		return
+	}
+
+	var accR, accG, accB, accA float32
+	for t := tmin; t <= tmax; t += 1.0 {
+		cnt.Steps++
+		cnt.Cycles += CyclesPerStep
+		sx, sy, sz := x0+t*dx, y0+t*dy, z0+t*dz
+		ix, iy, iz := int(sx), int(sy), int(sz)
+
+		lv := 0
+		for lv < r.Tree.Height() {
+			empty, lox, loy, loz, hix, hiy, hiz := r.Tree.EmptyAt(lv, ix, iy, iz)
+			cnt.Descends++
+			cnt.Cycles += CyclesPerDescend
+			r.traceTreeNode(tc, lv, ix, iy, iz)
+			if !empty {
+				break
+			}
+			if lv == r.Tree.Height()-1 || !emptyAtNext(r.Tree, lv+1, ix, iy, iz) {
+				exit := cellExit(sx, sy, sz, dx, dy, dz, lox, loy, loz, hix, hiy, hiz)
+				if exit > 0 {
+					t += exit
+					cnt.Leaps++
+					cnt.Cycles += CyclesPerLeap
+				}
+				lv = -1
+				break
+			}
+			lv++
+		}
+		if lv == -1 {
+			continue
+		}
+
+		a, cr, cg, cb := r.sampleRGBA(sx, sy, sz)
+		cnt.Resamples++
+		cnt.Cycles += CyclesPerAddress + CyclesPerResample
+		// The eight voxels of the trilinear footprint: four x-adjacent
+		// pairs, each on a different (y, z) scanline — the scattered
+		// addressing the paper contrasts with the shear warper's streams.
+		fx, fy, fz := int(math.Floor(sx)), int(math.Floor(sy)), int(math.Floor(sz))
+		for dzz := 0; dzz < 2; dzz++ {
+			for dyy := 0; dyy < 2; dyy++ {
+				yy, zz := fy+dyy, fz+dzz
+				if yy < 0 || zz < 0 || yy >= c.Ny || zz >= c.Nz || fx >= c.Nx-1 || fx < 0 {
+					continue
+				}
+				tc.Tracer.Read(tc.Vox, (zz*c.Ny+yy)*c.Nx+fx, 2)
+			}
+		}
+		if a < 1.0/512 {
+			continue
+		}
+		w := (1 - accA) * a
+		accR += w * cr
+		accG += w * cg
+		accB += w * cb
+		accA += w
+		cnt.Composites++
+		cnt.Cycles += CyclesPerComposite
+		if accA >= img.OpacityThreshold {
+			break
+		}
+	}
+	out.SetRGB(px, py, quant(accR), quant(accG), quant(accB))
+}
+
+// traceTreeNode emits the octree cell read for a descend at the given
+// level.
+func (r *Renderer) traceTreeNode(tc *TraceCtx, lv, x, y, z int) {
+	if lv >= len(tc.Tree) {
+		return
+	}
+	l := &r.Tree.Levels[lv]
+	cx, cy, cz := x/l.CellSize, y/l.CellSize, z/l.CellSize
+	if cx < 0 || cy < 0 || cz < 0 || cx >= l.Nx || cy >= l.Ny || cz >= l.Nz {
+		return
+	}
+	tc.Tracer.Read(tc.Tree[lv], (cz*l.Ny+cy)*l.Nx+cx, 1)
+}
+
+// RegisterArrays lays the ray caster's shared data out in a simulated
+// address space: the dense classified volume, the octree levels and the
+// final image.
+func (r *Renderer) RegisterArrays(s *trace.AddrSpace, finalPix trace.Array) TraceCtx {
+	tc := TraceCtx{Final: finalPix}
+	tc.Vox = s.Register("rc.Vox", 4, len(r.C.Voxels))
+	for lv := range r.Tree.Levels {
+		l := &r.Tree.Levels[lv]
+		tc.Tree = append(tc.Tree, s.Register("rc.Tree", 1, l.Nx*l.Ny*l.Nz))
+	}
+	return tc
+}

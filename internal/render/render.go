@@ -1,0 +1,134 @@
+// Package render ties the shear-warp pipeline together: classification,
+// per-axis run-length encodings (cached, since they are view-independent),
+// factorization, compositing and warping. It provides the serial renderer
+// — the baseline all parallel algorithms must match bit-for-bit — and the
+// per-frame setup shared by the parallel implementations.
+package render
+
+import (
+	"shearwarp/internal/classify"
+	"shearwarp/internal/composite"
+	"shearwarp/internal/img"
+	"shearwarp/internal/rle"
+	"shearwarp/internal/vol"
+	"shearwarp/internal/warp"
+	"shearwarp/internal/xform"
+)
+
+// Options configures a Renderer.
+type Options struct {
+	Transfer   classify.TransferFunc // nil = MRI transfer
+	Light      classify.Light        // zero = default light
+	MinOpacity uint8                 // 0 = default threshold
+	// OpacityCorrection enables Lacroute's view-dependent correction of
+	// stored opacities for the shear's per-slice sample spacing.
+	OpacityCorrection bool
+	// PreprocProcs parallelizes classification and run-length encoding
+	// (the renderer's view-independent preprocessing) with this many
+	// goroutines; 0 or 1 keeps them serial. Outputs are bit-identical.
+	PreprocProcs int
+}
+
+// Renderer owns a classified volume and its lazily-built per-axis RLE
+// encodings.
+type Renderer struct {
+	Vol               *vol.Volume
+	Classified        *classify.Classified
+	OpacityCorrection bool
+	preprocProcs      int
+	enc               [3]*rle.Volume
+}
+
+// New classifies the volume and returns a renderer.
+func New(v *vol.Volume, opt Options) *Renderer {
+	copt := classify.Options{
+		Transfer: opt.Transfer, Light: opt.Light, MinOpacity: opt.MinOpacity,
+	}
+	return &Renderer{
+		Vol:               v,
+		OpacityCorrection: opt.OpacityCorrection,
+		preprocProcs:      opt.PreprocProcs,
+		Classified:        classify.ClassifyParallel(v, copt, opt.PreprocProcs),
+	}
+}
+
+// Encoding returns the RLE encoding for a principal axis, building it on
+// first use.
+func (r *Renderer) Encoding(axis xform.Axis) *rle.Volume {
+	if r.enc[axis] == nil {
+		r.enc[axis] = rle.EncodeParallel(r.Classified, axis, r.preprocProcs)
+	}
+	return r.enc[axis]
+}
+
+// Frame holds the per-frame state shared by serial and parallel renderers.
+type Frame struct {
+	F   xform.Factorization
+	RV  *rle.Volume
+	M   *img.Intermediate
+	Out *img.Final
+	// CorrectOpacity tells compositing contexts to enable the per-frame
+	// opacity-correction table.
+	CorrectOpacity bool
+}
+
+// NewCompositeCtx builds a compositing context for this frame, applying
+// the frame's opacity-correction setting; all renderers (serial, parallel,
+// simulated) must create their contexts through it so images stay
+// bit-identical across algorithms.
+func (fr *Frame) NewCompositeCtx() *composite.Ctx {
+	cc := composite.NewCtx(&fr.F, fr.RV, fr.M)
+	if fr.CorrectOpacity {
+		cc.EnableOpacityCorrection()
+	}
+	return cc
+}
+
+// Setup factorizes the view and allocates the frame's images.
+func (r *Renderer) Setup(yaw, pitch float64) *Frame {
+	view := xform.ViewMatrix(r.Vol.Nx, r.Vol.Ny, r.Vol.Nz, yaw, pitch)
+	f := xform.Factorize(r.Vol.Nx, r.Vol.Ny, r.Vol.Nz, view)
+	return &Frame{
+		F:              f,
+		RV:             r.Encoding(f.Axis),
+		M:              img.NewIntermediate(f.IntW, f.IntH),
+		Out:            img.NewFinal(f.FinalW, f.FinalH),
+		CorrectOpacity: r.OpacityCorrection,
+	}
+}
+
+// FrameStats reports the modeled work of one rendered frame.
+type FrameStats struct {
+	Composite composite.Counters
+	Warp      warp.Counters
+}
+
+// TotalCycles is the modeled serial busy time of the frame.
+func (s *FrameStats) TotalCycles() int64 { return s.Composite.Cycles + s.Warp.Cycles }
+
+// RenderSerial renders one frame with the sequential algorithm: composite
+// every intermediate scanline top to bottom, then warp the whole final
+// image.
+func (r *Renderer) RenderSerial(yaw, pitch float64) (*img.Final, FrameStats) {
+	fr := r.Setup(yaw, pitch)
+	var st FrameStats
+	cc := fr.NewCompositeCtx()
+	for vRow := 0; vRow < fr.M.H; vRow++ {
+		cc.Scanline(vRow, &st.Composite)
+	}
+	wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
+	wc.WarpTile(0, 0, fr.Out.W, fr.Out.H, &st.Warp)
+	return fr.Out, st
+}
+
+// Rotation returns n (yaw, pitch) viewpoints advancing stepDeg degrees of
+// yaw per frame from the given start — the animation pattern the paper
+// assumes ("the angle between successive viewpoints is typically small").
+func Rotation(n int, startYaw, pitch, stepDeg float64) [][2]float64 {
+	const degToRad = 3.14159265358979323846 / 180
+	views := make([][2]float64, n)
+	for i := range views {
+		views[i] = [2]float64{startYaw + float64(i)*stepDeg*degToRad, pitch}
+	}
+	return views
+}

@@ -1,0 +1,93 @@
+package rle
+
+import (
+	"sync"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/xform"
+)
+
+// EncodeParallel builds the run-length encoding with the given number of
+// goroutines, partitioning by slices. The output is bit-identical to
+// Encode: workers encode private per-slab buffers, offsets are fixed up by
+// a prefix pass, and the buffers are copied into place in parallel.
+func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume {
+	ni, nj, nk := xform.PermutedDims(axis, c.Nx, c.Ny, c.Nz)
+	if procs < 2 || nk < 2 {
+		return Encode(c, axis)
+	}
+	if procs > nk {
+		procs = nk
+	}
+
+	type slab struct {
+		k0, k1  int
+		runOff  []int32 // per scanline, relative to the slab
+		voxOff  []int32
+		runLens []uint16
+		vox     []classify.Voxel
+	}
+	slabs := make([]slab, procs)
+
+	// Phase 1: encode each slab privately.
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		slabs[p].k0 = p * nk / procs
+		slabs[p].k1 = (p + 1) * nk / procs
+		wg.Add(1)
+		go func(s *slab) {
+			defer wg.Done()
+			sub := &Volume{Axis: axis, Ni: ni, Nj: nj, Nk: nk, MinOpacity: c.MinOpacity}
+			line := make([]classify.Voxel, ni)
+			for k := s.k0; k < s.k1; k++ {
+				for j := 0; j < nj; j++ {
+					s.runOff = append(s.runOff, int32(len(sub.RunLens)))
+					s.voxOff = append(s.voxOff, int32(len(sub.Vox)))
+					for i := 0; i < ni; i++ {
+						x, y, z := xform.ObjectIndex(axis, i, j, k)
+						line[i] = c.Voxels[(z*c.Ny+y)*c.Nx+x]
+					}
+					sub.encodeLine(line)
+				}
+			}
+			s.runLens = sub.RunLens
+			s.vox = sub.Vox
+		}(&slabs[p])
+	}
+	wg.Wait()
+
+	// Phase 2: serial prefix over slab sizes.
+	v := &Volume{
+		Axis: axis, Ni: ni, Nj: nj, Nk: nk, MinOpacity: c.MinOpacity,
+		RunOff: make([]int32, nk*nj+1),
+		VoxOff: make([]int32, nk*nj+1),
+	}
+	runBase := make([]int32, procs+1)
+	voxBase := make([]int32, procs+1)
+	for p := 0; p < procs; p++ {
+		runBase[p+1] = runBase[p] + int32(len(slabs[p].runLens))
+		voxBase[p+1] = voxBase[p] + int32(len(slabs[p].vox))
+	}
+	v.RunLens = make([]uint16, runBase[procs])
+	v.Vox = make([]classify.Voxel, voxBase[procs])
+	v.RunOff[nk*nj] = runBase[procs]
+	v.VoxOff[nk*nj] = voxBase[procs]
+
+	// Phase 3: copy slabs into place and rebase the offsets, in parallel.
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s := &slabs[p]
+			copy(v.RunLens[runBase[p]:], s.runLens)
+			copy(v.Vox[voxBase[p]:], s.vox)
+			base := s.k0 * nj
+			for i := range s.runOff {
+				v.RunOff[base+i] = runBase[p] + s.runOff[i]
+				v.VoxOff[base+i] = voxBase[p] + s.voxOff[i]
+			}
+		}(p)
+	}
+	wg.Wait()
+	return v
+}

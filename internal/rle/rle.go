@@ -1,0 +1,194 @@
+// Package rle implements the run-length-encoded classified volume — the
+// coherence data structure at the heart of the shear-warp algorithm
+// (Lacroute's encoding). Each voxel scanline is stored as alternating
+// counts of transparent and non-transparent voxels plus a packed stream of
+// the non-transparent voxels, so the compositor streams through both the
+// volume and the intermediate image in storage order and skips transparent
+// regions in O(1) per run.
+//
+// Because the scanline direction must match the intermediate image's u
+// axis, a volume is encoded once per principal axis; a renderer keeps up to
+// three encodings and picks the one matching the current factorization.
+package rle
+
+import (
+	"fmt"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/xform"
+)
+
+// Volume is the run-length encoding of a classified volume for one
+// principal axis. Scanlines run along i; scanline s = k*Nj + j is line j of
+// slice k in permuted coordinates.
+type Volume struct {
+	Axis       xform.Axis
+	Ni, Nj, Nk int
+	MinOpacity uint8
+
+	// RunLens holds, per scanline, alternating run lengths starting with a
+	// (possibly zero) transparent run; lengths sum to Ni per scanline.
+	// Scanline s owns RunLens[RunOff[s]:RunOff[s+1]].
+	RunOff  []int32
+	RunLens []uint16
+
+	// Vox packs the non-transparent voxels of every scanline in order.
+	// Scanline s owns Vox[VoxOff[s]:VoxOff[s+1]].
+	VoxOff []int32
+	Vox    []classify.Voxel
+}
+
+// Encode builds the run-length encoding of c for the given principal axis.
+func Encode(c *classify.Classified, axis xform.Axis) *Volume {
+	ni, nj, nk := xform.PermutedDims(axis, c.Nx, c.Ny, c.Nz)
+	v := &Volume{
+		Axis: axis, Ni: ni, Nj: nj, Nk: nk, MinOpacity: c.MinOpacity,
+		RunOff: make([]int32, nk*nj+1),
+		VoxOff: make([]int32, nk*nj+1),
+	}
+	if ni > 0xffff {
+		panic(fmt.Sprintf("rle: scanline length %d exceeds uint16 runs", ni))
+	}
+	line := make([]classify.Voxel, ni)
+	for k := 0; k < nk; k++ {
+		for j := 0; j < nj; j++ {
+			s := k*nj + j
+			v.RunOff[s] = int32(len(v.RunLens))
+			v.VoxOff[s] = int32(len(v.Vox))
+			for i := 0; i < ni; i++ {
+				x, y, z := xform.ObjectIndex(axis, i, j, k)
+				line[i] = c.Voxels[(z*c.Ny+y)*c.Nx+x]
+			}
+			v.encodeLine(line)
+		}
+	}
+	v.RunOff[nk*nj] = int32(len(v.RunLens))
+	v.VoxOff[nk*nj] = int32(len(v.Vox))
+	return v
+}
+
+// encodeLine appends the runs and voxels of one scanline.
+func (v *Volume) encodeLine(line []classify.Voxel) {
+	i := 0
+	for i < len(line) {
+		// Transparent run (may be empty).
+		t := i
+		for t < len(line) && classify.Opacity(line[t]) < v.MinOpacity {
+			t++
+		}
+		v.RunLens = append(v.RunLens, uint16(t-i))
+		i = t
+		// Non-transparent run (may be empty only at end of line).
+		o := i
+		for o < len(line) && classify.Opacity(line[o]) >= v.MinOpacity {
+			v.Vox = append(v.Vox, line[o])
+			o++
+		}
+		v.RunLens = append(v.RunLens, uint16(o-i))
+		i = o
+	}
+	if len(line) == 0 {
+		v.RunLens = append(v.RunLens, 0, 0)
+	}
+}
+
+// EncodeAll builds the encodings for all three principal axes, in axis
+// order (x, y, z).
+func EncodeAll(c *classify.Classified) [3]*Volume {
+	return [3]*Volume{
+		Encode(c, xform.AxisX),
+		Encode(c, xform.AxisY),
+		Encode(c, xform.AxisZ),
+	}
+}
+
+// ScanlineID returns the flat scanline index of line j in slice k.
+func (v *Volume) ScanlineID(k, j int) int { return k*v.Nj + j }
+
+// Scanline returns the run lengths and packed voxels of line j in slice k.
+func (v *Volume) Scanline(k, j int) (runs []uint16, vox []classify.Voxel) {
+	s := k*v.Nj + j
+	return v.RunLens[v.RunOff[s]:v.RunOff[s+1]], v.Vox[v.VoxOff[s]:v.VoxOff[s+1]]
+}
+
+// DecodeLine expands scanline (k, j) into dst, which must have length Ni.
+// Transparent voxels decode as 0. It returns the number of non-transparent
+// voxels and the number of runs, which the compositing kernel uses for its
+// cycle accounting.
+func (v *Volume) DecodeLine(k, j int, dst []classify.Voxel) (opaque, runs int) {
+	if len(dst) != v.Ni {
+		panic(fmt.Sprintf("rle: DecodeLine dst len %d != Ni %d", len(dst), v.Ni))
+	}
+	rl, vox := v.Scanline(k, j)
+	i, vi := 0, 0
+	for r := 0; r < len(rl); r += 2 {
+		t := int(rl[r])
+		for e := i + t; i < e; i++ {
+			dst[i] = 0
+		}
+		if r+1 < len(rl) {
+			o := int(rl[r+1])
+			copy(dst[i:i+o], vox[vi:vi+o])
+			i += o
+			vi += o
+			opaque += o
+		}
+	}
+	return opaque, len(rl)
+}
+
+// Spans returns the [start, end) index ranges of non-transparent voxels in
+// scanline (k, j), along with the voxel-data offset of each span's first
+// voxel relative to the scanline's packed voxels.
+type Span struct {
+	Start, End int // voxel index range within the scanline
+	VoxStart   int // offset into the scanline's packed voxel stream
+}
+
+// LineSpans lists the non-transparent spans of scanline (k, j).
+func (v *Volume) LineSpans(k, j int) []Span {
+	return v.AppendSpans(k, j, nil)
+}
+
+// AppendSpans appends the non-transparent spans of scanline (k, j) to dst
+// and returns the extended slice; the compositing kernel reuses a scratch
+// slice across calls to stay allocation-free.
+func (v *Volume) AppendSpans(k, j int, dst []Span) []Span {
+	rl, _ := v.Scanline(k, j)
+	i, vi := 0, 0
+	for r := 0; r < len(rl); r += 2 {
+		i += int(rl[r])
+		if r+1 < len(rl) {
+			o := int(rl[r+1])
+			if o > 0 {
+				dst = append(dst, Span{Start: i, End: i + o, VoxStart: vi})
+			}
+			i += o
+			vi += o
+		}
+	}
+	return dst
+}
+
+// Stats summarizes the encoding.
+type Stats struct {
+	Voxels          int     // total voxels in the volume
+	NonTransparent  int     // voxels stored in Vox
+	Runs            int     // total run-length entries
+	CompressionPct  float64 // encoded bytes as a percentage of dense bytes
+	TransparentFrac float64
+}
+
+// ComputeStats returns size and compression statistics.
+func (v *Volume) ComputeStats() Stats {
+	total := v.Ni * v.Nj * v.Nk
+	dense := total * 4
+	enc := len(v.Vox)*4 + len(v.RunLens)*2 + len(v.RunOff)*4 + len(v.VoxOff)*4
+	return Stats{
+		Voxels:          total,
+		NonTransparent:  len(v.Vox),
+		Runs:            len(v.RunLens),
+		CompressionPct:  100 * float64(enc) / float64(dense),
+		TransparentFrac: 1 - float64(len(v.Vox))/float64(total),
+	}
+}

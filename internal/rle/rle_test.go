@@ -1,0 +1,255 @@
+package rle
+
+import (
+	"math/rand"
+	"testing"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/vol"
+	"shearwarp/internal/xform"
+)
+
+// randomClassified builds a classified volume with a controllable density of
+// non-transparent voxels, directly (bypassing the transfer function) so the
+// encoder sees adversarial run patterns.
+func randomClassified(rng *rand.Rand, nx, ny, nz int, fill float64) *classify.Classified {
+	c := &classify.Classified{Nx: nx, Ny: ny, Nz: nz,
+		Voxels: make([]classify.Voxel, nx*ny*nz), MinOpacity: 4}
+	for i := range c.Voxels {
+		if rng.Float64() < fill {
+			a := uint8(4 + rng.Intn(252))
+			c.Voxels[i] = classify.Pack(a, uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)))
+		}
+	}
+	return c
+}
+
+func TestEncodeDecodeRoundTripAllAxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fill := range []float64{0, 0.05, 0.3, 0.9, 1.0} {
+		c := randomClassified(rng, 9, 7, 5, fill)
+		for _, axis := range []xform.Axis{xform.AxisX, xform.AxisY, xform.AxisZ} {
+			v := Encode(c, axis)
+			line := make([]classify.Voxel, v.Ni)
+			for k := 0; k < v.Nk; k++ {
+				for j := 0; j < v.Nj; j++ {
+					v.DecodeLine(k, j, line)
+					for i := 0; i < v.Ni; i++ {
+						x, y, z := xform.ObjectIndex(axis, i, j, k)
+						want := c.At(x, y, z)
+						if classify.Opacity(want) < c.MinOpacity {
+							want = 0
+						}
+						if line[i] != want {
+							t.Fatalf("fill=%g axis=%v voxel(%d,%d,%d): got %#x want %#x",
+								fill, axis, i, j, k, line[i], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunLengthsSumToNi(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomClassified(rng, 16, 6, 4, 0.4)
+	v := Encode(c, xform.AxisZ)
+	for k := 0; k < v.Nk; k++ {
+		for j := 0; j < v.Nj; j++ {
+			runs, _ := v.Scanline(k, j)
+			sum := 0
+			for _, r := range runs {
+				sum += int(r)
+			}
+			if sum != v.Ni {
+				t.Fatalf("scanline (%d,%d): run sum %d != Ni %d", k, j, sum, v.Ni)
+			}
+			if len(runs)%2 != 0 {
+				t.Fatalf("scanline (%d,%d): odd run count %d", k, j, len(runs))
+			}
+		}
+	}
+}
+
+func TestRunsAlternate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomClassified(rng, 32, 4, 3, 0.5)
+	v := Encode(c, xform.AxisZ)
+	line := make([]classify.Voxel, v.Ni)
+	for k := 0; k < v.Nk; k++ {
+		for j := 0; j < v.Nj; j++ {
+			v.DecodeLine(k, j, line)
+			runs, _ := v.Scanline(k, j)
+			// Walk runs and verify each describes the right voxel kind.
+			i := 0
+			for r, n := range runs {
+				transparent := r%2 == 0
+				for e := i + int(n); i < e; i++ {
+					isT := classify.Opacity(line[i]) < v.MinOpacity
+					if isT != transparent {
+						t.Fatalf("run %d misclassifies voxel %d", r, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLineSpansMatchDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := randomClassified(rng, 24, 5, 4, 0.3)
+	v := Encode(c, xform.AxisY)
+	line := make([]classify.Voxel, v.Ni)
+	for k := 0; k < v.Nk; k++ {
+		for j := 0; j < v.Nj; j++ {
+			v.DecodeLine(k, j, line)
+			_, vox := v.Scanline(k, j)
+			covered := make([]bool, v.Ni)
+			for _, sp := range v.LineSpans(k, j) {
+				if sp.Start >= sp.End || sp.End > v.Ni {
+					t.Fatalf("bad span %+v", sp)
+				}
+				for i := sp.Start; i < sp.End; i++ {
+					covered[i] = true
+					if got := vox[sp.VoxStart+i-sp.Start]; got != line[i] {
+						t.Fatalf("span voxel mismatch at %d", i)
+					}
+				}
+			}
+			for i := 0; i < v.Ni; i++ {
+				opaque := classify.Opacity(line[i]) >= v.MinOpacity
+				if opaque != covered[i] {
+					t.Fatalf("coverage mismatch at (%d,%d,%d): opaque=%v covered=%v",
+						i, j, k, opaque, covered[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeAllAxesConsistentVoxelCount(t *testing.T) {
+	c := classify.Classify(vol.MRIBrain(24), classify.Options{})
+	all := EncodeAll(c)
+	n0 := len(all[0].Vox)
+	for _, v := range all[1:] {
+		if len(v.Vox) != n0 {
+			t.Fatalf("axis encodings disagree on voxel count: %d vs %d", len(v.Vox), n0)
+		}
+	}
+}
+
+func TestCompressionOnPhantom(t *testing.T) {
+	// The paper relies on RLE compressing medical volumes heavily.
+	c := classify.Classify(vol.MRIBrain(48), classify.Options{})
+	v := Encode(c, xform.AxisZ)
+	st := v.ComputeStats()
+	if st.TransparentFrac < 0.5 {
+		t.Fatalf("transparent fraction %.2f too low for phantom", st.TransparentFrac)
+	}
+	if st.CompressionPct > 80 {
+		t.Fatalf("encoded size %.1f%% of dense; expected real compression", st.CompressionPct)
+	}
+}
+
+func TestEmptyVolumeEncodes(t *testing.T) {
+	c := &classify.Classified{Nx: 8, Ny: 8, Nz: 8,
+		Voxels: make([]classify.Voxel, 512), MinOpacity: 4}
+	v := Encode(c, xform.AxisZ)
+	if len(v.Vox) != 0 {
+		t.Fatalf("empty volume produced %d voxels", len(v.Vox))
+	}
+	line := make([]classify.Voxel, 8)
+	v.DecodeLine(0, 0, line) // must not panic
+	if sp := v.LineSpans(3, 3); len(sp) != 0 {
+		t.Fatalf("empty volume has spans: %v", sp)
+	}
+}
+
+func TestFullyOpaqueVolumeEncodes(t *testing.T) {
+	c := &classify.Classified{Nx: 6, Ny: 5, Nz: 4,
+		Voxels: make([]classify.Voxel, 120), MinOpacity: 4}
+	for i := range c.Voxels {
+		c.Voxels[i] = classify.Pack(255, 200, 100, 50)
+	}
+	v := Encode(c, xform.AxisX)
+	if len(v.Vox) != 120 {
+		t.Fatalf("opaque volume stored %d voxels, want 120", len(v.Vox))
+	}
+	sp := v.LineSpans(0, 0)
+	if len(sp) != 1 || sp[0].Start != 0 || sp[0].End != v.Ni {
+		t.Fatalf("opaque line spans = %v", sp)
+	}
+}
+
+func TestDecodeLinePanicsOnWrongLength(t *testing.T) {
+	c := randomClassified(rand.New(rand.NewSource(5)), 8, 4, 4, 0.5)
+	v := Encode(c, xform.AxisZ)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DecodeLine with wrong dst length did not panic")
+		}
+	}()
+	v.DecodeLine(0, 0, make([]classify.Voxel, 7))
+}
+
+func TestScanlineIDLayout(t *testing.T) {
+	c := randomClassified(rand.New(rand.NewSource(6)), 4, 3, 5, 0.5)
+	v := Encode(c, xform.AxisZ)
+	if v.ScanlineID(0, 0) != 0 || v.ScanlineID(1, 0) != v.Nj || v.ScanlineID(0, 1) != 1 {
+		t.Fatal("scanline layout is not slice-major")
+	}
+	if v.ScanlineID(v.Nk-1, v.Nj-1) != v.Nk*v.Nj-1 {
+		t.Fatal("last scanline id wrong")
+	}
+}
+
+func TestEncodeParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{{9, 7, 5}, {16, 16, 16}, {5, 3, 11}} {
+		c := randomClassified(rng, dims[0], dims[1], dims[2], 0.3)
+		for _, axis := range []xform.Axis{xform.AxisX, xform.AxisY, xform.AxisZ} {
+			want := Encode(c, axis)
+			for _, procs := range []int{2, 3, 7, 64} {
+				got := EncodeParallel(c, axis, procs)
+				if len(got.RunLens) != len(want.RunLens) || len(got.Vox) != len(want.Vox) {
+					t.Fatalf("dims=%v axis=%v procs=%d: size mismatch", dims, axis, procs)
+				}
+				for i := range want.RunLens {
+					if got.RunLens[i] != want.RunLens[i] {
+						t.Fatalf("RunLens[%d] differs", i)
+					}
+				}
+				for i := range want.Vox {
+					if got.Vox[i] != want.Vox[i] {
+						t.Fatalf("Vox[%d] differs", i)
+					}
+				}
+				for i := range want.RunOff {
+					if got.RunOff[i] != want.RunOff[i] || got.VoxOff[i] != want.VoxOff[i] {
+						t.Fatalf("offsets differ at scanline %d", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeParallelPhantom(t *testing.T) {
+	c := classify.Classify(vol.MRIBrain(32), classify.Options{})
+	want := Encode(c, xform.AxisZ)
+	got := EncodeParallel(c, xform.AxisZ, 8)
+	line1 := make([]classify.Voxel, want.Ni)
+	line2 := make([]classify.Voxel, got.Ni)
+	for k := 0; k < want.Nk; k++ {
+		for j := 0; j < want.Nj; j++ {
+			want.DecodeLine(k, j, line1)
+			got.DecodeLine(k, j, line2)
+			for i := range line1 {
+				if line1[i] != line2[i] {
+					t.Fatalf("decode differs at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package simengine is the deterministic multiprocessor execution driver:
+// the piece that turns the kernels' real computation plus the memory-system
+// simulators into simulated parallel executions with per-processor clocks
+// (the direct-execution role Tango-Lite played for the authors).
+//
+// Each simulated processor is a state machine advanced in quanta (one
+// intermediate scanline composited, one warp task row, one queue
+// operation). A min-heap by processor clock picks who runs next, so
+// processors interleave at scanline granularity and shared state (task
+// queues, locks, barriers, band counters) is observed in simulated-time
+// order. Everything is single-threaded and reproducible.
+package simengine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Breakdown splits a processor's simulated cycles by cause — the paper's
+// busy / data-access-stall / synchronization decomposition (Figure 5).
+type Breakdown struct {
+	Busy     int64 // instruction cycles (1 CPI work)
+	MemStall int64 // memory-system stall (latency + contention); SVM data wait
+	SyncWait int64 // waiting at barriers and condition waits
+	LockWait int64 // waiting for contended locks (task queues, stealing)
+}
+
+// Total returns all cycles in the breakdown.
+func (b Breakdown) Total() int64 { return b.Busy + b.MemStall + b.SyncWait + b.LockWait }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Busy += o.Busy
+	b.MemStall += o.MemStall
+	b.SyncWait += o.SyncWait
+	b.LockWait += o.LockWait
+}
+
+// ProcTracer is the tracer contract the engine needs: reference recording
+// plus simulated-time bookkeeping.
+type ProcTracer interface {
+	SetNow(int64)
+	DrainStall() int64
+}
+
+// Proc is one simulated processor.
+type Proc struct {
+	ID    int
+	Clock int64
+
+	Total    Breakdown
+	ByPhase  map[string]*Breakdown
+	phase    string
+	blocked  bool
+	done     bool
+	heapIdx  int
+	Tracer   ProcTracer // may be nil (no memory simulation)
+	UserData any        // per-processor driver state
+}
+
+// SetPhase switches the accounting phase ("composite", "warp", ...).
+func (p *Proc) SetPhase(name string) { p.phase = name }
+
+// Phase returns the current accounting phase.
+func (p *Proc) Phase() string { return p.phase }
+
+func (p *Proc) charge(f func(*Breakdown)) {
+	f(&p.Total)
+	if p.phase != "" {
+		b := p.ByPhase[p.phase]
+		if b == nil {
+			b = &Breakdown{}
+			p.ByPhase[p.phase] = b
+		}
+		f(b)
+	}
+}
+
+// Program drives the simulation: Step runs one quantum on p and returns
+// false when p has no further work. A Step that blocks p (barrier, cond)
+// must return true after calling the blocking engine method.
+type Program interface {
+	Step(e *Engine, p *Proc) bool
+}
+
+// Engine schedules the processors.
+type Engine struct {
+	Procs []*Proc
+	h     procHeap
+
+	// BarrierCost is the simulated cost of the barrier operation itself,
+	// charged to every participant on release.
+	BarrierCost int64
+	// LockCost is the base cost of an uncontended acquire+release.
+	LockCost int64
+}
+
+// New builds an engine with n processors.
+func New(n int) *Engine {
+	e := &Engine{BarrierCost: 200, LockCost: 40}
+	for i := 0; i < n; i++ {
+		e.Procs = append(e.Procs, &Proc{ID: i, ByPhase: map[string]*Breakdown{}})
+	}
+	return e
+}
+
+// Run executes the program to completion and returns the finish time (the
+// max processor clock).
+func (e *Engine) Run(prog Program) int64 {
+	e.h = e.h[:0]
+	for _, p := range e.Procs {
+		p.done, p.blocked = false, false
+		heap.Push(&e.h, p)
+	}
+	for e.h.Len() > 0 {
+		p := heap.Pop(&e.h).(*Proc)
+		if p.done {
+			continue
+		}
+		more := prog.Step(e, p)
+		if !more {
+			p.done = true
+			continue
+		}
+		if !p.blocked {
+			heap.Push(&e.h, p)
+		}
+	}
+	for _, p := range e.Procs {
+		if !p.done && p.blocked {
+			panic(fmt.Sprintf("simengine: deadlock, proc %d blocked at end", p.ID))
+		}
+	}
+	var finish int64
+	for _, p := range e.Procs {
+		if p.Clock > finish {
+			finish = p.Clock
+		}
+	}
+	return finish
+}
+
+// Work charges instruction cycles to p.
+func (e *Engine) Work(p *Proc, cycles int64) {
+	p.Clock += cycles
+	p.charge(func(b *Breakdown) { b.Busy += cycles })
+}
+
+// Stall charges memory-system cycles to p (typically the tracer's drained
+// stall after a quantum).
+func (e *Engine) Stall(p *Proc, cycles int64) {
+	if cycles == 0 {
+		return
+	}
+	p.Clock += cycles
+	p.charge(func(b *Breakdown) { b.MemStall += cycles })
+}
+
+// DrainTracer moves the tracer's accumulated stall onto the processor's
+// clock; call it after each kernel quantum.
+func (e *Engine) DrainTracer(p *Proc) {
+	if p.Tracer != nil {
+		e.Stall(p, p.Tracer.DrainStall())
+	}
+}
+
+// SyncTo advances p's clock to at least t, charging the difference as
+// synchronization wait.
+func (e *Engine) SyncTo(p *Proc, t int64) {
+	if t > p.Clock {
+		d := t - p.Clock
+		p.Clock = t
+		p.charge(func(b *Breakdown) { b.SyncWait += d })
+	}
+}
+
+// Lock models a simulated mutex: the lock is busy during
+// [AcquiredAt, FreeAt) of the last critical section. A requester arriving
+// inside that window queues until FreeAt; one arriving before AcquiredAt
+// would have won the lock in a real execution, so it passes freely (the
+// min-clock scheduler makes such inversions rare and short). Tracking only
+// a release time would wrongly charge early requesters for critical
+// sections that started far ahead of their own clocks (e.g. a MarkDone at
+// the end of a long compositing quantum).
+type Lock struct {
+	AcquiredAt int64
+	FreeAt     int64
+	Waits      int64
+	WaitCyc    int64
+}
+
+// Acquire takes the lock for p, charging contention wait plus the base lock
+// cost; the caller should do the critical-section work (Engine.Work) and
+// then Release.
+func (e *Engine) Acquire(p *Proc, l *Lock) {
+	if p.Clock >= l.AcquiredAt && p.Clock < l.FreeAt {
+		// Arrived while the current convoy holds the lock: queue. The
+		// window start is left at the convoy's first arrival so that
+		// further simultaneous arrivals keep queueing behind us.
+		l.Waits++
+		d := l.FreeAt - p.Clock
+		l.WaitCyc += d
+		p.Clock = l.FreeAt
+		p.charge(func(b *Breakdown) { b.LockWait += d })
+	} else if p.Clock >= l.FreeAt {
+		// Lock observed free: a new hold window starts at this arrival.
+		l.AcquiredAt = p.Clock
+	}
+	// An arrival before AcquiredAt would have won the lock in a real
+	// execution (the holder's critical section started later); it passes
+	// freely — a rare, short causality approximation.
+	e.Work(p, e.LockCost/2)
+}
+
+// Release frees the lock at p's current time.
+func (e *Engine) Release(p *Proc, l *Lock) {
+	e.Work(p, e.LockCost/2)
+	l.FreeAt = p.Clock
+}
+
+// Barrier is a simulated global barrier. ExtraDelay, when set, is invoked
+// once per episode at release time and returns additional cycles to add to
+// the release (the SVM backend uses it for the barrier-time diff flushes
+// that home-based lazy release consistency performs).
+type Barrier struct {
+	Expected   int
+	ExtraDelay func(maxClock int64) int64
+	arrived    []*Proc
+	maxClock   int64
+}
+
+// BarrierArrive records p's arrival and blocks it; when the last
+// participant arrives, everyone is released at the max arrival time plus
+// the barrier cost, with the wait charged as synchronization.
+func (e *Engine) BarrierArrive(p *Proc, b *Barrier) {
+	if p.Clock > b.maxClock {
+		b.maxClock = p.Clock
+	}
+	b.arrived = append(b.arrived, p)
+	if len(b.arrived) < b.Expected {
+		p.blocked = true
+		return
+	}
+	release := b.maxClock + e.BarrierCost
+	if b.ExtraDelay != nil {
+		release += b.ExtraDelay(b.maxClock)
+	}
+	for _, q := range b.arrived {
+		e.SyncTo(q, release)
+		if q != p {
+			q.blocked = false
+			heap.Push(&e.h, q)
+		}
+	}
+	b.arrived = b.arrived[:0]
+	b.maxClock = 0
+}
+
+// Cond is a one-shot simulated condition (e.g. "band k fully composited").
+type Cond struct {
+	Signaled bool
+	At       int64
+	waiters  []*Proc
+}
+
+// CondWait blocks p until the condition is signaled; if already signaled,
+// p just syncs to the signal time and continues.
+func (e *Engine) CondWait(p *Proc, c *Cond) (blocked bool) {
+	if c.Signaled {
+		e.SyncTo(p, c.At)
+		return false
+	}
+	c.waiters = append(c.waiters, p)
+	p.blocked = true
+	return true
+}
+
+// CondSignal marks the condition satisfied at the given time and wakes all
+// waiters.
+func (e *Engine) CondSignal(c *Cond, at int64) {
+	if c.Signaled {
+		return
+	}
+	c.Signaled = true
+	c.At = at
+	for _, q := range c.waiters {
+		e.SyncTo(q, at)
+		q.blocked = false
+		heap.Push(&e.h, q)
+	}
+	c.waiters = nil
+}
+
+// procHeap is a min-heap of processors by clock (ties by ID for
+// determinism).
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].Clock != h[j].Clock {
+		return h[i].Clock < h[j].Clock
+	}
+	return h[i].ID < h[j].ID
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx, h[j].heapIdx = i, j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	p.heapIdx = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,238 @@
+package simengine
+
+import (
+	"testing"
+)
+
+// toyProgram: each proc does `work[id]` quanta of 10 cycles, hits a
+// barrier, then does 1 more quantum.
+type toyProgram struct {
+	work    []int
+	barrier Barrier
+	state   []int // 0 = working, 1 = at barrier, 2 = after barrier, 3 = done
+	order   []int // proc IDs in scheduling order
+}
+
+func (t *toyProgram) Step(e *Engine, p *Proc) bool {
+	t.order = append(t.order, p.ID)
+	switch t.state[p.ID] {
+	case 0:
+		if t.work[p.ID] == 0 {
+			t.state[p.ID] = 2
+			e.BarrierArrive(p, &t.barrier)
+			return true
+		}
+		t.work[p.ID]--
+		e.Work(p, 10)
+		return true
+	case 2:
+		e.Work(p, 5)
+		t.state[p.ID] = 3
+		return true
+	default:
+		return false
+	}
+}
+
+func TestEngineBarrierSynchronizesClocks(t *testing.T) {
+	e := New(3)
+	prog := &toyProgram{work: []int{1, 5, 2}, state: make([]int, 3)}
+	prog.barrier.Expected = 3
+	finish := e.Run(prog)
+	// Slowest proc does 50 cycles of work; release at 50 + BarrierCost; all
+	// finish at release + 5.
+	want := 50 + e.BarrierCost + 5
+	if finish != want {
+		t.Fatalf("finish = %d, want %d", finish, want)
+	}
+	// Proc 0 (10 cycles of work) waited ~40 + barrier cost.
+	if e.Procs[0].Total.SyncWait != 40+e.BarrierCost {
+		t.Fatalf("proc 0 sync wait = %d, want %d", e.Procs[0].Total.SyncWait, 40+e.BarrierCost)
+	}
+	if e.Procs[1].Total.SyncWait != e.BarrierCost {
+		t.Fatalf("slowest proc sync wait = %d, want just barrier cost", e.Procs[1].Total.SyncWait)
+	}
+}
+
+func TestEngineMinClockScheduling(t *testing.T) {
+	e := New(2)
+	prog := &toyProgram{work: []int{3, 3}, state: make([]int, 2)}
+	prog.barrier.Expected = 2
+	e.Run(prog)
+	// With equal work the two procs must alternate (min-clock, tie by ID).
+	saw := map[int]bool{}
+	for _, id := range prog.order[:2] {
+		saw[id] = true
+	}
+	if len(saw) != 2 {
+		t.Fatalf("first two quanta ran on the same proc: %v", prog.order)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	run := func() []int {
+		e := New(4)
+		prog := &toyProgram{work: []int{2, 7, 1, 4}, state: make([]int, 4)}
+		prog.barrier.Expected = 4
+		e.Run(prog)
+		return prog.order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("schedules differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("scheduling is not deterministic")
+		}
+	}
+}
+
+type lockProgram struct {
+	lock  Lock
+	count []int
+}
+
+func (l *lockProgram) Step(e *Engine, p *Proc) bool {
+	if l.count[p.ID] == 0 {
+		return false
+	}
+	l.count[p.ID]--
+	e.Acquire(p, &l.lock)
+	e.Work(p, 100) // critical section
+	e.Release(p, &l.lock)
+	return true
+}
+
+func TestEngineLockSerializes(t *testing.T) {
+	e := New(4)
+	prog := &lockProgram{count: []int{1, 1, 1, 1}}
+	finish := e.Run(prog)
+	// Four critical sections of (lockCost + 100) serialized.
+	per := e.LockCost + 100
+	if finish < 4*per {
+		t.Fatalf("finish = %d; critical sections overlapped (want >= %d)", finish, 4*per)
+	}
+	var waits int64
+	for _, p := range e.Procs {
+		waits += p.Total.LockWait
+	}
+	if waits == 0 {
+		t.Fatal("no lock contention recorded")
+	}
+	if prog.lock.Waits == 0 || prog.lock.WaitCyc != waits {
+		t.Fatalf("lock stats %d/%d inconsistent with %d", prog.lock.Waits, prog.lock.WaitCyc, waits)
+	}
+}
+
+type condProgram struct {
+	cond  Cond
+	state []int
+}
+
+func (c *condProgram) Step(e *Engine, p *Proc) bool {
+	if p.ID == 0 {
+		switch c.state[0] {
+		case 0:
+			e.Work(p, 500)
+			c.state[0] = 1
+			return true
+		case 1:
+			e.CondSignal(&c.cond, p.Clock)
+			c.state[0] = 2
+			return true
+		}
+		return false
+	}
+	switch c.state[p.ID] {
+	case 0:
+		c.state[p.ID] = 1
+		if e.CondWait(p, &c.cond) {
+			return true
+		}
+		fallthrough
+	case 1:
+		e.Work(p, 10)
+		c.state[p.ID] = 2
+		return true
+	}
+	return false
+}
+
+func TestEngineCondWaitAndSignal(t *testing.T) {
+	e := New(3)
+	prog := &condProgram{state: make([]int, 3)}
+	finish := e.Run(prog)
+	if finish != 510 {
+		t.Fatalf("finish = %d, want 510 (signal at 500 + 10 work)", finish)
+	}
+	if e.Procs[1].Total.SyncWait != 500 {
+		t.Fatalf("waiter sync = %d, want 500", e.Procs[1].Total.SyncWait)
+	}
+}
+
+func TestCondWaitAfterSignalNoBlock(t *testing.T) {
+	e := New(1)
+	var c Cond
+	e.CondSignal(&c, 300)
+	p := e.Procs[0]
+	if e.CondWait(p, &c) {
+		t.Fatal("wait blocked on signaled cond")
+	}
+	if p.Clock != 300 || p.Total.SyncWait != 300 {
+		t.Fatalf("clock %d sync %d, want 300/300", p.Clock, p.Total.SyncWait)
+	}
+}
+
+func TestPhaseBreakdowns(t *testing.T) {
+	e := New(1)
+	p := e.Procs[0]
+	p.SetPhase("composite")
+	e.Work(p, 100)
+	e.Stall(p, 30)
+	p.SetPhase("warp")
+	e.Work(p, 50)
+	if p.ByPhase["composite"].Busy != 100 || p.ByPhase["composite"].MemStall != 30 {
+		t.Fatalf("composite phase %+v", p.ByPhase["composite"])
+	}
+	if p.ByPhase["warp"].Busy != 50 {
+		t.Fatalf("warp phase %+v", p.ByPhase["warp"])
+	}
+	if p.Total.Total() != 180 {
+		t.Fatalf("total = %d, want 180", p.Total.Total())
+	}
+}
+
+type deadlockProgram struct{ cond Cond }
+
+func (d *deadlockProgram) Step(e *Engine, p *Proc) bool {
+	// Everyone waits on a condition nobody signals.
+	e.CondWait(p, &d.cond)
+	return true
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+	}()
+	e := New(2)
+	e.Run(&deadlockProgram{})
+}
+
+func TestLockFreeAfterRelease(t *testing.T) {
+	e := New(1)
+	p := e.Procs[0]
+	var l Lock
+	e.Acquire(p, &l)
+	e.Work(p, 50)
+	e.Release(p, &l)
+	// A later arrival sees a free lock.
+	e.Work(p, 1000)
+	before := p.Total.LockWait
+	e.Acquire(p, &l)
+	if p.Total.LockWait != before {
+		t.Fatal("free lock charged a wait")
+	}
+}

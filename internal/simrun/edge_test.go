@@ -1,0 +1,170 @@
+package simrun
+
+import (
+	"math"
+	"testing"
+
+	"shearwarp/internal/img"
+	"shearwarp/internal/machines"
+	"shearwarp/internal/raycast"
+	"shearwarp/internal/render"
+	"shearwarp/internal/vol"
+)
+
+// helpers for the ray-cast sim tests
+func newRaycastForTest(r *render.Renderer) *raycast.Renderer {
+	return raycast.New(r.Classified)
+}
+
+func renderRaycast(rc *raycast.Renderer, fr *render.Frame) *img.Final {
+	var cnt raycast.Counters
+	return rc.Render(&fr.F, &cnt)
+}
+
+// An animation that crosses the 45-degree yaw boundary forces a principal-
+// axis flip mid-sequence: the workload must register both encodings and
+// the new algorithm must invalidate its profile.
+func TestAxisFlipAnimation(t *testing.T) {
+	r := render.New(vol.MRIBrain(20), render.Options{})
+	views := [][2]float64{{0.6, 0.2}, {0.75, 0.2}, {0.9, 0.2}} // ~34..52 deg
+	w := NewWorkload(r, views)
+
+	axes := map[int]bool{}
+	for _, fr := range w.Frames {
+		axes[int(fr.F.Axis)] = true
+	}
+	if len(axes) < 2 {
+		t.Skip("rotation did not cross an axis boundary at this geometry")
+	}
+	want, _ := r.RenderSerial(views[2][0], views[2][1])
+	for _, procs := range []int{1, 4} {
+		if res := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: procs}); !img.Equal(want, res.LastImage) {
+			t.Fatalf("old sim wrong across axis flip at P=%d", procs)
+		}
+		if res := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: procs}); !img.Equal(want, res.LastImage) {
+			t.Fatalf("new sim wrong across axis flip at P=%d", procs)
+		}
+	}
+}
+
+func TestSingleFrameWorkload(t *testing.T) {
+	r := render.New(vol.MRIBrain(16), render.Options{})
+	w := NewWorkload(r, [][2]float64{{0.4, 0.2}})
+	res := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 2})
+	if res.SteadyCycles() != res.Finish {
+		t.Fatal("single-frame steady metric should be the finish time")
+	}
+	want, _ := r.RenderSerial(0.4, 0.2)
+	if !img.Equal(want, res.LastImage) {
+		t.Fatal("single-frame image wrong")
+	}
+	// Stats are not reset (no warm-up possible), so cold misses appear.
+	if res.Mem.Misses[0] == 0 {
+		t.Fatal("single-frame run should report cold misses")
+	}
+}
+
+func TestMoreProcsThanScanlines(t *testing.T) {
+	// A tiny volume with 32 simulated processors: most bands are empty.
+	r := render.New(vol.MRIBrain(12), render.Options{})
+	w := NewWorkload(r, render.Rotation(3, 0.3, 0.2, 5))
+	want, _ := r.RenderSerial(w.Views[2][0], w.Views[2][1])
+	res := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: 32})
+	if !img.Equal(want, res.LastImage) {
+		t.Fatal("over-provisioned new sim image wrong")
+	}
+	res = RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 32})
+	if !img.Equal(want, res.LastImage) {
+		t.Fatal("over-provisioned old sim image wrong")
+	}
+}
+
+func TestForceBarrierKeepsImage(t *testing.T) {
+	w := testWorkload(t, 20, 3)
+	last := w.Views[len(w.Views)-1]
+	want, _ := w.R.RenderSerial(last[0], last[1])
+	res := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: 4, ForceBarrier: true})
+	if !img.Equal(want, res.LastImage) {
+		t.Fatal("forced barrier changed the image")
+	}
+	// And the composite phase now shows barrier wait.
+	if res.SteadyPhases["composite"].SyncWait == 0 {
+		t.Fatal("forced barrier recorded no composite-phase sync wait")
+	}
+}
+
+func TestOpacityCorrectedSimMatchesSerial(t *testing.T) {
+	r := render.New(vol.MRIBrain(18), render.Options{OpacityCorrection: true})
+	w := NewWorkload(r, render.Rotation(2, 0.4, 0.25, 5))
+	want, _ := r.RenderSerial(w.Views[1][0], w.Views[1][1])
+	res := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: 4})
+	if !img.Equal(want, res.LastImage) {
+		t.Fatal("corrected sim image differs from corrected serial")
+	}
+}
+
+func TestFirstTouchPlacementRuns(t *testing.T) {
+	w := testWorkload(t, 20, 3)
+	m := machines.Simulator()
+	m.Mem.FirstTouch = true
+	m.Name = "Simulator-ft"
+	res := RunOld(w, OldOptions{Machine: m, Procs: 8})
+	rr := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 8})
+	// First-touch must not increase the remote fraction.
+	ftFrac := float64(res.Mem.Remote) / math.Max(float64(res.Mem.Remote+res.Mem.Local), 1)
+	rrFrac := float64(rr.Mem.Remote) / math.Max(float64(rr.Mem.Remote+rr.Mem.Local), 1)
+	if ftFrac > rrFrac+0.02 {
+		t.Fatalf("first-touch remote fraction %.3f above round-robin %.3f", ftFrac, rrFrac)
+	}
+	if !img.Equal(res.LastImage, rr.LastImage) {
+		t.Fatal("placement policy changed the image")
+	}
+}
+
+func TestStealsReportedUnderSkew(t *testing.T) {
+	// Uniform partition in frame 0 guarantees skew; the sim must record
+	// steals deterministically.
+	w := testWorkload(t, 24, 2)
+	a := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: 8, StealChunk: 1})
+	b := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: 8, StealChunk: 1})
+	if a.Steals == 0 {
+		t.Fatal("no steals recorded")
+	}
+	if a.Steals != b.Steals {
+		t.Fatalf("steal counts not deterministic: %d vs %d", a.Steals, b.Steals)
+	}
+}
+
+func TestRayCastSimMatchesNative(t *testing.T) {
+	r := render.New(vol.MRIBrain(20), render.Options{})
+	w := NewWorkload(r, render.Rotation(2, 0.4, 0.25, 5))
+	res := RunRayCast(w, RayOptions{Machine: machines.Simulator(), Procs: 4})
+	// Native untraced reference for the same (last) view.
+	rc := newRaycastForTest(r)
+	fr := r.Setup(w.Views[1][0], w.Views[1][1])
+	want := renderRaycast(rc, fr)
+	if !img.Equal(want, res.LastImage) {
+		t.Fatal("simulated ray caster image differs from native")
+	}
+	if res.Mem.Refs == 0 {
+		t.Fatal("ray-cast sim emitted no references")
+	}
+}
+
+func TestRayCasterSpeedsUpBetterThanOldShearWarper(t *testing.T) {
+	// Section 3.4.1: "it does not obtain nearly as good self-relative
+	// speedup on multiprocessors as a ray caster".
+	r := render.New(vol.MRIBrain(28), render.Options{})
+	w := NewWorkload(r, render.Rotation(3, 0.3, 0.2, 5))
+	m := machines.Simulator()
+	const p = 8
+	rc1 := RunRayCast(w, RayOptions{Machine: m, Procs: 1}).SteadyCycles()
+	rcP := RunRayCast(w, RayOptions{Machine: m, Procs: p}).SteadyCycles()
+	sw1 := RunOld(w, OldOptions{Machine: m, Procs: 1}).SteadyCycles()
+	swP := RunOld(w, OldOptions{Machine: m, Procs: p}).SteadyCycles()
+	rcSpeedup := float64(rc1) / float64(rcP)
+	swSpeedup := float64(sw1) / float64(swP)
+	if rcSpeedup <= swSpeedup {
+		t.Fatalf("ray caster speedup %.2f not above old shear warper %.2f", rcSpeedup, swSpeedup)
+	}
+}

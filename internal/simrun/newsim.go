@@ -1,0 +1,385 @@
+package simrun
+
+import (
+	"math"
+
+	"shearwarp/internal/composite"
+	"shearwarp/internal/machines"
+	"shearwarp/internal/newalg"
+	"shearwarp/internal/par"
+	"shearwarp/internal/render"
+	"shearwarp/internal/simengine"
+	"shearwarp/internal/svmsim"
+	"shearwarp/internal/warp"
+	"shearwarp/internal/xform"
+)
+
+// NewOptions configures a simulated run of the new parallel algorithm.
+type NewOptions struct {
+	Machine      machines.Machine
+	Procs        int
+	StealChunk   int     // 0 = newalg.StealChunkSize heuristic
+	ReprofileDeg float64 // 0 = 15 degrees
+	DisableSteal bool
+	// ForceBarrier re-inserts a global barrier between the compositing and
+	// warp phases (ablation of the section 5.5.2 barrier elimination).
+	ForceBarrier bool
+
+	// granBytes is the coherence granularity fed to the steal-chunk
+	// heuristic; runOld/runNew set it from the machine or SVM page size.
+	granBytes int
+}
+
+type newPhase int
+
+const (
+	npInit newPhase = iota
+	npComposite
+	npWarp
+	npFrameDone
+)
+
+type newProcState struct {
+	phase  newPhase
+	frame  int
+	cc     *composite.Ctx
+	wc     *warp.Ctx
+	ccCnt  composite.Counters
+	wcCnt  warp.Counters
+	tracer backTracer
+
+	chunk     par.Chunk
+	chunkBand int
+	hasChunk  bool
+	row       int
+	steals    int
+
+	tasks     []warp.Task
+	taskIdx   int
+	needNext  int // next band dependency to await for the current task
+	rowCursor int
+}
+
+type newSim struct {
+	w   *Workload
+	opt NewOptions
+	be  backend
+
+	// Cross-frame profile state (mirrors newalg.Renderer).
+	profile    []int64
+	newProfile []int64
+	profValid  bool
+	profAxis   xform.Axis
+	profYaw    float64
+	profPitch  float64
+	profImageH int
+	profSj     float64
+	profTv     float64
+
+	// Per-frame shared state.
+	inited      int
+	fr          *render.Frame
+	bands       *par.Bands
+	bandLock    simengine.Lock
+	conds       []simengine.Cond
+	boundaries  []int
+	region      newalg.Region
+	profiling   bool
+	usedProfile bool
+	warpTasks   []warp.Task
+	frameBar    simengine.Barrier
+	phaseBar    simengine.Barrier
+
+	frameEnds []int64
+	wu        warmup
+}
+
+// RunNew executes the new parallel algorithm on a simulated hardware
+// cache-coherent machine.
+func RunNew(w *Workload, opt NewOptions) *Result {
+	if opt.Procs < 1 {
+		opt.Procs = 1
+	}
+	opt.granBytes = opt.Machine.Mem.LineBytes
+	be := newHWBackend(opt.Machine.NewSystem(opt.Procs), w)
+	return runNew(w, opt, be, opt.Machine.BarrierCost, opt.Machine.LockCost)
+}
+
+// RunNewSVM executes the new parallel algorithm on the SVM platform. The
+// steal granularity heuristic sees the page size, so steals stay
+// page-coarse (the access-pattern coarsening the paper credits for the SVM
+// win).
+func RunNewSVM(w *Workload, opt SVMOptions) *Result {
+	opt.normalize()
+	be := svmBackend{sys: svmsim.New(opt.Cfg)}
+	nw := NewOptions{
+		Procs: opt.Procs, StealChunk: opt.StealChunk,
+		ReprofileDeg: opt.ReprofileDeg, DisableSteal: opt.DisableSteal,
+		ForceBarrier: opt.ForceBarrier,
+		granBytes:    opt.Cfg.PageBytes,
+	}
+	return runNew(w, nw, be, opt.Cfg.BarrierCost, opt.Cfg.LockCost)
+}
+
+func runNew(w *Workload, opt NewOptions, be backend, barrierCost, lockCost int64) *Result {
+	if opt.ReprofileDeg == 0 {
+		opt.ReprofileDeg = 15
+	}
+	if opt.granBytes == 0 {
+		opt.granBytes = 64
+	}
+	w.resetImages()
+	e := simengine.New(opt.Procs)
+	e.BarrierCost = barrierCost
+	e.LockCost = lockCost
+
+	prog := &newSim{w: w, opt: opt, be: be, inited: -1}
+	prog.frameBar.Expected = opt.Procs
+	prog.frameBar.ExtraDelay = be.barrierExtra()
+	prog.phaseBar.Expected = opt.Procs
+	prog.phaseBar.ExtraDelay = be.barrierExtra()
+	for _, p := range e.Procs {
+		tr := be.tracer(p.ID)
+		p.Tracer = tr
+		p.UserData = &newProcState{tracer: tr}
+	}
+	e.Run(prog)
+
+	steals := 0
+	for _, p := range e.Procs {
+		steals += p.UserData.(*newProcState).steals
+	}
+	return collect(e, be, w.Frames[len(w.Frames)-1].Out, steals, prog.frameEnds, &prog.wu)
+}
+
+func (n *newSim) needProfile(fr *render.Frame, yaw, pitch float64) bool {
+	if !n.profValid || n.profAxis != fr.F.Axis {
+		return true
+	}
+	if d := n.profImageH - fr.M.H; d > newalg.MaxImageDrift || d < -newalg.MaxImageDrift {
+		return true
+	}
+	limit := n.opt.ReprofileDeg * math.Pi / 180
+	return math.Abs(yaw-n.profYaw) >= limit || math.Abs(pitch-n.profPitch) >= limit
+}
+
+// ensureFrame builds the shared per-frame state: partition, bands,
+// completion conditions and warp tasks (mirroring newalg's native path).
+func (n *newSim) ensureFrame(e *simengine.Engine, p *simengine.Proc, idx int) {
+	if idx <= n.inited {
+		return
+	}
+	n.inited = idx
+	n.fr = n.w.Frames[idx]
+	yaw, pitch := n.w.Views[idx][0], n.w.Views[idx][1]
+	n.profiling = n.needProfile(n.fr, yaw, pitch)
+
+	drift := 0
+	if n.profValid {
+		drift = n.profImageH - n.fr.M.H
+		if drift < 0 {
+			drift = -drift
+		}
+	}
+	n.usedProfile = n.profValid && n.profAxis == n.fr.F.Axis && drift <= newalg.MaxImageDrift
+	if n.usedProfile {
+		region := newalg.FindRegion(n.profile)
+		if region.Hi > region.Lo {
+			shift0 := math.Abs(n.fr.F.Tv - n.profTv)
+			shiftN := math.Abs((n.fr.F.Sj-n.profSj)*float64(n.fr.F.Nk-1) + (n.fr.F.Tv - n.profTv))
+			b := int(math.Ceil(math.Max(shift0, shiftN))) + 1
+			region.Lo = max(region.Lo-b, 0)
+			region.Hi = min(region.Hi+b, n.fr.M.H)
+		}
+		n.region = region
+		n.boundaries = newalg.Partition(newalg.PaddedProfile(n.profile, region.Hi), region, n.opt.Procs, 1)
+	} else {
+		n.region = newalg.Region{Lo: 0, Hi: n.fr.M.H}
+		n.boundaries = newalg.UniformPartition(n.fr.M.H, n.opt.Procs)
+	}
+
+	steal := n.opt.StealChunk
+	if steal < 1 {
+		steal = newalg.StealChunkSize(n.region.Hi-n.region.Lo, n.opt.Procs, n.opt.granBytes)
+	}
+	n.bands = par.NewBands(n.boundaries, steal)
+	n.bandLock = simengine.Lock{}
+	n.conds = make([]simengine.Cond, n.opt.Procs)
+	for b := range n.conds {
+		if n.bands.Complete(b) {
+			e.CondSignal(&n.conds[b], p.Clock)
+		}
+	}
+	n.warpTasks = warp.PartitionTasks(n.boundaries)
+	if n.profiling {
+		n.newProfile = make([]int64, n.fr.M.H)
+	}
+	e.Work(p, frameSetupCycles)
+}
+
+// finishFrame commits the collected profile after the frame barrier.
+func (n *newSim) finishFrame(idx int) {
+	if !n.profiling || idx != n.inited {
+		return
+	}
+	fr := n.w.Frames[idx]
+	n.profile = n.newProfile
+	n.profValid = true
+	n.profAxis = fr.F.Axis
+	n.profYaw, n.profPitch = n.w.Views[idx][0], n.w.Views[idx][1]
+	n.profImageH = fr.M.H
+	n.profSj, n.profTv = fr.F.Sj, fr.F.Tv
+	n.profiling = false
+}
+
+// Step implements simengine.Program.
+func (n *newSim) Step(e *simengine.Engine, p *simengine.Proc) bool {
+	st := p.UserData.(*newProcState)
+	switch st.phase {
+	case npInit:
+		if st.frame >= len(n.w.Views) {
+			return false
+		}
+		n.ensureFrame(e, p, st.frame)
+		fr := n.fr
+		st.cc = fr.NewCompositeCtx()
+		st.cc.Tracer = st.tracer
+		st.cc.Arrays = n.w.CompArrays(fr.F.Axis)
+		st.wc = warp.NewCtx(&fr.F, fr.M, fr.Out)
+		st.wc.Tracer = st.tracer
+		st.wc.Arrays = n.w.WarpArrays()
+		st.hasChunk = false
+		// Own warp tasks for this frame.
+		st.tasks = st.tasks[:0]
+		for _, tk := range n.warpTasks {
+			if tk.Owner == p.ID {
+				st.tasks = append(st.tasks, tk)
+			}
+		}
+		st.taskIdx, st.needNext, st.rowCursor = 0, -1, 0
+		p.SetPhase("composite")
+		// The partition computation: each processor scans its share of the
+		// cumulative profile (parallel prefix, section 4.3) and finds its
+		// boundary by binary search.
+		if n.usedProfile {
+			share := (n.region.Hi - n.region.Lo) / n.opt.Procs
+			lo := n.region.Lo + p.ID*share
+			st.tracer.SetNow(p.Clock)
+			st.tracer.Read(n.w.ProfileArray(), lo, max(share, 1))
+			e.Work(p, int64(2*share+30))
+			e.DrainTracer(p)
+		}
+		st.phase = npComposite
+		return true
+
+	case npComposite:
+		if !st.hasChunk {
+			// Own-band consumption is lock-free: the owner advances a
+			// private head against a shared tail bound (the contiguous
+			// initial assignment has no task queue, section 4.1).
+			e.Work(p, atomicOpCycles)
+			c, ok := n.bands.TakeOwn(p.ID)
+			band := p.ID
+			if !ok && !n.opt.DisableSteal {
+				// Stealing mutates another band's bounds: that takes the
+				// steal lock (section 4.4).
+				e.Acquire(p, &n.bandLock)
+				e.Work(p, queueOpCycles)
+				if cs, vb, oks := n.bands.TakeSteal(); oks {
+					c, band, ok = cs, vb, true
+					st.steals++
+				}
+				e.Release(p, &n.bandLock)
+			}
+			if !ok {
+				st.phase = npWarp
+				if n.opt.ForceBarrier {
+					// Ablation: the old algorithm's global phase barrier.
+					e.BarrierArrive(p, &n.phaseBar)
+					return true
+				}
+				p.SetPhase("warp")
+				return true
+			}
+			st.chunk, st.chunkBand, st.row, st.hasChunk = c, band, c.Lo, true
+			return true
+		}
+		st.tracer.SetNow(p.Clock)
+		before := st.ccCnt.Samples
+		cyc := st.cc.Scanline(st.row, &st.ccCnt)
+		e.Work(p, cyc)
+		if n.profiling {
+			e.Work(p, newalg.ProfileOverheadCycles(cyc))
+			if st.ccCnt.Samples == before {
+				n.newProfile[st.row] = 0
+			} else {
+				n.newProfile[st.row] = cyc
+			}
+			st.tracer.Write(n.w.ProfileArray(), st.row, 1)
+		}
+		e.DrainTracer(p)
+		st.row++
+		if st.row >= st.chunk.Hi {
+			st.hasChunk = false
+			// Per-band completion counter: an atomic decrement.
+			e.Work(p, atomicOpCycles)
+			done := n.bands.MarkDone(st.chunkBand, st.chunk.Hi-st.chunk.Lo)
+			if done {
+				e.CondSignal(&n.conds[st.chunkBand], p.Clock)
+			}
+		}
+		return true
+
+	case npWarp:
+		p.SetPhase("warp")
+		if st.taskIdx >= len(st.tasks) {
+			st.phase = npFrameDone
+			e.BarrierArrive(p, &n.frameBar)
+			return true
+		}
+		tk := st.tasks[st.taskIdx]
+		// Await the compositing bands this task's reads depend on.
+		if st.needNext < 0 {
+			st.needNext = tk.NeedLo
+		}
+		for st.needNext <= tk.NeedHi {
+			b := st.needNext
+			st.needNext++
+			if e.CondWait(p, &n.conds[b]) {
+				return true
+			}
+		}
+		// Warp a quantum of final-image rows.
+		st.tracer.SetNow(p.Clock)
+		before := st.wcCnt.Cycles
+		hi := min(st.rowCursor+warpRowsPerQuantum, n.fr.Out.H)
+		for y := st.rowCursor; y < hi; y++ {
+			if x0, x1, ok := st.wc.RowSpan(y, tk.Band); ok {
+				st.wc.WarpSpan(y, x0, x1, &st.wcCnt)
+			}
+		}
+		e.Work(p, st.wcCnt.Cycles-before+int64(hi-st.rowCursor))
+		e.DrainTracer(p)
+		st.rowCursor = hi
+		if st.rowCursor >= n.fr.Out.H {
+			st.taskIdx++
+			st.needNext = -1
+			st.rowCursor = 0
+		}
+		return true
+
+	case npFrameDone:
+		if st.frame == len(n.frameEnds) {
+			n.frameEnds = append(n.frameEnds, p.Clock)
+			if st.frame == 0 && len(n.w.Views) > 1 {
+				n.be.resetStats()
+				n.wu.take(e)
+			}
+		}
+		n.finishFrame(st.frame)
+		st.frame++
+		st.phase = npInit
+		return true
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package simrun
+
+import (
+	"testing"
+
+	"shearwarp/internal/img"
+	"shearwarp/internal/machines"
+	"shearwarp/internal/memsim"
+	"shearwarp/internal/render"
+	"shearwarp/internal/vol"
+)
+
+func testWorkload(t *testing.T, n, frames int) *Workload {
+	t.Helper()
+	r := render.New(vol.MRIBrain(n), render.Options{})
+	return NewWorkload(r, render.Rotation(frames, 0.3, 0.2, 5))
+}
+
+func TestOldSimImageMatchesSerial(t *testing.T) {
+	w := testWorkload(t, 20, 2)
+	lastView := w.Views[len(w.Views)-1]
+	want, _ := w.R.RenderSerial(lastView[0], lastView[1])
+	for _, procs := range []int{1, 4} {
+		res := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: procs})
+		if !img.Equal(want, res.LastImage) {
+			d := img.Compare(want, res.LastImage)
+			t.Fatalf("procs=%d: simulated old image differs from serial: %+v", procs, d)
+		}
+	}
+}
+
+func TestNewSimImageMatchesSerial(t *testing.T) {
+	w := testWorkload(t, 20, 3)
+	lastView := w.Views[len(w.Views)-1]
+	want, _ := w.R.RenderSerial(lastView[0], lastView[1])
+	for _, procs := range []int{1, 4} {
+		res := RunNew(w, NewOptions{Machine: machines.Simulator(), Procs: procs})
+		if !img.Equal(want, res.LastImage) {
+			d := img.Compare(want, res.LastImage)
+			t.Fatalf("procs=%d: simulated new image differs from serial: %+v", procs, d)
+		}
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	w := testWorkload(t, 16, 2)
+	a := RunOld(w, OldOptions{Machine: machines.DASH(), Procs: 4})
+	b := RunOld(w, OldOptions{Machine: machines.DASH(), Procs: 4})
+	if a.Finish != b.Finish {
+		t.Fatalf("old sim not deterministic: %d vs %d", a.Finish, b.Finish)
+	}
+	c := RunNew(w, NewOptions{Machine: machines.DASH(), Procs: 4})
+	d := RunNew(w, NewOptions{Machine: machines.DASH(), Procs: 4})
+	if c.Finish != d.Finish {
+		t.Fatalf("new sim not deterministic: %d vs %d", c.Finish, d.Finish)
+	}
+}
+
+func TestParallelFasterThanSerial(t *testing.T) {
+	// Steady-state (post-warm-up) per-frame time must drop with processors.
+	// The volume here is toy-sized, so absolute speedups are modest; the
+	// benchmark harness exercises realistic sizes.
+	w := testWorkload(t, 28, 3)
+	m := machines.Simulator()
+	t1 := RunOld(w, OldOptions{Machine: m, Procs: 1}).SteadyCycles()
+	t4 := RunOld(w, OldOptions{Machine: m, Procs: 4}).SteadyCycles()
+	if float64(t1)/float64(t4) < 1.2 {
+		t.Fatalf("old speedup at 4 procs only %.2f (T1=%d T4=%d)", float64(t1)/float64(t4), t1, t4)
+	}
+	n1 := RunNew(w, NewOptions{Machine: m, Procs: 1}).SteadyCycles()
+	n4 := RunNew(w, NewOptions{Machine: m, Procs: 4}).SteadyCycles()
+	if float64(n1)/float64(n4) < 1.5 {
+		t.Fatalf("new speedup at 4 procs only %.2f (T1=%d T4=%d)", float64(n1)/float64(n4), n1, n4)
+	}
+}
+
+func TestNewReducesTrueSharing(t *testing.T) {
+	// The headline cache result (Figure 16): the new algorithm's contiguous
+	// same-partition scheme collapses true-sharing misses.
+	w := testWorkload(t, 24, 3)
+	m := machines.Simulator()
+	old := RunOld(w, OldOptions{Machine: m, Procs: 8})
+	nw := RunNew(w, NewOptions{Machine: m, Procs: 8})
+	oldTS := old.Mem.Misses[memsim.TrueSharing]
+	newTS := nw.Mem.Misses[memsim.TrueSharing]
+	if newTS >= oldTS {
+		t.Fatalf("true sharing not reduced: old %d, new %d", oldTS, newTS)
+	}
+	if newTS*2 > oldTS {
+		t.Logf("warning: true sharing only reduced %d -> %d", oldTS, newTS)
+	}
+}
+
+func TestNewOutperformsOldAtScale(t *testing.T) {
+	w := testWorkload(t, 24, 3)
+	m := machines.DASH()
+	oldT := RunOld(w, OldOptions{Machine: m, Procs: 16}).Finish
+	newT := RunNew(w, NewOptions{Machine: m, Procs: 16}).Finish
+	if newT >= oldT {
+		t.Fatalf("new algorithm not faster at 16 procs on DASH: old %d, new %d", oldT, newT)
+	}
+}
+
+func TestPhaseBreakdownsPresent(t *testing.T) {
+	w := testWorkload(t, 16, 2)
+	res := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 2})
+	if res.Phases["composite"].Busy == 0 {
+		t.Fatal("no composite busy time recorded")
+	}
+	if res.Phases["warp"].Busy == 0 {
+		t.Fatal("no warp busy time recorded")
+	}
+	if res.Mem.Refs == 0 {
+		t.Fatal("no memory references simulated")
+	}
+	if res.MissRate <= 0 || res.MissRate >= 1 {
+		t.Fatalf("implausible miss rate %g", res.MissRate)
+	}
+}
+
+func TestCompositeDominatesWarp(t *testing.T) {
+	// The compositing phase is O(n^3) and dominates (section 2).
+	w := testWorkload(t, 24, 1)
+	res := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 1})
+	if res.Phases["composite"].Busy <= 2*res.Phases["warp"].Busy {
+		t.Fatalf("composite %d not dominant over warp %d",
+			res.Phases["composite"].Busy, res.Phases["warp"].Busy)
+	}
+}
+
+func TestWorkloadReusableAcrossRuns(t *testing.T) {
+	w := testWorkload(t, 16, 2)
+	a := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 2})
+	b := RunOld(w, OldOptions{Machine: machines.Simulator(), Procs: 2})
+	if a.Finish != b.Finish {
+		t.Fatalf("workload reuse changed results: %d vs %d", a.Finish, b.Finish)
+	}
+	if !img.Equal(a.LastImage, b.LastImage) {
+		t.Fatal("workload reuse corrupted images")
+	}
+}
+
+func TestBreakdownAddsUp(t *testing.T) {
+	w := testWorkload(t, 16, 1)
+	res := RunOld(w, OldOptions{Machine: machines.DASH(), Procs: 4})
+	for pid, b := range res.PerProc {
+		if b.Total() <= 0 {
+			t.Fatalf("proc %d has empty breakdown", pid)
+		}
+		if b.Total() > res.Finish {
+			t.Fatalf("proc %d breakdown %d exceeds finish %d", pid, b.Total(), res.Finish)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package simrun
+
+import (
+	"testing"
+
+	"shearwarp/internal/img"
+	"shearwarp/internal/render"
+	"shearwarp/internal/vol"
+)
+
+func svmWorkload(t *testing.T) *Workload {
+	t.Helper()
+	r := render.New(vol.MRIBrain(40), render.Options{})
+	return NewWorkload(r, render.Rotation(4, 0.3, 0.2, 5))
+}
+
+func TestSVMImagesMatchSerial(t *testing.T) {
+	w := svmWorkload(t)
+	last := w.Views[len(w.Views)-1]
+	want, _ := w.R.RenderSerial(last[0], last[1])
+	for _, procs := range []int{4, 8} {
+		if res := RunOldSVM(w, SVMOptions{Procs: procs}); !img.Equal(want, res.LastImage) {
+			t.Fatalf("old SVM image differs at P=%d", procs)
+		}
+		if res := RunNewSVM(w, SVMOptions{Procs: procs}); !img.Equal(want, res.LastImage) {
+			t.Fatalf("new SVM image differs at P=%d", procs)
+		}
+	}
+}
+
+func TestSVMNewOutperformsOldAcrossNodes(t *testing.T) {
+	// Figure 20: the improvement is largest on SVM. At P <= 4 everything is
+	// one SMP node (no SVM traffic); the interesting counts span nodes.
+	w := svmWorkload(t)
+	for _, procs := range []int{8, 16} {
+		old := RunOldSVM(w, SVMOptions{Procs: procs}).SteadyCycles()
+		nw := RunNewSVM(w, SVMOptions{Procs: procs}).SteadyCycles()
+		if nw >= old {
+			t.Fatalf("P=%d: new SVM %d not faster than old %d", procs, nw, old)
+		}
+	}
+}
+
+func TestSVMOldDominatedByWaits(t *testing.T) {
+	// Figure 21: the old program on SVM has extremely high data and barrier
+	// wait time; compute is a minority share.
+	w := svmWorkload(t)
+	res := RunOldSVM(w, SVMOptions{Procs: 16})
+	var busy, waits int64
+	for _, b := range res.SteadyPerProc {
+		busy += b.Busy
+		waits += b.MemStall + b.SyncWait + b.LockWait
+	}
+	if waits <= busy {
+		t.Fatalf("old SVM waits %d not dominant over busy %d", waits, busy)
+	}
+}
+
+func TestSVMNewEliminatesPhaseBarrier(t *testing.T) {
+	// Section 5.5.2: identical partitioning eliminates the barrier between
+	// compositing and warping: the composite phase accrues no barrier wait.
+	w := svmWorkload(t)
+	res := RunNewSVM(w, SVMOptions{Procs: 8})
+	if sw := res.SteadyPhases["composite"].SyncWait; sw != 0 {
+		t.Fatalf("new algorithm composite phase has %d barrier wait; want 0", sw)
+	}
+	old := RunOldSVM(w, SVMOptions{Procs: 8})
+	if sw := old.SteadyPhases["composite"].SyncWait; sw == 0 {
+		t.Fatal("old algorithm should pay the phase barrier in compositing")
+	}
+}
+
+func TestSVMSingleNodeHasNoTraffic(t *testing.T) {
+	// 4 processors = one SMP node: shared memory inside the node, no page
+	// traffic at all.
+	w := svmWorkload(t)
+	res := RunOldSVM(w, SVMOptions{Procs: 4})
+	if res.Svm == nil {
+		t.Fatal("missing SVM stats")
+	}
+	if res.Svm.ReadFaults+res.Svm.DirtyFaults+res.Svm.Twins != 0 {
+		t.Fatalf("single-node run produced page traffic: %+v", *res.Svm)
+	}
+}
+
+func TestSVMNewReducesTraffic(t *testing.T) {
+	// The coarse-grained access pattern reduces pages moved (Figure 22).
+	w := svmWorkload(t)
+	old := RunOldSVM(w, SVMOptions{Procs: 16})
+	nw := RunNewSVM(w, SVMOptions{Procs: 16})
+	oldTraffic := old.Svm.ReadFaults + old.Svm.DirtyFaults
+	newTraffic := nw.Svm.ReadFaults + nw.Svm.DirtyFaults
+	if newTraffic > oldTraffic {
+		t.Fatalf("new SVM traffic %d exceeds old %d", newTraffic, oldTraffic)
+	}
+}

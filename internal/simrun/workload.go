@@ -1,0 +1,297 @@
+// Package simrun executes the old and new parallel shear-warp algorithms
+// on the deterministic multiprocessor simulator: it lays the renderer's
+// shared arrays out in a simulated address space, drives the real kernels
+// as simengine programs (one intermediate scanline or warp quantum per
+// step), and returns per-processor time breakdowns plus memory-system
+// statistics. Every cache-behaviour and speedup figure in the paper is
+// regenerated through this package.
+package simrun
+
+import (
+	"shearwarp/internal/composite"
+	"shearwarp/internal/img"
+	"shearwarp/internal/memsim"
+	"shearwarp/internal/raycast"
+	"shearwarp/internal/render"
+	"shearwarp/internal/simengine"
+	"shearwarp/internal/svmsim"
+	"shearwarp/internal/trace"
+	"shearwarp/internal/warp"
+	"shearwarp/internal/xform"
+)
+
+// backTracer is what the drivers need from a per-processor tracer: the
+// kernels' reference recording plus the engine's time-keeping.
+type backTracer interface {
+	trace.Tracer
+	simengine.ProcTracer
+}
+
+// backend abstracts the simulated memory system so the drivers run
+// unchanged on the hardware cache-coherent machines and on the SVM
+// platform.
+type backend interface {
+	tracer(proc int) backTracer
+	resetStats()
+	// barrierExtra returns the barrier-release delay hook (HLRC diff
+	// flushes) or nil for hardware machines.
+	barrierExtra() func(int64) int64
+	fill(res *Result)
+}
+
+type hwBackend struct{ sys *memsim.System }
+
+// newHWBackend builds the hardware backend with per-array miss attribution
+// enabled from the workload's segment table.
+func newHWBackend(sys *memsim.System, w *Workload) hwBackend {
+	sys.SetSegments(w.Space.Segments())
+	return hwBackend{sys: sys}
+}
+
+func (b hwBackend) tracer(p int) backTracer         { return &memsim.Tracer{Sys: b.sys, Proc: p} }
+func (b hwBackend) resetStats()                     { b.sys.ResetStats() }
+func (b hwBackend) barrierExtra() func(int64) int64 { return nil }
+func (b hwBackend) fill(res *Result) {
+	res.Mem = b.sys.Totals()
+	res.MemPer = append(res.MemPer, b.sys.Stats...)
+	res.MissRate = b.sys.MissRate()
+	res.SegMisses = b.sys.SegmentMisses()
+}
+
+type svmBackend struct{ sys *svmsim.System }
+
+func (b svmBackend) tracer(p int) backTracer         { return &svmsim.Tracer{Sys: b.sys, Proc: p} }
+func (b svmBackend) resetStats()                     { b.sys.ResetStats() }
+func (b svmBackend) barrierExtra() func(int64) int64 { return b.sys.BarrierFlush }
+func (b svmBackend) fill(res *Result) {
+	t := b.sys.Totals()
+	res.Svm = &t
+	res.SvmPer = append(res.SvmPer, b.sys.Stats...)
+	res.SvmFlushedPages = b.sys.FlushedPages
+}
+
+// Workload is a volume plus an animation sequence, prepared once and
+// reusable across simulated machines and processor counts. The shared
+// arrays are registered once so addresses — and therefore cross-frame
+// temporal locality — are stable across frames.
+type Workload struct {
+	R      *render.Renderer
+	Views  [][2]float64
+	Frames []*render.Frame
+
+	Space      *trace.AddrSpace
+	intPix     trace.Array
+	intLinks   trace.Array
+	finalPix   trace.Array
+	profileArr trace.Array
+	encRunLens map[xform.Axis]trace.Array
+	encVox     map[xform.Axis]trace.Array
+
+	// Ray-casting baseline state, built on first use (its octree and dense
+	// voxel array register once so addresses are stable across runs).
+	rc   *raycast.Renderer
+	rcTC raycast.TraceCtx
+}
+
+// NewWorkload prepares the frames and the simulated address space for a
+// renderer and view sequence.
+func NewWorkload(r *render.Renderer, views [][2]float64) *Workload {
+	w := &Workload{
+		R: r, Views: views,
+		Space:      trace.NewAddrSpace(),
+		encRunLens: map[xform.Axis]trace.Array{},
+		encVox:     map[xform.Axis]trace.Array{},
+	}
+	maxIntPix, maxIntH, maxFinPix := 0, 0, 0
+	for _, v := range views {
+		fr := r.Setup(v[0], v[1])
+		w.Frames = append(w.Frames, fr)
+		maxIntPix = max(maxIntPix, fr.M.W*fr.M.H)
+		maxIntH = max(maxIntH, fr.M.H)
+		maxFinPix = max(maxFinPix, fr.Out.W*fr.Out.H)
+		if _, ok := w.encRunLens[fr.F.Axis]; !ok {
+			w.encRunLens[fr.F.Axis] = w.Space.Register("rle.RunLens", 2, len(fr.RV.RunLens))
+			w.encVox[fr.F.Axis] = w.Space.Register("rle.Vox", 4, len(fr.RV.Vox))
+		}
+	}
+	// Image buffers are reused across frames on a real machine; register
+	// them once at the maximum size so addresses stay stable.
+	w.intPix = w.Space.Register("int.Pix", 16, maxIntPix)
+	w.intLinks = w.Space.Register("int.Links", 4, maxIntPix)
+	w.finalPix = w.Space.Register("final.Pix", 4, maxFinPix)
+	w.profileArr = w.Space.Register("profile", 8, maxIntH)
+	return w
+}
+
+// CompArrays returns the compositing kernel's trace handles for an axis.
+func (w *Workload) CompArrays(axis xform.Axis) composite.Arrays {
+	return composite.Arrays{
+		RunLens:  w.encRunLens[axis],
+		Vox:      w.encVox[axis],
+		IntPix:   w.intPix,
+		IntLinks: w.intLinks,
+	}
+}
+
+// WarpArrays returns the warp kernel's trace handles.
+func (w *Workload) WarpArrays() warp.Arrays {
+	return warp.Arrays{IntPix: w.intPix, FinalPix: w.finalPix}
+}
+
+// ProfileArray returns the handle of the shared per-scanline profile.
+func (w *Workload) ProfileArray() trace.Array { return w.profileArr }
+
+// RayCaster returns the workload's ray-casting baseline and its trace
+// context (without a tracer bound), building and registering them on first
+// use.
+func (w *Workload) RayCaster() (*raycast.Renderer, raycast.TraceCtx) {
+	if w.rc == nil {
+		w.rc = raycast.New(w.R.Classified)
+		w.rcTC = w.rc.RegisterArrays(w.Space, w.finalPix)
+	}
+	return w.rc, w.rcTC
+}
+
+// resetImages clears every frame's images so the workload can be re-run.
+func (w *Workload) resetImages() {
+	for _, fr := range w.Frames {
+		fr.M.Clear()
+		fr.Out.Clear()
+	}
+}
+
+// Result is the outcome of one simulated execution.
+//
+// The first frame of a workload is a warm-up: it loads the volume into the
+// caches (and, for the new algorithm, collects the first profile). Like the
+// paper — which measures steady-state animation frames and explicitly omits
+// cold misses from its breakdowns (Figure 7) — the memory statistics are
+// reset after frame 0 and SteadyCycles reports per-frame time excluding it.
+type Result struct {
+	Finish    int64   // simulated completion time (max proc clock), cycles
+	FrameEnds []int64 // simulated time at each frame's closing barrier
+	PerProc   []simengine.Breakdown
+	// SteadyPerProc excludes the warm-up frame's cycles.
+	SteadyPerProc []simengine.Breakdown
+	// SteadyPhases maps phase names to steady-state aggregate breakdowns.
+	SteadyPhases map[string]simengine.Breakdown
+	// Phases maps "composite" / "warp" to aggregate breakdowns.
+	Phases map[string]simengine.Breakdown
+	// Mem aggregates memory-system statistics over all processors.
+	Mem memsim.ProcStats
+	// MemPer holds per-processor memory statistics.
+	MemPer []memsim.ProcStats
+	// MissRate is total misses / references.
+	MissRate float64
+	// LastImage is the final frame's output, for correctness checks.
+	LastImage *img.Final
+	// Steals counts stolen task units across processors.
+	Steals int
+	// SegMisses attributes misses to the shared arrays (hardware machines
+	// with attribution enabled).
+	SegMisses []memsim.SegMisses
+	// Svm holds SVM-platform statistics (nil on hardware machines).
+	Svm             *svmsim.ProcStats
+	SvmPer          []svmsim.ProcStats
+	SvmFlushedPages int64
+}
+
+// SteadyCycles returns the steady-state per-frame time: the average frame
+// time after the warm-up frame (or the total time when there is only one
+// frame).
+func (r *Result) SteadyCycles() int64 {
+	if len(r.FrameEnds) < 2 {
+		return r.Finish
+	}
+	return (r.FrameEnds[len(r.FrameEnds)-1] - r.FrameEnds[0]) / int64(len(r.FrameEnds)-1)
+}
+
+// warmup snapshots per-processor accounting at the end of the warm-up
+// frame so steady-state breakdowns can be derived.
+type warmup struct {
+	proc  []simengine.Breakdown
+	phase []map[string]simengine.Breakdown
+	taken bool
+}
+
+// take records the warm-up snapshot (once).
+func (wu *warmup) take(e *simengine.Engine) {
+	if wu.taken {
+		return
+	}
+	wu.taken = true
+	for _, p := range e.Procs {
+		wu.proc = append(wu.proc, p.Total)
+		snap := map[string]simengine.Breakdown{}
+		for name, b := range p.ByPhase {
+			snap[name] = *b
+		}
+		wu.phase = append(wu.phase, snap)
+	}
+}
+
+func sub(a, b simengine.Breakdown) simengine.Breakdown {
+	return simengine.Breakdown{
+		Busy:     a.Busy - b.Busy,
+		MemStall: a.MemStall - b.MemStall,
+		SyncWait: a.SyncWait - b.SyncWait,
+		LockWait: a.LockWait - b.LockWait,
+	}
+}
+
+// collect gathers engine statistics into a Result; the backend fills in
+// its memory-system statistics afterwards.
+func collect(e *simengine.Engine, be backend, lastImage *img.Final, steals int, frameEnds []int64, wu *warmup) *Result {
+	res := &Result{
+		Phases:       map[string]simengine.Breakdown{},
+		SteadyPhases: map[string]simengine.Breakdown{},
+		LastImage:    lastImage,
+		Steals:       steals,
+		FrameEnds:    frameEnds,
+	}
+	for i, p := range e.Procs {
+		res.PerProc = append(res.PerProc, p.Total)
+		if p.Clock > res.Finish {
+			res.Finish = p.Clock
+		}
+		steady := p.Total
+		var warmPhases map[string]simengine.Breakdown
+		if wu != nil && wu.taken {
+			steady = sub(p.Total, wu.proc[i])
+			warmPhases = wu.phase[i]
+		}
+		res.SteadyPerProc = append(res.SteadyPerProc, steady)
+		for name, b := range p.ByPhase {
+			ph := res.Phases[name]
+			ph.Add(*b)
+			res.Phases[name] = ph
+			sp := res.SteadyPhases[name]
+			if w, ok := warmPhases[name]; ok {
+				sp.Add(sub(*b, w))
+			} else {
+				sp.Add(*b)
+			}
+			res.SteadyPhases[name] = sp
+		}
+	}
+	be.fill(res)
+	return res
+}
+
+// frameSetupCycles is the modeled serial cost of per-frame setup
+// (factorization, queue construction), charged to the processor that
+// initializes the frame.
+const frameSetupCycles = 400
+
+// queueOpCycles is the modeled cost of one task-queue operation inside its
+// critical section.
+const queueOpCycles = 25
+
+// atomicOpCycles is the modeled cost of a lock-free synchronized update
+// (the new algorithm's private band-head advance and its per-band
+// completion counter; section 4's "no chunks in the initial assignment").
+const atomicOpCycles = 60
+
+// warpRowsPerQuantum bounds how many final-image rows a warp step covers
+// between scheduling points.
+const warpRowsPerQuantum = 4

@@ -1,0 +1,151 @@
+// Package stats provides the result-table types the experiment harness
+// uses to print paper figures as aligned text, plus small numeric
+// formatting helpers.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced figure or table: a title, column headers, rows
+// of pre-formatted cells, and free-form notes (usually the comparison with
+// the paper's qualitative claim).
+type Table struct {
+	ID      string // e.g. "fig4"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first; notes as
+// trailing comment lines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		return c
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// I formats an integer.
+func I(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(part, whole int64) string {
+	if whole == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// Speedup formats t1/tp.
+func Speedup(t1, tp int64) string {
+	if tp == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(t1)/float64(tp))
+}
+
+// PerThousand formats events per thousand references.
+func PerThousand(events, refs int64) string {
+	if refs == 0 {
+		return "0.00"
+	}
+	return fmt.Sprintf("%.2f", 1000*float64(events)/float64(refs))
+}
+
+// Bytes formats a byte count compactly (1KB, 64KB, 1MB).
+func Bytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

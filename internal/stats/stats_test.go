@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		ID:      "fig0",
+		Title:   "Example",
+		Columns: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1.00")
+	tb.AddRow("longer-name", "2.50")
+	tb.AddNote("a note with %d parts", 2)
+	s := tb.String()
+	if !strings.Contains(s, "== fig0: Example ==") {
+		t.Fatalf("missing header: %q", s)
+	}
+	if !strings.Contains(s, "note: a note with 2 parts") {
+		t.Fatal("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title + header + separator + 2 rows + 1 note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	// Value column is right-aligned: both data rows end with the value.
+	if !strings.HasSuffix(lines[3], "1.00") || !strings.HasSuffix(lines[4], "2.50") {
+		t.Fatalf("bad alignment: %q", s)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F")
+	}
+	if I(42) != "42" {
+		t.Fatal("I")
+	}
+	if Pct(1, 4) != "25.0%" {
+		t.Fatal("Pct")
+	}
+	if Pct(1, 0) != "0.0%" {
+		t.Fatal("Pct zero denominator")
+	}
+	if Speedup(100, 25) != "4.00" {
+		t.Fatal("Speedup")
+	}
+	if Speedup(100, 0) != "-" {
+		t.Fatal("Speedup zero")
+	}
+	if PerThousand(5, 1000) != "5.00" {
+		t.Fatal("PerThousand")
+	}
+	if PerThousand(5, 0) != "0.00" {
+		t.Fatal("PerThousand zero")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int]string{
+		512:       "512B",
+		1024:      "1KB",
+		64 << 10:  "64KB",
+		1 << 20:   "1MB",
+		1536:      "1536B", // not a whole KB
+		4 << 20:   "4MB",
+		100 << 10: "100KB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := Table{
+		ID:      "x",
+		Title:   "T",
+		Columns: []string{"a", "b"},
+	}
+	tb.AddRow("plain", "1,5") // cell containing a comma must be quoted
+	tb.AddRow(`qu"ote`, "2")
+	tb.AddNote("hello")
+	csv := tb.CSV()
+	want := "a,b\nplain,\"1,5\"\n\"qu\"\"ote\",2\n# hello\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

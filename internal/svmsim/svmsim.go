@@ -1,0 +1,311 @@
+// Package svmsim simulates the paper's fifth platform (section 5.5.2): a
+// page-based shared virtual memory system running an all-software
+// home-based lazy release consistency (HLRC) protocol on SMP nodes
+// connected by a Myrinet-like interconnect.
+//
+// Model summary:
+//
+//   - Coherence and communication happen at page granularity (4 KB). Pages
+//     are homed round-robin across nodes; a node's processors share its
+//     page state.
+//   - A read of a page whose home copy has advanced past the node's last
+//     fetch takes a page fault: software handling plus a full page transfer
+//     over the home node's I/O bus (with contention).
+//   - The first write to a page by a node creates a twin (non-home nodes)
+//     and marks the page dirty.
+//   - At a barrier, every dirty page is diffed and flushed to its home,
+//     serializing on the home I/O buses; the page version advances so other
+//     nodes' copies lapse (lazy invalidation). The flush delay extends the
+//     barrier release — the contention-induced barrier cost the paper
+//     highlights in Figure 21.
+//   - Reads of a page dirtied by another node since the last flush fetch
+//     the data from the dirty node (the release/acquire propagation that
+//     the new algorithm's per-band completion flags perform), so cross-node
+//     in-frame sharing pays data-wait even without an intervening barrier.
+package svmsim
+
+import "shearwarp/internal/trace"
+
+// Config describes the SVM platform. Cycle counts assume the paper's
+// 200 MHz 1-CPI processors, 400 MB/s memory buses and 100 MB/s I/O buses.
+type Config struct {
+	Procs        int
+	ProcsPerNode int // the paper's nodes hold 4 processors
+	PageBytes    int
+
+	FaultCost    int // software fault handling (trap + protocol)
+	TransferCost int // one page over the I/O bus (4 KB at 100 MB/s ~ 8200 cycles)
+	TwinCost     int // copying a page to its twin on first write
+	DiffCost     int // computing + applying one page diff at the home
+	Occupancy    int // home I/O bus occupancy per page moved
+
+	BarrierCost int64 // barrier message rounds (engine cost)
+	LockCost    int64 // lock acquire/release message cost (engine cost)
+}
+
+// Default returns the platform preset used for the Figure 20-22
+// experiments.
+func Default(procs int) Config {
+	return Config{
+		Procs:        procs,
+		ProcsPerNode: 4,
+		PageBytes:    4096,
+		FaultCost:    3000,
+		TransferCost: 8200,
+		TwinCost:     1500,
+		DiffCost:     2500,
+		Occupancy:    8200,
+		BarrierCost:  5000,
+		LockCost:     3000,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.ProcsPerNode < 1 {
+		c.ProcsPerNode = 1
+	}
+	if c.PageBytes < 512 {
+		c.PageBytes = 4096
+	}
+	if c.Occupancy < 1 {
+		c.Occupancy = 1
+	}
+}
+
+// ProcStats accumulates one processor's SVM behaviour.
+type ProcStats struct {
+	Refs        int64 // page-touches issued
+	ReadFaults  int64 // page fetches from the home
+	DirtyFaults int64 // page fetches from a dirty remote node
+	Twins       int64 // twin creations (first write to a page by a node)
+	DataWait    int64 // cycles stalled for pages (faults + contention)
+}
+
+// page is the per-page protocol state.
+type page struct {
+	version      int32 // advanced when dirty data is flushed home
+	dirtySeq     int32 // advanced on each node's first write since a flush
+	dirtyNode    int8  // node holding the freshest (unflushed) data, or -1
+	fetchedVer   []int32
+	fetchedDirty []int32
+	dirty        []bool
+}
+
+// System is one simulated SVM machine. Single-threaded, driven by the
+// deterministic engine.
+type System struct {
+	Cfg   Config
+	nodes int
+	pages map[uint64]*page
+	// busyUntil/lastProc per node I/O bus; same causal-arrival rules as
+	// the hardware memory simulator.
+	busyUntil []int64
+	lastProc  []int16
+
+	Stats        []ProcStats
+	FlushedPages int64 // pages diffed home across all barriers
+}
+
+// New builds a simulated SVM system.
+func New(cfg Config) *System {
+	cfg.normalize()
+	nodes := (cfg.Procs + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	return &System{
+		Cfg:       cfg,
+		nodes:     max(nodes, 1),
+		pages:     make(map[uint64]*page, 1<<10),
+		busyUntil: make([]int64, max(nodes, 1)),
+		lastProc:  make([]int16, max(nodes, 1)),
+		Stats:     make([]ProcStats, cfg.Procs),
+	}
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return s.nodes }
+
+func (s *System) node(p int) int { return p / s.Cfg.ProcsPerNode }
+
+func (s *System) pageOf(addr uint64) (uint64, *page) {
+	idx := addr / uint64(s.Cfg.PageBytes)
+	pg := s.pages[idx]
+	if pg == nil {
+		pg = &page{
+			dirtyNode:    -1,
+			fetchedVer:   make([]int32, s.nodes),
+			fetchedDirty: make([]int32, s.nodes),
+			dirty:        make([]bool, s.nodes),
+		}
+		for n := range pg.fetchedVer {
+			pg.fetchedVer[n] = -1
+		}
+		s.pages[idx] = pg
+	}
+	return idx, pg
+}
+
+// Access simulates one processor referencing [addr, addr+nbytes) at the
+// given (quantum-start) time, returning stall cycles.
+func (s *System) Access(proc int, addr uint64, nbytes int, write bool, now int64) int64 {
+	if nbytes <= 0 {
+		return 0
+	}
+	pb := uint64(s.Cfg.PageBytes)
+	first := addr / pb
+	last := (addr + uint64(nbytes) - 1) / pb
+	var stall int64
+	for pi := first; pi <= last; pi++ {
+		stall += s.accessPage(proc, pi*pb, write, now)
+	}
+	return stall
+}
+
+func (s *System) accessPage(proc int, pageAddr uint64, write bool, now int64) int64 {
+	st := &s.Stats[proc]
+	st.Refs++
+	node := s.node(proc)
+	idx, pg := s.pageOf(pageAddr)
+	home := int(idx % uint64(s.nodes))
+	var stall int64
+
+	needFetch, fromDirty := false, false
+	if node != home && pg.fetchedVer[node] < pg.version {
+		needFetch = true
+	}
+	if pg.dirtyNode >= 0 && int(pg.dirtyNode) != node && pg.fetchedDirty[node] < pg.dirtySeq {
+		needFetch, fromDirty = true, true
+	}
+	if needFetch {
+		server := home
+		if fromDirty {
+			server = int(pg.dirtyNode)
+		}
+		wait := int64(0)
+		if bu := s.busyUntil[server]; bu > now && int(s.lastProc[server]) != proc+1 {
+			wait = bu - now
+		}
+		s.lastProc[server] = int16(proc + 1)
+		s.busyUntil[server] = max(now, s.busyUntil[server]) + int64(s.Cfg.Occupancy)
+		cost := int64(s.Cfg.FaultCost+s.Cfg.TransferCost) + wait
+		stall += cost
+		st.DataWait += cost
+		if fromDirty {
+			st.DirtyFaults++
+		} else {
+			st.ReadFaults++
+		}
+		pg.fetchedVer[node] = pg.version
+		pg.fetchedDirty[node] = pg.dirtySeq
+	}
+
+	if write {
+		if !pg.dirty[node] {
+			pg.dirty[node] = true
+			pg.dirtySeq++
+			if node != home {
+				stall += int64(s.Cfg.TwinCost)
+				st.DataWait += int64(s.Cfg.TwinCost)
+				st.Twins++
+			}
+		}
+		pg.dirtyNode = int8(node)
+		// The writer's own copy is the freshest.
+		pg.fetchedDirty[node] = pg.dirtySeq
+	}
+	return stall
+}
+
+// BarrierFlush performs the HLRC barrier work: every dirty page is diffed
+// and sent to its home, serializing on the home I/O buses. It returns the
+// extra delay the flushes add to the barrier release — the paper's
+// contention-delayed barrier effect.
+func (s *System) BarrierFlush(now int64) int64 {
+	extra := make([]int64, s.nodes)
+	for idx, pg := range s.pages {
+		home := int(idx % uint64(s.nodes))
+		anyDirty := false
+		for n := 0; n < s.nodes; n++ {
+			if !pg.dirty[n] {
+				continue
+			}
+			anyDirty = true
+			pg.dirty[n] = false
+			if n != home {
+				extra[home] += int64(s.Cfg.DiffCost + s.Cfg.TransferCost)
+				s.FlushedPages++
+			}
+		}
+		if anyDirty {
+			pg.version++
+			pg.dirtyNode = -1
+			// Nodes that held dirty data are current; the flush that made
+			// the home current also leaves their fetched versions valid.
+			for n := 0; n < s.nodes; n++ {
+				if pg.fetchedDirty[n] == pg.dirtySeq {
+					pg.fetchedVer[n] = pg.version
+				}
+			}
+		}
+	}
+	var m int64
+	for n := range extra {
+		s.busyUntil[n] = max(now, s.busyUntil[n]) + extra[n]
+		if extra[n] > m {
+			m = extra[n]
+		}
+	}
+	return m
+}
+
+// Totals aggregates all processors' statistics.
+func (s *System) Totals() ProcStats {
+	var t ProcStats
+	for i := range s.Stats {
+		t.Refs += s.Stats[i].Refs
+		t.ReadFaults += s.Stats[i].ReadFaults
+		t.DirtyFaults += s.Stats[i].DirtyFaults
+		t.Twins += s.Stats[i].Twins
+		t.DataWait += s.Stats[i].DataWait
+	}
+	return t
+}
+
+// ResetStats clears statistics but keeps page state (for steady-state
+// measurement after a warm-up frame).
+func (s *System) ResetStats() {
+	for i := range s.Stats {
+		s.Stats[i] = ProcStats{}
+	}
+	s.FlushedPages = 0
+}
+
+// Tracer binds one simulated processor to the system (trace.Tracer +
+// simengine.ProcTracer).
+type Tracer struct {
+	Sys   *System
+	Proc  int
+	Now   int64
+	Stall int64
+}
+
+// Read implements trace.Tracer.
+func (t *Tracer) Read(a trace.Array, first, n int) {
+	t.Stall += t.Sys.Access(t.Proc, a.Addr(first), n*int(a.Elem), false, t.Now)
+}
+
+// Write implements trace.Tracer.
+func (t *Tracer) Write(a trace.Array, first, n int) {
+	t.Stall += t.Sys.Access(t.Proc, a.Addr(first), n*int(a.Elem), true, t.Now)
+}
+
+// SetNow implements simengine.ProcTracer.
+func (t *Tracer) SetNow(now int64) { t.Now = now }
+
+// DrainStall implements simengine.ProcTracer.
+func (t *Tracer) DrainStall() int64 {
+	s := t.Stall
+	t.Stall = 0
+	return s
+}

@@ -1,0 +1,225 @@
+package svmsim
+
+import (
+	"testing"
+
+	"shearwarp/internal/trace"
+)
+
+func cfg(procs int) Config {
+	c := Default(procs)
+	return c
+}
+
+func TestHomeNodeNeverFaultsOnOwnPages(t *testing.T) {
+	s := New(cfg(8)) // 2 nodes
+	// Page 0 homes at node 0; proc 0 is in node 0.
+	if stall := s.Access(0, 0, 4, false, 0); stall != 0 {
+		t.Fatalf("home read stalled %d cycles", stall)
+	}
+	if s.Stats[0].ReadFaults != 0 {
+		t.Fatal("home read counted as fault")
+	}
+}
+
+func TestRemoteReadFaultsOncePerVersion(t *testing.T) {
+	s := New(cfg(8))
+	// Proc 4 is in node 1; page 0 homes at node 0.
+	first := s.Access(4, 0, 4, false, 0)
+	if first == 0 || s.Stats[4].ReadFaults != 1 {
+		t.Fatalf("first remote read should fault: stall=%d stats=%+v", first, s.Stats[4])
+	}
+	second := s.Access(4, 8, 4, false, 1000)
+	if second != 0 {
+		t.Fatalf("second read of fetched page stalled %d", second)
+	}
+	// Same node, different proc: node-level caching means no new fault.
+	third := s.Access(5, 16, 4, false, 2000)
+	if third != 0 {
+		t.Fatalf("same-node read faulted again: %d", third)
+	}
+}
+
+func TestTwinOnFirstRemoteWriteOnly(t *testing.T) {
+	s := New(cfg(8))
+	s.Access(4, 0, 4, true, 0)
+	if s.Stats[4].Twins != 1 {
+		t.Fatalf("twins = %d, want 1", s.Stats[4].Twins)
+	}
+	s.Access(4, 8, 4, true, 100)
+	if s.Stats[4].Twins != 1 {
+		t.Fatal("second write twinned again")
+	}
+	// Home-node writes need no twin.
+	s.Access(0, 4096*2, 4, true, 0) // page 2 homes at node 0
+	if s.Stats[0].Twins != 0 {
+		t.Fatal("home write created a twin")
+	}
+}
+
+func TestBarrierFlushInvalidatesStaleCopies(t *testing.T) {
+	s := New(cfg(8))
+	s.Access(4, 0, 4, false, 0) // node 1 fetches page 0
+	s.Access(0, 0, 4, true, 0)  // node 0 (home) writes it
+	extra := s.BarrierFlush(1000)
+	// Home wrote: no diff needs to travel, so no flush delay...
+	if extra != 0 {
+		t.Fatalf("home-only dirty flush delayed barrier by %d", extra)
+	}
+	// ...but node 1's copy must now be stale.
+	stall := s.Access(4, 0, 4, false, 2000)
+	if stall == 0 {
+		t.Fatal("stale copy not refetched after flush")
+	}
+}
+
+func TestBarrierFlushCostsForRemoteDirty(t *testing.T) {
+	s := New(cfg(8))
+	s.Access(4, 0, 64, true, 0) // node 1 dirties page 0 (home node 0)
+	extra := s.BarrierFlush(1000)
+	if extra < int64(s.Cfg.DiffCost) {
+		t.Fatalf("flush extra = %d, want at least a diff", extra)
+	}
+	if s.FlushedPages != 1 {
+		t.Fatalf("flushed pages = %d, want 1", s.FlushedPages)
+	}
+	// The writer's copy stays valid (it holds the freshest data).
+	if stall := s.Access(4, 0, 4, false, 2000); stall != 0 {
+		t.Fatalf("writer refetched its own flushed page: %d", stall)
+	}
+}
+
+func TestDirtyRemoteReadPropagates(t *testing.T) {
+	s := New(cfg(8))
+	s.Access(4, 0, 4, true, 0) // node 1 dirties page 0
+	// Node 0 (the home!) reads: must fetch the fresh data from node 1.
+	stall := s.Access(0, 0, 4, false, 100)
+	if stall == 0 || s.Stats[0].DirtyFaults != 1 {
+		t.Fatalf("dirty read did not propagate: stall=%d stats=%+v", stall, s.Stats[0])
+	}
+	// Re-read: now current.
+	if s.Access(0, 8, 4, false, 200) != 0 {
+		t.Fatal("second read after propagation faulted")
+	}
+	// A further write by node 1 re-stales node 0.
+	s.Access(5, 4, 4, true, 300)
+	if s.Stats[5].Twins != 0 {
+		t.Fatal("same-node second writer twinned")
+	}
+}
+
+func TestFlushContentionAtOneHome(t *testing.T) {
+	// Many pages homed at node 0 dirtied remotely: flush serializes there.
+	s := New(cfg(8))
+	for i := 0; i < 6; i++ {
+		// Pages 0, 2, 4, ... home at node 0 (2 nodes).
+		s.Access(4, uint64(i*2)*4096, 4, true, 0)
+	}
+	extra := s.BarrierFlush(1000)
+	want := int64(6 * (s.Cfg.DiffCost + s.Cfg.TransferCost))
+	if extra != want {
+		t.Fatalf("flush extra = %d, want %d (serialized at one home)", extra, want)
+	}
+}
+
+func TestAccessSpansPages(t *testing.T) {
+	s := New(cfg(8)) // 2 nodes: even pages home at node 0, odd at node 1
+	// Proc 4 (node 1) touches pages 0, 1, 2: pages 0 and 2 are remote.
+	s.Access(4, 4000, 2*4096, false, 0)
+	if s.Stats[4].ReadFaults != 2 {
+		t.Fatalf("faults = %d, want 2 remote pages", s.Stats[4].ReadFaults)
+	}
+}
+
+func TestIOBusContention(t *testing.T) {
+	s := New(cfg(16)) // 4 nodes
+	// Procs from different nodes fault on pages homed at node 0 at once.
+	s.Access(4, 0, 4, false, 0)               // node 1
+	stall := s.Access(8, 4096*4, 4, false, 0) // node 2, page 4 homes at node 0
+	base := int64(s.Cfg.FaultCost + s.Cfg.TransferCost)
+	if stall <= base {
+		t.Fatalf("no I/O bus contention: stall=%d base=%d", stall, base)
+	}
+}
+
+func TestTracerAndReset(t *testing.T) {
+	s := New(cfg(8))
+	sp := trace.NewAddrSpace()
+	arr := sp.Register("a", 4, 4096)
+	// The array lands on page 1, which homes at node 1; proc 0 (node 0)
+	// must fault on it.
+	tr := &Tracer{Sys: s, Proc: 0}
+	tr.SetNow(0)
+	tr.Read(arr, 0, 100)
+	if tr.DrainStall() == 0 {
+		t.Fatal("no stall drained for a faulting read")
+	}
+	if tr.DrainStall() != 0 {
+		t.Fatal("drain did not clear")
+	}
+	s.ResetStats()
+	if s.Totals().Refs != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	// Page state survives reset.
+	if s.Access(0, arr.Addr(0), 4, false, 100) != 0 {
+		t.Fatal("reset dropped page state")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (ProcStats, int64) {
+		s := New(cfg(16))
+		var total int64
+		seed := uint64(12345)
+		next := func(n int) int {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return int(seed>>33) % n
+		}
+		for i := 0; i < 3000; i++ {
+			total += s.Access(next(16), uint64(next(1<<16)), 1+next(512),
+				next(4) == 0, int64(i*11))
+			if i%500 == 499 {
+				total += s.BarrierFlush(int64(i * 11))
+			}
+		}
+		return s.Totals(), total
+	}
+	a, sa := run()
+	b, sb := run()
+	if a != b || sa != sb {
+		t.Fatal("SVM simulation not deterministic")
+	}
+}
+
+func TestRepeatedBarriersNoLeak(t *testing.T) {
+	s := New(cfg(8))
+	for round := 0; round < 5; round++ {
+		s.Access(4, 0, 64, true, int64(round*1000))
+		extra := s.BarrierFlush(int64(round*1000 + 500))
+		if extra <= 0 {
+			t.Fatalf("round %d: remote dirty page not flushed", round)
+		}
+		// After the flush nothing is dirty: an immediate second barrier is
+		// free.
+		if e2 := s.BarrierFlush(int64(round*1000 + 600)); e2 != 0 {
+			t.Fatalf("round %d: double flush cost %d", round, e2)
+		}
+	}
+	if s.FlushedPages != 5 {
+		t.Fatalf("flushed pages = %d, want 5", s.FlushedPages)
+	}
+}
+
+func TestVersionsMonotone(t *testing.T) {
+	s := New(cfg(8))
+	s.Access(4, 0, 4, true, 0)
+	s.BarrierFlush(100)
+	_, pg := s.pageOf(0)
+	v1 := pg.version
+	s.Access(0, 0, 4, true, 200) // home write
+	s.BarrierFlush(300)
+	if pg.version <= v1 {
+		t.Fatalf("version did not advance: %d -> %d", v1, pg.version)
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace defines the memory-reference instrumentation boundary
+// between the rendering kernels and the memory-system simulators — the
+// analog of the Tango-Lite reference generator the paper used. Kernels do
+// their real arithmetic and, when a Tracer is attached, report the shared
+// arrays they touch as (array, first element, count) ranges. The simulators
+// expand ranges to cache lines or pages and charge stall cycles.
+//
+// In native (real-execution) mode the tracer is nil and the kernels skip
+// instrumentation entirely, so the same kernel code serves both the host
+// benchmarks and the simulation experiments.
+package trace
+
+import "fmt"
+
+// Array is a handle to a registered shared array in the simulated flat
+// address space. Elem is the element size in bytes; Base is the byte
+// address of element 0.
+type Array struct {
+	Base uint64
+	Elem uint32
+}
+
+// Addr returns the byte address of element i.
+func (a Array) Addr(i int) uint64 { return a.Base + uint64(i)*uint64(a.Elem) }
+
+// Valid reports whether the handle refers to a registered array.
+func (a Array) Valid() bool { return a.Elem != 0 }
+
+// Tracer receives the memory references of one simulated processor.
+// first/n are in elements of the array.
+type Tracer interface {
+	Read(a Array, first, n int)
+	Write(a Array, first, n int)
+}
+
+// AddrSpace lays out shared arrays in a flat simulated address space.
+// Arrays are segment-aligned so distinct arrays never share a cache line
+// or page, mirroring separate allocations on a real machine.
+type AddrSpace struct {
+	next     uint64
+	segments []Segment
+}
+
+// Segment records one registered array for diagnostics.
+type Segment struct {
+	Name  string
+	Base  uint64
+	Bytes uint64
+	Elem  uint32
+}
+
+// segAlign keeps arrays from sharing pages (4 KB), so false sharing in the
+// simulators is always intra-array, as it would be with page-aligned
+// allocations.
+const segAlign = 4096
+
+// NewAddrSpace returns an empty address space starting at a non-zero base.
+func NewAddrSpace() *AddrSpace { return &AddrSpace{next: segAlign} }
+
+// Register allocates an array of count elements of elemSize bytes and
+// returns its handle.
+func (s *AddrSpace) Register(name string, elemSize, count int) Array {
+	if elemSize <= 0 || count < 0 {
+		panic(fmt.Sprintf("trace: bad array %q: elem %d count %d", name, elemSize, count))
+	}
+	bytes := uint64(elemSize) * uint64(count)
+	a := Array{Base: s.next, Elem: uint32(elemSize)}
+	s.segments = append(s.segments, Segment{Name: name, Base: s.next, Bytes: bytes, Elem: uint32(elemSize)})
+	s.next += (bytes + segAlign - 1) / segAlign * segAlign
+	if bytes == 0 {
+		s.next += segAlign
+	}
+	return a
+}
+
+// Size returns the total extent of the address space in bytes.
+func (s *AddrSpace) Size() uint64 { return s.next }
+
+// Segments returns the registered segments in allocation order.
+func (s *AddrSpace) Segments() []Segment { return s.segments }
+
+// CountingTracer is a trivial Tracer that tallies references; used in tests
+// and for cheap reference-count statistics.
+type CountingTracer struct {
+	Reads, Writes         int64 // calls
+	ReadElems, WriteElems int64 // elements covered
+}
+
+// Read implements Tracer.
+func (c *CountingTracer) Read(a Array, first, n int) {
+	c.Reads++
+	c.ReadElems += int64(n)
+}
+
+// Write implements Tracer.
+func (c *CountingTracer) Write(a Array, first, n int) {
+	c.Writes++
+	c.WriteElems += int64(n)
+}

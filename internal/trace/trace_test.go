@@ -1,0 +1,73 @@
+package trace
+
+import "testing"
+
+func TestRegisterLayout(t *testing.T) {
+	s := NewAddrSpace()
+	a := s.Register("a", 4, 100)
+	b := s.Register("b", 2, 10)
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("handles invalid")
+	}
+	if a.Base == 0 {
+		t.Fatal("arrays must not start at address 0")
+	}
+	if a.Addr(1)-a.Addr(0) != 4 {
+		t.Fatal("element stride wrong")
+	}
+	// Segments never share a 4KB page.
+	if b.Base/4096 == a.Base/4096 && (a.Base+400)/4096 == b.Base/4096 {
+		t.Fatal("arrays share a page")
+	}
+	if b.Base < a.Base+400 {
+		t.Fatal("overlapping segments")
+	}
+	if len(s.Segments()) != 2 {
+		t.Fatal("segments not recorded")
+	}
+	if s.Size() <= b.Base {
+		t.Fatal("size does not cover segments")
+	}
+}
+
+func TestRegisterAlignment(t *testing.T) {
+	s := NewAddrSpace()
+	s.Register("x", 3, 5) // 15 bytes
+	y := s.Register("y", 8, 1)
+	if y.Base%4096 != 0 {
+		t.Fatalf("segment base %d not page-aligned", y.Base)
+	}
+}
+
+func TestZeroLengthArray(t *testing.T) {
+	s := NewAddrSpace()
+	a := s.Register("empty", 4, 0)
+	b := s.Register("next", 4, 1)
+	if a.Base == b.Base {
+		t.Fatal("zero-length array shares a base with the next")
+	}
+}
+
+func TestRegisterPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad element size accepted")
+		}
+	}()
+	NewAddrSpace().Register("bad", 0, 10)
+}
+
+func TestCountingTracer(t *testing.T) {
+	s := NewAddrSpace()
+	a := s.Register("a", 4, 100)
+	c := &CountingTracer{}
+	c.Read(a, 0, 10)
+	c.Write(a, 5, 3)
+	c.Read(a, 50, 1)
+	if c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("calls: %d reads %d writes", c.Reads, c.Writes)
+	}
+	if c.ReadElems != 11 || c.WriteElems != 3 {
+		t.Fatalf("elems: %d read %d written", c.ReadElems, c.WriteElems)
+	}
+}

@@ -1,0 +1,158 @@
+package vol
+
+import "math"
+
+// The synthetic phantoms below stand in for the paper's MRI brain and CT
+// head scans (see DESIGN.md, "Substitutions"). What the algorithms are
+// sensitive to is the *statistics* of classified medical data, which the
+// paper calls out explicitly:
+//
+//   - 70-95% of voxels are transparent after classification, so run-length
+//     coherence pays off;
+//   - per-scanline compositing cost is strongly non-uniform and hump-shaped
+//     (Figure 10), with empty scanlines at the top and bottom of the
+//     intermediate image;
+//   - density is spatially coherent (long runs), with thin high-gradient
+//     shells (skin, skull) around bulky interior tissue.
+//
+// Both generators are fully deterministic: the same dimensions always yield
+// the same volume, so every experiment is reproducible bit-for-bit.
+
+// MRIBrain synthesizes an n x n x round(0.65*n) volume shaped like the MRI
+// head scans used in the paper (their 256 set is 256x256x167, ratio ~0.65).
+// It contains a skin shell, a skull shell, cerebrospinal fluid, and a brain
+// whose density is modulated by smooth sinusoidal "folds", plus a pair of
+// low-density ventricles.
+func MRIBrain(n int) *Volume {
+	nz := int(math.Round(float64(n) * 0.65))
+	if nz < 1 {
+		nz = 1
+	}
+	return MRIBrainDims(n, n, nz)
+}
+
+// MRIBrainDims synthesizes the MRI head phantom at explicit dimensions.
+func MRIBrainDims(nx, ny, nz int) *Volume {
+	v := New(nx, ny, nz)
+	cx, cy, cz := float64(nx-1)/2, float64(ny-1)/2, float64(nz-1)/2
+	// Head ellipsoid radii as fractions of each dimension.
+	rx, ry, rz := 0.44*float64(nx), 0.46*float64(ny), 0.47*float64(nz)
+	for z := 0; z < nz; z++ {
+		pz := (float64(z) - cz) / rz
+		for y := 0; y < ny; y++ {
+			py := (float64(y) - cy) / ry
+			row := v.Data[(z*ny+y)*nx : (z*ny+y)*nx+nx]
+			for x := 0; x < nx; x++ {
+				px := (float64(x) - cx) / rx
+				row[x] = mriSample(px, py, pz, float64(x), float64(y), float64(z))
+			}
+		}
+	}
+	return v
+}
+
+// mriSample evaluates the MRI phantom at normalized head coordinates
+// (px,py,pz in [-1,1] at the head surface) and absolute voxel coordinates
+// (for the fold modulation and noise).
+func mriSample(px, py, pz, ax, ay, az float64) uint8 {
+	r := math.Sqrt(px*px + py*py + pz*pz)
+	switch {
+	case r > 1.0:
+		return 0 // air
+	case r > 0.96:
+		// Skin: soft tissue, mid density.
+		return noisy(95, ax, ay, az, 10)
+	case r > 0.90:
+		// Skull: dark in MRI (low water content).
+		return noisy(35, ax, ay, az, 6)
+	case r > 0.86:
+		// Cerebrospinal fluid: bright rim.
+		return noisy(150, ax, ay, az, 10)
+	}
+	// Brain tissue: gray/white matter with smooth sinusoidal folds so that
+	// classified opacity varies coherently (long runs, non-uniform scanline
+	// cost). Ventricles near the center are low density.
+	vx, vy, vz := px, py*1.2, pz*1.4
+	vent := math.Sqrt((vx*vx)/0.06 + (vy-0.05)*(vy-0.05)/0.02 + vz*vz/0.10)
+	if vent < 1.0 {
+		return noisy(55, ax, ay, az, 8)
+	}
+	folds := math.Sin(ax*0.22) * math.Cos(ay*0.19) * math.Sin(az*0.16)
+	base := 120 + 45*folds*(1.0-r)
+	return noisy(base, ax, ay, az, 12)
+}
+
+// CTHead synthesizes an n^3 CT head phantom (the paper's CT sets are cubic:
+// 128^3, 256^3, 511^3). CT contrast is dominated by bone: a bright skull
+// shell, bright jaw and spine structures, and faint soft tissue, giving a
+// higher transparent fraction than the MRI set once classified.
+func CTHead(n int) *Volume { return CTHeadDims(n, n, n) }
+
+// CTHeadDims synthesizes the CT head phantom at explicit dimensions.
+func CTHeadDims(nx, ny, nz int) *Volume {
+	v := New(nx, ny, nz)
+	cx, cy, cz := float64(nx-1)/2, float64(ny-1)/2, float64(nz-1)/2
+	rx, ry, rz := 0.42*float64(nx), 0.45*float64(ny), 0.47*float64(nz)
+	for z := 0; z < nz; z++ {
+		pz := (float64(z) - cz) / rz
+		for y := 0; y < ny; y++ {
+			py := (float64(y) - cy) / ry
+			row := v.Data[(z*ny+y)*nx : (z*ny+y)*nx+nx]
+			for x := 0; x < nx; x++ {
+				px := (float64(x) - cx) / rx
+				row[x] = ctSample(px, py, pz, float64(x), float64(y), float64(z))
+			}
+		}
+	}
+	return v
+}
+
+func ctSample(px, py, pz, ax, ay, az float64) uint8 {
+	r := math.Sqrt(px*px + py*py + pz*pz)
+	switch {
+	case r > 1.0:
+		return 0
+	case r > 0.97:
+		// Skin in CT: faint.
+		return noisy(45, ax, ay, az, 6)
+	case r > 0.88:
+		// Skull: bone, very bright.
+		return noisy(230, ax, ay, az, 10)
+	}
+	// Jaw/teeth: a bright arc low in the head.
+	jaw := math.Sqrt(px*px/0.45 + (py-0.35)*(py-0.35)/0.06 + (pz+0.55)*(pz+0.55)/0.12)
+	if jaw > 0.85 && jaw < 1.0 {
+		return noisy(240, ax, ay, az, 8)
+	}
+	// Spine stub entering the head base.
+	spine := math.Sqrt(px*px/0.02 + (py-0.25)*(py-0.25)/0.02)
+	if spine < 1.0 && pz < -0.55 {
+		return noisy(225, ax, ay, az, 8)
+	}
+	// Soft tissue: mostly below typical CT bone thresholds.
+	return noisy(40+12*math.Sin(ax*0.11)*math.Cos(az*0.13), ax, ay, az, 7)
+}
+
+// noisy adds deterministic, spatially-uncorrelated noise of the given
+// amplitude to a base density and clamps to [0, 255].
+func noisy(base, x, y, z, amp float64) uint8 {
+	h := hash3(uint32(x), uint32(y), uint32(z))
+	n := (float64(h&0xffff)/65535.0 - 0.5) * 2 * amp
+	s := base + n
+	if s < 0 {
+		s = 0
+	}
+	if s > 255 {
+		s = 255
+	}
+	return uint8(s)
+}
+
+// hash3 is a small deterministic integer hash used for phantom noise.
+func hash3(x, y, z uint32) uint32 {
+	h := x*0x8da6b343 + y*0xd8163841 + z*0xcb1ab31f
+	h ^= h >> 13
+	h *= 0x9e3779b1
+	h ^= h >> 16
+	return h
+}

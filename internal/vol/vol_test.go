@@ -1,0 +1,267 @@
+package vol
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	v := New(3, 4, 5)
+	if got := v.VoxelCount(); got != 60 {
+		t.Fatalf("VoxelCount = %d, want 60", got)
+	}
+	if len(v.Data) != 60 {
+		t.Fatalf("len(Data) = %d, want 60", len(v.Data))
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,1,1) did not panic")
+		}
+	}()
+	New(0, 1, 1)
+}
+
+func TestIndexSetAtRoundTrip(t *testing.T) {
+	v := New(4, 5, 6)
+	v.Set(1, 2, 3, 200)
+	if got := v.At(1, 2, 3); got != 200 {
+		t.Fatalf("At(1,2,3) = %d, want 200", got)
+	}
+	if got := v.Data[v.Index(1, 2, 3)]; got != 200 {
+		t.Fatalf("Data[Index] = %d, want 200", got)
+	}
+}
+
+func TestAtOutOfBoundsIsZero(t *testing.T) {
+	v := New(2, 2, 2)
+	for i := range v.Data {
+		v.Data[i] = 255
+	}
+	coords := [][3]int{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}}
+	for _, c := range coords {
+		if got := v.At(c[0], c[1], c[2]); got != 0 {
+			t.Errorf("At(%v) = %d, want 0", c, got)
+		}
+	}
+}
+
+func TestIndexIsXFastest(t *testing.T) {
+	v := New(7, 5, 3)
+	if v.Index(1, 0, 0)-v.Index(0, 0, 0) != 1 {
+		t.Error("x stride != 1")
+	}
+	if v.Index(0, 1, 0)-v.Index(0, 0, 0) != 7 {
+		t.Error("y stride != Nx")
+	}
+	if v.Index(0, 0, 1)-v.Index(0, 0, 0) != 35 {
+		t.Error("z stride != Nx*Ny")
+	}
+}
+
+func TestSampleAtLatticePointsExact(t *testing.T) {
+	v := New(4, 4, 4)
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				v.Set(x, y, z, uint8(x*16+y*4+z))
+			}
+		}
+	}
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				got := v.Sample(float64(x), float64(y), float64(z))
+				want := float64(x*16 + y*4 + z)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("Sample(%d,%d,%d) = %g, want %g", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleMidpointIsAverage(t *testing.T) {
+	v := New(2, 1, 1)
+	v.Set(0, 0, 0, 10)
+	v.Set(1, 0, 0, 30)
+	if got := v.Sample(0.5, 0, 0); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("midpoint sample = %g, want 20", got)
+	}
+}
+
+// Trilinear interpolation of a linear field reproduces the field exactly
+// everywhere inside the lattice — a property test over sample positions.
+func TestSampleReproducesLinearField(t *testing.T) {
+	const n = 8
+	v := New(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v.Set(x, y, z, uint8(2*x+3*y+4*z))
+			}
+		}
+	}
+	f := func(xs, ys, zs uint16) bool {
+		// Map to interior positions in [0, n-1.001].
+		x := float64(xs) / 65535.0 * (n - 1.001)
+		y := float64(ys) / 65535.0 * (n - 1.001)
+		z := float64(zs) / 65535.0 * (n - 1.001)
+		got := v.Sample(x, y, z)
+		want := 2*x + 3*y + 4*z
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	v := MRIBrainDims(12, 12, 8)
+	r := v.Resample(12, 12, 8)
+	if !bytes.Equal(v.Data, r.Data) {
+		t.Fatal("identity resample changed samples")
+	}
+}
+
+func TestResampleDoublesDimensions(t *testing.T) {
+	v := MRIBrainDims(10, 10, 6)
+	r := v.Resample(20, 20, 12)
+	if r.Nx != 20 || r.Ny != 20 || r.Nz != 12 {
+		t.Fatalf("resampled dims = %dx%dx%d", r.Nx, r.Ny, r.Nz)
+	}
+	// Corners map exactly onto old corners.
+	if r.At(0, 0, 0) != v.At(0, 0, 0) {
+		t.Error("corner (0,0,0) not preserved")
+	}
+	if r.At(19, 19, 11) != v.At(9, 9, 5) {
+		t.Error("far corner not preserved")
+	}
+}
+
+func TestResamplePreservesRange(t *testing.T) {
+	v := CTHeadDims(16, 16, 16)
+	r := v.Resample(23, 9, 31)
+	st := r.ComputeStats()
+	if st.Max > 255 {
+		t.Fatal("impossible: max > 255")
+	}
+	// Interpolation cannot exceed the source max.
+	src := v.ComputeStats()
+	if st.Max > src.Max {
+		t.Fatalf("resample max %d exceeds source max %d", st.Max, src.Max)
+	}
+}
+
+func TestGradientOfLinearRamp(t *testing.T) {
+	v := New(8, 8, 8)
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v.Set(x, y, z, uint8(10*x))
+			}
+		}
+	}
+	gx, gy, gz := v.Gradient(4, 4, 4)
+	if math.Abs(gx-10) > 1e-9 || math.Abs(gy) > 1e-9 || math.Abs(gz) > 1e-9 {
+		t.Fatalf("gradient = (%g,%g,%g), want (10,0,0)", gx, gy, gz)
+	}
+}
+
+func TestMRIBrainDeterministic(t *testing.T) {
+	a := MRIBrain(16)
+	b := MRIBrain(16)
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Fatal("MRIBrain is not deterministic")
+	}
+}
+
+func TestMRIBrainShape(t *testing.T) {
+	v := MRIBrain(32)
+	if v.Nx != 32 || v.Ny != 32 {
+		t.Fatalf("dims = %dx%d, want 32x32", v.Nx, v.Ny)
+	}
+	if v.Nz < 18 || v.Nz > 24 {
+		t.Fatalf("Nz = %d, want ~0.65*32", v.Nz)
+	}
+	st := v.ComputeStats()
+	// Head is embedded in air: a meaningful zero fraction, but a substantial
+	// non-zero interior too.
+	if st.ZeroFrac < 0.2 || st.ZeroFrac > 0.8 {
+		t.Fatalf("ZeroFrac = %.2f, want head-in-air shape", st.ZeroFrac)
+	}
+	// Center voxel is inside the brain.
+	if v.At(16, 16, v.Nz/2) == 0 {
+		t.Fatal("center voxel is empty")
+	}
+	// Corner voxel is air.
+	if v.At(0, 0, 0) != 0 {
+		t.Fatal("corner voxel is not air")
+	}
+}
+
+func TestCTHeadShape(t *testing.T) {
+	v := CTHead(32)
+	if v.Nx != 32 || v.Ny != 32 || v.Nz != 32 {
+		t.Fatalf("CTHead dims = %dx%dx%d, want cube", v.Nx, v.Ny, v.Nz)
+	}
+	st := v.ComputeStats()
+	if st.Max < 200 {
+		t.Fatalf("CT max density %d, want bright bone > 200", st.Max)
+	}
+	if v.At(0, 0, 0) != 0 {
+		t.Fatal("corner voxel is not air")
+	}
+}
+
+func TestVolumeIOBoundTrip(t *testing.T) {
+	v := MRIBrainDims(9, 7, 5)
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nx != 9 || r.Ny != 7 || r.Nz != 5 {
+		t.Fatalf("round-trip dims = %dx%dx%d", r.Nx, r.Ny, r.Nz)
+	}
+	if !bytes.Equal(r.Data, v.Data) {
+		t.Fatal("round-trip data mismatch")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	_, err := ReadFrom(bytes.NewReader([]byte("not a volume file....")))
+	if err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReadFromRejectsTruncated(t *testing.T) {
+	v := MRIBrainDims(8, 8, 8)
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadFrom(bytes.NewReader(tr)); err == nil {
+		t.Fatal("expected error for truncated data")
+	}
+}
+
+func TestHash3Spread(t *testing.T) {
+	// The noise hash should not collapse neighbouring coordinates.
+	seen := map[uint32]bool{}
+	for i := uint32(0); i < 64; i++ {
+		seen[hash3(i, i+1, i+2)] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("hash3 produced only %d distinct values of 64", len(seen))
+	}
+}

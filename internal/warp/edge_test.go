@@ -1,0 +1,109 @@
+package warp
+
+import (
+	"math"
+	"testing"
+
+	"shearwarp/internal/img"
+)
+
+func TestRowSpanConstantV(t *testing.T) {
+	// An axis-aligned view has an identity-like warp: v does not vary with
+	// x along a final row (dv/dx ~ 0), exercising the degenerate branch.
+	f, m := composited(t, 16, 0, 0)
+	if math.Abs(f.WarpInv[3]) > 1e-9 {
+		t.Skipf("warp not axis-aligned: dv/dx = %g", f.WarpInv[3])
+	}
+	out := img.NewFinal(f.FinalW, f.FinalH)
+	ctx := NewCtx(f, m, out)
+	// Band covering v in [2, 5): rows y with constant v in range are fully
+	// owned, others not at all.
+	owned := 0
+	for y := 0; y < out.H; y++ {
+		x0, x1, ok := ctx.RowSpan(y, Band{VLo: 2, VHi: 5})
+		if !ok {
+			continue
+		}
+		if x0 != 0 || x1 != out.W {
+			t.Fatalf("constant-v row partially owned: [%d,%d)", x0, x1)
+		}
+		owned++
+	}
+	if owned == 0 {
+		t.Fatal("no rows owned by a mid-image band")
+	}
+}
+
+func TestPartitionTasksWithEmptyRegion(t *testing.T) {
+	// All-equal boundaries: nothing composited, one background task.
+	tasks := PartitionTasks([]int{5, 5, 5})
+	cover := 0
+	for _, tk := range tasks {
+		if tk.NeedLo <= tk.NeedHi {
+			t.Fatalf("empty-region task has dependencies: %+v", tk)
+		}
+		cover++
+	}
+	if cover == 0 {
+		t.Fatal("no tasks for empty region")
+	}
+}
+
+func TestPartitionTasksAllEmptyButOne(t *testing.T) {
+	// Bands: empty, full, empty. Coverage and ownership must hold.
+	tasks := PartitionTasks([]int{0, 0, 40, 40})
+	sawInterior := false
+	for _, tk := range tasks {
+		if tk.NeedLo <= tk.NeedHi {
+			if tk.NeedLo != 1 || tk.NeedHi != 1 {
+				t.Fatalf("dependency outside the only non-empty band: %+v", tk)
+			}
+			sawInterior = true
+		}
+	}
+	if !sawInterior {
+		t.Fatal("no task depends on the non-empty band")
+	}
+}
+
+func TestWarpCountersConsistent(t *testing.T) {
+	f, m := composited(t, 16, 0.5, 0.3)
+	out := img.NewFinal(f.FinalW, f.FinalH)
+	ctx := NewCtx(f, m, out)
+	var cnt Counters
+	ctx.WarpTile(0, 0, out.W, out.H, &cnt)
+	other := Counters{}
+	other.Add(cnt)
+	if other != cnt {
+		t.Fatal("Add is lossy")
+	}
+	if cnt.Cycles < cnt.Pixels*CyclesPerPixel {
+		t.Fatal("cycles below per-pixel floor")
+	}
+}
+
+func TestWarpRowOutOfRange(t *testing.T) {
+	f, m := composited(t, 14, 0.3, 0.2)
+	out := img.NewFinal(f.FinalW, f.FinalH)
+	ctx := NewCtx(f, m, out)
+	var cnt Counters
+	ctx.WarpTile(0, -10, out.W, 0, &cnt) // y range entirely above the image
+	ctx.WarpTile(0, out.H, out.W, out.H+10, &cnt)
+	if cnt.Pixels+cnt.Background != 0 {
+		t.Fatal("out-of-range rows produced pixels")
+	}
+}
+
+func TestWarpCostModelIdentity(t *testing.T) {
+	f, m := composited(t, 18, 0.4, 0.3)
+	out := img.NewFinal(f.FinalW, f.FinalH)
+	ctx := NewCtx(f, m, out)
+	var cnt Counters
+	ctx.WarpTile(0, 0, out.W, out.H, &cnt)
+	want := cnt.Rows*CyclesPerRowSetup +
+		cnt.Pixels*CyclesPerPixel +
+		cnt.Background*CyclesPerBackground
+	if cnt.Cycles != want {
+		t.Fatalf("cycles %d != weighted events %d", cnt.Cycles, want)
+	}
+}

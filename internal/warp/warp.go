@@ -1,0 +1,344 @@
+// Package warp implements the 2-D warp phase of the shear-warp algorithm:
+// an affine inverse-mapped bilinear resampling of the intermediate image
+// into the final image.
+//
+// Two parallel decompositions are supported, matching the paper:
+//
+//   - WarpTile renders an arbitrary rectangle of the final image — the
+//     old algorithm's unit of work (round-robin square tiles).
+//   - RowSpan computes, for one final-image row, the pixel interval whose
+//     inverse-mapped v coordinate falls inside a band of intermediate
+//     scanlines — the new algorithm's unit of work, where each processor
+//     warps exactly the final pixels fed by its own compositing partition.
+//
+// Band ownership partitions the v axis over (-inf, +inf), so every final
+// pixel (including background) is written by exactly one processor and no
+// synchronization is needed on the final image.
+package warp
+
+import (
+	"math"
+
+	"shearwarp/internal/img"
+	"shearwarp/internal/trace"
+	"shearwarp/internal/xform"
+)
+
+// Cost model (cycles, Pixie analog): the warp is cheap per pixel relative
+// to compositing, as in the paper ("There is little computation in the
+// warp phase").
+const (
+	CyclesPerPixel      = 11 // inverse map step + bilinear of 4 pixels + store
+	CyclesPerBackground = 2  // inverse map step + bounds reject + store
+	CyclesPerRowSetup   = 9  // per row-span setup of the incremental mapping
+)
+
+// Counters aggregates warp work.
+type Counters struct {
+	Cycles     int64
+	Pixels     int64 // interior pixels bilinearly resampled
+	Background int64 // pixels outside the intermediate image
+	Rows       int64 // row spans processed
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Cycles += other.Cycles
+	c.Pixels += other.Pixels
+	c.Background += other.Background
+	c.Rows += other.Rows
+}
+
+// Arrays holds trace handles for the warp's shared arrays.
+type Arrays struct {
+	IntPix   trace.Array // intermediate image pixels, elem 16 bytes
+	FinalPix trace.Array // final image pixels, elem 4 bytes
+}
+
+// RegisterFinal registers the final image in an address space. The
+// intermediate handle is shared with the compositing kernel.
+func RegisterFinal(s *trace.AddrSpace, out *img.Final) trace.Array {
+	return s.Register("final.Pix", 4, out.W*out.H)
+}
+
+// Ctx carries one processor's warp state.
+type Ctx struct {
+	F      *xform.Factorization
+	M      *img.Intermediate
+	Out    *img.Final
+	Tracer trace.Tracer
+	Arrays Arrays
+}
+
+// NewCtx builds a warp context.
+func NewCtx(f *xform.Factorization, m *img.Intermediate, out *img.Final) *Ctx {
+	return &Ctx{F: f, M: m, Out: out}
+}
+
+// WarpSpan warps final-image row y for x in [x0, x1).
+func (c *Ctx) WarpSpan(y, x0, x1 int, cnt *Counters) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 > c.Out.W {
+		x1 = c.Out.W
+	}
+	if x0 >= x1 {
+		return
+	}
+	cnt.Rows++
+	cnt.Cycles += CyclesPerRowSetup
+	inv := &c.F.WarpInv
+	// Incremental mapping along the row: (u, v) advances by (inv[0], inv[3])
+	// per pixel.
+	u := inv[0]*float64(x0) + inv[1]*float64(y) + inv[2]
+	v := inv[3]*float64(x0) + inv[4]*float64(y) + inv[5]
+	M, out := c.M, c.Out
+	outBase := y * out.W
+	// Track the u and v extents of interior pixels for batched tracing.
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	interior := 0
+	for x := x0; x < x1; x, u, v = x+1, u+inv[0], v+inv[3] {
+		u0 := int(math.Floor(u))
+		v0 := int(math.Floor(v))
+		if u0 < -1 || v0 < -1 || u0 >= M.W || v0 >= M.H {
+			out.Pix[4*(outBase+x)] = 0
+			out.Pix[4*(outBase+x)+1] = 0
+			out.Pix[4*(outBase+x)+2] = 0
+			cnt.Background++
+			cnt.Cycles += CyclesPerBackground
+			continue
+		}
+		fu := float32(u - float64(u0))
+		fv := float32(v - float64(v0))
+		var r, g, b float32
+		gather := func(uu, vv int, w float32) {
+			if w == 0 || uu < 0 || vv < 0 || uu >= M.W || vv >= M.H {
+				return
+			}
+			p := 4 * (vv*M.W + uu)
+			r += w * M.Pix[p]
+			g += w * M.Pix[p+1]
+			b += w * M.Pix[p+2]
+		}
+		gather(u0, v0, (1-fu)*(1-fv))
+		gather(u0+1, v0, fu*(1-fv))
+		gather(u0, v0+1, (1-fu)*fv)
+		gather(u0+1, v0+1, fu*fv)
+		out.Pix[4*(outBase+x)] = quant255(r)
+		out.Pix[4*(outBase+x)+1] = quant255(g)
+		out.Pix[4*(outBase+x)+2] = quant255(b)
+		cnt.Pixels++
+		cnt.Cycles += CyclesPerPixel
+		interior++
+		minU = math.Min(minU, u)
+		maxU = math.Max(maxU, u)
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if c.Tracer != nil {
+		c.Tracer.Write(c.Arrays.FinalPix, outBase+x0, x1-x0)
+		if interior > 0 {
+			// The interior pixels read the intermediate rows spanned by
+			// [minV, maxV+1] over columns [minU, maxU+1].
+			uLo := clampInt(int(math.Floor(minU)), 0, M.W-1)
+			uHi := clampInt(int(math.Floor(maxU))+1, 0, M.W-1)
+			vLo := clampInt(int(math.Floor(minV)), 0, M.H-1)
+			vHi := clampInt(int(math.Floor(maxV))+1, 0, M.H-1)
+			for vv := vLo; vv <= vHi; vv++ {
+				c.Tracer.Read(c.Arrays.IntPix, vv*M.W+uLo, uHi-uLo+1)
+			}
+		}
+	}
+}
+
+// WarpTile warps the rectangle [x0, x1) x [y0, y1) of the final image —
+// the old algorithm's task.
+func (c *Ctx) WarpTile(x0, y0, x1, y1 int, cnt *Counters) {
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > c.Out.H {
+		y1 = c.Out.H
+	}
+	for y := y0; y < y1; y++ {
+		c.WarpSpan(y, x0, x1, cnt)
+	}
+}
+
+// Band is a half-open interval [VLo, VHi) of the inverse-mapped v
+// coordinate owned by one processor. Use math.Inf for the outermost bands
+// so background pixels are covered exactly once.
+type Band struct {
+	VLo, VHi float64
+}
+
+// RowSpan returns the final-image x interval [x0, x1) of row y whose
+// inverse-mapped v coordinate falls inside the band. The second return is
+// false when the row does not intersect the band.
+func (c *Ctx) RowSpan(y int, b Band) (int, int, bool) {
+	inv := &c.F.WarpInv
+	cv := inv[3] // dv/dx along a row
+	d := inv[4]*float64(y) + inv[5]
+	if math.Abs(cv) < 1e-12 {
+		// v is constant across the row.
+		if d >= b.VLo && d < b.VHi {
+			return 0, c.Out.W, true
+		}
+		return 0, 0, false
+	}
+	// Solve b.VLo <= cv*x + d < b.VHi for x. Adjacent bands share an edge
+	// value, and both sides compute the identical ceil((edge-d)/cv), so the
+	// integer split is exact: no pixel is covered twice or missed.
+	lo := (b.VLo - d) / cv
+	hi := (b.VHi - d) / cv
+	if cv < 0 {
+		lo, hi = hi, lo
+	}
+	// Clamp infinities (from the outermost bands) before float-to-int
+	// conversion, which is undefined for non-finite values.
+	lo = math.Max(math.Min(lo, 1e12), -1e12)
+	hi = math.Max(math.Min(hi, 1e12), -1e12)
+	x0 := int(math.Ceil(lo))
+	x1 := int(math.Ceil(hi))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 > c.Out.W {
+		x1 = c.Out.W
+	}
+	if x0 >= x1 {
+		return 0, 0, false
+	}
+	return x0, x1, true
+}
+
+// Task is one unit of the new algorithm's warp phase: a v-axis ownership
+// band together with the compositing bands whose completion it depends on.
+// The decomposition of PartitionTasks guarantees:
+//
+//   - the Bands of all tasks partition (-inf, +inf), so every final pixel
+//     (including background) is warped by exactly one processor;
+//   - the intermediate rows a task's bilinear reads can touch lie either in
+//     compositing bands NeedLo..NeedHi (inclusive) or outside the composited
+//     region entirely (where the image is zero and safe to read any time).
+//
+// Interior tasks depend only on their own band; the scanline-wide boundary
+// slivers depend on the two adjacent bands and are assigned to the
+// processor with fewer lines — the paper's rule that eliminates final-image
+// write sharing and, with per-band completion counters, the global barrier
+// between the phases (sections 4.5 and 5.5.2).
+type Task struct {
+	Band           Band
+	Owner          int // processor that warps this task
+	NeedLo, NeedHi int // inclusive band-index range to await; NeedLo > NeedHi means none
+	Sliver         bool
+}
+
+// PartitionTasks builds the warp tasks for a contiguous compositing
+// partition (boundaries[p]..boundaries[p+1] is processor p's band).
+func PartitionTasks(boundaries []int) []Task {
+	nb := len(boundaries) - 1
+	lo, hi := boundaries[0], boundaries[nb]
+
+	// Distinct internal cut values strictly inside the region; cuts at the
+	// region edges separate only empty bands and are covered by the outer
+	// intervals.
+	var cuts []int
+	for i := 1; i < nb; i++ {
+		if b := boundaries[i]; b > lo && b < hi && (len(cuts) == 0 || cuts[len(cuts)-1] != b) {
+			cuts = append(cuts, b)
+		}
+	}
+
+	// Interval edges along the v axis: around each cut c the sliver
+	// [c-1, c) gets its own interval.
+	edges := []float64{math.Inf(-1)}
+	for _, c := range cuts {
+		for _, e := range []float64{float64(c - 1), float64(c)} {
+			if e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+	}
+	edges = append(edges, math.Inf(1))
+
+	bandSize := func(p int) int { return boundaries[p+1] - boundaries[p] }
+	// bandOfRow returns the non-empty band containing a composited row, or
+	// -1 for rows outside [lo, hi).
+	bandOfRow := func(row int) int {
+		if row < lo || row >= hi {
+			return -1
+		}
+		for p := 0; p < nb; p++ {
+			if row >= boundaries[p] && row < boundaries[p+1] {
+				return p
+			}
+		}
+		return -1
+	}
+
+	var tasks []Task
+	for i := 0; i+1 < len(edges); i++ {
+		a, b := edges[i], edges[i+1]
+		if a >= b {
+			continue
+		}
+		t := Task{Band: Band{VLo: a, VHi: b}}
+		// Rows the bilinear reads of v in [a, b) can touch: floor(v) and
+		// floor(v)+1, clamped to the composited region.
+		rowLo, rowHi := lo, hi-1
+		if !math.IsInf(a, -1) {
+			rowLo = max(rowLo, int(a))
+		}
+		if !math.IsInf(b, 1) {
+			rowHi = min(rowHi, int(b))
+		}
+		t.NeedLo, t.NeedHi = 1, 0 // empty
+		if rowLo <= rowHi {
+			pLo, pHi := bandOfRow(rowLo), bandOfRow(rowHi)
+			if pLo >= 0 && pHi >= 0 {
+				t.NeedLo, t.NeedHi = pLo, pHi
+			}
+		}
+		switch {
+		case t.NeedLo > t.NeedHi:
+			t.Owner = 0 // pure background
+		case t.NeedLo == t.NeedHi:
+			t.Owner = t.NeedLo
+		default:
+			// Boundary sliver: assign to the adjacent band owner with
+			// fewer lines (ties go to the lower).
+			t.Sliver = true
+			if bandSize(t.NeedLo) <= bandSize(t.NeedHi) {
+				t.Owner = t.NeedLo
+			} else {
+				t.Owner = t.NeedHi
+			}
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks
+}
+
+func quant255(x float32) uint8 {
+	v := int32(x*255 + 0.5)
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

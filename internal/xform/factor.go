@@ -1,0 +1,246 @@
+package xform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axis identifies a principal object-space axis.
+type Axis int
+
+// Principal axes.
+const (
+	AxisX Axis = 0
+	AxisY Axis = 1
+	AxisZ Axis = 2
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "x"
+	case AxisY:
+		return "y"
+	case AxisZ:
+		return "z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Factorization is the shear-warp decomposition of a parallel-projection
+// view transform. In the permuted "standard object" coordinate system
+// (i, j, k), where k is the principal viewing axis, a voxel (i, j, k)
+// lands on the intermediate image at
+//
+//	u = i + Si*k + Tu
+//	v = j + Sj*k + Tv
+//
+// and the final image is produced from the intermediate image by the 2-D
+// affine Warp. Slices are composited front to back starting at KFront and
+// stepping by KStep.
+type Factorization struct {
+	Axis   Axis    // principal viewing axis in object space
+	Si, Sj float64 // shear coefficients per slice
+	Tu, Tv float64 // intermediate-image translation (keeps u, v >= 0)
+
+	Ni, Nj, Nk int // volume dimensions in permuted (i, j, k) order
+
+	KFront, KStep int // front-to-back traversal of slices
+
+	IntW, IntH int // intermediate image size
+
+	Warp    Mat3 // intermediate (u, v) -> final (X, Y)
+	WarpInv Mat3 // final -> intermediate, for the gather warp
+
+	FinalW, FinalH int // final image size
+
+	View Mat4 // the full view transform this factorizes
+}
+
+// PermutedDims returns the volume dimensions in (i, j, k) order for a
+// principal axis, matching the permutation used by Factorize.
+func PermutedDims(axis Axis, nx, ny, nz int) (ni, nj, nk int) {
+	switch axis {
+	case AxisZ:
+		return nx, ny, nz
+	case AxisX:
+		return ny, nz, nx
+	default: // AxisY
+		return nz, nx, ny
+	}
+}
+
+// ObjectIndex maps integer permuted coordinates (i, j, k) for the given
+// principal axis back to object (x, y, z).
+func ObjectIndex(axis Axis, i, j, k int) (x, y, z int) {
+	switch axis {
+	case AxisZ:
+		return i, j, k
+	case AxisX:
+		return k, i, j
+	default: // AxisY
+		return j, k, i
+	}
+}
+
+// ViewMatrix builds the standard view transform used throughout the
+// reproduction: center the volume at the origin, rotate by yaw about the
+// y axis then pitch about the x axis, and use parallel projection along
+// +z of view space (the projection itself just drops z).
+func ViewMatrix(nx, ny, nz int, yaw, pitch float64) Mat4 {
+	center := Translate(-float64(nx-1)/2, -float64(ny-1)/2, -float64(nz-1)/2)
+	return RotX(pitch).Mul(RotY(yaw)).Mul(center)
+}
+
+// Factorize decomposes an affine parallel-projection view transform over an
+// nx x ny x nz volume into shear and warp factors.
+func Factorize(nx, ny, nz int, view Mat4) Factorization {
+	// The viewing rays run along +z in view space; their object-space
+	// direction d satisfies view·d = (0,0,1,0), i.e. d = view⁻¹ ẑ.
+	inv := view.Invert()
+	dx, dy, dz := inv.ApplyDir(0, 0, 1)
+
+	// Principal axis: the object axis most parallel to the rays.
+	ax, ay, az := math.Abs(dx), math.Abs(dy), math.Abs(dz)
+	var axis Axis
+	switch {
+	case az >= ax && az >= ay:
+		axis = AxisZ
+	case ax >= ay:
+		axis = AxisX
+	default:
+		axis = AxisY
+	}
+
+	// Permute object axes so the principal axis becomes k. The cyclic
+	// permutations below preserve handedness (Lacroute's convention):
+	//   axis z: (i,j,k) = (x,y,z)
+	//   axis x: (i,j,k) = (y,z,x)
+	//   axis y: (i,j,k) = (z,x,y)
+	var di, dj, dk float64
+	var ni, nj, nk int
+	switch axis {
+	case AxisZ:
+		di, dj, dk = dx, dy, dz
+		ni, nj, nk = nx, ny, nz
+	case AxisX:
+		di, dj, dk = dy, dz, dx
+		ni, nj, nk = ny, nz, nx
+	case AxisY:
+		di, dj, dk = dz, dx, dy
+		ni, nj, nk = nz, nx, ny
+	}
+
+	f := Factorization{Axis: axis, Ni: ni, Nj: nj, Nk: nk, View: view}
+
+	// Shear so rays become perpendicular to the slices: the sheared i
+	// coordinate of a point moving along d must be constant, giving
+	// si = -di/dk (and similarly sj).
+	f.Si = -di / dk
+	f.Sj = -dj / dk
+
+	// Front-to-back slice order: rays travel toward +k when dk > 0, so the
+	// viewer sees slice 0 first; otherwise slice nk-1 is in front.
+	if dk > 0 {
+		f.KFront, f.KStep = 0, 1
+	} else {
+		f.KFront, f.KStep = nk-1, -1
+	}
+
+	// Translate the sheared volume so intermediate coordinates start at 0.
+	span := float64(nk - 1)
+	f.Tu = math.Max(0, -f.Si*span)
+	f.Tv = math.Max(0, -f.Sj*span)
+	f.IntW = ni + int(math.Ceil(math.Abs(f.Si)*span)) + 1
+	f.IntH = nj + int(math.Ceil(math.Abs(f.Sj)*span)) + 1
+
+	// The warp maps an intermediate pixel to the final image. Every object
+	// point along one viewing ray shares a final (X, Y) (parallel
+	// projection), so we may evaluate the composite view transform at the
+	// slice k=0 pre-image of (u, v): object point P⁻¹(u-Tu, v-Tv, 0).
+	// The map is affine; sample it at three points to build the matrix,
+	// then translate so the final image starts at (0, 0).
+	w00x, w00y := f.projectThroughView(0, 0)
+	w10x, w10y := f.projectThroughView(1, 0)
+	w01x, w01y := f.projectThroughView(0, 1)
+	warp := Mat3{
+		w10x - w00x, w01x - w00x, w00x,
+		w10y - w00y, w01y - w00y, w00y,
+		0, 0, 1,
+	}
+
+	// Bound the final image by the warped intermediate-image corners.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range [4][2]float64{{0, 0}, {float64(f.IntW - 1), 0},
+		{0, float64(f.IntH - 1)}, {float64(f.IntW - 1), float64(f.IntH - 1)}} {
+		x, y := warp.Apply(c[0], c[1])
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	warp[2] -= minX
+	warp[5] -= minY
+	f.Warp = warp
+	f.WarpInv = warp.Invert()
+	f.FinalW = int(math.Ceil(maxX-minX)) + 1
+	f.FinalH = int(math.Ceil(maxY-minY)) + 1
+	return f
+}
+
+// projectThroughView maps intermediate coordinates (u, v) at slice k=0 back
+// to object space and through the full view transform, returning final-image
+// coordinates before the normalizing translation.
+func (f *Factorization) projectThroughView(u, v float64) (float64, float64) {
+	i, j := u-f.Tu, v-f.Tv
+	x, y, z := f.ObjectCoords(i, j, 0)
+	fx, fy, _ := f.View.Apply(x, y, z)
+	return fx, fy
+}
+
+// ObjectCoords maps permuted coordinates (i, j, k) back to object (x, y, z).
+func (f *Factorization) ObjectCoords(i, j, k float64) (x, y, z float64) {
+	switch f.Axis {
+	case AxisZ:
+		return i, j, k
+	case AxisX:
+		return k, i, j
+	default: // AxisY
+		return j, k, i
+	}
+}
+
+// PermutedCoords maps object (x, y, z) to permuted (i, j, k).
+func (f *Factorization) PermutedCoords(x, y, z float64) (i, j, k float64) {
+	switch f.Axis {
+	case AxisZ:
+		return x, y, z
+	case AxisX:
+		return y, z, x
+	default: // AxisY
+		return z, x, y
+	}
+}
+
+// FinalOffset returns the translation (ox, oy) such that an object point p
+// lands on the final image at view(p).xy + (ox, oy) — the normalization
+// Factorize folded into the warp matrix. The ray-casting baseline uses it
+// to shoot rays through the same final-image raster.
+func (f *Factorization) FinalOffset() (ox, oy float64) {
+	u, v := f.IntermediateCoords(0, 0, 0)
+	wx, wy := f.Warp.Apply(u, v)
+	x, y, z := f.ObjectCoords(0, 0, 0)
+	vx, vy, _ := f.View.Apply(x, y, z)
+	return wx - vx, wy - vy
+}
+
+// SliceShift returns the continuous intermediate-image offset (tu, tv) of
+// slice k: voxel (i, j) of slice k lands at (i+tu, j+tv).
+func (f *Factorization) SliceShift(k int) (tu, tv float64) {
+	return f.Si*float64(k) + f.Tu, f.Sj*float64(k) + f.Tv
+}
+
+// IntermediateCoords projects a permuted voxel position onto the
+// intermediate image.
+func (f *Factorization) IntermediateCoords(i, j, k float64) (u, v float64) {
+	return i + f.Si*k + f.Tu, j + f.Sj*k + f.Tv
+}

@@ -1,0 +1,240 @@
+package xform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMat4Identity(t *testing.T) {
+	id := Identity4()
+	x, y, z := id.Apply(3, -4, 5)
+	if x != 3 || y != -4 || z != 5 {
+		t.Fatalf("identity apply = (%g,%g,%g)", x, y, z)
+	}
+}
+
+func TestMat4MulAssociatesWithApply(t *testing.T) {
+	a := RotY(0.3).Mul(Translate(1, 2, 3))
+	b := RotX(-0.7)
+	ab := a.Mul(b)
+	x1, y1, z1 := ab.Apply(0.5, -1.5, 2.5)
+	bx, by, bz := b.Apply(0.5, -1.5, 2.5)
+	x2, y2, z2 := a.Apply(bx, by, bz)
+	if math.Abs(x1-x2)+math.Abs(y1-y2)+math.Abs(z1-z2) > 1e-12 {
+		t.Fatalf("(AB)p != A(Bp): (%g,%g,%g) vs (%g,%g,%g)", x1, y1, z1, x2, y2, z2)
+	}
+}
+
+func TestMat4InvertProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := RotY(rng.Float64() * 6).Mul(RotX(rng.Float64() * 6)).
+			Mul(Translate(rng.Float64()*10-5, rng.Float64()*10-5, rng.Float64()*10-5)).
+			Mul(Scale(1+rng.Float64(), 1+rng.Float64(), 1+rng.Float64()))
+		inv := m.Invert()
+		p := m.Mul(inv)
+		id := Identity4()
+		for i := range p {
+			if math.Abs(p[i]-id[i]) > 1e-9 {
+				t.Fatalf("trial %d: M*M^-1 deviates at %d: %g", trial, i, p[i]-id[i])
+			}
+		}
+	}
+}
+
+func TestMat4InvertSingularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverting singular matrix did not panic")
+		}
+	}()
+	Scale(0, 1, 1).Invert()
+}
+
+func TestRotationsAreOrthonormal(t *testing.T) {
+	for _, m := range []Mat4{RotX(0.9), RotY(-1.3), RotZ(2.2)} {
+		x, y, z := m.ApplyDir(1, 0, 0)
+		if math.Abs(x*x+y*y+z*z-1) > 1e-12 {
+			t.Fatal("rotation does not preserve length")
+		}
+	}
+}
+
+func TestMat3InvertRoundTrip(t *testing.T) {
+	f := func(a, b, c, d, e, g int8) bool {
+		// Diagonally dominant by construction, so always invertible.
+		m := Mat3{3 + math.Abs(float64(a))/64, float64(b) / 128, float64(c),
+			float64(d) / 128, 3 + math.Abs(float64(e))/64, float64(g), 0, 0, 1}
+		inv := m.Invert()
+		u, v := m.Apply(3.5, -1.25)
+		bu, bv := inv.Apply(u, v)
+		return math.Abs(bu-3.5) < 1e-9 && math.Abs(bv+1.25) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The defining property of the factorization: for every voxel, shearing onto
+// the intermediate image and then warping lands at the same final-image
+// point as projecting directly through the view transform (up to the
+// final-image normalizing translation, which we recover from a reference
+// voxel).
+func TestFactorizationCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nx, ny, nz = 20, 24, 16
+	for trial := 0; trial < 60; trial++ {
+		yaw := rng.Float64()*2*math.Pi - math.Pi
+		pitch := rng.Float64()*math.Pi - math.Pi/2
+		view := ViewMatrix(nx, ny, nz, yaw, pitch)
+		f := Factorize(nx, ny, nz, view)
+
+		// Reference offset: compare differences between projected points so
+		// the final translation cancels.
+		refU, refV := f.IntermediateCoords(0, 0, 0)
+		refWX, refWY := f.Warp.Apply(refU, refV)
+		rx, ry, rz := f.ObjectCoords(0, 0, 0)
+		refVX, refVY, _ := view.Apply(rx, ry, rz)
+
+		for s := 0; s < 20; s++ {
+			i := rng.Float64() * float64(f.Ni-1)
+			j := rng.Float64() * float64(f.Nj-1)
+			k := rng.Float64() * float64(f.Nk-1)
+			u, v := f.IntermediateCoords(i, j, k)
+			wx, wy := f.Warp.Apply(u, v)
+			ox, oy, oz := f.ObjectCoords(i, j, k)
+			vx, vy, _ := view.Apply(ox, oy, oz)
+			if math.Abs((wx-refWX)-(vx-refVX)) > 1e-6 ||
+				math.Abs((wy-refWY)-(vy-refVY)) > 1e-6 {
+				t.Fatalf("trial %d: warp∘shear != view at (%g,%g,%g): warpΔ=(%g,%g) viewΔ=(%g,%g)",
+					trial, i, j, k, wx-refWX, wy-refWY, vx-refVX, vy-refVY)
+			}
+		}
+	}
+}
+
+func TestFactorizationIntermediateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nx, ny, nz = 17, 23, 11
+	for trial := 0; trial < 60; trial++ {
+		view := ViewMatrix(nx, ny, nz, rng.Float64()*6, rng.Float64()*3-1.5)
+		f := Factorize(nx, ny, nz, view)
+		// Every voxel's continuous intermediate position must fall in
+		// [0, IntW-1] x [0, IntH-1] (the bilinear footprint then fits).
+		corners := [][3]float64{
+			{0, 0, 0}, {float64(f.Ni - 1), 0, 0}, {0, float64(f.Nj - 1), 0},
+			{0, 0, float64(f.Nk - 1)}, {float64(f.Ni - 1), float64(f.Nj - 1), float64(f.Nk - 1)},
+			{float64(f.Ni - 1), 0, float64(f.Nk - 1)}, {0, float64(f.Nj - 1), float64(f.Nk - 1)},
+			{float64(f.Ni - 1), float64(f.Nj - 1), 0},
+		}
+		for _, c := range corners {
+			u, v := f.IntermediateCoords(c[0], c[1], c[2])
+			if u < -1e-9 || v < -1e-9 || u > float64(f.IntW-1)+1e-9 || v > float64(f.IntH-1)+1e-9 {
+				t.Fatalf("trial %d: voxel %v maps to (%g,%g) outside %dx%d",
+					trial, c, u, v, f.IntW, f.IntH)
+			}
+		}
+	}
+}
+
+func TestFactorizationFinalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const nx, ny, nz = 15, 15, 15
+	for trial := 0; trial < 60; trial++ {
+		view := ViewMatrix(nx, ny, nz, rng.Float64()*6, rng.Float64()*3-1.5)
+		f := Factorize(nx, ny, nz, view)
+		for _, c := range [4][2]float64{{0, 0}, {float64(f.IntW - 1), 0},
+			{0, float64(f.IntH - 1)}, {float64(f.IntW - 1), float64(f.IntH - 1)}} {
+			x, y := f.Warp.Apply(c[0], c[1])
+			if x < -1e-9 || y < -1e-9 || x > float64(f.FinalW-1)+1e-9 || y > float64(f.FinalH-1)+1e-9 {
+				t.Fatalf("trial %d: warped corner (%g,%g) outside %dx%d",
+					trial, x, y, f.FinalW, f.FinalH)
+			}
+		}
+	}
+}
+
+func TestAxisAlignedViewIsIdentityShear(t *testing.T) {
+	view := ViewMatrix(10, 12, 14, 0, 0) // looking straight down +z
+	f := Factorize(10, 12, 14, view)
+	if f.Axis != AxisZ {
+		t.Fatalf("axis = %v, want z", f.Axis)
+	}
+	if math.Abs(f.Si) > 1e-12 || math.Abs(f.Sj) > 1e-12 {
+		t.Fatalf("shear = (%g, %g), want 0", f.Si, f.Sj)
+	}
+	if f.IntW != 11 || f.IntH != 13 {
+		t.Fatalf("intermediate size %dx%d, want 11x13", f.IntW, f.IntH)
+	}
+}
+
+func TestPrincipalAxisSelection(t *testing.T) {
+	cases := []struct {
+		yaw, pitch float64
+		want       Axis
+	}{
+		{0, 0, AxisZ},
+		{math.Pi / 2, 0, AxisX},
+		{0, math.Pi / 2, AxisY},
+		{math.Pi, 0, AxisZ},
+	}
+	for _, c := range cases {
+		f := Factorize(16, 16, 16, ViewMatrix(16, 16, 16, c.yaw, c.pitch))
+		if f.Axis != c.want {
+			t.Errorf("yaw=%g pitch=%g: axis %v, want %v", c.yaw, c.pitch, f.Axis, c.want)
+		}
+	}
+}
+
+func TestShearMagnitudeBounded(t *testing.T) {
+	// Choosing the max-|component| axis bounds |shear| by sqrt(2).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		view := ViewMatrix(16, 16, 16, rng.Float64()*7-3.5, rng.Float64()*7-3.5)
+		f := Factorize(16, 16, 16, view)
+		if math.Abs(f.Si) > math.Sqrt2+1e-9 || math.Abs(f.Sj) > math.Sqrt2+1e-9 {
+			t.Fatalf("shear (%g, %g) exceeds sqrt(2)", f.Si, f.Sj)
+		}
+	}
+}
+
+func TestPermutationRoundTrip(t *testing.T) {
+	for _, axis := range []Axis{AxisX, AxisY, AxisZ} {
+		f := Factorization{Axis: axis}
+		i, j, k := f.PermutedCoords(3, 5, 7)
+		x, y, z := f.ObjectCoords(i, j, k)
+		if x != 3 || y != 5 || z != 7 {
+			t.Errorf("axis %v: permutation round trip (3,5,7) -> (%g,%g,%g)", axis, x, y, z)
+		}
+	}
+}
+
+func TestFrontToBackOrder(t *testing.T) {
+	// Looking down +z from negative z side: rays travel toward +z, so slice
+	// 0 is in front.
+	f := Factorize(8, 8, 8, ViewMatrix(8, 8, 8, 0, 0))
+	if f.KFront != 0 || f.KStep != 1 {
+		t.Fatalf("KFront,KStep = %d,%d want 0,1", f.KFront, f.KStep)
+	}
+	// Rotated 180 degrees: rays travel toward -z, slice Nk-1 in front.
+	f = Factorize(8, 8, 8, ViewMatrix(8, 8, 8, math.Pi, 0))
+	if f.KFront != 7 || f.KStep != -1 {
+		t.Fatalf("after 180deg: KFront,KStep = %d,%d want 7,-1", f.KFront, f.KStep)
+	}
+}
+
+func TestSliceShiftConsistent(t *testing.T) {
+	f := Factorize(16, 16, 16, ViewMatrix(16, 16, 16, 0.4, 0.3))
+	for k := 0; k < f.Nk; k++ {
+		tu, tv := f.SliceShift(k)
+		u, v := f.IntermediateCoords(0, 0, float64(k))
+		if math.Abs(tu-u) > 1e-12 || math.Abs(tv-v) > 1e-12 {
+			t.Fatalf("slice %d: shift (%g,%g) != coords (%g,%g)", k, tu, tv, u, v)
+		}
+		if tu < 0 || tv < 0 {
+			t.Fatalf("slice %d: negative shift (%g, %g)", k, tu, tv)
+		}
+	}
+}

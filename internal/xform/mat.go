@@ -1,0 +1,167 @@
+// Package xform implements the viewing transformation and its shear-warp
+// factorization for parallel projections: the decomposition of an affine
+// view matrix into a 3-D shear parallel to the volume slices followed by a
+// 2-D warp of the intermediate image (Lacroute's factorization, section 2
+// of the paper).
+package xform
+
+import "math"
+
+// Mat4 is a 4x4 matrix in row-major order, acting on column vectors.
+type Mat4 [16]float64
+
+// Identity4 returns the 4x4 identity.
+func Identity4() Mat4 {
+	return Mat4{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+}
+
+// Mul returns m * n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m[i*4+k] * n[k*4+j]
+			}
+			r[i*4+j] = s
+		}
+	}
+	return r
+}
+
+// Apply transforms the point (x, y, z, 1) and returns the first three
+// components (the matrix is affine in this package; w stays 1).
+func (m Mat4) Apply(x, y, z float64) (float64, float64, float64) {
+	return m[0]*x + m[1]*y + m[2]*z + m[3],
+		m[4]*x + m[5]*y + m[6]*z + m[7],
+		m[8]*x + m[9]*y + m[10]*z + m[11]
+}
+
+// ApplyDir transforms the direction (x, y, z, 0).
+func (m Mat4) ApplyDir(x, y, z float64) (float64, float64, float64) {
+	return m[0]*x + m[1]*y + m[2]*z,
+		m[4]*x + m[5]*y + m[6]*z,
+		m[8]*x + m[9]*y + m[10]*z
+}
+
+// Translate returns a translation matrix.
+func Translate(tx, ty, tz float64) Mat4 {
+	m := Identity4()
+	m[3], m[7], m[11] = tx, ty, tz
+	return m
+}
+
+// Scale returns a scaling matrix.
+func Scale(sx, sy, sz float64) Mat4 {
+	m := Identity4()
+	m[0], m[5], m[10] = sx, sy, sz
+	return m
+}
+
+// RotX returns a rotation about the x axis by the given angle in radians.
+func RotX(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		1, 0, 0, 0,
+		0, c, -s, 0,
+		0, s, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotY returns a rotation about the y axis.
+func RotY(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotZ returns a rotation about the z axis.
+func RotZ(a float64) Mat4 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat4{
+		c, -s, 0, 0,
+		s, c, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Invert returns the inverse of m, computed by Gauss-Jordan elimination
+// with partial pivoting. It panics if the matrix is singular; view
+// matrices in this package are always invertible.
+func (m Mat4) Invert() Mat4 {
+	a := m // working copy
+	inv := Identity4()
+	for col := 0; col < 4; col++ {
+		// Find pivot.
+		piv, pmax := col, math.Abs(a[col*4+col])
+		for r := col + 1; r < 4; r++ {
+			if v := math.Abs(a[r*4+col]); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax < 1e-12 {
+			panic("xform: singular matrix")
+		}
+		if piv != col {
+			for j := 0; j < 4; j++ {
+				a[col*4+j], a[piv*4+j] = a[piv*4+j], a[col*4+j]
+				inv[col*4+j], inv[piv*4+j] = inv[piv*4+j], inv[col*4+j]
+			}
+		}
+		d := 1 / a[col*4+col]
+		for j := 0; j < 4; j++ {
+			a[col*4+j] *= d
+			inv[col*4+j] *= d
+		}
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*4+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				a[r*4+j] -= f * a[col*4+j]
+				inv[r*4+j] -= f * inv[col*4+j]
+			}
+		}
+	}
+	return inv
+}
+
+// Mat3 is a 3x3 matrix in row-major order representing a homogeneous 2-D
+// affine transform (third row is 0 0 1 for the transforms built here).
+type Mat3 [9]float64
+
+// Identity3 returns the 3x3 identity.
+func Identity3() Mat3 { return Mat3{1, 0, 0, 0, 1, 0, 0, 0, 1} }
+
+// Apply transforms the 2-D point (u, v, 1).
+func (m Mat3) Apply(u, v float64) (float64, float64) {
+	return m[0]*u + m[1]*v + m[2], m[3]*u + m[4]*v + m[5]
+}
+
+// Invert returns the inverse of an affine 2-D transform. It panics if the
+// linear part is singular.
+func (m Mat3) Invert() Mat3 {
+	det := m[0]*m[4] - m[1]*m[3]
+	if math.Abs(det) < 1e-12 {
+		panic("xform: singular 2-D warp")
+	}
+	id := 1 / det
+	// Inverse of [a b; c d] is [d -b; -c a]/det; translation follows.
+	a, b, c, d := m[4]*id, -m[1]*id, -m[3]*id, m[0]*id
+	return Mat3{
+		a, b, -(a*m[2] + b*m[5]),
+		c, d, -(c*m[2] + d*m[5]),
+		0, 0, 1,
+	}
+}
