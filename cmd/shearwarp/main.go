@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,6 +33,8 @@ func main() {
 	frames := flag.Int("frames", 1, "number of animation frames")
 	step := flag.Float64("step", 5, "yaw degrees per animation frame")
 	out := flag.String("out", "", "output image path for the last frame (.ppm or .png)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the render loop to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the render loop) to this file")
 	flag.Parse()
 
 	alg, err := shearwarp.ParseAlgorithm(*algName)
@@ -61,6 +65,20 @@ func main() {
 		r = shearwarp.NewMRIPhantom(*size, cfg)
 	}
 
+	// The profiles cover only the render loop, not volume loading or
+	// preprocessing, so they answer "where do frames spend their time".
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var last *shearwarp.Image
 	start := time.Now()
 	for i := 0; i < *frames; i++ {
@@ -73,6 +91,21 @@ func main() {
 			float64(time.Since(t0).Microseconds())/1000, info.Samples, info.Steals, info.Profiled)
 	}
 	elapsed := time.Since(start)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *frames > 1 {
 		fmt.Printf("%d frames in %v (%.1f fps)\n", *frames, elapsed.Round(time.Millisecond),
 			float64(*frames)/elapsed.Seconds())

@@ -11,6 +11,7 @@ package classify
 
 import (
 	"math"
+	"sync"
 
 	"shearwarp/internal/vol"
 )
@@ -99,6 +100,9 @@ type Classified struct {
 	Nx, Ny, Nz int
 	Voxels     []Voxel
 	MinOpacity uint8
+
+	transFracOnce sync.Once
+	transFrac     float64
 }
 
 // At returns the packed voxel at (x, y, z); out of bounds reads transparent.
@@ -113,15 +117,20 @@ func (c *Classified) At(x, y, z int) Voxel {
 func (c *Classified) Transparent(v Voxel) bool { return Opacity(v) < c.MinOpacity }
 
 // TransparentFrac returns the fraction of voxels below the threshold — the
-// statistic the paper reports as 70-95% for medical data.
+// statistic the paper reports as 70-95% for medical data. The volume is
+// scanned once; the result is cached (the voxels are immutable after
+// classification) so per-frame reporting does not rescan the volume.
 func (c *Classified) TransparentFrac() float64 {
-	n := 0
-	for _, v := range c.Voxels {
-		if Opacity(v) < c.MinOpacity {
-			n++
+	c.transFracOnce.Do(func() {
+		n := 0
+		for _, v := range c.Voxels {
+			if Opacity(v) < c.MinOpacity {
+				n++
+			}
 		}
-	}
-	return float64(n) / float64(len(c.Voxels))
+		c.transFrac = float64(n) / float64(len(c.Voxels))
+	})
+	return c.transFrac
 }
 
 // Options configures classification.

@@ -10,6 +10,12 @@
 // attached, reports the shared-array ranges it touches so the memory-system
 // simulators can replay its reference stream. Work cycles are counted with
 // an explicit cost model (the Pixie basic-block-counting analog).
+//
+// Scanline is split into a traced and an untraced variant: native frames
+// (Tracer == nil) run a branch-free fast path with no trace.Array
+// indirection or per-pixel tracer checks, while the simulators get the
+// instrumented twin. Both share the per-pixel arithmetic, so images and
+// counters are bit-identical across the two paths.
 package composite
 
 import (
@@ -36,6 +42,27 @@ const (
 	CyclesPerSliceSetup = 14 // per-slice shear setup for a scanline
 	CyclesPerLineSetup  = 30 // per-scanline task setup
 )
+
+// u8f maps a byte to its exact float32 value, hoisting the int-to-float
+// conversions out of the per-pixel unpack arithmetic. Integers up to 255
+// are exactly representable, so table lookups are bit-identical to inline
+// conversions.
+var u8f = func() (t [256]float32) {
+	for i := range t {
+		t[i] = float32(i)
+	}
+	return
+}()
+
+// u8f255 tabulates u8f[i] * (1/255) — the normalized alpha unpack — using
+// the identical multiplication, so entries are bit-identical to computing
+// the product per pixel.
+var u8f255 = func() (t [256]float32) {
+	for i := range t {
+		t[i] = u8f[i] * (1.0 / 255)
+	}
+	return
+}()
 
 // Counters aggregates kernel work. Cycles is the modeled busy time; the
 // remaining fields break it down for the Figure 2-style analyses.
@@ -90,7 +117,8 @@ func RegisterArrays(s *trace.AddrSpace, v *rle.Volume, m *img.Intermediate) Arra
 
 // Ctx carries everything one processor needs to composite scanlines. Each
 // simulated or native processor owns its own Ctx (the scratch buffers are
-// private); F, V and M are shared.
+// private); F, V and M are shared. A Ctx may be rebound to a new frame with
+// Bind, so renderers can pool contexts instead of allocating per frame.
 type Ctx struct {
 	F *xform.Factorization
 	V *rle.Volume
@@ -105,8 +133,14 @@ type Ctx struct {
 	// d = sqrt(1 + Si^2 + Sj^2) apart along the ray, so the corrected
 	// opacity is 1 - (1-a)^d. Enable with EnableOpacityCorrection.
 	alphaLUT []float32
+	lutBuf   []float32 // backing storage, reused across rebinds
 
-	// Scratch, private per processor.
+	// Scratch, private per processor. Per slice, the rows hold valid data
+	// (decoded voxels, or zero) only over the voxel footprint of the merged
+	// pixel spans: decode fills the spans and zeroGaps zeroes the footprint
+	// between them, so the pixel kernel reads the rows unconditionally and
+	// nothing outside the footprint is ever touched — the full-width clears
+	// of a naive scratch wipe never happen.
 	row0, row1     []classify.Voxel
 	spans0, spans1 []rle.Span
 	merged         []pixSpan
@@ -121,11 +155,15 @@ const lutSize = 1024
 // frame must make the same choice, or images diverge.
 func (c *Ctx) EnableOpacityCorrection() {
 	d := math.Sqrt(1 + c.F.Si*c.F.Si + c.F.Sj*c.F.Sj)
-	c.alphaLUT = make([]float32, lutSize+1)
+	if cap(c.lutBuf) < lutSize+1 {
+		c.lutBuf = make([]float32, lutSize+1)
+	}
+	c.lutBuf = c.lutBuf[:lutSize+1]
 	for i := 0; i <= lutSize; i++ {
 		a := float64(i) / lutSize
-		c.alphaLUT[i] = float32(1 - math.Pow(1-a, d))
+		c.lutBuf[i] = float32(1 - math.Pow(1-a, d))
 	}
+	c.alphaLUT = c.lutBuf
 }
 
 // correctAlpha maps a resampled opacity through the correction table (a
@@ -150,18 +188,98 @@ type pixSpan struct{ Lo, Hi int }
 
 // NewCtx builds a per-processor compositing context.
 func NewCtx(f *xform.Factorization, v *rle.Volume, m *img.Intermediate) *Ctx {
-	return &Ctx{
-		F: f, V: v, M: m,
-		row0: make([]classify.Voxel, v.Ni),
-		row1: make([]classify.Voxel, v.Ni),
+	c := &Ctx{}
+	c.Bind(f, v, m)
+	return c
+}
+
+// Bind points an existing context at a new frame, reusing its scratch
+// buffers when they are large enough. It resets the tracer and the opacity
+// correction (re-enable per frame as needed), so a pooled context always
+// starts in native mode.
+func (c *Ctx) Bind(f *xform.Factorization, v *rle.Volume, m *img.Intermediate) {
+	c.F, c.V, c.M = f, v, m
+	c.Tracer = nil
+	c.Arrays = Arrays{}
+	c.alphaLUT = nil
+	if cap(c.row0) < v.Ni {
+		c.row0 = make([]classify.Voxel, v.Ni)
+		c.row1 = make([]classify.Voxel, v.Ni)
+	} else {
+		// Stale contents are harmless: every slice revalidates the rows
+		// over the footprint it reads before compositing.
+		c.row0 = c.row0[:v.Ni]
+		c.row1 = c.row1[:v.Ni]
 	}
+	// Size the span scratch for the densest scanline of the encoding so
+	// steady-state compositing never grows an append (non-transparent runs
+	// are at most half the run headers, plus one for an odd tail).
+	maxSpans := v.MaxLineRuns/2 + 1
+	if cap(c.spans0) < maxSpans {
+		c.spans0 = make([]rle.Span, 0, maxSpans)
+		c.spans1 = make([]rle.Span, 0, maxSpans)
+	}
+	if cap(c.merged) < 2*maxSpans {
+		c.merged = make([]pixSpan, 0, 2*maxSpans)
+	}
+}
+
+// sliceGeom is the per-slice resampling setup shared by the traced and
+// untraced scanline kernels.
+type sliceGeom struct {
+	j0                 int
+	have0, have1       bool
+	off                int
+	fractional         bool
+	w00, w10, w01, w11 float32
+}
+
+// sliceSetup computes the shear geometry of slice k against intermediate
+// row vRow. ok is false when the slice cannot reach the scanline.
+func (c *Ctx) sliceSetup(vRow, k int) (g sliceGeom, ok bool) {
+	f := c.F
+	tu, tv := f.SliceShift(k)
+	y := float64(vRow) - tv
+	j0 := int(math.Floor(y))
+	wy := y - float64(j0)
+	if j0 < -1 || j0 >= f.Nj {
+		return g, false
+	}
+	g.j0 = j0
+	g.have0 = j0 >= 0 && wy < 1
+	g.have1 = j0+1 < f.Nj && wy > 0
+
+	// Constant resampling weights along the row (see Factorization).
+	tuInt := int(math.Floor(tu))
+	tuFrac := tu - float64(tuInt)
+	g.off = tuInt // pixel u gathers voxels i0 = u-off(-1) and i0+1
+	wx := 0.0
+	if tuFrac > 0 {
+		g.off = tuInt + 1
+		wx = 1 - tuFrac
+	}
+	g.fractional = wx > 0
+	g.w00 = float32((1 - wx) * (1 - wy))
+	g.w10 = float32(wx * (1 - wy))
+	g.w01 = float32((1 - wx) * wy)
+	g.w11 = float32(wx * wy)
+	return g, true
 }
 
 // Scanline composites intermediate-image row vRow across all slices, front
 // to back, and returns the work cycles it spent. The returned cycles are
 // also accumulated into cnt along with the detailed counters.
 func (c *Ctx) Scanline(vRow int, cnt *Counters) int64 {
-	f, V, M := c.F, c.V, c.M
+	if c.Tracer == nil {
+		return c.scanlineUntraced(vRow, cnt)
+	}
+	return c.scanlineTraced(vRow, cnt)
+}
+
+// scanlineUntraced is the native fast path: no tracer checks or trace.Array
+// indirection anywhere in the slice, span and pixel loops.
+func (c *Ctx) scanlineUntraced(vRow int, cnt *Counters) int64 {
+	f, M := c.F, c.M
 	start := cnt.Cycles
 	cnt.Scanlines++
 	cnt.Cycles += CyclesPerLineSetup
@@ -169,9 +287,6 @@ func (c *Ctx) Scanline(vRow int, cnt *Counters) int64 {
 	for idx := 0; idx < f.Nk; idx++ {
 		// Row saturated: early ray termination ends the whole task.
 		if M.Skip(0, vRow) >= M.W {
-			if c.Tracer != nil {
-				c.Tracer.Read(c.Arrays.IntLinks, M.PixelIndex(0, vRow), 1)
-			}
 			cnt.Skips++
 			cnt.Cycles += CyclesPerSkip
 			break
@@ -180,69 +295,156 @@ func (c *Ctx) Scanline(vRow int, cnt *Counters) int64 {
 		cnt.Slices++
 		cnt.Cycles += CyclesPerSliceSetup
 
-		tu, tv := f.SliceShift(k)
-		y := float64(vRow) - tv
-		j0 := int(math.Floor(y))
-		wy := y - float64(j0)
-		if j0 < -1 || j0 >= f.Nj {
+		g, ok := c.sliceSetup(vRow, k)
+		if !ok {
 			continue // slice does not reach this scanline
 		}
-		have0 := j0 >= 0 && wy < 1
-		have1 := j0+1 < f.Nj && wy > 0
-
-		// Constant resampling weights along the row (see Factorization).
-		tuInt := int(math.Floor(tu))
-		tuFrac := tu - float64(tuInt)
-		off := tuInt // pixel u gathers voxels i0 = u-off(-1) and i0+1
-		wx := 0.0
-		if tuFrac > 0 {
-			off = tuInt + 1
-			wx = 1 - tuFrac
-		}
-		w00 := float32((1 - wx) * (1 - wy))
-		w10 := float32(wx * (1 - wy))
-		w01 := float32((1 - wx) * wy)
-		w11 := float32(wx * wy)
 
 		// Decode the contributing spans of up to two volume scanlines into
-		// private scratch rows (zero elsewhere), and collect the union of
-		// pixel intervals they can affect.
+		// the scratch rows (one fused pass over the run headers), collect
+		// the union of pixel intervals they can affect, and zero the
+		// footprint gaps so the pixel kernel reads unconditionally.
 		c.spans0 = c.spans0[:0]
 		c.spans1 = c.spans1[:0]
-		if have0 {
-			c.spans0 = V.AppendSpans(k, j0, c.spans0)
-			c.decodeSpans(k, j0, c.spans0, c.row0, cnt)
+		if g.have0 {
+			c.spans0 = c.decodeLineUntraced(k, g.j0, c.spans0, c.row0, cnt)
 		}
-		if have1 {
-			c.spans1 = V.AppendSpans(k, j0+1, c.spans1)
-			c.decodeSpans(k, j0+1, c.spans1, c.row1, cnt)
+		if g.have1 {
+			c.spans1 = c.decodeLineUntraced(k, g.j0+1, c.spans1, c.row1, cnt)
 		}
 		if len(c.spans0)+len(c.spans1) == 0 {
 			continue
 		}
-		c.mergePixelSpans(off, wx > 0)
+		c.mergePixelSpans(g.off, g.fractional)
+		c.zeroGaps(c.spans0, c.row0, g.off)
+		c.zeroGaps(c.spans1, c.row1, g.off)
 
-		c.compositeSpans(vRow, off, w00, w10, w01, w11, have0, have1, cnt)
-
-		// Restore the scratch rows to all-zero for the next slice.
-		if have0 {
-			clearSpans(c.row0, c.spans0)
-		}
-		if have1 {
-			clearSpans(c.row1, c.spans1)
+		rowBase := vRow * M.W
+		for _, ps := range c.merged {
+			u := ps.Lo
+			for u < ps.Hi {
+				// Early ray termination: hop over saturated pixels.
+				if M.Links[rowBase+u] > 0 {
+					u = M.Skip(u, vRow)
+					cnt.Skips++
+					cnt.Cycles += CyclesPerSkip
+					continue
+				}
+				// Composite a contiguous live segment.
+				u = c.compositeSegment(vRow, u, ps.Hi, g.off, g.w00, g.w10, g.w01, g.w11, cnt)
+			}
 		}
 	}
 	return cnt.Cycles - start
 }
 
-// decodeSpans streams the non-transparent voxels of scanline (k, j) into
-// the dense scratch row and charges the run-traversal costs.
-func (c *Ctx) decodeSpans(k, j int, spans []rle.Span, row []classify.Voxel, cnt *Counters) {
+// scanlineTraced is the instrumented twin of scanlineUntraced, emitting the
+// shared-array reference stream for the memory-system simulators. The
+// arithmetic and counters are identical.
+func (c *Ctx) scanlineTraced(vRow int, cnt *Counters) int64 {
+	f, V, M := c.F, c.V, c.M
+	start := cnt.Cycles
+	cnt.Scanlines++
+	cnt.Cycles += CyclesPerLineSetup
+
+	for idx := 0; idx < f.Nk; idx++ {
+		if M.Skip(0, vRow) >= M.W {
+			c.Tracer.Read(c.Arrays.IntLinks, M.PixelIndex(0, vRow), 1)
+			cnt.Skips++
+			cnt.Cycles += CyclesPerSkip
+			break
+		}
+		k := f.KFront + idx*f.KStep
+		cnt.Slices++
+		cnt.Cycles += CyclesPerSliceSetup
+
+		g, ok := c.sliceSetup(vRow, k)
+		if !ok {
+			continue
+		}
+
+		c.spans0 = c.spans0[:0]
+		c.spans1 = c.spans1[:0]
+		if g.have0 {
+			c.spans0 = V.AppendSpans(k, g.j0, c.spans0)
+			c.decodeSpansTraced(k, g.j0, c.spans0, c.row0, cnt)
+		}
+		if g.have1 {
+			c.spans1 = V.AppendSpans(k, g.j0+1, c.spans1)
+			c.decodeSpansTraced(k, g.j0+1, c.spans1, c.row1, cnt)
+		}
+		if len(c.spans0)+len(c.spans1) == 0 {
+			continue
+		}
+		c.mergePixelSpans(g.off, g.fractional)
+		c.zeroGaps(c.spans0, c.row0, g.off)
+		c.zeroGaps(c.spans1, c.row1, g.off)
+
+		rowBase := vRow * M.W
+		for _, ps := range c.merged {
+			u := ps.Lo
+			for u < ps.Hi {
+				if M.Links[rowBase+u] > 0 {
+					c.Tracer.Read(c.Arrays.IntLinks, rowBase+u, 1)
+					u = M.Skip(u, vRow)
+					cnt.Skips++
+					cnt.Cycles += CyclesPerSkip
+					continue
+				}
+				segStart := u
+				for u < ps.Hi && M.Links[rowBase+u] == 0 {
+					if c.compositePixel(vRow, u, g.off, g.w00, g.w10, g.w01, g.w11, cnt) {
+						c.Tracer.Write(c.Arrays.IntLinks, rowBase+u, 1)
+					}
+					u++
+				}
+				if u > segStart {
+					c.Tracer.Read(c.Arrays.IntPix, rowBase+segStart, u-segStart)
+					c.Tracer.Write(c.Arrays.IntPix, rowBase+segStart, u-segStart)
+					c.Tracer.Read(c.Arrays.IntLinks, rowBase+segStart, u-segStart)
+				}
+			}
+		}
+	}
+	return cnt.Cycles - start
+}
+
+// decodeLineUntraced walks the run headers of scanline (k, j) once,
+// appending the non-transparent spans to spans while streaming their packed
+// voxels into the scratch row and charging the traversal costs.
+func (c *Ctx) decodeLineUntraced(k, j int, spans []rle.Span, row []classify.Voxel, cnt *Counters) []rle.Span {
+	s := c.V.ScanlineID(k, j)
+	rl := c.V.RunLens[c.V.RunOff[s]:c.V.RunOff[s+1]]
+	vox := c.V.Vox[c.V.VoxOff[s]:c.V.VoxOff[s+1]]
+	cnt.Runs += int64(len(rl))
+	cnt.Cycles += int64(len(rl)) * CyclesPerRun
+	i, vi := 0, 0
+	for r := 0; r < len(rl); r += 2 {
+		i += int(rl[r])
+		if r+1 < len(rl) {
+			o := int(rl[r+1])
+			if o > 0 {
+				spans = append(spans, rle.Span{Start: i, End: i + o, VoxStart: vi})
+				copy(row[i:i+o], vox[vi:vi+o])
+				cnt.VoxelsRead += int64(o)
+				cnt.Cycles += int64(o) * CyclesPerVoxelCopy
+				i += o
+				vi += o
+			}
+		}
+	}
+	return spans
+}
+
+// decodeSpansTraced streams the span voxels into the scratch row and emits
+// the RunLens/Vox reference stream; counter totals match the untraced
+// decode exactly.
+func (c *Ctx) decodeSpansTraced(k, j int, spans []rle.Span, row []classify.Voxel, cnt *Counters) {
 	s := c.V.ScanlineID(k, j)
 	runs := int(c.V.RunOff[s+1] - c.V.RunOff[s])
 	cnt.Runs += int64(runs)
 	cnt.Cycles += int64(runs) * CyclesPerRun
-	if c.Tracer != nil && runs > 0 {
+	if runs > 0 {
 		c.Tracer.Read(c.Arrays.RunLens, int(c.V.RunOff[s]), runs)
 	}
 	voxBase := int(c.V.VoxOff[s])
@@ -252,16 +454,42 @@ func (c *Ctx) decodeSpans(k, j int, spans []rle.Span, row []classify.Voxel, cnt 
 		n := sp.End - sp.Start
 		cnt.VoxelsRead += int64(n)
 		cnt.Cycles += int64(n) * CyclesPerVoxelCopy
-		if c.Tracer != nil {
-			c.Tracer.Read(c.Arrays.Vox, voxBase+sp.VoxStart, n)
-		}
+		c.Tracer.Read(c.Arrays.Vox, voxBase+sp.VoxStart, n)
 	}
 }
 
-// clearSpans re-zeroes the span regions of a scratch row.
-func clearSpans(row []classify.Voxel, spans []rle.Span) {
-	for _, sp := range spans {
-		clear(row[sp.Start:sp.End])
+// zeroGaps zeroes the scratch-row positions inside the merged spans' voxel
+// footprint that the line's own spans did not fill, so the pixel kernel can
+// read the rows unconditionally. Both span lists are sorted and disjoint,
+// so one monotone sweep suffices; the work is bounded by the footprint
+// length and is typically a few voxels around each span edge.
+func (c *Ctx) zeroGaps(spans []rle.Span, row []classify.Voxel, off int) {
+	si := 0
+	for _, ps := range c.merged {
+		// Pixels [Lo, Hi) read voxels [Lo-off, Hi-off+1), clamped to the row.
+		a := ps.Lo - off
+		b := ps.Hi - off + 1
+		if a < 0 {
+			a = 0
+		}
+		if b > len(row) {
+			b = len(row)
+		}
+		for a < b {
+			for si < len(spans) && spans[si].End <= a {
+				si++
+			}
+			if si < len(spans) && spans[si].Start <= a {
+				a = spans[si].End // already filled through the span
+				continue
+			}
+			e := b
+			if si < len(spans) && spans[si].Start < b {
+				e = spans[si].Start
+			}
+			clear(row[a:e])
+			a = e
+		}
 	}
 }
 
@@ -307,59 +535,31 @@ func (c *Ctx) mergePixelSpans(off int, fractional bool) {
 	}
 }
 
-// compositeSpans walks the merged pixel intervals of the current slice,
-// skipping saturated pixels via the intermediate image's run links, and
-// composites one resampled sample per live pixel.
-func (c *Ctx) compositeSpans(vRow, off int, w00, w10, w01, w11 float32, have0, have1 bool, cnt *Counters) {
-	M := c.M
-	rowBase := vRow * M.W
-	for _, ps := range c.merged {
-		u := ps.Lo
-		for u < ps.Hi {
-			// Early ray termination: hop over saturated pixels.
-			if M.Links[rowBase+u] > 0 {
-				if c.Tracer != nil {
-					c.Tracer.Read(c.Arrays.IntLinks, rowBase+u, 1)
-				}
-				u = M.Skip(u, vRow)
-				cnt.Skips++
-				cnt.Cycles += CyclesPerSkip
-				continue
-			}
-			segStart := u
-			// Composite a contiguous live segment.
-			for u < ps.Hi && M.Links[rowBase+u] == 0 {
-				c.compositePixel(vRow, u, off, w00, w10, w01, w11, cnt)
-				u++
-			}
-			if c.Tracer != nil && u > segStart {
-				c.Tracer.Read(c.Arrays.IntPix, rowBase+segStart, u-segStart)
-				c.Tracer.Write(c.Arrays.IntPix, rowBase+segStart, u-segStart)
-				c.Tracer.Read(c.Arrays.IntLinks, rowBase+segStart, u-segStart)
-			}
-		}
-	}
-}
-
 // compositePixel resamples the four contributing voxels at pixel u and
-// blends the sample into the intermediate image, front to back.
-func (c *Ctx) compositePixel(vRow, u, off int, w00, w10, w01, w11 float32, cnt *Counters) {
+// blends the sample into the intermediate image, front to back. It returns
+// whether the pixel just saturated (so the traced path can report the
+// skip-link write). The accumulation is straight-line arithmetic over the
+// u8f unpack table; zero voxels and zero weights contribute exact float
+// zeros, so no per-corner branches are needed and the result stays
+// bit-identical to the guarded reference formulation.
+func (c *Ctx) compositePixel(vRow, u, off int, w00, w10, w01, w11 float32, cnt *Counters) bool {
 	i0 := u - off
 	var v00, v10, v01, v11 classify.Voxel
-	if i0 >= 0 && i0 < c.V.Ni {
+	if uint(i0) < uint(len(c.row0)) {
 		v00 = c.row0[i0]
 		v01 = c.row1[i0]
 	}
-	if i1 := i0 + 1; i1 >= 0 && i1 < c.V.Ni {
+	if i1 := i0 + 1; uint(i1) < uint(len(c.row0)) {
 		v10 = c.row0[i1]
 		v11 = c.row1[i1]
 	}
 	// Premultiplied resampling: alpha and alpha-weighted color.
-	aa := w00*alphaOf(v00) + w10*alphaOf(v10) + w01*alphaOf(v01) + w11*alphaOf(v11)
+	aa := w00*u8f255[v00>>24] + w10*u8f255[v10>>24] +
+		w01*u8f255[v01>>24] + w11*u8f255[v11>>24]
 	if aa < 1.0/512 {
 		cnt.EmptyPixels++
 		cnt.Cycles += CyclesPerEmptyPixel
-		return
+		return false
 	}
 	// View-dependent opacity correction (identity when disabled). The
 	// premultiplied colors scale by the same factor so hue is preserved.
@@ -369,20 +569,13 @@ func (c *Ctx) compositePixel(vRow, u, off int, w00, w10, w01, w11 float32, cnt *
 		scale = corrected / aa
 		aa = corrected
 	}
-	var ar, ag, ab float32
-	accum := func(w float32, v classify.Voxel) {
-		if v == 0 || w == 0 {
-			return
-		}
-		a := w * float32(v>>24) * (1.0 / 255)
-		ar += a * float32((v>>16)&0xff)
-		ag += a * float32((v>>8)&0xff)
-		ab += a * float32(v&0xff)
-	}
-	accum(w00, v00)
-	accum(w10, v10)
-	accum(w01, v01)
-	accum(w11, v11)
+	a0 := w00 * u8f[v00>>24] * (1.0 / 255)
+	a1 := w10 * u8f[v10>>24] * (1.0 / 255)
+	a2 := w01 * u8f[v01>>24] * (1.0 / 255)
+	a3 := w11 * u8f[v11>>24] * (1.0 / 255)
+	ar := a0*u8f[(v00>>16)&0xff] + a1*u8f[(v10>>16)&0xff] + a2*u8f[(v01>>16)&0xff] + a3*u8f[(v11>>16)&0xff]
+	ag := a0*u8f[(v00>>8)&0xff] + a1*u8f[(v10>>8)&0xff] + a2*u8f[(v01>>8)&0xff] + a3*u8f[(v11>>8)&0xff]
+	ab := a0*u8f[v00&0xff] + a1*u8f[v10&0xff] + a2*u8f[v01&0xff] + a3*u8f[v11&0xff]
 
 	M := c.M
 	p := 4 * (vRow*M.W + u)
@@ -395,12 +588,75 @@ func (c *Ctx) compositePixel(vRow, u, off int, w00, w10, w01, w11 float32, cnt *
 	cnt.Cycles += CyclesPerSample
 	if M.Pix[p+3] >= img.OpacityThreshold {
 		M.MarkOpaque(u, vRow)
-		if c.Tracer != nil {
-			c.Tracer.Write(c.Arrays.IntLinks, vRow*M.W+u, 1)
-		}
+		return true
 	}
+	return false
+}
+
+// compositeSegment is the untraced hot loop: it composites the live pixels
+// of [u, hi) on row vRow until the segment ends or a saturated pixel is
+// reached, and returns the stopping pixel. It performs exactly the
+// arithmetic of compositePixel per pixel — same unpack tables, same
+// grouping, same order — with the row, image and counter state hoisted out
+// of the loop, so images and counter totals stay bit-identical to the
+// traced path.
+func (c *Ctx) compositeSegment(vRow, u, hi, off int, w00, w10, w01, w11 float32, cnt *Counters) int {
+	M := c.M
+	rowBase := vRow * M.W
+	links := M.Links[rowBase : rowBase+M.W]
+	pix := M.Pix[4*rowBase : 4*(rowBase+M.W)]
+	row0, row1 := c.row0, c.row1
+	var samples, empty int64
+	for u < hi && links[u] == 0 {
+		i0 := u - off
+		var v00, v10, v01, v11 classify.Voxel
+		if uint(i0) < uint(len(row0)) {
+			v00 = row0[i0]
+			v01 = row1[i0]
+		}
+		if i1 := i0 + 1; uint(i1) < uint(len(row0)) {
+			v10 = row0[i1]
+			v11 = row1[i1]
+		}
+		aa := w00*u8f255[v00>>24] + w10*u8f255[v10>>24] +
+			w01*u8f255[v01>>24] + w11*u8f255[v11>>24]
+		if aa < 1.0/512 {
+			empty++
+			u++
+			continue
+		}
+		scale := float32(1)
+		if c.alphaLUT != nil {
+			corrected := c.correctAlpha(aa)
+			scale = corrected / aa
+			aa = corrected
+		}
+		a0 := w00 * u8f[v00>>24] * (1.0 / 255)
+		a1 := w10 * u8f[v10>>24] * (1.0 / 255)
+		a2 := w01 * u8f[v01>>24] * (1.0 / 255)
+		a3 := w11 * u8f[v11>>24] * (1.0 / 255)
+		ar := a0*u8f[(v00>>16)&0xff] + a1*u8f[(v10>>16)&0xff] + a2*u8f[(v01>>16)&0xff] + a3*u8f[(v11>>16)&0xff]
+		ag := a0*u8f[(v00>>8)&0xff] + a1*u8f[(v10>>8)&0xff] + a2*u8f[(v01>>8)&0xff] + a3*u8f[(v11>>8)&0xff]
+		ab := a0*u8f[v00&0xff] + a1*u8f[v10&0xff] + a2*u8f[v01&0xff] + a3*u8f[v11&0xff]
+
+		p := 4 * u
+		t := scale * (1 - pix[p+3])
+		pix[p] += t * ar * (1.0 / 255)
+		pix[p+1] += t * ag * (1.0 / 255)
+		pix[p+2] += t * ab * (1.0 / 255)
+		pix[p+3] += (1 - pix[p+3]) * aa
+		samples++
+		if pix[p+3] >= img.OpacityThreshold {
+			M.MarkOpaque(u, vRow)
+		}
+		u++
+	}
+	cnt.Samples += samples
+	cnt.EmptyPixels += empty
+	cnt.Cycles += samples*CyclesPerSample + empty*CyclesPerEmptyPixel
+	return u
 }
 
 func alphaOf(v classify.Voxel) float32 {
-	return float32(v>>24) * (1.0 / 255)
+	return u8f[v>>24] * (1.0 / 255)
 }

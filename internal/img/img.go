@@ -48,6 +48,31 @@ func (m *Intermediate) ClearRow(v int) {
 	clear(m.Links[base : base+m.W])
 }
 
+// ClearRows resets scanlines [lo, hi); workers split the per-frame clear
+// into one stripe each.
+func (m *Intermediate) ClearRows(lo, hi int) {
+	clear(m.Pix[4*lo*m.W : 4*hi*m.W])
+	clear(m.Links[lo*m.W : hi*m.W])
+}
+
+// Resize reshapes the image to w x h, reusing the backing arrays when they
+// have capacity. The pixels are NOT cleared; callers that reuse an image
+// across frames must clear it themselves (the frame loop parallelizes that
+// clear across workers).
+func (m *Intermediate) Resize(w, h int) {
+	m.W, m.H = w, h
+	if n := 4 * w * h; cap(m.Pix) >= n {
+		m.Pix = m.Pix[:n]
+	} else {
+		m.Pix = make([]float32, n)
+	}
+	if n := w * h; cap(m.Links) >= n {
+		m.Links = m.Links[:n]
+	} else {
+		m.Links = make([]int32, n)
+	}
+}
+
 // PixelIndex returns the flat pixel index of (u, v).
 func (m *Intermediate) PixelIndex(u, v int) int { return v*m.W + u }
 
@@ -118,6 +143,22 @@ func NewFinal(w, h int) *Final {
 
 // Clear resets all pixels.
 func (f *Final) Clear() { clear(f.Pix) }
+
+// Resize reshapes the image to w x h, reusing the backing array when it has
+// capacity. RGB bytes are NOT cleared — the warp writes every RGB pixel of
+// every row span it owns, and the band decomposition covers the whole image,
+// so a full warp overwrites the previous frame completely. The fourth (X)
+// byte of each pixel is never written by the warp; on a reused, shrunken
+// buffer it retains whatever the allocation held, which is always zero
+// because nothing in the pipeline writes it.
+func (f *Final) Resize(w, h int) {
+	f.W, f.H = w, h
+	if n := 4 * w * h; cap(f.Pix) >= n {
+		f.Pix = f.Pix[:n]
+	} else {
+		f.Pix = make([]uint8, n)
+	}
+}
 
 // SetRGB stores a pixel.
 func (f *Final) SetRGB(x, y int, r, g, b uint8) {

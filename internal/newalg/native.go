@@ -43,7 +43,10 @@ type ProcStats struct {
 	Profiled  int64 // profiling overhead cycles charged this frame
 }
 
-// Result is a rendered frame plus its per-processor accounting.
+// Result is a rendered frame plus its per-processor accounting. The result
+// (including Out and PerProc) points into the renderer's reusable per-frame
+// storage: it is valid until the next RenderFrame call on the same
+// renderer.
 type Result struct {
 	Out        *img.Final
 	PerProc    []ProcStats
@@ -64,7 +67,10 @@ func (r *Result) Stats() render.FrameStats {
 }
 
 // Renderer carries the cross-frame state of the new algorithm: the last
-// collected per-scanline profile and the viewpoint it was collected at.
+// collected per-scanline profile and the viewpoint it was collected at,
+// plus the reusable per-frame resources (images, partition scratch, band
+// queue, worker pool) that make the steady-state frame loop allocation
+// free.
 type Renderer struct {
 	R   *render.Renderer
 	Cfg Config
@@ -77,6 +83,26 @@ type Renderer struct {
 	profImageH int
 	profSj     float64 // v-axis shear of the profiled frame
 	profTv     float64 // v-axis translation of the profiled frame
+
+	// Reusable per-frame state. Workers read the per-frame fields after
+	// receiving a start token (the channel send publishes them) and the
+	// main goroutine reads worker results after frameWG.Wait.
+	fr         render.Frame
+	res        Result
+	boundaries []int
+	padBuf     []int64 // zero-extended profile scratch
+	cumBuf     []int64 // prefix-sum scratch
+	profBuf    []int64 // profile double buffer, swapped with profile
+	bands      *par.Bands
+	tb         warp.TaskBuilder
+	warpTasks  []warp.Task
+	profiling  bool
+	bmu        sync.Mutex
+	doneWG     []sync.WaitGroup // per-band completion, replaces the barrier
+	clearWG    sync.WaitGroup   // rendezvous after the parallel image clear
+	frameWG    sync.WaitGroup   // frame completion
+	ctxPool    sync.Pool        // *composite.Ctx
+	start      []chan struct{}  // per-worker frame-start tokens
 }
 
 // NewRenderer wraps a render.Renderer with the new algorithm's state.
@@ -102,13 +128,35 @@ func (nr *Renderer) needProfile(f *xform.Factorization, yaw, pitch float64) bool
 
 // RenderFrame renders one frame with native goroutines. The output is
 // bit-identical to the serial renderer's for the same viewpoint.
+//
+// Frames after the first allocate nothing: the images, partition scratch,
+// band queue and warp tasks live on the renderer, compositing contexts come
+// from a pool, and the workers are persistent goroutines woken by buffered
+// start tokens. The returned Result points into that reusable storage and
+// is valid until the next RenderFrame call.
 func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
-	fr := nr.R.Setup(yaw, pitch)
 	cfg := nr.Cfg
-	res := &Result{Out: fr.Out, PerProc: make([]ProcStats, cfg.Procs)}
+	fr := &nr.fr
+	nr.R.SetupInto(fr, yaw, pitch)
+
+	res := &nr.res
+	res.Out = fr.Out
+	if cap(res.PerProc) >= cfg.Procs {
+		res.PerProc = res.PerProc[:cfg.Procs]
+		clear(res.PerProc)
+	} else {
+		res.PerProc = make([]ProcStats, cfg.Procs)
+	}
 
 	profiling := nr.needProfile(&fr.F, yaw, pitch)
+	nr.profiling = profiling
 	res.Profiled = profiling
+
+	if cap(nr.boundaries) >= cfg.Procs+1 {
+		nr.boundaries = nr.boundaries[:cfg.Procs+1]
+	} else {
+		nr.boundaries = make([]int, cfg.Procs+1)
+	}
 
 	// Choose the partition: profile-balanced over the non-empty region when
 	// a profile exists, uniform otherwise. The region from the profiled
@@ -133,11 +181,27 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 			region.Lo = max(region.Lo-b, 0)
 			region.Hi = min(region.Hi+b, fr.M.H)
 		}
-		res.Boundaries = Partition(PaddedProfile(nr.profile, region.Hi), region, cfg.Procs, cfg.Procs)
+		// Zero-extend the profile into scratch when the image has grown.
+		pp := nr.profile
+		if len(pp) < region.Hi {
+			if cap(nr.padBuf) >= region.Hi {
+				nr.padBuf = nr.padBuf[:region.Hi]
+			} else {
+				nr.padBuf = make([]int64, region.Hi)
+			}
+			copy(nr.padBuf, pp)
+			clear(nr.padBuf[len(pp):])
+			pp = nr.padBuf
+		}
+		if n := region.Hi - region.Lo; cap(nr.cumBuf) < n {
+			nr.cumBuf = make([]int64, n)
+		}
+		partitionInto(nr.boundaries, nr.cumBuf[:cap(nr.cumBuf)], pp, region, cfg.Procs)
 	} else {
 		region = Region{0, fr.M.H}
-		res.Boundaries = UniformPartition(fr.M.H, cfg.Procs)
+		uniformInto(nr.boundaries, fr.M.H, cfg.Procs)
 	}
+	res.Boundaries = nr.boundaries
 	res.Region = region
 
 	steal := cfg.StealChunk
@@ -145,98 +209,45 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 		steal = StealChunkSize(region.Hi-region.Lo, cfg.Procs, cfg.LineBytes)
 	}
 
-	bands := par.NewBands(res.Boundaries, steal)
-	var bmu sync.Mutex
-	// Per-band completion signals replace the global barrier.
-	done := make([]chan struct{}, cfg.Procs)
-	for p := range done {
-		done[p] = make(chan struct{})
-		if bands.Complete(p) {
-			close(done[p])
+	if nr.bands == nil {
+		nr.bands = par.NewBands(nr.boundaries, steal)
+	} else {
+		nr.bands.Reset(nr.boundaries, steal)
+	}
+	// Per-band completion signals replace the global barrier. The frame-end
+	// wait below separates the Add cycles, so the WaitGroups are reusable.
+	if len(nr.doneWG) != cfg.Procs {
+		nr.doneWG = make([]sync.WaitGroup, cfg.Procs)
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		if !nr.bands.Complete(p) {
+			nr.doneWG[p].Add(1)
 		}
 	}
-	newProfile := make([]int64, fr.M.H) // rows written disjointly, no lock
-
-	warpTasks := warp.PartitionTasks(res.Boundaries)
-
-	var wg sync.WaitGroup
-	for p := 0; p < cfg.Procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			ps := &res.PerProc[p]
-			cc := fr.NewCompositeCtx()
-
-			runChunk := func(c par.Chunk, band int) {
-				for row := c.Lo; row < c.Hi; row++ {
-					before := ps.Composite.Samples
-					cycles := cc.Scanline(row, &ps.Composite)
-					if profiling {
-						// A scanline that composited no samples is empty:
-						// zero in the profile so the region excludes it.
-						if ps.Composite.Samples == before {
-							newProfile[row] = 0
-						} else {
-							newProfile[row] = cycles
-						}
-						ps.Profiled += ProfileOverheadCycles(cycles)
-					}
-				}
-				bmu.Lock()
-				if bands.MarkDone(band, c.Hi-c.Lo) {
-					close(done[band])
-				}
-				bmu.Unlock()
-			}
-
-			for {
-				bmu.Lock()
-				c, ok := bands.TakeOwn(p)
-				bmu.Unlock()
-				if !ok {
-					break
-				}
-				ps.Chunks++
-				runChunk(c, p)
-			}
-			if !cfg.DisableSteal {
-				for {
-					bmu.Lock()
-					c, band, ok := bands.TakeSteal()
-					bmu.Unlock()
-					if !ok {
-						break
-					}
-					ps.Chunks++
-					ps.Steals++
-					runChunk(c, band)
-				}
-			}
-
-			// Warp this processor's tasks; each waits only on the bands its
-			// bilinear reads can touch — no global barrier (section 5.5.2).
-			// Interior tasks need only the own band; boundary slivers also
-			// need the adjacent band.
-			wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
-			for _, tk := range warpTasks {
-				if tk.Owner != p {
-					continue
-				}
-				for q := tk.NeedLo; q <= tk.NeedHi; q++ {
-					<-done[q]
-				}
-				for y := 0; y < fr.Out.H; y++ {
-					if x0, x1, ok := wc.RowSpan(y, tk.Band); ok {
-						wc.WarpSpan(y, x0, x1, &ps.Warp)
-					}
-				}
-			}
-		}(p)
-	}
-	wg.Wait()
 
 	if profiling {
-		nr.profile = newProfile
+		// Rows are written disjointly by the workers; rows outside the
+		// composited region must read as empty, hence the clear.
+		if cap(nr.profBuf) >= fr.M.H {
+			nr.profBuf = nr.profBuf[:fr.M.H]
+			clear(nr.profBuf)
+		} else {
+			nr.profBuf = make([]int64, fr.M.H)
+		}
+	}
+
+	nr.warpTasks = nr.tb.Partition(nr.boundaries)
+
+	nr.ensureWorkers(cfg.Procs)
+	nr.clearWG.Add(cfg.Procs)
+	nr.frameWG.Add(cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		nr.start[p] <- struct{}{}
+	}
+	nr.frameWG.Wait()
+
+	if profiling {
+		nr.profile, nr.profBuf = nr.profBuf, nr.profile
 		nr.profAxis = fr.F.Axis
 		nr.profYaw, nr.profPitch = yaw, pitch
 		nr.profImageH = fr.M.H
@@ -246,7 +257,129 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 	return res
 }
 
+// ensureWorkers keeps one persistent goroutine per processor, woken once
+// per frame by a token on its start channel. If the processor count
+// changed, the old workers are shut down by closing their channels.
+func (nr *Renderer) ensureWorkers(procs int) {
+	if len(nr.start) == procs {
+		return
+	}
+	for _, ch := range nr.start {
+		close(ch)
+	}
+	nr.start = make([]chan struct{}, procs)
+	for p := 0; p < procs; p++ {
+		ch := make(chan struct{}, 1)
+		nr.start[p] = ch
+		go func(p int, ch chan struct{}) {
+			for range ch {
+				nr.renderWorker(p)
+				nr.frameWG.Done()
+			}
+		}(p, ch)
+	}
+}
+
+// Close shuts down the persistent workers. It is optional — an abandoned
+// renderer merely parks its goroutines — but callers that create many
+// renderers can use it to release them deterministically. The renderer
+// must not be used after Close.
+func (nr *Renderer) Close() {
+	for _, ch := range nr.start {
+		close(ch)
+	}
+	nr.start = nil
+}
+
+// renderWorker is one processor's share of a frame: clear a stripe of the
+// intermediate image, composite own-band chunks then stolen chunks, and
+// warp the owned tasks as their band dependencies complete.
+func (nr *Renderer) renderWorker(p int) {
+	fr := &nr.fr
+	procs := len(nr.start)
+
+	// Parallel clear: each worker wipes one horizontal stripe of the
+	// (reused) intermediate image, then all workers rendezvous so no one
+	// composites into rows another worker has yet to clear.
+	nr.fr.M.ClearRows(p*fr.M.H/procs, (p+1)*fr.M.H/procs)
+	nr.clearWG.Done()
+	nr.clearWG.Wait()
+
+	ps := &nr.res.PerProc[p]
+	cc, _ := nr.ctxPool.Get().(*composite.Ctx)
+	cc = fr.BindCompositeCtx(cc)
+
+	for {
+		nr.bmu.Lock()
+		c, ok := nr.bands.TakeOwn(p)
+		nr.bmu.Unlock()
+		if !ok {
+			break
+		}
+		ps.Chunks++
+		nr.runChunk(cc, ps, c, p)
+	}
+	if !nr.Cfg.DisableSteal {
+		for {
+			nr.bmu.Lock()
+			c, band, ok := nr.bands.TakeSteal()
+			nr.bmu.Unlock()
+			if !ok {
+				break
+			}
+			ps.Chunks++
+			ps.Steals++
+			nr.runChunk(cc, ps, c, band)
+		}
+	}
+	nr.ctxPool.Put(cc)
+
+	// Warp this processor's tasks; each waits only on the bands its
+	// bilinear reads can touch — no global barrier (section 5.5.2).
+	// Interior tasks need only the own band; boundary slivers also need
+	// the adjacent band.
+	wc := warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out}
+	for _, tk := range nr.warpTasks {
+		if tk.Owner != p {
+			continue
+		}
+		for q := tk.NeedLo; q <= tk.NeedHi; q++ {
+			nr.doneWG[q].Wait()
+		}
+		for y := 0; y < fr.Out.H; y++ {
+			if x0, x1, ok := wc.RowSpan(y, tk.Band); ok {
+				wc.WarpSpan(y, x0, x1, &ps.Warp)
+			}
+		}
+	}
+}
+
+// runChunk composites one chunk of rows belonging to band, recording the
+// per-scanline profile on profiling frames and signalling band completion.
+func (nr *Renderer) runChunk(cc *composite.Ctx, ps *ProcStats, c par.Chunk, band int) {
+	for row := c.Lo; row < c.Hi; row++ {
+		before := ps.Composite.Samples
+		cycles := cc.Scanline(row, &ps.Composite)
+		if nr.profiling {
+			// A scanline that composited no samples is empty: zero in the
+			// profile so the region excludes it.
+			if ps.Composite.Samples == before {
+				nr.profBuf[row] = 0
+			} else {
+				nr.profBuf[row] = cycles
+			}
+			ps.Profiled += ProfileOverheadCycles(cycles)
+		}
+	}
+	nr.bmu.Lock()
+	complete := nr.bands.MarkDone(band, c.Hi-c.Lo)
+	nr.bmu.Unlock()
+	if complete {
+		nr.doneWG[band].Done()
+	}
+}
+
 // Profile returns the current per-scanline cost profile (nil before the
-// first profiled frame). The returned slice is live; callers must not
-// modify it.
+// first profiled frame). The returned slice is reused as scratch by later
+// profiled frames; callers must not modify or retain it.
 func (nr *Renderer) Profile() []int64 { return nr.profile }

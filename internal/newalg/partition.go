@@ -102,6 +102,63 @@ func Partition(profile []int64, region Region, nprocs, prefixProcs int) []int {
 	return boundaries
 }
 
+// partitionInto is Partition with caller-owned scratch: boundaries must
+// have length nprocs+1 and cum capacity for the region. The prefix sum runs
+// serially (bit-identical to the parallel one for integer profiles) and the
+// binary search is hand-rolled so no closure forms — the steady-state frame
+// loop calls this every frame without allocating.
+func partitionInto(boundaries []int, cum []int64, profile []int64, region Region, nprocs int) {
+	n := region.Hi - region.Lo
+	for p := range boundaries {
+		boundaries[p] = region.Lo
+	}
+	boundaries[nprocs] = region.Hi
+	if n <= 0 {
+		return
+	}
+	cum = cum[:n]
+	total := par.Scan(cum, profile[region.Lo:region.Hi])
+	if total == 0 {
+		// Degenerate: fall back to uniform splits.
+		for p := 1; p < nprocs; p++ {
+			boundaries[p] = region.Lo + p*n/nprocs
+		}
+		return
+	}
+	for p := 1; p < nprocs; p++ {
+		target := total * int64(p) / int64(nprocs)
+		// First scanline whose cumulative cost reaches the target.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cum[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx := lo
+		if idx > n-1 {
+			idx = n - 1
+		}
+		boundaries[p] = region.Lo + idx
+	}
+	// Enforce monotonicity (very skewed profiles can collapse splits).
+	for p := 1; p <= nprocs; p++ {
+		if boundaries[p] < boundaries[p-1] {
+			boundaries[p] = boundaries[p-1]
+		}
+	}
+}
+
+// uniformInto writes UniformPartition's boundaries into caller scratch of
+// length nprocs+1.
+func uniformInto(boundaries []int, height, nprocs int) {
+	for p := 0; p <= nprocs; p++ {
+		boundaries[p] = p * height / nprocs
+	}
+}
+
 // UniformPartition splits rows [0, height) evenly — the initial assignment
 // used before any profile exists.
 func UniformPartition(height, nprocs int) []int {

@@ -124,7 +124,7 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 			barrier.Wait()
 
 			// Warp phase: round-robin tiles, no stealing.
-			wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
+			wc := warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out}
 			for t := p; t < len(tiles); t += cfg.Procs {
 				tl := tiles[t]
 				wc.WarpTile(tl[0], tl[1], tl[2], tl[3], &ps.Warp)

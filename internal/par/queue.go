@@ -118,22 +118,32 @@ type Bands struct {
 // boundaries[p+1] is processor p's band). stealSize is the number of
 // scanlines taken per steal.
 func NewBands(boundaries []int, stealSize int) *Bands {
+	b := &Bands{}
+	b.Reset(boundaries, stealSize)
+	return b
+}
+
+// Reset reinitializes the band state in place from new boundaries, reusing
+// the slices so the per-frame setup of the steady-state render loop does
+// not allocate.
+func (b *Bands) Reset(boundaries []int, stealSize int) {
 	if stealSize < 1 {
 		stealSize = 1
 	}
 	p := len(boundaries) - 1
-	b := &Bands{
-		next:      make([]int, p),
-		hi:        make([]int, p),
-		remaining: make([]int, p),
-		stealSize: stealSize,
+	if cap(b.next) >= p {
+		b.next, b.hi, b.remaining = b.next[:p], b.hi[:p], b.remaining[:p]
+	} else {
+		b.next = make([]int, p)
+		b.hi = make([]int, p)
+		b.remaining = make([]int, p)
 	}
+	b.stealSize = stealSize
 	for i := 0; i < p; i++ {
 		b.next[i] = boundaries[i]
 		b.hi[i] = boundaries[i+1]
 		b.remaining[i] = boundaries[i+1] - boundaries[i]
 	}
-	return b
 }
 
 // TakeOwn hands band owner p its next chunk of rows from the front of its

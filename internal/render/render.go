@@ -84,6 +84,20 @@ func (fr *Frame) NewCompositeCtx() *composite.Ctx {
 	return cc
 }
 
+// BindCompositeCtx rebinds a pooled compositing context to this frame, or
+// builds a fresh one when cc is nil; like NewCompositeCtx it applies the
+// frame's opacity-correction setting so images stay bit-identical.
+func (fr *Frame) BindCompositeCtx(cc *composite.Ctx) *composite.Ctx {
+	if cc == nil {
+		return fr.NewCompositeCtx()
+	}
+	cc.Bind(&fr.F, fr.RV, fr.M)
+	if fr.CorrectOpacity {
+		cc.EnableOpacityCorrection()
+	}
+	return cc
+}
+
 // Setup factorizes the view and allocates the frame's images.
 func (r *Renderer) Setup(yaw, pitch float64) *Frame {
 	view := xform.ViewMatrix(r.Vol.Nx, r.Vol.Ny, r.Vol.Nz, yaw, pitch)
@@ -95,6 +109,28 @@ func (r *Renderer) Setup(yaw, pitch float64) *Frame {
 		Out:            img.NewFinal(f.FinalW, f.FinalH),
 		CorrectOpacity: r.OpacityCorrection,
 	}
+}
+
+// SetupInto factorizes the view into an existing frame, reusing its images
+// when they exist (resized without clearing — the caller owns the clear).
+// Unlike Setup, which always allocates fresh zeroed images, this is the
+// allocation-free path for renderers that own a persistent Frame; callers
+// that hand out the final image must not reuse the frame afterwards.
+func (r *Renderer) SetupInto(fr *Frame, yaw, pitch float64) {
+	view := xform.ViewMatrix(r.Vol.Nx, r.Vol.Ny, r.Vol.Nz, yaw, pitch)
+	fr.F = xform.Factorize(r.Vol.Nx, r.Vol.Ny, r.Vol.Nz, view)
+	fr.RV = r.Encoding(fr.F.Axis)
+	if fr.M == nil {
+		fr.M = img.NewIntermediate(fr.F.IntW, fr.F.IntH)
+	} else {
+		fr.M.Resize(fr.F.IntW, fr.F.IntH)
+	}
+	if fr.Out == nil {
+		fr.Out = img.NewFinal(fr.F.FinalW, fr.F.FinalH)
+	} else {
+		fr.Out.Resize(fr.F.FinalW, fr.F.FinalH)
+	}
+	fr.CorrectOpacity = r.OpacityCorrection
 }
 
 // FrameStats reports the modeled work of one rendered frame.

@@ -89,5 +89,6 @@ func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume 
 		}(p)
 	}
 	wg.Wait()
+	v.computeMaxLineRuns()
 	return v
 }

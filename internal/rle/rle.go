@@ -36,6 +36,22 @@ type Volume struct {
 	// Scanline s owns Vox[VoxOff[s]:VoxOff[s+1]].
 	VoxOff []int32
 	Vox    []classify.Voxel
+
+	// MaxLineRuns is the largest run-header count of any scanline, set by
+	// the encoders. Compositing contexts size their span scratch from it so
+	// steady-state frames never grow an append.
+	MaxLineRuns int
+}
+
+// computeMaxLineRuns scans RunOff for the densest scanline.
+func (v *Volume) computeMaxLineRuns() {
+	maxRuns := 0
+	for s := 0; s+1 < len(v.RunOff); s++ {
+		if n := int(v.RunOff[s+1] - v.RunOff[s]); n > maxRuns {
+			maxRuns = n
+		}
+	}
+	v.MaxLineRuns = maxRuns
 }
 
 // Encode builds the run-length encoding of c for the given principal axis.
@@ -64,6 +80,7 @@ func Encode(c *classify.Classified, axis xform.Axis) *Volume {
 	}
 	v.RunOff[nk*nj] = int32(len(v.RunLens))
 	v.VoxOff[nk*nj] = int32(len(v.Vox))
+	v.computeMaxLineRuns()
 	return v
 }
 

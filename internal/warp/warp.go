@@ -75,7 +75,12 @@ func NewCtx(f *xform.Factorization, m *img.Intermediate, out *img.Final) *Ctx {
 	return &Ctx{F: f, M: m, Out: out}
 }
 
-// WarpSpan warps final-image row y for x in [x0, x1).
+// WarpSpan warps final-image row y for x in [x0, x1). Native frames
+// (Tracer == nil) take a branch-free fast path; simulated frames take the
+// traced path, which additionally records the memory references. Both paths
+// produce bit-identical pixels: the fast path drops only zero-weight
+// contributions (identity adds on the non-negative accumulators) and keeps
+// the same evaluation order.
 func (c *Ctx) WarpSpan(y, x0, x1 int, cnt *Counters) {
 	if x0 < 0 {
 		x0 = 0
@@ -88,9 +93,86 @@ func (c *Ctx) WarpSpan(y, x0, x1 int, cnt *Counters) {
 	}
 	cnt.Rows++
 	cnt.Cycles += CyclesPerRowSetup
+	if c.Tracer == nil {
+		c.warpSpanUntraced(y, x0, x1, cnt)
+		return
+	}
+	c.warpSpanTraced(y, x0, x1, cnt)
+}
+
+// warpSpanUntraced is the native fast path: no tracer checks, no extent
+// tracking, and a branch-free 4-tap bilinear gather for interior pixels.
+func (c *Ctx) warpSpanUntraced(y, x0, x1 int, cnt *Counters) {
 	inv := &c.F.WarpInv
 	// Incremental mapping along the row: (u, v) advances by (inv[0], inv[3])
 	// per pixel.
+	u := inv[0]*float64(x0) + inv[1]*float64(y) + inv[2]
+	v := inv[3]*float64(x0) + inv[4]*float64(y) + inv[5]
+	M, out := c.M, c.Out
+	W, H := M.W, M.H
+	pix := M.Pix
+	outPix := out.Pix
+	outBase := y * out.W
+	for x := x0; x < x1; x, u, v = x+1, u+inv[0], v+inv[3] {
+		u0 := int(math.Floor(u))
+		v0 := int(math.Floor(v))
+		o := 4 * (outBase + x)
+		if u0 < -1 || v0 < -1 || u0 >= W || v0 >= H {
+			outPix[o] = 0
+			outPix[o+1] = 0
+			outPix[o+2] = 0
+			cnt.Background++
+			cnt.Cycles += CyclesPerBackground
+			continue
+		}
+		fu := float32(u - float64(u0))
+		fv := float32(v - float64(v0))
+		w00 := (1 - fu) * (1 - fv)
+		w10 := fu * (1 - fv)
+		w01 := (1 - fu) * fv
+		w11 := fu * fv
+		var r, g, b float32
+		if u0 >= 0 && v0 >= 0 && u0+1 < W && v0+1 < H {
+			p := 4 * (v0*W + u0)
+			q := p + 4*W
+			r = w00*pix[p] + w10*pix[p+4] + w01*pix[q] + w11*pix[q+4]
+			g = w00*pix[p+1] + w10*pix[p+5] + w01*pix[q+1] + w11*pix[q+5]
+			b = w00*pix[p+2] + w10*pix[p+6] + w01*pix[q+2] + w11*pix[q+6]
+		} else {
+			r, g, b = c.gatherClamped(u0, v0, w00, w10, w01, w11)
+		}
+		outPix[o] = quant255(r)
+		outPix[o+1] = quant255(g)
+		outPix[o+2] = quant255(b)
+		cnt.Pixels++
+		cnt.Cycles += CyclesPerPixel
+	}
+}
+
+// gatherClamped handles the image-border pixels of the fast path, where
+// some bilinear taps fall outside the intermediate image.
+func (c *Ctx) gatherClamped(u0, v0 int, w00, w10, w01, w11 float32) (r, g, b float32) {
+	M := c.M
+	tap := func(uu, vv int, w float32) {
+		if w == 0 || uu < 0 || vv < 0 || uu >= M.W || vv >= M.H {
+			return
+		}
+		p := 4 * (vv*M.W + uu)
+		r += w * M.Pix[p]
+		g += w * M.Pix[p+1]
+		b += w * M.Pix[p+2]
+	}
+	tap(u0, v0, w00)
+	tap(u0+1, v0, w10)
+	tap(u0, v0+1, w01)
+	tap(u0+1, v0+1, w11)
+	return
+}
+
+// warpSpanTraced is the simulator path: identical arithmetic plus extent
+// tracking for the batched tracer emissions.
+func (c *Ctx) warpSpanTraced(y, x0, x1 int, cnt *Counters) {
+	inv := &c.F.WarpInv
 	u := inv[0]*float64(x0) + inv[1]*float64(y) + inv[2]
 	v := inv[3]*float64(x0) + inv[4]*float64(y) + inv[5]
 	M, out := c.M, c.Out
@@ -112,20 +194,8 @@ func (c *Ctx) WarpSpan(y, x0, x1 int, cnt *Counters) {
 		}
 		fu := float32(u - float64(u0))
 		fv := float32(v - float64(v0))
-		var r, g, b float32
-		gather := func(uu, vv int, w float32) {
-			if w == 0 || uu < 0 || vv < 0 || uu >= M.W || vv >= M.H {
-				return
-			}
-			p := 4 * (vv*M.W + uu)
-			r += w * M.Pix[p]
-			g += w * M.Pix[p+1]
-			b += w * M.Pix[p+2]
-		}
-		gather(u0, v0, (1-fu)*(1-fv))
-		gather(u0+1, v0, fu*(1-fv))
-		gather(u0, v0+1, (1-fu)*fv)
-		gather(u0+1, v0+1, fu*fv)
+		r, g, b := c.gatherClamped(u0, v0,
+			(1-fu)*(1-fv), fu*(1-fv), (1-fu)*fv, fu*fv)
 		out.Pix[4*(outBase+x)] = quant255(r)
 		out.Pix[4*(outBase+x)+1] = quant255(g)
 		out.Pix[4*(outBase+x)+2] = quant255(b)
@@ -137,18 +207,16 @@ func (c *Ctx) WarpSpan(y, x0, x1 int, cnt *Counters) {
 		minV = math.Min(minV, v)
 		maxV = math.Max(maxV, v)
 	}
-	if c.Tracer != nil {
-		c.Tracer.Write(c.Arrays.FinalPix, outBase+x0, x1-x0)
-		if interior > 0 {
-			// The interior pixels read the intermediate rows spanned by
-			// [minV, maxV+1] over columns [minU, maxU+1].
-			uLo := clampInt(int(math.Floor(minU)), 0, M.W-1)
-			uHi := clampInt(int(math.Floor(maxU))+1, 0, M.W-1)
-			vLo := clampInt(int(math.Floor(minV)), 0, M.H-1)
-			vHi := clampInt(int(math.Floor(maxV))+1, 0, M.H-1)
-			for vv := vLo; vv <= vHi; vv++ {
-				c.Tracer.Read(c.Arrays.IntPix, vv*M.W+uLo, uHi-uLo+1)
-			}
+	c.Tracer.Write(c.Arrays.FinalPix, outBase+x0, x1-x0)
+	if interior > 0 {
+		// The interior pixels read the intermediate rows spanned by
+		// [minV, maxV+1] over columns [minU, maxU+1].
+		uLo := clampInt(int(math.Floor(minU)), 0, M.W-1)
+		uHi := clampInt(int(math.Floor(maxU))+1, 0, M.W-1)
+		vLo := clampInt(int(math.Floor(minV)), 0, M.H-1)
+		vHi := clampInt(int(math.Floor(maxV))+1, 0, M.H-1)
+		for vv := vLo; vv <= vHi; vv++ {
+			c.Tracer.Read(c.Arrays.IntPix, vv*M.W+uLo, uHi-uLo+1)
 		}
 	}
 }
@@ -239,30 +307,49 @@ type Task struct {
 // PartitionTasks builds the warp tasks for a contiguous compositing
 // partition (boundaries[p]..boundaries[p+1] is processor p's band).
 func PartitionTasks(boundaries []int) []Task {
+	var tb TaskBuilder
+	return tb.Partition(boundaries)
+}
+
+// TaskBuilder builds warp tasks into reusable scratch so per-frame
+// partitioning never allocates in the steady state. The returned slice is
+// valid until the next Partition call on the same builder.
+type TaskBuilder struct {
+	tasks []Task
+	cuts  []int
+	edges []float64
+}
+
+// Partition builds the warp tasks for a contiguous compositing partition,
+// reusing the builder's buffers.
+func (tb *TaskBuilder) Partition(boundaries []int) []Task {
 	nb := len(boundaries) - 1
 	lo, hi := boundaries[0], boundaries[nb]
 
 	// Distinct internal cut values strictly inside the region; cuts at the
 	// region edges separate only empty bands and are covered by the outer
 	// intervals.
-	var cuts []int
+	cuts := tb.cuts[:0]
 	for i := 1; i < nb; i++ {
 		if b := boundaries[i]; b > lo && b < hi && (len(cuts) == 0 || cuts[len(cuts)-1] != b) {
 			cuts = append(cuts, b)
 		}
 	}
+	tb.cuts = cuts
 
 	// Interval edges along the v axis: around each cut c the sliver
 	// [c-1, c) gets its own interval.
-	edges := []float64{math.Inf(-1)}
+	edges := append(tb.edges[:0], math.Inf(-1))
 	for _, c := range cuts {
-		for _, e := range []float64{float64(c - 1), float64(c)} {
-			if e > edges[len(edges)-1] {
-				edges = append(edges, e)
-			}
+		if e := float64(c - 1); e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+		if e := float64(c); e > edges[len(edges)-1] {
+			edges = append(edges, e)
 		}
 	}
 	edges = append(edges, math.Inf(1))
+	tb.edges = edges
 
 	bandSize := func(p int) int { return boundaries[p+1] - boundaries[p] }
 	// bandOfRow returns the non-empty band containing a composited row, or
@@ -279,7 +366,7 @@ func PartitionTasks(boundaries []int) []Task {
 		return -1
 	}
 
-	var tasks []Task
+	tasks := tb.tasks[:0]
 	for i := 0; i+1 < len(edges); i++ {
 		a, b := edges[i], edges[i+1]
 		if a >= b {
@@ -319,6 +406,7 @@ func PartitionTasks(boundaries []int) []Task {
 		}
 		tasks = append(tasks, t)
 	}
+	tb.tasks = tasks
 	return tasks
 }
 

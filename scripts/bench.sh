@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench.sh — run the native kernel and frame benchmarks and emit
+# BENCH_native.json (plus benchstat-ready raw output in BENCH_native.txt).
+#
+# Usage:  scripts/bench.sh [count]
+#
+#   count   repetitions per benchmark (default 5) — enough for benchstat
+#           to report a confidence interval:
+#               benchstat BENCH_native.txt
+#
+# The JSON records the per-run ns/op samples, their mean, and allocation
+# stats for each benchmark, alongside the frozen pre-PR baseline of the
+# frame benchmarks so the kernel-optimization speedup
+# (baseline mean / current mean) can be read off directly.
+set -eu
+
+COUNT="${1:-5}"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO"
+
+RAW=BENCH_native.txt
+JSON=BENCH_native.json
+BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkWarpSpan)$'
+
+echo "running benchmarks (count=$COUNT)..." >&2
+go test -run '^$' -bench "$BENCHES" -benchmem -count "$COUNT" . | tee "$RAW"
+
+awk -v count="$COUNT" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+    n = 0
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+    runs[name] = runs[name] (runs[name] ? ", " : "") $3
+    sum[name] += $3
+    cnt[name]++
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes[name]  = $(i-1)
+        if ($i == "allocs/op") allocs[name] = $(i-1)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"count\": %d,\n", count
+    printf "  \"baseline\": {\n"
+    printf "    \"note\": \"pre-PR frame benchmarks (before the untraced kernel split and zero-alloc frame loop), same machine, count=5\",\n"
+    printf "    \"cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz\",\n"
+    printf "    \"benchmarks\": {\n"
+    printf "      \"BenchmarkSerialFrame\": {\"runs_ns_op\": [1165674, 1074924, 1147793, 1255348, 1203546], \"mean_ns_op\": 1169457, \"bytes_op\": 160543, \"allocs_op\": 19},\n"
+    printf "      \"BenchmarkOldParallelFrame\": {\"runs_ns_op\": [1197175, 1290986, 1177328, 1259052, 1179017], \"mean_ns_op\": 1220711, \"bytes_op\": 168141, \"allocs_op\": 65},\n"
+    printf "      \"BenchmarkNewParallelFrame\": {\"runs_ns_op\": [1253647, 1257970, 1417226, 1316424, 1073361], \"mean_ns_op\": 1263725, \"bytes_op\": 167986, \"allocs_op\": 76}\n"
+    printf "    }\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": {\n"
+    for (k = 0; k < n; k++) {
+        name = order[k]
+        printf "    \"%s\": {\"runs_ns_op\": [%s], \"mean_ns_op\": %.0f, \"bytes_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, runs[name], sum[name] / cnt[name], \
+            (name in bytes ? bytes[name] : "null"), \
+            (name in allocs ? allocs[name] : "null"), \
+            (k < n - 1 ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$RAW" > "$JSON"
+
+echo "wrote $RAW and $JSON" >&2
