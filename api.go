@@ -31,6 +31,7 @@ import (
 	"shearwarp/internal/img"
 	"shearwarp/internal/newalg"
 	"shearwarp/internal/oldalg"
+	"shearwarp/internal/perf"
 	"shearwarp/internal/raycast"
 	"shearwarp/internal/render"
 	"shearwarp/internal/vol"
@@ -95,6 +96,13 @@ type Config struct {
 	// opacities for the shear's per-slice sample spacing (Lacroute). The
 	// ray-casting baseline samples at unit spacing and ignores it.
 	OpacityCorrection bool
+	// CollectStats attaches the per-worker phase-time instrumentation
+	// (internal/perf) to the Serial, OldParallel and NewParallel
+	// renderers: each Render then exposes a paper-style Figure-5/6
+	// breakdown through LastBreakdown. Costs a few percent of frame time;
+	// when false the renderers take the uninstrumented path (no clock
+	// reads, byte-identical output).
+	CollectStats bool
 }
 
 // Renderer renders frames of one volume. It is not safe for concurrent
@@ -104,6 +112,8 @@ type Renderer struct {
 	r   *render.Renderer
 	nr  *newalg.Renderer // cross-frame state for NewParallel
 	rc  *raycast.Renderer
+	pc  *perf.Collector  // nil unless cfg.CollectStats
+	bd  *PhaseBreakdown  // breakdown of the last rendered frame
 }
 
 // Image is a rendered frame.
@@ -178,8 +188,12 @@ func newRenderer(v *vol.Volume, cfg Config) *Renderer {
 	}
 	r := render.New(v, opt)
 	re := &Renderer{cfg: cfg, r: r}
+	if cfg.CollectStats && cfg.Algorithm != RayCast {
+		re.pc = perf.NewCollector(cfg.Procs)
+	}
 	if cfg.Algorithm == NewParallel {
 		re.nr = newalg.NewRenderer(r, newalg.Config{Procs: cfg.Procs})
+		re.nr.Perf = re.pc
 	}
 	if cfg.Algorithm == RayCast {
 		re.rc = raycast.New(r.Classified)
@@ -196,7 +210,7 @@ func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
 	var out *img.Final
 	switch re.cfg.Algorithm {
 	case OldParallel:
-		res := oldalg.Render(re.r, yaw, pitch, oldalg.Config{Procs: re.cfg.Procs})
+		res := oldalg.Render(re.r, yaw, pitch, oldalg.Config{Procs: re.cfg.Procs, Perf: re.pc})
 		st := res.Stats()
 		out = res.Out
 		info.Cycles = st.TotalCycles()
@@ -223,11 +237,14 @@ func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
 		info.Cycles = cnt.Cycles
 		info.Samples = cnt.Composites
 	default: // Serial
-		o, st := re.r.RenderSerial(yaw, pitch)
+		o, st := re.r.RenderSerialPerf(yaw, pitch, re.pc)
 		out = o
 		info.Cycles = st.TotalCycles()
 		info.Samples = st.Composite.Samples
 		info.Scanlines = st.Composite.Scanlines
+	}
+	if re.pc != nil {
+		re.bd = &PhaseBreakdown{fb: re.pc.Breakdown(re.cfg.Algorithm.String())}
 	}
 	v := re.r.Vol
 	f := xform.Factorize(v.Nx, v.Ny, v.Nz, xform.ViewMatrix(v.Nx, v.Ny, v.Nz, yaw, pitch))
@@ -235,6 +252,38 @@ func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
 	info.FinalW, info.FinalH = f.FinalW, f.FinalH
 	return &Image{f: out}, info
 }
+
+// PhaseBreakdown is the per-worker execution-time breakdown of one frame
+// — the native, wall-clock analog of the paper's Figure 5/6 busy /
+// synchronization / load-imbalance bars. Obtain one from
+// Renderer.LastBreakdown after rendering with Config.CollectStats.
+type PhaseBreakdown struct {
+	fb *perf.FrameBreakdown
+}
+
+// Table renders the breakdown as an aligned text table, one row per
+// worker, in the paper's Figure 5/6 vocabulary.
+func (b *PhaseBreakdown) Table() string { return b.fb.Table().String() }
+
+// JSON marshals the breakdown (indented, stable field order).
+func (b *PhaseBreakdown) JSON() ([]byte, error) { return b.fb.JSON() }
+
+// ImbalanceFrac is the frame's aggregate load-imbalance fraction: mean
+// per-worker idle time outside tracked waits over the frame wall time.
+func (b *PhaseBreakdown) ImbalanceFrac() float64 { return b.fb.ImbalanceFrac() }
+
+// WallNanos is the frame's wall-clock duration in nanoseconds.
+func (b *PhaseBreakdown) WallNanos() int64 { return b.fb.WallNS }
+
+// Frame exposes the underlying perf.FrameBreakdown for tools inside this
+// module (the internal package is not importable from outside).
+func (b *PhaseBreakdown) Frame() *perf.FrameBreakdown { return b.fb }
+
+// LastBreakdown returns the phase breakdown of the most recent Render
+// call, or nil when Config.CollectStats is off or the algorithm is
+// RayCast (which has no shear-warp phases to break down). The returned
+// value is a snapshot and stays valid across later frames.
+func (re *Renderer) LastBreakdown() *PhaseBreakdown { return re.bd }
 
 // ListFigures returns the IDs and titles of the reproducible paper figures
 // and the ablation studies.

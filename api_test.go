@@ -2,9 +2,87 @@ package shearwarp
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+func TestCollectStatsBreakdown(t *testing.T) {
+	for _, alg := range []Algorithm{Serial, OldParallel, NewParallel} {
+		procs := 3
+		if alg == Serial {
+			procs = 1
+		}
+		r := NewMRIPhantom(20, Config{Algorithm: alg, Procs: procs, CollectStats: true})
+		if r.LastBreakdown() != nil {
+			t.Fatalf("%v: breakdown present before any frame", alg)
+		}
+		im, _ := r.Render(30, 15)
+		bd := r.LastBreakdown()
+		if bd == nil {
+			t.Fatalf("%v: no breakdown with CollectStats", alg)
+		}
+		fb := bd.Frame()
+		if fb.Workers != procs || len(fb.PerWorker) != procs {
+			t.Fatalf("%v: breakdown has %d workers, want %d", alg, fb.Workers, procs)
+		}
+		if bd.WallNanos() <= 0 {
+			t.Fatalf("%v: wall time %d", alg, bd.WallNanos())
+		}
+		var scan, busy int64
+		for i := range fb.PerWorker {
+			scan += fb.PerWorker[i].Scanlines
+			busy += fb.PerWorker[i].BusyNS()
+		}
+		if scan == 0 || busy <= 0 {
+			t.Fatalf("%v: empty breakdown (scanlines %d, busy %dns)", alg, scan, busy)
+		}
+		if f := bd.ImbalanceFrac(); f < 0 || f > 1 {
+			t.Fatalf("%v: imbalance fraction %f out of range", alg, f)
+		}
+		tbl := bd.Table()
+		if !strings.Contains(tbl, "imbal(ms)") || !strings.Contains(tbl, "phases-"+alg.String()) {
+			t.Fatalf("%v: malformed table:\n%s", alg, tbl)
+		}
+		data, err := bd.JSON()
+		if err != nil {
+			t.Fatalf("%v: JSON: %v", alg, err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("%v: JSON invalid: %v", alg, err)
+		}
+		if decoded["algorithm"] != alg.String() {
+			t.Fatalf("%v: JSON algorithm = %v", alg, decoded["algorithm"])
+		}
+
+		// The instrumented render must be byte-identical to the plain one.
+		plain := NewMRIPhantom(20, Config{Algorithm: alg, Procs: procs})
+		pim, _ := plain.Render(30, 15)
+		for y := 0; y < im.Height(); y++ {
+			for x := 0; x < im.Width(); x++ {
+				ar, ag, ab := im.At(x, y)
+				br, bg, bb := pim.At(x, y)
+				if ar != br || ag != bg || ab != bb {
+					t.Fatalf("%v: instrumented pixel (%d,%d) differs", alg, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectStatsRayCastAndDisabled(t *testing.T) {
+	rc := NewMRIPhantom(20, Config{Algorithm: RayCast, CollectStats: true})
+	rc.Render(30, 15)
+	if rc.LastBreakdown() != nil {
+		t.Fatal("raycast produced a phase breakdown")
+	}
+	off := NewMRIPhantom(20, Config{Algorithm: NewParallel, Procs: 2})
+	off.Render(30, 15)
+	if off.LastBreakdown() != nil {
+		t.Fatal("breakdown present without CollectStats")
+	}
+}
 
 func TestAllAlgorithmsAgree(t *testing.T) {
 	var images []*Image

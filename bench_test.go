@@ -19,6 +19,7 @@ import (
 	"shearwarp/internal/composite"
 	"shearwarp/internal/experiments"
 	"shearwarp/internal/newalg"
+	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/vol"
@@ -77,6 +78,29 @@ func BenchmarkRayCastFrame(b *testing.B)     { benchFrame(b, RayCast, 1) }
 func BenchmarkNewParallelFrame(b *testing.B) {
 	r := render.New(vol.MRIBrain(64), render.Options{PreprocProcs: 4})
 	nr := newalg.NewRenderer(r, newalg.Config{Procs: 4})
+	const step = 3 * math.Pi / 180
+	pitch := 15 * math.Pi / 180
+	yaw := 30 * math.Pi / 180
+	for i := 0; i < 130; i++ { // full rotation: warm all axes and buffers
+		yaw += step
+		nr.RenderFrame(yaw, pitch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		yaw += step
+		nr.RenderFrame(yaw, pitch)
+	}
+}
+
+// BenchmarkNewParallelFramePerf is BenchmarkNewParallelFrame with the
+// perf collector attached — the delta against the plain benchmark is the
+// observability layer's overhead (guarded under 5% by
+// TestPerfOverheadGuard).
+func BenchmarkNewParallelFramePerf(b *testing.B) {
+	r := render.New(vol.MRIBrain(64), render.Options{PreprocProcs: 4})
+	nr := newalg.NewRenderer(r, newalg.Config{Procs: 4})
+	nr.Perf = perf.NewCollector(4)
 	const step = 3 * math.Pi / 180
 	pitch := 15 * math.Pi / 180
 	yaw := 30 * math.Pi / 180

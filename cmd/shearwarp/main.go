@@ -7,18 +7,26 @@
 //
 //	shearwarp -kind mri -size 128 -alg new -procs 8 -yaw 30 -pitch 15 -out frame.ppm
 //	shearwarp -in brain.vol -alg serial -frames 24 -step 5
+//	shearwarp -alg old -procs 8 -frames 16 -stats -statsjson phases.json
+//	shearwarp -alg new -frames 100 -trace trace.out -metrics-addr :8080
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"shearwarp"
+	"shearwarp/internal/perf"
 	"shearwarp/internal/vol"
 )
 
@@ -35,13 +43,21 @@ func main() {
 	out := flag.String("out", "", "output image path for the last frame (.ppm or .png)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the render loop to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the render loop) to this file")
+	traceFile := flag.String("trace", "", "write a runtime/trace of the render loop to this file")
+	statsFlag := flag.Bool("stats", false, "print a per-worker phase breakdown table after each frame")
+	statsJSON := flag.String("statsjson", "", "write the per-frame phase breakdowns as JSON to this file (\"-\" = stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run")
 	flag.Parse()
 
 	alg, err := shearwarp.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := shearwarp.Config{Algorithm: alg, Procs: *procs}
+	collect := *statsFlag || *statsJSON != "" || *metricsAddr != ""
+	cfg := shearwarp.Config{Algorithm: alg, Procs: *procs, CollectStats: collect}
+	if collect && alg == shearwarp.RayCast {
+		fatal(fmt.Errorf("-stats/-statsjson/-metrics-addr need a shear-warp algorithm (serial, old, new)"))
+	}
 
 	var r *shearwarp.Renderer
 	switch {
@@ -79,7 +95,35 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// The execution trace likewise covers only the render loop; each frame
+	// shows up as a "shearwarp.frame" task with per-phase regions.
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer rtrace.Stop()
+	}
+
+	// The metrics endpoint publishes the cumulative phase/counter totals
+	// under "shearwarp" in /debug/vars, next to the stock expvar and pprof
+	// handlers — scrapeable while a long animation renders.
+	var cum perf.Cumulative
+	if *metricsAddr != "" {
+		expvar.Publish("shearwarp", expvar.Func(func() any { return cum.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "shearwarp: metrics server:", err)
+			}
+		}()
+	}
+
 	var last *shearwarp.Image
+	var breakdowns []*perf.FrameBreakdown
 	start := time.Now()
 	for i := 0; i < *frames; i++ {
 		y := *yaw + float64(i)*(*step)
@@ -89,8 +133,27 @@ func main() {
 		fmt.Printf("frame %2d  yaw %6.1f  %4dx%-4d  %8.2fms  %8d samples  steals %d  profiled %v\n",
 			i, y, im.Width(), im.Height(),
 			float64(time.Since(t0).Microseconds())/1000, info.Samples, info.Steals, info.Profiled)
+		if bd := r.LastBreakdown(); bd != nil {
+			fb := bd.Frame()
+			cum.Add(fb)
+			if *statsJSON != "" {
+				breakdowns = append(breakdowns, fb)
+			}
+			if *statsFlag {
+				fmt.Print(bd.Table())
+			}
+		}
 	}
 	elapsed := time.Since(start)
+
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, alg.String(), breakdowns); err != nil {
+			fatal(err)
+		}
+		if *statsJSON != "-" {
+			fmt.Printf("wrote %s\n", *statsJSON)
+		}
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -129,6 +192,26 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// writeStatsJSON emits the run's per-frame phase breakdowns as one JSON
+// document: {"algorithm": ..., "frames": [FrameBreakdown...]}.
+func writeStatsJSON(path, alg string, frames []*perf.FrameBreakdown) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Algorithm string                 `json:"algorithm"`
+		Frames    []*perf.FrameBreakdown `json:"frames"`
+	}{alg, frames})
 }
 
 func fatal(err error) {

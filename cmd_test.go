@@ -5,6 +5,7 @@ package shearwarp
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -62,6 +63,52 @@ func TestVolgenAndRenderCLI(t *testing.T) {
 	data, err := os.ReadFile(png)
 	if err != nil || !bytes.HasPrefix(data, []byte("\x89PNG")) {
 		t.Fatalf("PNG output wrong: %v", err)
+	}
+}
+
+func TestShearwarpStatsAndTraceCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "phases.json")
+	tracePath := filepath.Join(dir, "trace.out")
+
+	// -stats prints a per-worker breakdown table for both parallel
+	// algorithms; -statsjson and -trace write their files alongside.
+	for _, alg := range []string{"old", "new"} {
+		out := runCmd(t, "./cmd/shearwarp", "-kind", "mri", "-size", "24",
+			"-alg", alg, "-procs", "2", "-frames", "2",
+			"-stats", "-statsjson", jsonPath, "-trace", tracePath)
+		for _, want := range []string{"phases-" + alg, "imbal(ms)", "scanlines", "load imbalance"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s -stats output missing %q:\n%s", alg, want, out)
+			}
+		}
+
+		var doc struct {
+			Algorithm string `json:"algorithm"`
+			Frames    []struct {
+				Workers   int `json:"workers"`
+				WallNS    int64
+				PerWorker []map[string]any `json:"per_worker"`
+			} `json:"frames"`
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s -statsjson invalid JSON: %v\n%s", alg, err, data)
+		}
+		if doc.Algorithm != alg || len(doc.Frames) != 2 || doc.Frames[0].Workers != 2 ||
+			len(doc.Frames[0].PerWorker) != 2 {
+			t.Fatalf("%s -statsjson shape wrong: %+v", alg, doc)
+		}
+
+		if st, err := os.Stat(tracePath); err != nil || st.Size() == 0 {
+			t.Fatalf("%s -trace wrote no data: %v", alg, err)
+		}
 	}
 }
 

@@ -1,12 +1,16 @@
 package newalg
 
 import (
+	"context"
 	"math"
+	rtrace "runtime/trace"
 	"sync"
+	"time"
 
 	"shearwarp/internal/composite"
 	"shearwarp/internal/img"
 	"shearwarp/internal/par"
+	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
 	"shearwarp/internal/warp"
 	"shearwarp/internal/xform"
@@ -75,6 +79,15 @@ type Renderer struct {
 	R   *render.Renderer
 	Cfg Config
 
+	// Perf, when non-nil, collects per-worker phase timings and work
+	// counters for each frame (the native Figure-5/6 breakdown). Like the
+	// trace.Tracer split in the kernels, every instrumentation site is
+	// nil-checked so the default path performs no clock reads and renders
+	// byte-identically. Set it before the first RenderFrame; it is reset
+	// at the start of every frame and snapshotted with Perf.Breakdown
+	// after RenderFrame returns.
+	Perf *perf.Collector
+
 	profile    []int64
 	profAxis   xform.Axis
 	profYaw    float64
@@ -103,6 +116,7 @@ type Renderer struct {
 	frameWG    sync.WaitGroup   // frame completion
 	ctxPool    sync.Pool        // *composite.Ctx
 	start      []chan struct{}  // per-worker frame-start tokens
+	traceCtx   context.Context  // runtime/trace task context of the current frame
 }
 
 // NewRenderer wraps a render.Renderer with the new algorithm's state.
@@ -136,6 +150,17 @@ func (nr *Renderer) needProfile(f *xform.Factorization, yaw, pitch float64) bool
 // is valid until the next RenderFrame call.
 func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 	cfg := nr.Cfg
+	pc := nr.Perf
+	pc.Reset(cfg.Procs)
+
+	// One runtime/trace task per frame; the workers' phase regions attach
+	// to it. Gated on IsEnabled so the untraced path allocates nothing.
+	nr.traceCtx = context.Background()
+	var task *rtrace.Task
+	if rtrace.IsEnabled() {
+		nr.traceCtx, task = rtrace.NewTask(nr.traceCtx, "shearwarp.frame")
+	}
+
 	fr := &nr.fr
 	nr.R.SetupInto(fr, yaw, pitch)
 
@@ -241,10 +266,15 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 	nr.ensureWorkers(cfg.Procs)
 	nr.clearWG.Add(cfg.Procs)
 	nr.frameWG.Add(cfg.Procs)
+	pc.FrameStart()
 	for p := 0; p < cfg.Procs; p++ {
 		nr.start[p] <- struct{}{}
 	}
 	nr.frameWG.Wait()
+	pc.FrameEnd()
+	if task != nil {
+		task.End()
+	}
 
 	if profiling {
 		nr.profile, nr.profBuf = nr.profBuf, nr.profile
@@ -297,18 +327,36 @@ func (nr *Renderer) Close() {
 func (nr *Renderer) renderWorker(p int) {
 	fr := &nr.fr
 	procs := len(nr.start)
+	pc := nr.Perf
+	ctx := nr.traceCtx
+	var tw, t0 time.Time
+	if pc != nil {
+		tw = time.Now()
+		t0 = tw
+	}
 
 	// Parallel clear: each worker wipes one horizontal stripe of the
 	// (reused) intermediate image, then all workers rendezvous so no one
 	// composites into rows another worker has yet to clear.
+	reg := rtrace.StartRegion(ctx, "clear")
 	nr.fr.M.ClearRows(p*fr.M.H/procs, (p+1)*fr.M.H/procs)
+	reg.End()
+	if pc != nil {
+		pc.AddPhase(p, perf.PhaseClear, time.Since(t0))
+		t0 = time.Now()
+	}
 	nr.clearWG.Done()
 	nr.clearWG.Wait()
+	if pc != nil {
+		pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
+		t0 = time.Now()
+	}
 
 	ps := &nr.res.PerProc[p]
 	cc, _ := nr.ctxPool.Get().(*composite.Ctx)
 	cc = fr.BindCompositeCtx(cc)
 
+	reg = rtrace.StartRegion(ctx, "composite-own")
 	for {
 		nr.bmu.Lock()
 		c, ok := nr.bands.TakeOwn(p)
@@ -319,7 +367,13 @@ func (nr *Renderer) renderWorker(p int) {
 		ps.Chunks++
 		nr.runChunk(cc, ps, c, p)
 	}
+	reg.End()
+	if pc != nil {
+		pc.AddPhase(p, perf.PhaseCompositeOwn, time.Since(t0))
+		t0 = time.Now()
+	}
 	if !nr.Cfg.DisableSteal {
+		reg = rtrace.StartRegion(ctx, "composite-steal")
 		for {
 			nr.bmu.Lock()
 			c, band, ok := nr.bands.TakeSteal()
@@ -330,6 +384,10 @@ func (nr *Renderer) renderWorker(p int) {
 			ps.Chunks++
 			ps.Steals++
 			nr.runChunk(cc, ps, c, band)
+		}
+		reg.End()
+		if pc != nil {
+			pc.AddPhase(p, perf.PhaseCompositeSteal, time.Since(t0))
 		}
 	}
 	nr.ctxPool.Put(cc)
@@ -343,14 +401,37 @@ func (nr *Renderer) renderWorker(p int) {
 		if tk.Owner != p {
 			continue
 		}
+		if pc != nil {
+			t0 = time.Now()
+		}
+		reg = rtrace.StartRegion(ctx, "band-wait")
 		for q := tk.NeedLo; q <= tk.NeedHi; q++ {
 			nr.doneWG[q].Wait()
 		}
+		reg.End()
+		if pc != nil {
+			pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
+			t0 = time.Now()
+		}
+		reg = rtrace.StartRegion(ctx, "warp")
 		for y := 0; y < fr.Out.H; y++ {
 			if x0, x1, ok := wc.RowSpan(y, tk.Band); ok {
 				wc.WarpSpan(y, x0, x1, &ps.Warp)
 			}
 		}
+		reg.End()
+		if pc != nil {
+			pc.AddPhase(p, perf.PhaseWarp, time.Since(t0))
+		}
+	}
+
+	if pc != nil {
+		pc.AddPhase(p, perf.PhaseTotal, time.Since(tw))
+		pc.AddCount(p, perf.CounterScanlines, ps.Composite.Scanlines)
+		pc.AddCount(p, perf.CounterChunks, int64(ps.Chunks))
+		pc.AddCount(p, perf.CounterSteals, int64(ps.Steals))
+		pc.AddCount(p, perf.CounterEarlyTerm, ps.Composite.Skips)
+		pc.AddCount(p, perf.CounterWarpSpans, ps.Warp.Rows)
 	}
 }
 

@@ -16,11 +16,15 @@
 package oldalg
 
 import (
+	"context"
+	rtrace "runtime/trace"
 	"sync"
+	"time"
 
 	"shearwarp/internal/composite"
 	"shearwarp/internal/img"
 	"shearwarp/internal/par"
+	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
 	"shearwarp/internal/warp"
 )
@@ -30,6 +34,10 @@ type Config struct {
 	Procs     int // number of workers; 0 means 1
 	ChunkSize int // scanlines per compositing chunk; 0 selects a heuristic
 	TileSize  int // warp tile edge in pixels; 0 selects 32
+	// Perf, when non-nil, collects per-worker phase timings and work
+	// counters (the native Figure-5/6 breakdown). All instrumentation is
+	// nil-checked, so the default path performs no clock reads.
+	Perf *perf.Collector
 }
 
 // DefaultChunkSize mirrors the paper's empirically-tuned task size: small
@@ -89,6 +97,15 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 	fr := r.Setup(yaw, pitch)
 	cfg.normalize(fr)
 	res := &Result{Out: fr.Out, PerProc: make([]ProcStats, cfg.Procs)}
+	pc := cfg.Perf
+	pc.Reset(cfg.Procs)
+
+	// One runtime/trace task per frame; worker phase regions attach to it.
+	ctx := context.Background()
+	var task *rtrace.Task
+	if rtrace.IsEnabled() {
+		ctx, task = rtrace.NewTask(ctx, "shearwarp.frame")
+	}
 
 	queue := par.NewInterleaved(0, fr.M.H, cfg.ChunkSize, cfg.Procs)
 	var qmu sync.Mutex
@@ -96,14 +113,22 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 	tiles := tileGrid(fr.Out.W, fr.Out.H, cfg.TileSize)
 
 	var wg sync.WaitGroup
+	pc.FrameStart()
 	for p := 0; p < cfg.Procs; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			ps := &res.PerProc[p]
+			var tw, t0 time.Time
+			if pc != nil {
+				tw = time.Now()
+				t0 = tw
+			}
 
-			// Compositing phase: own chunks, then stealing.
+			// Compositing phase: own chunks, then stealing. Chunk times
+			// are attributed to the own or steal bucket as they complete.
 			cc := fr.NewCompositeCtx()
+			reg := rtrace.StartRegion(ctx, "composite")
 			for {
 				qmu.Lock()
 				c, stolen, ok := queue.Next(p)
@@ -118,21 +143,51 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 				for row := c.Lo; row < c.Hi; row++ {
 					cc.Scanline(row, &ps.Composite)
 				}
+				if pc != nil {
+					ph := perf.PhaseCompositeOwn
+					if stolen {
+						ph = perf.PhaseCompositeSteal
+					}
+					pc.AddPhase(p, ph, time.Since(t0))
+					t0 = time.Now()
+				}
 			}
+			reg.End()
 
 			// Global barrier between compositing and warping.
+			reg = rtrace.StartRegion(ctx, "barrier-wait")
 			barrier.Wait()
+			reg.End()
+			if pc != nil {
+				pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
+				t0 = time.Now()
+			}
 
 			// Warp phase: round-robin tiles, no stealing.
+			reg = rtrace.StartRegion(ctx, "warp")
 			wc := warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out}
 			for t := p; t < len(tiles); t += cfg.Procs {
 				tl := tiles[t]
 				wc.WarpTile(tl[0], tl[1], tl[2], tl[3], &ps.Warp)
 				ps.Tiles++
 			}
+			reg.End()
+			if pc != nil {
+				pc.AddPhase(p, perf.PhaseWarp, time.Since(t0))
+				pc.AddPhase(p, perf.PhaseTotal, time.Since(tw))
+				pc.AddCount(p, perf.CounterScanlines, ps.Composite.Scanlines)
+				pc.AddCount(p, perf.CounterChunks, int64(ps.Chunks))
+				pc.AddCount(p, perf.CounterSteals, int64(ps.Steals))
+				pc.AddCount(p, perf.CounterEarlyTerm, ps.Composite.Skips)
+				pc.AddCount(p, perf.CounterWarpSpans, ps.Warp.Rows)
+			}
 		}(p)
 	}
 	wg.Wait()
+	pc.FrameEnd()
+	if task != nil {
+		task.End()
+	}
 	return res
 }
 

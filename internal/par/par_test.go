@@ -97,6 +97,140 @@ func TestInterleavedConcurrentSafetyUnderMutex(t *testing.T) {
 	}
 }
 
+func TestInterleavedTakeStealRoundRobinWraparound(t *testing.T) {
+	// 6 chunks of 2 rows for 2 procs: owners alternate 0,1,0,1,0,1.
+	q := NewInterleaved(0, 12, 2, 2)
+
+	// A thief's position advances past each stolen chunk and wraps to 0
+	// after it takes the last chunk, so later steals resume the scan from
+	// the front rather than rescanning a stale tail.
+	for want := 0; want < 5; want++ {
+		c, ok := q.TakeSteal(0)
+		if !ok || c.Lo != 2*want {
+			t.Fatalf("steal %d = %+v ok=%v, want Lo %d", want, c, ok, 2*want)
+		}
+		if q.stealPos[0] != want+1 {
+			t.Fatalf("after steal %d: stealPos %d, want %d", want, q.stealPos[0], want+1)
+		}
+	}
+	c, ok := q.TakeSteal(0)
+	if !ok || c.Lo != 10 {
+		t.Fatalf("last steal = %+v ok=%v", c, ok)
+	}
+	if q.stealPos[0] != 0 {
+		t.Fatalf("stealPos after final chunk = %d, want wraparound to 0", q.stealPos[0])
+	}
+	if q.Remaining() != 0 {
+		t.Fatalf("remaining = %d", q.Remaining())
+	}
+
+	// A full-circle scan from a mid-queue position terminates empty-handed
+	// instead of looping or double-issuing.
+	if _, ok := q.TakeSteal(0); ok {
+		t.Fatal("steal succeeded on a drained queue")
+	}
+	if _, ok := q.TakeSteal(1); ok {
+		t.Fatal("steal by a fresh thief succeeded on a drained queue")
+	}
+}
+
+func TestInterleavedThievesSpreadOut(t *testing.T) {
+	// Two thieves stealing alternately resume from their own positions, so
+	// they interleave over distinct chunks instead of racing for the same
+	// lowest index.
+	q := NewInterleaved(0, 12, 2, 2)
+	a, _ := q.TakeSteal(0) // chunk 0, pos[0]=1
+	b, _ := q.TakeSteal(1) // pos[1]=0 scans: 0 taken, chunk 1
+	c, _ := q.TakeSteal(0) // pos[0]=1: 1 taken, chunk 2
+	d, _ := q.TakeSteal(1) // pos[1]=2: 2 taken, chunk 3
+	got := []int{a.Lo, b.Lo, c.Lo, d.Lo}
+	want := []int{0, 2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("steal sequence %v, want Lo %v", got, want)
+		}
+	}
+}
+
+func TestBandsStealAccountingConcurrent(t *testing.T) {
+	// P workers drain the bands concurrently under a mutex (the renderers'
+	// locking discipline): every row must be claimed exactly once, steal
+	// counts must equal the rows lost by victims, and every band must
+	// reach Complete. Exercised under -race in CI.
+	const H, P, stealSize = 1024, 8, 3
+	boundaries := []int{0, 10, 520, 530, 700, 701, 980, 1000, H} // deliberately skewed
+	b := NewBands(boundaries, stealSize)
+	var mu sync.Mutex
+	var covered [H]int32
+	var ownRows, stolenRows [P]int64 // indexed by the band the rows came from
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				c, ok := b.TakeOwn(p)
+				mu.Unlock()
+				if !ok {
+					break
+				}
+				atomic.AddInt64(&ownRows[p], int64(c.Hi-c.Lo))
+				for r := c.Lo; r < c.Hi; r++ {
+					atomic.AddInt32(&covered[r], 1)
+				}
+				mu.Lock()
+				b.MarkDone(p, c.Hi-c.Lo)
+				mu.Unlock()
+			}
+			for {
+				mu.Lock()
+				c, band, ok := b.TakeSteal()
+				mu.Unlock()
+				if !ok {
+					break
+				}
+				if c.Hi-c.Lo < 1 || c.Hi-c.Lo > stealSize {
+					t.Errorf("stolen chunk %+v exceeds steal size %d", c, stealSize)
+					return
+				}
+				atomic.AddInt64(&stolenRows[band], int64(c.Hi-c.Lo))
+				for r := c.Lo; r < c.Hi; r++ {
+					atomic.AddInt32(&covered[r], 1)
+				}
+				mu.Lock()
+				b.MarkDone(band, c.Hi-c.Lo)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	for r := 0; r < H; r++ {
+		if covered[r] != 1 {
+			t.Fatalf("row %d covered %d times", r, covered[r])
+		}
+	}
+	if b.UnclaimedTotal() != 0 {
+		t.Fatalf("unclaimed rows left: %d", b.UnclaimedTotal())
+	}
+	var total int64
+	for p := 0; p < P; p++ {
+		if !b.Complete(p) {
+			t.Fatalf("band %d not complete", p)
+		}
+		bandRows := int64(boundaries[p+1] - boundaries[p])
+		if ownRows[p]+stolenRows[p] != bandRows {
+			t.Fatalf("band %d: own %d + stolen %d != band size %d",
+				p, ownRows[p], stolenRows[p], bandRows)
+		}
+		total += ownRows[p] + stolenRows[p]
+	}
+	if total != H {
+		t.Fatalf("accounted rows %d, want %d", total, H)
+	}
+}
+
 func TestBandsOwnConsumptionAndCompletion(t *testing.T) {
 	b := NewBands([]int{0, 10, 25, 30}, 4)
 	var got []Chunk

@@ -1,0 +1,222 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestSlotPaddingAvoidsFalseSharing(t *testing.T) {
+	if s := unsafe.Sizeof(slot{}); s%slotPad != 0 {
+		t.Fatalf("slot size %d is not a multiple of %d", s, slotPad)
+	}
+	var c Collector
+	c.Reset(2)
+	a := uintptr(unsafe.Pointer(&c.slots[0]))
+	b := uintptr(unsafe.Pointer(&c.slots[1]))
+	if b-a < slotPad {
+		t.Fatalf("adjacent slots %d bytes apart, want >= %d", b-a, slotPad)
+	}
+}
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	c.Reset(4)
+	c.FrameStart()
+	c.AddPhase(0, PhaseWarp, time.Millisecond)
+	c.AddCount(0, CounterSteals, 3)
+	c.FrameEnd()
+	if c.Workers() != 0 || c.WallNS() != 0 || c.PhaseNS(0, PhaseWarp) != 0 || c.CountVal(0, CounterSteals) != 0 {
+		t.Fatal("nil collector reported data")
+	}
+	if c.Breakdown("new") != nil {
+		t.Fatal("nil collector produced a breakdown")
+	}
+	var fb *FrameBreakdown
+	if fb.ImbalanceFrac() != 0 {
+		t.Fatal("nil breakdown imbalance non-zero")
+	}
+}
+
+func TestResetReusesAndZeroes(t *testing.T) {
+	c := NewCollector(3)
+	c.AddPhase(2, PhaseClear, 5*time.Millisecond)
+	c.AddCount(1, CounterChunks, 7)
+	base := &c.slots[0]
+	c.Reset(3)
+	if &c.slots[0] != base {
+		t.Fatal("Reset reallocated slots of unchanged size")
+	}
+	if c.PhaseNS(2, PhaseClear) != 0 || c.CountVal(1, CounterChunks) != 0 {
+		t.Fatal("Reset did not zero the slots")
+	}
+	c.Reset(0)
+	if c.Workers() != 1 {
+		t.Fatalf("Reset(0) gave %d workers, want 1", c.Workers())
+	}
+}
+
+// synthetic fills a collector with exact values so the breakdown math is
+// checkable: wall 10ms; worker 0 busy 6ms + wait 1ms (imbalance 3ms),
+// worker 1 busy 10ms (imbalance 0, with wait overrun clamped).
+func synthetic() *Collector {
+	c := NewCollector(2)
+	c.AddPhase(0, PhaseClear, 1*time.Millisecond)
+	c.AddPhase(0, PhaseCompositeOwn, 2*time.Millisecond)
+	c.AddPhase(0, PhaseCompositeSteal, 1*time.Millisecond)
+	c.AddPhase(0, PhaseWarp, 2*time.Millisecond)
+	c.AddPhase(0, PhaseWait, 1*time.Millisecond)
+	c.AddPhase(0, PhaseTotal, 7*time.Millisecond)
+	c.AddPhase(1, PhaseCompositeOwn, 8*time.Millisecond)
+	c.AddPhase(1, PhaseWarp, 2*time.Millisecond)
+	c.AddPhase(1, PhaseWait, 2*time.Millisecond)
+	c.AddPhase(1, PhaseTotal, 10*time.Millisecond)
+	c.AddCount(0, CounterScanlines, 40)
+	c.AddCount(0, CounterChunks, 10)
+	c.AddCount(0, CounterSteals, 2)
+	c.AddCount(1, CounterScanlines, 60)
+	c.AddCount(1, CounterWarpSpans, 64)
+	c.wallNS = int64(10 * time.Millisecond)
+	return c
+}
+
+func TestBreakdownMath(t *testing.T) {
+	fb := synthetic().Breakdown("new")
+	if fb.Algorithm != "new" || fb.Workers != 2 || fb.WallNS != int64(10*time.Millisecond) {
+		t.Fatalf("header = %+v", fb)
+	}
+	w0, w1 := &fb.PerWorker[0], &fb.PerWorker[1]
+	if w0.BusyNS() != int64(6*time.Millisecond) {
+		t.Fatalf("worker 0 busy %d", w0.BusyNS())
+	}
+	if w0.ImbalanceNS != int64(3*time.Millisecond) {
+		t.Fatalf("worker 0 imbalance %d, want 3ms", w0.ImbalanceNS)
+	}
+	// Worker 1: busy 10ms + wait 2ms exceeds the 10ms wall; imbalance
+	// clamps at zero rather than going negative.
+	if w1.ImbalanceNS != 0 {
+		t.Fatalf("worker 1 imbalance %d, want 0", w1.ImbalanceNS)
+	}
+	// Mean imbalance = (3ms + 0) / 2 / 10ms = 0.15.
+	if got := fb.ImbalanceFrac(); got < 0.149 || got > 0.151 {
+		t.Fatalf("imbalance frac %f, want 0.15", got)
+	}
+	// Mean busy = (6ms + 10ms) / 2 / 10ms = 0.8.
+	if got := fb.BusyFrac(); got < 0.799 || got > 0.801 {
+		t.Fatalf("busy frac %f, want 0.8", got)
+	}
+	if w0.Scanlines != 40 || w0.Steals != 2 || w1.WarpSpans != 64 {
+		t.Fatal("counters not carried into the breakdown")
+	}
+}
+
+func TestBreakdownTableAndJSON(t *testing.T) {
+	fb := synthetic().Breakdown("old")
+	s := fb.Table().String()
+	for _, want := range []string{"phases-old", "imbal(ms)", "scanlines", "steals",
+		"load imbalance", "busy 80.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	data, err := fb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FrameBreakdown
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "old" || len(back.PerWorker) != 2 ||
+		back.PerWorker[0].ImbalanceNS != fb.PerWorker[0].ImbalanceNS {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}
+
+func TestPhaseAndCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		n := ph.String()
+		if n == "unknown" || seen[n] {
+			t.Fatalf("phase %d name %q", ph, n)
+		}
+		seen[n] = true
+	}
+	for ct := Counter(0); ct < NumCounters; ct++ {
+		n := ct.String()
+		if n == "unknown" || seen[n] {
+			t.Fatalf("counter %d name %q", ct, n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCollectorConcurrentWorkers(t *testing.T) {
+	// Distinct workers write their own slots concurrently; the aggregate
+	// must be exact (exercised under -race in CI).
+	const P, rounds = 8, 1000
+	c := NewCollector(P)
+	c.FrameStart()
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.AddPhase(p, PhaseCompositeOwn, time.Nanosecond)
+				c.AddCount(p, CounterScanlines, 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	c.FrameEnd()
+	fb := c.Breakdown("new")
+	for p := 0; p < P; p++ {
+		if fb.PerWorker[p].CompositeOwnNS != rounds || fb.PerWorker[p].Scanlines != rounds {
+			t.Fatalf("worker %d slot = %+v", p, fb.PerWorker[p])
+		}
+	}
+	if fb.WallNS <= 0 {
+		t.Fatal("frame wall time not recorded")
+	}
+}
+
+func TestCumulativeAggregation(t *testing.T) {
+	var cum Cumulative
+	fb := synthetic().Breakdown("new")
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cum.Add(fb)
+			_ = cum.Snapshot()
+		}()
+	}
+	wg.Wait()
+	s := cum.Snapshot()
+	if s.Frames != 10 {
+		t.Fatalf("frames = %d", s.Frames)
+	}
+	if s.WallNS != 10*fb.WallNS {
+		t.Fatalf("wall = %d", s.WallNS)
+	}
+	if s.Counts["scanlines"] != 10*(40+60) {
+		t.Fatalf("scanlines = %d", s.Counts["scanlines"])
+	}
+	if s.PhaseNS["composite-own"] != 10*int64(10*time.Millisecond) {
+		t.Fatalf("composite-own = %d", s.PhaseNS["composite-own"])
+	}
+	if s.MeanImbalancePct < 14.9 || s.MeanImbalancePct > 15.1 {
+		t.Fatalf("mean imbalance pct = %f", s.MeanImbalancePct)
+	}
+	// A zero/nil Cumulative snapshots cleanly (the expvar endpoint can be
+	// scraped before the first frame).
+	var empty *Cumulative
+	if snap := empty.Snapshot(); snap.Frames != 0 || snap.PhaseNS == nil {
+		t.Fatal("nil cumulative snapshot malformed")
+	}
+}

@@ -6,9 +6,14 @@
 package render
 
 import (
+	"context"
+	rtrace "runtime/trace"
+	"time"
+
 	"shearwarp/internal/classify"
 	"shearwarp/internal/composite"
 	"shearwarp/internal/img"
+	"shearwarp/internal/perf"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/vol"
 	"shearwarp/internal/warp"
@@ -146,14 +151,55 @@ func (s *FrameStats) TotalCycles() int64 { return s.Composite.Cycles + s.Warp.Cy
 // every intermediate scanline top to bottom, then warp the whole final
 // image.
 func (r *Renderer) RenderSerial(yaw, pitch float64) (*img.Final, FrameStats) {
+	return r.RenderSerialPerf(yaw, pitch, nil)
+}
+
+// RenderSerialPerf is RenderSerial with an optional perf collector
+// recording the compositing and warp phase times as a one-worker
+// breakdown. A nil collector adds no clock reads (the same nil-check
+// split the parallel renderers use).
+func (r *Renderer) RenderSerialPerf(yaw, pitch float64, pc *perf.Collector) (*img.Final, FrameStats) {
 	fr := r.Setup(yaw, pitch)
+	pc.Reset(1)
+	pc.FrameStart()
+
+	ctx := context.Background()
+	var task *rtrace.Task
+	if rtrace.IsEnabled() {
+		ctx, task = rtrace.NewTask(ctx, "shearwarp.frame")
+	}
+
 	var st FrameStats
+	var tw, t0 time.Time
+	if pc != nil {
+		tw = time.Now()
+		t0 = tw
+	}
 	cc := fr.NewCompositeCtx()
+	reg := rtrace.StartRegion(ctx, "composite")
 	for vRow := 0; vRow < fr.M.H; vRow++ {
 		cc.Scanline(vRow, &st.Composite)
 	}
+	reg.End()
+	if pc != nil {
+		pc.AddPhase(0, perf.PhaseCompositeOwn, time.Since(t0))
+		t0 = time.Now()
+	}
 	wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
+	reg = rtrace.StartRegion(ctx, "warp")
 	wc.WarpTile(0, 0, fr.Out.W, fr.Out.H, &st.Warp)
+	reg.End()
+	if pc != nil {
+		pc.AddPhase(0, perf.PhaseWarp, time.Since(t0))
+		pc.AddPhase(0, perf.PhaseTotal, time.Since(tw))
+		pc.AddCount(0, perf.CounterScanlines, st.Composite.Scanlines)
+		pc.AddCount(0, perf.CounterEarlyTerm, st.Composite.Skips)
+		pc.AddCount(0, perf.CounterWarpSpans, st.Warp.Rows)
+	}
+	if task != nil {
+		task.End()
+	}
+	pc.FrameEnd()
 	return fr.Out, st
 }
 

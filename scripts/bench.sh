@@ -1,6 +1,9 @@
 #!/bin/sh
 # bench.sh — run the native kernel and frame benchmarks and emit
-# BENCH_native.json (plus benchstat-ready raw output in BENCH_native.txt).
+# BENCH_native.json (plus benchstat-ready raw output in BENCH_native.txt)
+# and BENCH_phases.json (per-worker phase breakdowns of instrumented
+# old/new-algorithm runs, so the perf trajectory records where frame time
+# goes — busy vs. wait vs. imbalance — not just totals).
 #
 # Usage:  scripts/bench.sh [count]
 #
@@ -20,7 +23,8 @@ cd "$REPO"
 
 RAW=BENCH_native.txt
 JSON=BENCH_native.json
-BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkWarpSpan)$'
+PHASES=BENCH_phases.json
+BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkNewParallelFramePerf|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkWarpSpan)$'
 
 echo "running benchmarks (count=$COUNT)..." >&2
 go test -run '^$' -bench "$BENCHES" -benchmem -count "$COUNT" . | tee "$RAW"
@@ -68,4 +72,22 @@ END {
     printf "}\n"
 }' "$RAW" > "$JSON"
 
-echo "wrote $RAW and $JSON" >&2
+# Per-phase breakdowns: one instrumented animation run per parallel
+# algorithm, same phantom and worker count as the frame benchmarks.
+echo "collecting per-phase breakdowns..." >&2
+PH_OLD="$(mktemp)"
+PH_NEW="$(mktemp)"
+trap 'rm -f "$PH_OLD" "$PH_NEW"' EXIT
+go run ./cmd/shearwarp -kind mri -size 64 -alg old -procs 4 -frames 8 -statsjson "$PH_OLD" >/dev/null
+go run ./cmd/shearwarp -kind mri -size 64 -alg new -procs 4 -frames 8 -statsjson "$PH_NEW" >/dev/null
+{
+    printf '{\n"generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '"note": "per-worker phase breakdowns (ns) of 8-frame instrumented runs; size 64, 4 workers",\n'
+    printf '"old": '
+    cat "$PH_OLD"
+    printf ',\n"new": '
+    cat "$PH_NEW"
+    printf '}\n'
+} > "$PHASES"
+
+echo "wrote $RAW, $JSON and $PHASES" >&2
