@@ -87,6 +87,27 @@ const (
 	TransferCT                  // bone-isolating classification
 )
 
+func (t Transfer) String() string {
+	switch t {
+	case TransferMRI:
+		return "mri"
+	case TransferCT:
+		return "ct"
+	}
+	return fmt.Sprintf("Transfer(%d)", int(t))
+}
+
+// ParseTransfer converts a transfer-function name ("mri", "ct").
+func ParseTransfer(s string) (Transfer, error) {
+	switch s {
+	case "mri", "":
+		return TransferMRI, nil
+	case "ct":
+		return TransferCT, nil
+	}
+	return 0, fmt.Errorf("shearwarp: unknown transfer function %q", s)
+}
+
 // Config configures a Renderer.
 type Config struct {
 	Algorithm Algorithm
@@ -105,8 +126,15 @@ type Config struct {
 	CollectStats bool
 }
 
-// Renderer renders frames of one volume. It is not safe for concurrent
-// use; the parallelism lives inside each Render call.
+// Renderer renders frames of one volume.
+//
+// Concurrent-use contract: a Renderer renders one frame at a time — the
+// parallelism lives inside each Render call, and the per-frame images,
+// profile state and perf collector are reused across calls. Callers that
+// need overlapping Render calls (a render service) must use distinct
+// Renderers; RendererPool manages a fixed set over shared preprocessing,
+// and PreparedVolume makes that sharing cheap by classifying and
+// run-length-encoding the volume once for the whole pool.
 type Renderer struct {
 	cfg Config
 	r   *render.Renderer
@@ -186,7 +214,16 @@ func newRenderer(v *vol.Volume, cfg Config) *Renderer {
 	if cfg.Transfer == TransferCT {
 		opt.Transfer = classify.CTTransfer
 	}
-	r := render.New(v, opt)
+	return newRendererFrom(render.New(v, opt), cfg)
+}
+
+// newRendererFrom wraps an already-prepared pipeline renderer with the
+// public algorithm dispatch; NewRenderer and PreparedVolume.NewRenderer
+// share it so pooled and private renderers behave identically.
+func newRendererFrom(r *render.Renderer, cfg Config) *Renderer {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
 	re := &Renderer{cfg: cfg, r: r}
 	if cfg.CollectStats && cfg.Algorithm != RayCast {
 		re.pc = perf.NewCollector(cfg.Procs)
@@ -199,6 +236,18 @@ func newRenderer(v *vol.Volume, cfg Config) *Renderer {
 		re.rc = raycast.New(r.Classified)
 	}
 	return re
+}
+
+// Close releases the renderer's persistent worker goroutines (NewParallel
+// keeps one per processor parked between frames). It is optional — an
+// abandoned Renderer merely parks its workers — but pools that cycle
+// many renderers use it to release them deterministically. The renderer
+// must not be used after Close.
+func (re *Renderer) Close() {
+	if re.nr != nil {
+		re.nr.Close()
+		re.nr = nil
+	}
 }
 
 // Render renders one frame from the given viewpoint (degrees of yaw about

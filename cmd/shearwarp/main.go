@@ -26,14 +26,13 @@ import (
 	"time"
 
 	"shearwarp"
+	"shearwarp/internal/cli"
 	"shearwarp/internal/perf"
-	"shearwarp/internal/vol"
 )
 
 func main() {
-	kind := flag.String("kind", "mri", "phantom kind when no -in: mri | ct")
-	size := flag.Int("size", 64, "phantom size")
-	in := flag.String("in", "", "input .vol file (overrides -kind/-size)")
+	var vf cli.VolumeFlags
+	vf.Register(flag.CommandLine)
 	algName := flag.String("alg", "new", "algorithm: serial | old | new | raycast")
 	procs := flag.Int("procs", 4, "workers for the parallel algorithms")
 	yaw := flag.Float64("yaw", 30, "yaw in degrees")
@@ -59,26 +58,14 @@ func main() {
 		fatal(fmt.Errorf("-stats/-statsjson/-metrics-addr need a shear-warp algorithm (serial, old, new)"))
 	}
 
-	var r *shearwarp.Renderer
-	switch {
-	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		v, err := vol.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		r, err = shearwarp.NewRenderer(v.Data, v.Nx, v.Ny, v.Nz, cfg)
-		if err != nil {
-			fatal(err)
-		}
-	case *kind == "ct":
-		r = shearwarp.NewCTPhantom(*size, cfg)
-	default:
-		r = shearwarp.NewMRIPhantom(*size, cfg)
+	v, tf, err := vf.Load()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Transfer = tf
+	r, err := shearwarp.NewRenderer(v.Data, v.Nx, v.Ny, v.Nz, cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	// The profiles cover only the render loop, not volume loading or

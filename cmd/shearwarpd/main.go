@@ -1,0 +1,124 @@
+// Command shearwarpd serves rendered frames over HTTP from a pool of
+// persistent renderers, amortizing the view-independent preprocessing
+// (classification, per-axis run-length encoding) across requests through
+// an LRU cache.
+//
+// Endpoints:
+//
+//	GET /render?volume=mri&yaw=30&pitch=15[&alg=new][&transfer=mri][&format=ppm]
+//	GET /healthz
+//	GET /metrics
+//
+// With no -in the service registers the two synthetic phantoms under the
+// names "mri" and "ct"; with -in FILE it registers that volume under the
+// file's base name.
+//
+// Usage:
+//
+//	shearwarpd -addr :8080 -size 128 -procs 8 -max-concurrent 8
+//	shearwarpd -in brain.vol -alg new -cache-mb 512
+//	curl 'localhost:8080/render?volume=mri&yaw=45&pitch=20&format=png' > frame.png
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shearwarp"
+	"shearwarp/internal/cli"
+	"shearwarp/internal/server"
+	"shearwarp/internal/vol"
+)
+
+func main() {
+	var vf cli.VolumeFlags
+	vf.Register(flag.CommandLine)
+	addr := flag.String("addr", ":8080", "listen address")
+	algName := flag.String("alg", "new", "default algorithm: serial | old | new | raycast")
+	procs := flag.Int("procs", 4, "workers inside each parallel render")
+	pool := flag.Int("pool", 0, "renderers per (volume, transfer, algorithm) pool (0 = max-concurrent)")
+	maxConcurrent := flag.Int("max-concurrent", 8, "frames rendering at once")
+	maxQueue := flag.Int("max-queue", 0, "requests waiting for admission before 503 (0 = 4*max-concurrent)")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "longest admission wait before 503")
+	renderTimeout := flag.Duration("render-timeout", 30*time.Second, "request deadline to start rendering")
+	cacheMB := flag.Int64("cache-mb", 256, "preprocessing cache budget in MiB (<0 = unbounded)")
+	stats := flag.Bool("stats", true, "collect per-frame phase breakdowns for /metrics")
+	flag.Parse()
+
+	alg, err := shearwarp.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(server.Config{
+		Procs:         *procs,
+		Algorithm:     alg,
+		PoolSize:      *pool,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+		RenderTimeout: *renderTimeout,
+		CacheBytes:    *cacheMB << 20,
+		CollectStats:  *stats,
+	})
+
+	if vf.In != "" {
+		v, tf, err := vf.Load()
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.RegisterVolume(vf.Name(), v.Data, v.Nx, v.Ny, v.Nz, tf); err != nil {
+			fatal(err)
+		}
+	} else {
+		m := vol.MRIBrain(vf.Size)
+		c := vol.CTHead(vf.Size)
+		if err := srv.RegisterVolume("mri", m.Data, m.Nx, m.Ny, m.Nz, shearwarp.TransferMRI); err != nil {
+			fatal(err)
+		}
+		if err := srv.RegisterVolume("ct", c.Data, c.Nx, c.Ny, c.Nz, shearwarp.TransferCT); err != nil {
+			fatal(err)
+		}
+	}
+	srv.PublishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("shearwarpd: serving %v on %s (alg %s, %d procs, %d concurrent)\n",
+		srv.Volumes(), *addr, alg, *procs, *maxConcurrent)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight HTTP requests,
+	// then release the renderer pools' worker goroutines.
+	fmt.Println("shearwarpd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "shearwarpd: shutdown:", err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shearwarpd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Package cli holds flag plumbing shared by the commands in cmd/: both
+// shearwarp (one-shot renders) and shearwarpd (the render service) select
+// their input volume the same way, so the flags and their resolution live
+// here once.
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shearwarp"
+	"shearwarp/internal/vol"
+)
+
+// VolumeFlags is the volume-selection flag set shared by the commands:
+// a synthetic phantom (-kind, -size) or a .vol file (-in, which wins).
+type VolumeFlags struct {
+	Kind string
+	Size int
+	In   string
+}
+
+// Register declares the flags on fs with the names and defaults the
+// shearwarp command has always used.
+func (vf *VolumeFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&vf.Kind, "kind", "mri", "phantom kind when no -in: mri | ct")
+	fs.IntVar(&vf.Size, "size", 64, "phantom size")
+	fs.StringVar(&vf.In, "in", "", "input .vol file (overrides -kind/-size)")
+}
+
+// Load resolves the flags into a volume and the transfer function it
+// classifies with by default (CT phantoms get the bone transfer, anything
+// else the MRI one — matching the phantom constructors in the root
+// package).
+func (vf *VolumeFlags) Load() (*vol.Volume, shearwarp.Transfer, error) {
+	if vf.In != "" {
+		f, err := os.Open(vf.In)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		v, err := vol.ReadFrom(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		tf := shearwarp.TransferMRI
+		if vf.Kind == "ct" {
+			tf = shearwarp.TransferCT
+		}
+		return v, tf, nil
+	}
+	if vf.Kind == "ct" {
+		return vol.CTHead(vf.Size), shearwarp.TransferCT, nil
+	}
+	return vol.MRIBrain(vf.Size), shearwarp.TransferMRI, nil
+}
+
+// Name returns a short name for the selected volume: the input file's
+// base name (without extension) or the phantom kind.
+func (vf *VolumeFlags) Name() string {
+	if vf.In != "" {
+		base := filepath.Base(vf.In)
+		return strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	if vf.Kind == "ct" {
+		return "ct"
+	}
+	return "mri"
+}

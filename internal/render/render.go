@@ -35,13 +35,21 @@ type Options struct {
 }
 
 // Renderer owns a classified volume and its lazily-built per-axis RLE
-// encodings.
+// encodings. Like every renderer in this repository it is single-frame-
+// at-a-time: the classified volume and encodings are immutable and may be
+// shared (see NewShared), but one Renderer must not run two frames
+// concurrently.
 type Renderer struct {
 	Vol               *vol.Volume
 	Classified        *classify.Classified
 	OpacityCorrection bool
 	preprocProcs      int
 	enc               [3]*rle.Volume
+	// encodeFn, when set, supplies per-axis encodings from an external
+	// source (the render service's LRU cache) instead of encoding
+	// privately. The returned encodings must be immutable and equivalent
+	// to rle.Encode over Classified.
+	encodeFn func(xform.Axis) *rle.Volume
 }
 
 // New classifies the volume and returns a renderer.
@@ -57,11 +65,34 @@ func New(v *vol.Volume, opt Options) *Renderer {
 	}
 }
 
+// NewShared builds a renderer around preprocessing owned by someone else:
+// an already-classified volume and an encoding source consulted once per
+// principal axis. Classification and encoding dominate setup cost and are
+// view-independent, so a render service shares them across a whole pool
+// of renderers; the shared products are immutable, which keeps the
+// sharing race-free while each pooled renderer runs frames independently.
+// opt.Transfer/Light/MinOpacity are ignored — they are already baked into
+// the classified volume.
+func NewShared(v *vol.Volume, c *classify.Classified, encode func(xform.Axis) *rle.Volume, opt Options) *Renderer {
+	return &Renderer{
+		Vol:               v,
+		Classified:        c,
+		OpacityCorrection: opt.OpacityCorrection,
+		preprocProcs:      opt.PreprocProcs,
+		encodeFn:          encode,
+	}
+}
+
 // Encoding returns the RLE encoding for a principal axis, building it on
-// first use.
+// first use (or fetching it from the shared source for NewShared
+// renderers).
 func (r *Renderer) Encoding(axis xform.Axis) *rle.Volume {
 	if r.enc[axis] == nil {
-		r.enc[axis] = rle.EncodeParallel(r.Classified, axis, r.preprocProcs)
+		if r.encodeFn != nil {
+			r.enc[axis] = r.encodeFn(axis)
+		} else {
+			r.enc[axis] = rle.EncodeParallel(r.Classified, axis, r.preprocProcs)
+		}
 	}
 	return r.enc[axis]
 }

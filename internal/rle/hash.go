@@ -1,0 +1,83 @@
+package rle
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cache-key hashing. The render service caches classified volumes and
+// their per-axis run-length encodings; both kinds of entry are keyed by a
+// content fingerprint of the raw volume so that re-uploading identical
+// data (or re-registering the same phantom) hits the cache regardless of
+// the name it arrives under. FNV-1a over the dimensions and samples is
+// enough: the keys only need to distinguish volumes, not resist an
+// adversary, and a 64-bit digest over megabyte inputs makes accidental
+// collisions vanishingly unlikely.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// HashBytes folds b into a running 64-bit FNV-1a hash. Start from Seed.
+func HashBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// HashUint64 folds one little-endian 64-bit value into a running hash —
+// used for dimensions and parameters so that, e.g., a 2x8 and an 8x2
+// volume with identical flattened samples still hash differently.
+func HashUint64(h, v uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return HashBytes(h, buf[:])
+}
+
+// Seed is the FNV-1a offset basis; every key derivation starts from it.
+const Seed uint64 = fnvOffset64
+
+// VolumeKey fingerprints a raw 8-bit volume (dimensions plus samples in
+// storage order) as a fixed-width hex string, the volume component of the
+// render service's cache keys.
+func VolumeKey(data []uint8, nx, ny, nz int) string {
+	h := HashUint64(Seed, uint64(nx))
+	h = HashUint64(h, uint64(ny))
+	h = HashUint64(h, uint64(nz))
+	h = HashBytes(h, data)
+	return fmt.Sprintf("%016x", h)
+}
+
+// Fingerprint digests an encoded volume's structure and payload: the
+// permuted dimensions, opacity threshold, run headers and packed voxels.
+// Two encodings of the same classified volume along the same axis always
+// agree (Encode and EncodeParallel are bit-identical), so the cache layer
+// uses it to assert that a cached encoding really is interchangeable with
+// a freshly built one.
+func (v *Volume) Fingerprint() uint64 {
+	h := HashUint64(Seed, uint64(v.Axis))
+	h = HashUint64(h, uint64(v.Ni))
+	h = HashUint64(h, uint64(v.Nj))
+	h = HashUint64(h, uint64(v.Nk))
+	h = HashUint64(h, uint64(v.MinOpacity))
+	var buf [8]byte
+	for _, r := range v.RunLens {
+		binary.LittleEndian.PutUint16(buf[:2], r)
+		h = HashBytes(h, buf[:2])
+	}
+	for _, vx := range v.Vox {
+		binary.LittleEndian.PutUint32(buf[:4], vx)
+		h = HashBytes(h, buf[:4])
+	}
+	return h
+}
+
+// MemoryBytes estimates the encoding's resident size — the quantity the
+// cache's byte budget is accounted in.
+func (v *Volume) MemoryBytes() int64 {
+	return int64(len(v.Vox))*4 + int64(len(v.RunLens))*2 +
+		int64(len(v.RunOff))*4 + int64(len(v.VoxOff))*4
+}

@@ -1,0 +1,58 @@
+package rle
+
+import (
+	"testing"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/vol"
+	"shearwarp/internal/xform"
+)
+
+func TestVolumeKeyDeterministicAndSensitive(t *testing.T) {
+	v := vol.MRIBrain(16)
+	k1 := VolumeKey(v.Data, v.Nx, v.Ny, v.Nz)
+	k2 := VolumeKey(v.Data, v.Nx, v.Ny, v.Nz)
+	if k1 != k2 {
+		t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+	}
+	if len(k1) != 16 {
+		t.Fatalf("key %q is not 16 hex chars", k1)
+	}
+
+	// Flipping a single voxel must change the key.
+	mut := make([]uint8, len(v.Data))
+	copy(mut, v.Data)
+	mut[len(mut)/2] ^= 1
+	if VolumeKey(mut, v.Nx, v.Ny, v.Nz) == k1 {
+		t.Fatal("single-voxel flip did not change the key")
+	}
+
+	// Same flattened bytes under different dimensions must differ: the
+	// dimensions are folded in before the samples.
+	flat := make([]uint8, 2*8)
+	for i := range flat {
+		flat[i] = uint8(i)
+	}
+	if VolumeKey(flat, 2, 8, 1) == VolumeKey(flat, 8, 2, 1) {
+		t.Fatal("2x8 and 8x2 volumes share a key")
+	}
+}
+
+func TestFingerprintMatchesAcrossEncoders(t *testing.T) {
+	c := classify.Classify(vol.MRIBrain(24), classify.Options{})
+	for _, axis := range []xform.Axis{xform.AxisX, xform.AxisY, xform.AxisZ} {
+		serial := Encode(c, axis)
+		parallel := EncodeParallel(c, axis, 4)
+		if serial.Fingerprint() != parallel.Fingerprint() {
+			t.Errorf("axis %v: serial and parallel encodings fingerprint differently", axis)
+		}
+		if serial.MemoryBytes() <= 0 {
+			t.Errorf("axis %v: non-positive memory estimate", axis)
+		}
+	}
+	// Different axes of a non-symmetric view of the data should not collide.
+	x, z := Encode(c, xform.AxisX), Encode(c, xform.AxisZ)
+	if x.Fingerprint() == z.Fingerprint() {
+		t.Error("x and z encodings share a fingerprint")
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// endpointMetrics counts one endpoint's traffic. All fields are atomics:
+// the handlers update them concurrently and /metrics snapshots them
+// without stopping the world.
+type endpointMetrics struct {
+	requests  atomic.Int64 // completed requests, any status
+	errors    atomic.Int64 // responses with status >= 400
+	rejected  atomic.Int64 // admission rejections (503 queue full / queue timeout)
+	deadlines atomic.Int64 // deadline expiries (504)
+	inFlight  atomic.Int64
+	nanos     atomic.Int64 // summed wall time of completed requests
+}
+
+// EndpointSnapshot is the marshal-friendly view of one endpoint's
+// counters.
+type EndpointSnapshot struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Rejected    int64   `json:"rejected"`
+	Deadlines   int64   `json:"deadlines"`
+	InFlight    int64   `json:"in_flight"`
+	TotalSecs   float64 `json:"total_seconds"`
+	MeanMillis  float64 `json:"mean_ms"`
+	ErrorsFrac  float64 `json:"error_frac"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointSnapshot {
+	req := m.requests.Load()
+	errs := m.errors.Load()
+	ns := m.nanos.Load()
+	s := EndpointSnapshot{
+		Requests:  req,
+		Errors:    errs,
+		Rejected:  m.rejected.Load(),
+		Deadlines: m.deadlines.Load(),
+		InFlight:  m.inFlight.Load(),
+		TotalSecs: float64(ns) / 1e9,
+	}
+	if req > 0 {
+		s.MeanMillis = float64(ns) / 1e6 / float64(req)
+		s.ErrorsFrac = float64(errs) / float64(req)
+	}
+	return s
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

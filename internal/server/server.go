@@ -1,0 +1,496 @@
+// Package server implements shearwarpd, the long-running render service
+// in front of the frame-loop renderers: HTTP requests name a registered
+// volume and a viewpoint, and the service renders them from a pool of
+// persistent Renderers whose view-independent preprocessing (classified
+// volume, per-axis RLE encodings) is amortized across requests through an
+// LRU cache (internal/volcache).
+//
+// The service applies the standard production controls around the
+// renderer library:
+//
+//   - bounded concurrency: at most MaxConcurrent frames render at once,
+//     with at most MaxQueue requests waiting for admission and a
+//     QueueTimeout on the wait (overload answers 503 quickly instead of
+//     piling up goroutines);
+//   - per-request deadlines: a request that cannot start rendering before
+//     RenderTimeout answers 504 (a frame that has started is allowed to
+//     finish — the compositing loop is not cancellable mid-frame, and
+//     frames are short);
+//   - graceful shutdown: Close stops admitting, waits for in-flight
+//     frames, and releases the pools' persistent worker goroutines;
+//   - observability: per-endpoint request/error/latency counters, cache
+//     hit/miss/eviction/build counters, and the internal/perf cumulative
+//     phase breakdown of every rendered frame, all served by /metrics
+//     and optionally published through expvar.
+//
+// Output contract: a frame rendered through the service is byte-identical
+// to one rendered by calling the library directly with the same volume,
+// viewpoint and configuration.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shearwarp"
+	"shearwarp/internal/perf"
+	"shearwarp/internal/volcache"
+)
+
+// Config tunes the service. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	Procs         int                 // workers inside each parallel render (default 4)
+	Algorithm     shearwarp.Algorithm // default algorithm when a request omits ?alg (default NewParallel)
+	PoolSize      int                 // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
+	MaxConcurrent int                 // frames rendering at once (default 8)
+	MaxQueue      int                 // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
+	QueueTimeout  time.Duration       // longest admission wait (default 5s)
+	RenderTimeout time.Duration       // request deadline to start rendering (default 30s)
+	CacheBytes    int64               // volcache budget (default 256 MiB; <0 = unbounded)
+	CollectStats  bool                // per-frame perf breakdowns feeding /metrics (default on via New)
+	OpacityCorrection bool            // forwarded to every renderer
+}
+
+func (c *Config) normalize() {
+	if c.Procs < 1 {
+		c.Procs = 4
+	}
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.PoolSize < 1 {
+		c.PoolSize = c.MaxConcurrent
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.RenderTimeout == 0 {
+		c.RenderTimeout = 30 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+}
+
+// volumeRec is one registered volume: the raw data plus its default
+// transfer function.
+type volumeRec struct {
+	name       string
+	data       []uint8
+	nx, ny, nz int
+	transfer   shearwarp.Transfer
+}
+
+// poolKey identifies one renderer pool.
+type poolKey struct {
+	volume    string
+	transfer  shearwarp.Transfer
+	algorithm shearwarp.Algorithm
+}
+
+// poolEntry lazily builds its pool once; concurrent requests wait on the
+// same build.
+type poolEntry struct {
+	once sync.Once
+	pool *shearwarp.RendererPool
+	err  error
+}
+
+// Server is the render service. Create with New, register volumes, then
+// serve Handler. All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *volcache.Cache
+	start time.Time
+
+	mu    sync.Mutex
+	vols  map[string]*volumeRec
+	pools map[poolKey]*poolEntry
+
+	sem     chan struct{} // admission slots
+	waiting atomic.Int64  // requests blocked on admission
+	closed  atomic.Bool
+	inflight sync.WaitGroup
+
+	cum        perf.Cumulative // phase totals across all rendered frames
+	frames     atomic.Int64
+	renderHook func() // test hook: runs while holding an admission slot
+
+	mRender, mHealth, mMetrics endpointMetrics
+	mux                        *http.ServeMux
+}
+
+// New builds a server. Volumes must be registered before requests name
+// them; everything else is ready immediately.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:   cfg,
+		cache: volcache.New(cfg.CacheBytes),
+		start: time.Now(),
+		vols:  make(map[string]*volumeRec),
+		pools: make(map[poolKey]*poolEntry),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/render", s.instrument(&s.mRender, s.handleRender))
+	s.mux.HandleFunc("/healthz", s.instrument(&s.mHealth, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument(&s.mMetrics, s.handleMetrics))
+	return s
+}
+
+// RegisterVolume makes a raw 8-bit volume (X fastest) renderable under
+// the given name, classified by default with the given transfer function.
+func (s *Server) RegisterVolume(name string, data []uint8, nx, ny, nz int, transfer shearwarp.Transfer) error {
+	if name == "" {
+		return errors.New("server: empty volume name")
+	}
+	if len(data) != nx*ny*nz || nx < 2 || ny < 2 || nz < 2 {
+		return fmt.Errorf("server: volume %q has invalid shape %dx%dx%d for %d samples", name, nx, ny, nz, len(data))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.vols[name]; dup {
+		return fmt.Errorf("server: volume %q already registered", name)
+	}
+	s.vols[name] = &volumeRec{name: name, data: data, nx: nx, ny: ny, nz: nz, transfer: transfer}
+	return nil
+}
+
+// Volumes lists the registered volume names.
+func (s *Server) Volumes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.vols))
+	for n := range s.vols {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Handler returns the service's HTTP handler (/render, /healthz,
+// /metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats returns the preprocessing cache counters — tests use it to
+// assert that repeated requests hit instead of re-classifying.
+func (s *Server) CacheStats() volcache.Stats { return s.cache.Snapshot() }
+
+// Close stops admitting new requests, waits for in-flight requests, and
+// shuts down every renderer pool (releasing their persistent worker
+// goroutines). The HTTP listener, if any, is the caller's to close —
+// typically via http.Server.Shutdown before Close.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.inflight.Wait()
+	s.mu.Lock()
+	pools := make([]*poolEntry, 0, len(s.pools))
+	for _, pe := range s.pools {
+		pools = append(pools, pe)
+	}
+	s.pools = make(map[poolKey]*poolEntry)
+	s.mu.Unlock()
+	for _, pe := range pools {
+		if pe.pool != nil {
+			pe.pool.Close()
+		}
+	}
+}
+
+// PublishExpvar exposes the server's metrics snapshot under the expvar
+// name "shearwarpd" (alongside /debug/vars). Safe to call once per
+// process; later calls are no-ops.
+var expvarOnce sync.Once
+
+func (s *Server) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("shearwarpd", expvar.Func(func() any { return s.metricsSnapshot() }))
+	})
+}
+
+// instrument wraps a handler with the endpoint's counters.
+func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		m.inFlight.Add(1)
+		t0 := time.Now()
+		h(sw, r)
+		m.inFlight.Add(-1)
+		m.nanos.Add(int64(time.Since(t0)))
+		m.requests.Add(1)
+		switch {
+		case sw.status >= 400:
+			m.errors.Add(1)
+		}
+		switch sw.status {
+		case http.StatusServiceUnavailable:
+			m.rejected.Add(1)
+		case http.StatusGatewayTimeout:
+			m.deadlines.Add(1)
+		}
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// admit claims an admission slot, waiting up to QueueTimeout while the
+// request context lives. It returns a release func on success, or an
+// HTTP status and message on rejection.
+func (s *Server) admit(ctx context.Context) (release func(), status int, msg string) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, ""
+	default:
+	}
+	// All slots busy: join the bounded admission queue.
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return nil, http.StatusServiceUnavailable, "admission queue full"
+	}
+	defer s.waiting.Add(-1)
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, ""
+	case <-timer.C:
+		return nil, http.StatusServiceUnavailable, "admission queue timeout"
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, "deadline expired while queued"
+		}
+		return nil, 499, "client went away" // nginx-style cancelled-request code
+	}
+}
+
+// renderPool returns (building on first use) the renderer pool for a
+// key. Pool construction classifies and encodes through the LRU cache, so
+// even a cold pool costs one classification, and a pool rebuilt after
+// cache-warm use costs none.
+func (s *Server) renderPool(rec *volumeRec, transfer shearwarp.Transfer, alg shearwarp.Algorithm) (*shearwarp.RendererPool, error) {
+	k := poolKey{volume: rec.name, transfer: transfer, algorithm: alg}
+	s.mu.Lock()
+	pe, ok := s.pools[k]
+	if !ok {
+		pe = &poolEntry{}
+		s.pools[k] = pe
+	}
+	s.mu.Unlock()
+	pe.once.Do(func() {
+		pv, err := shearwarp.PrepareVolume(rec.data, rec.nx, rec.ny, rec.nz, transfer, s.cfg.Procs, s.cache)
+		if err != nil {
+			pe.err = err
+			return
+		}
+		pe.pool, pe.err = shearwarp.NewRendererPool(s.cfg.PoolSize, func() (*shearwarp.Renderer, error) {
+			return pv.NewRenderer(shearwarp.Config{
+				Algorithm:         alg,
+				Procs:             s.cfg.Procs,
+				OpacityCorrection: s.cfg.OpacityCorrection,
+				CollectStats:      s.cfg.CollectStats && alg != shearwarp.RayCast,
+			}), nil
+		})
+	})
+	return pe.pool, pe.err
+}
+
+// parseFloat parses a required float query parameter with a default.
+func parseFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return f, nil
+}
+
+// handleRender is GET /render?volume=NAME&yaw=DEG&pitch=DEG
+// [&alg=serial|old|new|raycast][&transfer=mri|ct][&format=ppm|png].
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	q := r.URL.Query()
+
+	name := q.Get("volume")
+	s.mu.Lock()
+	rec := s.vols[name]
+	s.mu.Unlock()
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "unknown volume %q", name)
+		return
+	}
+
+	yaw, err := parseFloat(r, "yaw", 30)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pitch, err := parseFloat(r, "pitch", 15)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	alg := s.cfg.Algorithm
+	if v := q.Get("alg"); v != "" {
+		if alg, err = shearwarp.ParseAlgorithm(v); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	transfer := rec.transfer
+	if v := q.Get("transfer"); v != "" {
+		if transfer, err = shearwarp.ParseTransfer(v); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "ppm"
+	}
+	if format != "ppm" && format != "png" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (ppm, png)", format)
+		return
+	}
+
+	// The whole request — admission wait, renderer acquisition, render —
+	// runs under the render deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RenderTimeout)
+	defer cancel()
+
+	release, status, msg := s.admit(ctx)
+	if release == nil {
+		httpError(w, status, "%s", msg)
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.renderHook != nil {
+		s.renderHook()
+	}
+
+	pool, err := s.renderPool(rec, transfer, alg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "preparing volume: %v", err)
+		return
+	}
+	ren, err := pool.Acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, "deadline expired waiting for a renderer")
+		case errors.Is(err, shearwarp.ErrPoolClosed):
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			httpError(w, 499, "client went away")
+		}
+		return
+	}
+	defer pool.Release(ren)
+	if ctx.Err() != nil {
+		httpError(w, http.StatusGatewayTimeout, "deadline expired before rendering")
+		return
+	}
+
+	im, info := ren.Render(yaw, pitch)
+	s.frames.Add(1)
+	if bd := ren.LastBreakdown(); bd != nil {
+		s.cum.Add(bd.Frame())
+	}
+
+	w.Header().Set("X-Shearwarp-Algorithm", alg.String())
+	w.Header().Set("X-Shearwarp-Samples", strconv.FormatInt(info.Samples, 10))
+	w.Header().Set("X-Shearwarp-Size", fmt.Sprintf("%dx%d", im.Width(), im.Height()))
+	if format == "png" {
+		w.Header().Set("Content-Type", "image/png")
+		im.WritePNG(w)
+		return
+	}
+	w.Header().Set("Content-Type", "image/x-portable-pixmap")
+	im.WritePPM(w)
+}
+
+// handleHealthz is GET /healthz: liveness plus a tiny status summary.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nvols, npools := len(s.vols), len(s.pools)
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"volumes":        nvols,
+		"pools":          npools,
+		"rendering":      len(s.sem),
+		"queued":         s.waiting.Load(),
+		"frames":         s.frames.Load(),
+	})
+}
+
+// MetricsSnapshot is the full /metrics document.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Frames        int64                       `json:"frames"`
+	Rendering     int                         `json:"rendering"`
+	Queued        int64                       `json:"queued"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Cache         volcache.Stats              `json:"cache"`
+	Phases        perf.CumulativeSnapshot     `json:"phases"`
+}
+
+func (s *Server) metricsSnapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Frames:        s.frames.Load(),
+		Rendering:     len(s.sem),
+		Queued:        s.waiting.Load(),
+		Endpoints: map[string]EndpointSnapshot{
+			"/render":  s.mRender.snapshot(),
+			"/healthz": s.mHealth.snapshot(),
+			"/metrics": s.mMetrics.snapshot(),
+		},
+		Cache:  s.cache.Snapshot(),
+		Phases: s.cum.Snapshot(),
+	}
+}
+
+// handleMetrics is GET /metrics: per-endpoint counters, preprocessing
+// cache counters, and the cumulative per-phase render-time totals.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.metricsSnapshot())
+}

@@ -1,0 +1,212 @@
+// Package volcache is the render service's LRU cache of view-independent
+// preprocessing products: classified volumes and their per-axis
+// run-length encodings. Entries are keyed by (volume fingerprint,
+// transfer function, principal axis) — the axis is meaningful only for
+// encodings, since classification is axis-independent — and accounted in
+// bytes against a fixed budget, so a long-running server can keep the hot
+// working set of volumes prepared while older ones age out.
+//
+// Both products are immutable once built, which is what makes sharing
+// them across a pool of concurrently rendering workers safe: the cache
+// hands out the same pointer to every caller and never mutates or frees
+// an entry in place (eviction only drops the cache's reference; renderers
+// still holding the product keep it alive).
+//
+// Builds are single-flight: when several requests miss on the same key at
+// once, one goroutine classifies/encodes and the rest wait for its
+// result, so a thundering herd on a cold volume costs one build, not N.
+package volcache
+
+import (
+	"container/list"
+	"sync"
+
+	"shearwarp/internal/xform"
+)
+
+// AxisNone marks a key as axis-independent (a classified volume rather
+// than a per-axis encoding).
+const AxisNone xform.Axis = -1
+
+// Key identifies one cached preprocessing product.
+type Key struct {
+	Volume   string     // content fingerprint of the raw volume (rle.VolumeKey)
+	Transfer string     // transfer-function name ("mri", "ct", ...)
+	Axis     xform.Axis // principal axis of an encoding, or AxisNone
+}
+
+// Stats is a snapshot of the cache's counters. Hits+Misses counts lookup
+// outcomes; Builds counts completed builder invocations (misses coalesced
+// by single-flight produce one build); Evictions counts entries dropped
+// to fit the byte budget.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Builds    int64 `json:"builds"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Capacity  int64 `json:"capacity_bytes"`
+}
+
+type entry struct {
+	key   Key
+	value any
+	bytes int64
+}
+
+// call is an in-flight build other goroutines can wait on.
+type call struct {
+	done  chan struct{}
+	value any
+}
+
+// Cache is a byte-bounded LRU over preprocessing products. The zero value
+// is not usable; construct with New. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used; elements hold *entry
+	items    map[Key]*list.Element
+	inflight map[Key]*call
+
+	hits, misses, builds, evictions int64
+}
+
+// New returns a cache that evicts least-recently-used entries once the
+// sum of entry sizes exceeds capacity bytes. A non-positive capacity
+// means unbounded.
+func New(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// GetOrBuild returns the cached value for k, building and inserting it on
+// a miss. build returns the value and its resident size in bytes.
+// Concurrent misses on the same key share a single build; every caller
+// receives the same value. The build runs without the cache lock, so a
+// slow classification never blocks hits on other keys.
+func (c *Cache) GetOrBuild(k Key, build func() (any, int64)) any {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry).value
+	}
+	c.misses++
+	if cl, ok := c.inflight[k]; ok {
+		// Another goroutine is already building this key: wait for it.
+		c.mu.Unlock()
+		<-cl.done
+		return cl.value
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[k] = cl
+	c.mu.Unlock()
+
+	v, n := build()
+	cl.value = v
+
+	c.mu.Lock()
+	c.builds++
+	delete(c.inflight, k)
+	c.insertLocked(k, v, n)
+	c.mu.Unlock()
+	close(cl.done)
+	return v
+}
+
+// Put inserts (or refreshes) an entry directly.
+func (c *Cache) Put(k Key, v any, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(k, v, bytes)
+}
+
+// insertLocked adds the entry and evicts from the LRU tail until the
+// budget holds again. The freshly inserted entry itself is never evicted,
+// so a single product larger than the whole budget still caches (and
+// simply pins the cache at over-budget until something replaces it).
+func (c *Cache) insertLocked(k Key, v any, bytes int64) {
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry)
+		c.bytes += bytes - e.bytes
+		e.value, e.bytes = v, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&entry{key: k, value: v, bytes: bytes})
+		c.bytes += bytes
+	}
+	if c.capacity <= 0 {
+		return
+	}
+	for c.bytes > c.capacity && c.ll.Len() > 1 {
+		tail := c.ll.Back()
+		e := tail.Value.(*entry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// Remove drops an entry if present.
+func (c *Cache) Remove(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.items, k)
+		c.bytes -= e.bytes
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted size of all entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Builds:    c.builds,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Capacity:  c.capacity,
+	}
+}

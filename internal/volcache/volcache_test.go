@@ -1,0 +1,136 @@
+package volcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"shearwarp/internal/xform"
+)
+
+func key(i int) Key {
+	return Key{Volume: fmt.Sprintf("vol%02d", i), Transfer: "mri", Axis: AxisNone}
+}
+
+func TestGetOrBuildCachesAndCounts(t *testing.T) {
+	c := New(1 << 20)
+	builds := 0
+	build := func() (any, int64) { builds++; return "value", 100 }
+
+	if v := c.GetOrBuild(key(1), build); v != "value" {
+		t.Fatalf("built value = %v", v)
+	}
+	if v := c.GetOrBuild(key(1), build); v != "value" {
+		t.Fatalf("cached value = %v", v)
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Builds != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 build", st)
+	}
+	if st.Bytes != 100 || st.Entries != 1 {
+		t.Fatalf("accounting = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrderAndBudget(t *testing.T) {
+	c := New(300) // room for three 100-byte entries
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), i, 100)
+	}
+	// Touch entry 0 so entry 1 becomes least recently used.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	c.Put(key(3), 3, 100) // over budget: must evict exactly entry 1
+
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("entry %d wrongly evicted", i)
+		}
+	}
+	st := c.Snapshot()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 300 {
+		t.Fatalf("cache over budget after eviction: %d bytes", st.Bytes)
+	}
+}
+
+func TestNeverExceedsCapacityUnderChurn(t *testing.T) {
+	c := New(1000)
+	for i := 0; i < 200; i++ {
+		c.Put(key(i%50), i, int64(50+i%7*10))
+		if b := c.Bytes(); b > 1000+120 { // one oversized insert may transiently pin
+			t.Fatalf("iteration %d: %d bytes", i, b)
+		}
+	}
+	if c.Bytes() > 1000 {
+		t.Fatalf("final bytes %d over capacity", c.Bytes())
+	}
+}
+
+func TestOversizedEntryStillCaches(t *testing.T) {
+	c := New(100)
+	c.Put(key(1), "big", 500)
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("oversized entry was not retained")
+	}
+	// The next insert replaces it (the oversized entry is the LRU tail).
+	c.Put(key(2), "small", 10)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("oversized entry survived a later insert")
+	}
+}
+
+func TestAxisDistinguishesKeys(t *testing.T) {
+	c := New(0) // unbounded
+	base := Key{Volume: "v", Transfer: "ct"}
+	for _, ax := range []xform.Axis{AxisNone, xform.AxisX, xform.AxisY, xform.AxisZ} {
+		k := base
+		k.Axis = ax
+		c.Put(k, ax, 10)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("entries = %d, want 4 (one per axis + AxisNone)", c.Len())
+	}
+}
+
+func TestSingleFlightCoalescesConcurrentMisses(t *testing.T) {
+	c := New(1 << 20)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 16
+
+	var wg sync.WaitGroup
+	values := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			values[i] = c.GetOrBuild(key(1), func() (any, int64) {
+				builds.Add(1)
+				<-gate // hold the build until all waiters have queued
+				return "shared", 10
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1 (single-flight)", n)
+	}
+	for i, v := range values {
+		if v != "shared" {
+			t.Fatalf("waiter %d got %v", i, v)
+		}
+	}
+}

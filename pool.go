@@ -1,0 +1,232 @@
+package shearwarp
+
+// Renderer pooling and shared preprocessing — the substrate of the
+// shearwarpd render service. A Renderer renders one frame at a time, so a
+// server handling overlapping requests needs several of them; naively
+// that would classify and run-length-encode the volume once per renderer,
+// which is exactly the per-frame amortization the shear-warp algorithm
+// exists to avoid. PreparedVolume shares those view-independent products
+// (classification, per-axis RLE encodings) across every renderer built
+// from it, routing them through an LRU cache (internal/volcache) so a
+// long-running service keeps its hot volumes prepared and ages out cold
+// ones. RendererPool then bounds how many renderers exist per volume and
+// hands them to requests one at a time.
+//
+// Types from internal packages (volcache.Cache) appear in a few exported
+// signatures; like PhaseBreakdown.Frame, these entry points exist for the
+// service and tools inside this module.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"shearwarp/internal/classify"
+	"shearwarp/internal/render"
+	"shearwarp/internal/rle"
+	"shearwarp/internal/vol"
+	"shearwarp/internal/volcache"
+	"shearwarp/internal/xform"
+)
+
+// VolumeKey fingerprints raw volume data (dimensions plus samples) as the
+// volume component of preprocessing cache keys. Identical data always
+// yields the same key, whatever name it is registered under.
+func VolumeKey(data []uint8, nx, ny, nz int) string {
+	return rle.VolumeKey(data, nx, ny, nz)
+}
+
+// PreparedVolume is a volume plus the recipe for its view-independent
+// preprocessing, shared by every Renderer built from it. The products
+// themselves live in an LRU cache keyed by (volume fingerprint, transfer
+// function, principal axis); they are immutable once built, so renderers
+// sharing them may render concurrently.
+type PreparedVolume struct {
+	v     *vol.Volume
+	key   string
+	tf    Transfer
+	procs int
+	cache *volcache.Cache
+}
+
+// PrepareVolume wraps a raw 8-bit volume (X fastest, as in NewRenderer)
+// for shared rendering. procs parallelizes classification and encoding
+// builds. cache receives the preprocessing products; nil gets a private
+// unbounded cache, which still deduplicates work across the renderers of
+// this PreparedVolume.
+func PrepareVolume(data []uint8, nx, ny, nz int, transfer Transfer, procs int, cache *volcache.Cache) (*PreparedVolume, error) {
+	if len(data) != nx*ny*nz {
+		return nil, fmt.Errorf("shearwarp: volume data length %d != %d*%d*%d", len(data), nx, ny, nz)
+	}
+	if nx < 2 || ny < 2 || nz < 2 {
+		return nil, fmt.Errorf("shearwarp: volume too small (%dx%dx%d)", nx, ny, nz)
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	if cache == nil {
+		cache = volcache.New(0)
+	}
+	return &PreparedVolume{
+		v:     &vol.Volume{Nx: nx, Ny: ny, Nz: nz, Data: data},
+		key:   VolumeKey(data, nx, ny, nz),
+		tf:    transfer,
+		procs: procs,
+		cache: cache,
+	}, nil
+}
+
+// Key returns the volume's content fingerprint.
+func (pv *PreparedVolume) Key() string { return pv.key }
+
+// TransferFunc returns the transfer function the volume classifies with.
+func (pv *PreparedVolume) TransferFunc() Transfer { return pv.tf }
+
+// Dims returns the volume dimensions.
+func (pv *PreparedVolume) Dims() (nx, ny, nz int) { return pv.v.Nx, pv.v.Ny, pv.v.Nz }
+
+// classified fetches (building on a miss) the classified volume.
+func (pv *PreparedVolume) classified() *classify.Classified {
+	k := volcache.Key{Volume: pv.key, Transfer: pv.tf.String(), Axis: volcache.AxisNone}
+	v := pv.cache.GetOrBuild(k, func() (any, int64) {
+		opt := classify.Options{}
+		if pv.tf == TransferCT {
+			opt.Transfer = classify.CTTransfer
+		}
+		c := classify.ClassifyParallel(pv.v, opt, pv.procs)
+		return c, int64(len(c.Voxels)) * 4
+	})
+	return v.(*classify.Classified)
+}
+
+// encoding fetches (building on a miss) the RLE encoding for one
+// principal axis of the given classified volume.
+func (pv *PreparedVolume) encoding(c *classify.Classified, axis xform.Axis) *rle.Volume {
+	k := volcache.Key{Volume: pv.key, Transfer: pv.tf.String(), Axis: axis}
+	v := pv.cache.GetOrBuild(k, func() (any, int64) {
+		rv := rle.EncodeParallel(c, axis, pv.procs)
+		return rv, rv.MemoryBytes()
+	})
+	return v.(*rle.Volume)
+}
+
+// NewRenderer builds a renderer sharing this volume's cached
+// preprocessing. cfg.Transfer is overridden by the prepared transfer
+// function (it is baked into the cached classification); everything else
+// behaves as in NewRenderer. Output images are byte-identical to a
+// renderer built directly over the same data and config.
+func (pv *PreparedVolume) NewRenderer(cfg Config) *Renderer {
+	cfg.Transfer = pv.tf
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	c := pv.classified()
+	opt := render.Options{
+		OpacityCorrection: cfg.OpacityCorrection,
+		PreprocProcs:      cfg.Procs,
+	}
+	r := render.NewShared(pv.v, c, func(axis xform.Axis) *rle.Volume {
+		return pv.encoding(c, axis)
+	}, opt)
+	return newRendererFrom(r, cfg)
+}
+
+// ErrPoolClosed is returned by RendererPool.Acquire after Close.
+var ErrPoolClosed = errors.New("shearwarp: renderer pool closed")
+
+// RendererPool is a fixed set of Renderers handed to callers one at a
+// time, making a set of single-frame renderers safe to drive from
+// concurrent requests. Acquire blocks until a renderer is free (or the
+// context ends); Release returns it. The pool is safe for concurrent use.
+type RendererPool struct {
+	free chan *Renderer
+	done chan struct{} // closed by Close; unblocks waiting Acquires
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewRendererPool builds size renderers with the given constructor. On
+// constructor error the already-built renderers are closed and the error
+// returned.
+func NewRendererPool(size int, build func() (*Renderer, error)) (*RendererPool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &RendererPool{
+		free: make(chan *Renderer, size),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		r, err := build()
+		if err != nil {
+			// Tear down the renderers built so far (all of them are in
+			// free — nothing has been acquired yet).
+			p.mu.Lock()
+			p.closed = true
+			p.mu.Unlock()
+			close(p.done)
+			for drained := false; !drained; {
+				select {
+				case r := <-p.free:
+					r.Close()
+				default:
+					drained = true
+				}
+			}
+			return nil, fmt.Errorf("shearwarp: building pool renderer %d: %w", i, err)
+		}
+		p.free <- r
+	}
+	return p, nil
+}
+
+// Size returns the pool's renderer count.
+func (p *RendererPool) Size() int { return cap(p.free) }
+
+// Idle returns how many renderers are currently free (a snapshot).
+func (p *RendererPool) Idle() int { return len(p.free) }
+
+// Acquire returns a free renderer, blocking until one is released, the
+// context is done, or the pool closes. The caller must Release it.
+func (p *RendererPool) Acquire(ctx context.Context) (*Renderer, error) {
+	select {
+	case r := <-p.free:
+		return r, nil
+	default:
+	}
+	select {
+	case r := <-p.free:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.done:
+		return nil, ErrPoolClosed
+	}
+}
+
+// Release returns a renderer to the pool. Every Acquire must be paired
+// with exactly one Release, even after Close (Close waits for outstanding
+// renderers to come back).
+func (p *RendererPool) Release(r *Renderer) {
+	p.free <- r // cap == size and Acquire/Release pair up, so never blocks
+}
+
+// Close waits for all renderers to be released and shuts them down.
+// Subsequent Acquires fail with ErrPoolClosed; it is safe to call Close
+// once only.
+func (p *RendererPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	for i := 0; i < cap(p.free); i++ {
+		r := <-p.free
+		r.Close()
+	}
+}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench.sh — run the native kernel and frame benchmarks and emit
 # BENCH_native.json (plus benchstat-ready raw output in BENCH_native.txt)
 # and BENCH_phases.json (per-worker phase breakdowns of instrumented
@@ -15,7 +15,7 @@
 # stats for each benchmark, alongside the frozen pre-PR baseline of the
 # frame benchmarks so the kernel-optimization speedup
 # (baseline mean / current mean) can be read off directly.
-set -eu
+set -euo pipefail
 
 COUNT="${1:-5}"
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
