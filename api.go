@@ -22,12 +22,14 @@
 package shearwarp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"shearwarp/internal/classify"
 	"shearwarp/internal/experiments"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
 	"shearwarp/internal/newalg"
 	"shearwarp/internal/oldalg"
@@ -124,6 +126,22 @@ type Config struct {
 	// when false the renderers take the uninstrumented path (no clock
 	// reads, byte-identical output).
 	CollectStats bool
+	// Faults, when non-nil, injects deterministic faults into the render
+	// pipeline (internal/faultinject) for chaos testing. Nil (the
+	// default) costs nothing.
+	Faults *faultinject.Injector
+}
+
+// ValidationError reports a request parameter the renderer rejected
+// before (or instead of) rendering: a non-finite angle, or a viewpoint
+// whose factorization degenerates. The render service maps it to a 400.
+type ValidationError struct {
+	Param  string // offending parameter ("yaw", "pitch", "view")
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("shearwarp: invalid %s: %s", e.Param, e.Reason)
 }
 
 // Renderer renders frames of one volume.
@@ -235,7 +253,18 @@ func newRendererFrom(r *render.Renderer, cfg Config) *Renderer {
 	if cfg.Algorithm == RayCast {
 		re.rc = raycast.New(r.Classified)
 	}
+	re.SetFaultInjector(cfg.Faults)
 	return re
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector to
+// every layer of this renderer's pipeline. Call it between frames only.
+func (re *Renderer) SetFaultInjector(in *faultinject.Injector) {
+	re.cfg.Faults = in
+	re.r.Faults = in
+	if re.nr != nil {
+		re.nr.Faults = in
+	}
 }
 
 // Close releases the renderer's persistent worker goroutines (NewParallel
@@ -251,15 +280,75 @@ func (re *Renderer) Close() {
 }
 
 // Render renders one frame from the given viewpoint (degrees of yaw about
-// the vertical axis, then pitch).
+// the vertical axis, then pitch). It is the uncancellable entry point: it
+// runs under context.Background and panics on the (typed) errors that
+// RenderCtx returns; services use RenderCtx.
 func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
+	im, info, err := re.RenderCtx(context.Background(), yawDeg, pitchDeg)
+	if err != nil {
+		panic(err)
+	}
+	return im, info
+}
+
+// validateView checks the viewpoint before any rendering state is
+// touched: the angles must be finite and the factorization they imply
+// must be non-degenerate. Factorization panics ("singular matrix",
+// "singular 2-D warp", oversize images) convert to *ValidationError here,
+// at the API boundary, rather than surfacing as worker panics mid-frame.
+func (re *Renderer) validateView(yawDeg, pitchDeg, yaw, pitch float64) (f xform.Factorization, err error) {
+	if math.IsNaN(yawDeg) || math.IsInf(yawDeg, 0) {
+		return f, &ValidationError{Param: "yaw", Reason: fmt.Sprintf("must be finite, got %v", yawDeg)}
+	}
+	if math.IsNaN(pitchDeg) || math.IsInf(pitchDeg, 0) {
+		return f, &ValidationError{Param: "pitch", Reason: fmt.Sprintf("must be finite, got %v", pitchDeg)}
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &ValidationError{Param: "view", Reason: fmt.Sprint(v)}
+		}
+	}()
+	v := re.r.Vol
+	f = xform.Factorize(v.Nx, v.Ny, v.Nz, xform.ViewMatrix(v.Nx, v.Ny, v.Nz, yaw, pitch))
+	return f, nil
+}
+
+// renderRayCast runs the image-order baseline with panic containment (it
+// has no cooperative cancel points; the context is checked only between
+// phases).
+func (re *Renderer) renderRayCast(yaw, pitch float64, cnt *raycast.Counters) (out *img.Final, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			out, err = nil, render.NewFrameError(0, "raycast", -1, v)
+		}
+	}()
+	fr := re.r.Setup(yaw, pitch)
+	return re.rc.Render(&fr.F, cnt), nil
+}
+
+// RenderCtx is Render with request validation, cooperative cancellation
+// and panic isolation. Invalid viewpoints return a *ValidationError
+// before any work starts; a cancelled ctx stops the frame within one
+// scanline of work per worker and returns ctx's error; a panic anywhere
+// in the pipeline is recovered into a *render.FrameError, after which the
+// renderer remains usable and its next frame renders byte-identically.
+// On error the returned Image is nil.
+func (re *Renderer) RenderCtx(ctx context.Context, yawDeg, pitchDeg float64) (*Image, FrameInfo, error) {
 	yaw := yawDeg * math.Pi / 180
 	pitch := pitchDeg * math.Pi / 180
+	f, err := re.validateView(yawDeg, pitchDeg, yaw, pitch)
+	if err != nil {
+		return nil, FrameInfo{}, err
+	}
 	info := FrameInfo{Transparent: re.r.Classified.TransparentFrac()}
 	var out *img.Final
 	switch re.cfg.Algorithm {
 	case OldParallel:
-		res := oldalg.Render(re.r, yaw, pitch, oldalg.Config{Procs: re.cfg.Procs, Perf: re.pc})
+		res, err := oldalg.RenderCtx(ctx, re.r, yaw, pitch,
+			oldalg.Config{Procs: re.cfg.Procs, Perf: re.pc, Faults: re.cfg.Faults})
+		if err != nil {
+			return nil, FrameInfo{}, err
+		}
 		st := res.Stats()
 		out = res.Out
 		info.Cycles = st.TotalCycles()
@@ -269,7 +358,10 @@ func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
 			info.Steals += ps.Steals
 		}
 	case NewParallel:
-		res := re.nr.RenderFrame(yaw, pitch)
+		res, err := re.nr.RenderFrameCtx(ctx, yaw, pitch)
+		if err != nil {
+			return nil, FrameInfo{}, err
+		}
 		st := res.Stats()
 		out = res.Out
 		info.Cycles = st.TotalCycles()
@@ -280,13 +372,22 @@ func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
 			info.Steals += ps.Steals
 		}
 	case RayCast:
-		fr := re.r.Setup(yaw, pitch)
+		if err := ctx.Err(); err != nil {
+			return nil, FrameInfo{}, err
+		}
 		var cnt raycast.Counters
-		out = re.rc.Render(&fr.F, &cnt)
+		o, err := re.renderRayCast(yaw, pitch, &cnt)
+		if err != nil {
+			return nil, FrameInfo{}, err
+		}
+		out = o
 		info.Cycles = cnt.Cycles
 		info.Samples = cnt.Composites
 	default: // Serial
-		o, st := re.r.RenderSerialPerf(yaw, pitch, re.pc)
+		o, st, err := re.r.RenderSerialCtx(ctx, yaw, pitch, re.pc)
+		if err != nil {
+			return nil, FrameInfo{}, err
+		}
 		out = o
 		info.Cycles = st.TotalCycles()
 		info.Samples = st.Composite.Samples
@@ -295,11 +396,9 @@ func (re *Renderer) Render(yawDeg, pitchDeg float64) (*Image, FrameInfo) {
 	if re.pc != nil {
 		re.bd = &PhaseBreakdown{fb: re.pc.Breakdown(re.cfg.Algorithm.String())}
 	}
-	v := re.r.Vol
-	f := xform.Factorize(v.Nx, v.Ny, v.Nz, xform.ViewMatrix(v.Nx, v.Ny, v.Nz, yaw, pitch))
 	info.IntW, info.IntH = f.IntW, f.IntH
 	info.FinalW, info.FinalH = f.FinalW, f.FinalH
-	return &Image{f: out}, info
+	return &Image{f: out}, info, nil
 }
 
 // PhaseBreakdown is the per-worker execution-time breakdown of one frame

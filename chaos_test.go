@@ -1,0 +1,170 @@
+package shearwarp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"shearwarp/internal/faultinject"
+	"shearwarp/internal/render"
+	"shearwarp/internal/vol"
+)
+
+// renderPPM renders one frame and returns its PPM bytes.
+func renderPPM(t *testing.T, re *Renderer, yaw, pitch float64) []byte {
+	t.Helper()
+	im, _, err := re.RenderCtx(context.Background(), yaw, pitch)
+	if err != nil {
+		t.Fatalf("clean render failed: %v", err)
+	}
+	var b bytes.Buffer
+	if err := im.WritePPM(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestChaosSoak drives both parallel algorithms through a schedule of
+// seed-derived faults (panics, delays, cancels at random sites and
+// workers). The invariants after every seed: the error, if any, is typed
+// (*render.FrameError or a context error, never a raw panic escaping);
+// no goroutines leak; and the next clean frame is byte-identical to the
+// golden frame — injected faults must leave no trace in later output.
+func TestChaosSoak(t *testing.T) {
+	const procs = 4
+	const seeds = 24
+	v := vol.MRIBrain(32)
+
+	for _, alg := range []Algorithm{NewParallel, OldParallel} {
+		t.Run(alg.String(), func(t *testing.T) {
+			re, err := NewRenderer(v.Data, v.Nx, v.Ny, v.Nz, Config{Algorithm: alg, Procs: procs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			golden := renderPPM(t, re, 30, 15)
+			before := runtime.NumGoroutine()
+
+			for seed := int64(1); seed <= seeds; seed++ {
+				in := faultinject.FromSeed(seed, procs)
+				ctx, cancel := context.WithCancel(context.Background())
+				in.SetCancel(cancel)
+				re.SetFaultInjector(in)
+
+				_, _, err := re.RenderCtx(ctx, 30, 15)
+				cancel()
+				if err != nil {
+					var fe *render.FrameError
+					if !errors.As(err, &fe) &&
+						!errors.Is(err, context.Canceled) &&
+						!errors.Is(err, context.DeadlineExceeded) {
+						t.Fatalf("seed %d (%v): untyped error %v", seed, in.Rules(), err)
+					}
+				}
+
+				// Clean frame after the fault must be byte-identical.
+				re.SetFaultInjector(nil)
+				if got := renderPPM(t, re, 30, 15); !bytes.Equal(golden, got) {
+					t.Fatalf("seed %d (%v): frame after fault differs from golden", seed, in.Rules())
+				}
+			}
+
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > before+2 {
+				if time.Now().After(deadline) {
+					buf := make([]byte, 1<<20)
+					n := runtime.Stack(buf, true)
+					t.Fatalf("goroutines leaked after soak: before %d, now %d\n%s",
+						before, runtime.NumGoroutine(), buf[:n])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestValidationErrors checks the API boundary: non-finite angles are
+// rejected with *ValidationError before any rendering starts, for every
+// algorithm, and the renderer keeps working afterwards.
+func TestValidationErrors(t *testing.T) {
+	v := vol.MRIBrain(16)
+	nan := func() float64 { var z float64; return z / z }()
+	for _, alg := range []Algorithm{Serial, OldParallel, NewParallel, RayCast} {
+		re, err := NewRenderer(v.Data, v.Nx, v.Ny, v.Nz, Config{Algorithm: alg, Procs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bad := range [][2]float64{{nan, 0}, {0, nan}} {
+			_, _, err := re.RenderCtx(context.Background(), bad[0], bad[1])
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("alg %v angles %v: err = %v, want *ValidationError", alg, bad, err)
+			}
+		}
+		if _, _, err := re.RenderCtx(context.Background(), 30, 15); err != nil {
+			t.Fatalf("alg %v: clean render after validation errors failed: %v", alg, err)
+		}
+		re.Close()
+	}
+}
+
+// TestCacheBuildFailureDoesNotPoisonPool injects an error into the
+// classification build: NewRenderer must fail with the injected error,
+// and a later attempt without the fault must succeed (the failed build is
+// not cached).
+func TestCacheBuildFailureDoesNotPoisonPool(t *testing.T) {
+	v := vol.MRIBrain(16)
+	pv, err := PrepareVolume(v.Data, v.Nx, v.Ny, v.Nz, TransferMRI, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.SetFaultInjector(faultinject.New(faultinject.Rule{
+		Kind: faultinject.KindError, Site: "cachebuild", Worker: -1, Band: -1,
+	}))
+	if _, err := pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2}); err == nil {
+		t.Fatal("injected cachebuild error did not surface")
+	}
+	pv.SetFaultInjector(nil)
+	re, err := pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2})
+	if err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	defer re.Close()
+	if im, _ := re.Render(30, 15); im.NonBlackPixels() == 0 {
+		t.Fatal("renderer built after failed cache build produced a black frame")
+	}
+}
+
+// TestEncodingBuildPanicBecomesSetupFrameError injects a panic into the
+// lazy per-axis encoding build, which runs inside frame setup: the frame
+// must fail with a *render.FrameError in phase "setup", and the next
+// frame must succeed (the failed build retried).
+func TestEncodingBuildPanicBecomesSetupFrameError(t *testing.T) {
+	v := vol.MRIBrain(16)
+	pv, err := PrepareVolume(v.Data, v.Nx, v.Ny, v.Nz, TransferMRI, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// The classification is already built; the first frame triggers the
+	// encoding build, which the error rule fails.
+	pv.SetFaultInjector(faultinject.New(faultinject.Rule{
+		Kind: faultinject.KindError, Site: "cachebuild", Worker: -1, Band: -1,
+	}))
+	_, _, err = re.RenderCtx(context.Background(), 30, 15)
+	var fe *render.FrameError
+	if !errors.As(err, &fe) || fe.Phase != "setup" {
+		t.Fatalf("err = %v, want *render.FrameError in phase setup", err)
+	}
+	pv.SetFaultInjector(nil)
+	if _, _, err := re.RenderCtx(context.Background(), 30, 15); err != nil {
+		t.Fatalf("frame after encoding-build failure: %v", err)
+	}
+}

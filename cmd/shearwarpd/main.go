@@ -34,6 +34,7 @@ import (
 
 	"shearwarp"
 	"shearwarp/internal/cli"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/server"
 	"shearwarp/internal/vol"
 )
@@ -51,22 +52,33 @@ func main() {
 	renderTimeout := flag.Duration("render-timeout", 30*time.Second, "request deadline to start rendering")
 	cacheMB := flag.Int64("cache-mb", 256, "preprocessing cache budget in MiB (<0 = unbounded)")
 	stats := flag.Bool("stats", true, "collect per-frame phase breakdowns for /metrics")
+	watchdog := flag.Duration("watchdog", 0, "cancel frames still rendering after this long and answer 500 (0 = off)")
+	faultSpec := flag.String("fault-spec", "", "inject deterministic faults for chaos testing, e.g. 'panic@composite:w=1;delay@scanline:n=100:d=2ms' (see internal/faultinject)")
 	flag.Parse()
 
 	alg, err := shearwarp.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
 	}
+	faults, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if faults != nil {
+		fmt.Fprintf(os.Stderr, "shearwarpd: FAULT INJECTION ACTIVE: %s\n", *faultSpec)
+	}
 	srv := server.New(server.Config{
-		Procs:         *procs,
-		Algorithm:     alg,
-		PoolSize:      *pool,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		QueueTimeout:  *queueTimeout,
-		RenderTimeout: *renderTimeout,
-		CacheBytes:    *cacheMB << 20,
-		CollectStats:  *stats,
+		Procs:           *procs,
+		Algorithm:       alg,
+		PoolSize:        *pool,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTimeout,
+		RenderTimeout:   *renderTimeout,
+		CacheBytes:      *cacheMB << 20,
+		CollectStats:    *stats,
+		WatchdogTimeout: *watchdog,
+		Faults:          faults,
 	})
 
 	if vf.In != "" {

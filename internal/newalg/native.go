@@ -5,9 +5,11 @@ import (
 	"math"
 	rtrace "runtime/trace"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shearwarp/internal/composite"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
 	"shearwarp/internal/par"
 	"shearwarp/internal/perf"
@@ -70,6 +72,17 @@ func (r *Result) Stats() render.FrameStats {
 	return st
 }
 
+// workerRec is one worker's failure-domain bookkeeping for the current
+// frame: which phase and band it is in (read by its own deferred recover
+// to build a FrameError) and whether it has passed the clear rendezvous
+// (so recovery can release peers blocked there). Each record is written
+// only by its own worker goroutine.
+type workerRec struct {
+	phase   string
+	band    int
+	cleared bool
+}
+
 // Renderer carries the cross-frame state of the new algorithm: the last
 // collected per-scanline profile and the viewpoint it was collected at,
 // plus the reusable per-frame resources (images, partition scratch, band
@@ -87,6 +100,11 @@ type Renderer struct {
 	// at the start of every frame and snapshotted with Perf.Breakdown
 	// after RenderFrame returns.
 	Perf *perf.Collector
+
+	// Faults, when non-nil, injects deterministic faults at the worker
+	// phase sites (internal/faultinject). Nil-checked everywhere; the
+	// disabled path costs one branch per site. Set it between frames only.
+	Faults *faultinject.Injector
 
 	profile    []int64
 	profAxis   xform.Axis
@@ -111,12 +129,24 @@ type Renderer struct {
 	warpTasks  []warp.Task
 	profiling  bool
 	bmu        sync.Mutex
-	doneWG     []sync.WaitGroup // per-band completion, replaces the barrier
-	clearWG    sync.WaitGroup   // rendezvous after the parallel image clear
-	frameWG    sync.WaitGroup   // frame completion
-	ctxPool    sync.Pool        // *composite.Ctx
-	start      []chan struct{}  // per-worker frame-start tokens
-	traceCtx   context.Context  // runtime/trace task context of the current frame
+	bandDone   []atomic.Bool  // per-band completion flags, replace the barrier
+	bandCond   *sync.Cond     // signals band completion and frame aborts; locker is bmu
+	clearWG    sync.WaitGroup // rendezvous after the parallel image clear
+	frameWG    sync.WaitGroup // frame completion
+	ctxPool    sync.Pool      // *composite.Ctx
+	start      []chan struct{} // per-worker frame-start tokens
+	wstate     []workerRec     // per-worker failure bookkeeping
+	traceCtx   context.Context // runtime/trace task context of the current frame
+
+	// Cooperative cancellation and panic isolation. abortFlag is the
+	// shared cancel flag every worker polls at scanline granularity (one
+	// predictable load); abortErr holds the first failure; frameGen
+	// guards against a stale context watcher aborting a later frame.
+	abortFlag atomic.Bool
+	abortMu   sync.Mutex
+	abortErr  error
+	frameGen  uint64
+	setupErr  error
 }
 
 // NewRenderer wraps a render.Renderer with the new algorithm's state.
@@ -148,10 +178,43 @@ func (nr *Renderer) needProfile(f *xform.Factorization, yaw, pitch float64) bool
 // from a pool, and the workers are persistent goroutines woken by buffered
 // start tokens. The returned Result points into that reusable storage and
 // is valid until the next RenderFrame call.
+//
+// RenderFrame is the uncancellable entry point: it runs under
+// context.Background and re-panics a *render.FrameError if a worker
+// panicked. Services use RenderFrameCtx.
 func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
+	res, err := nr.RenderFrameCtx(context.Background(), yaw, pitch)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RenderFrameCtx is RenderFrame with cooperative cancellation and panic
+// isolation. When ctx is cancelled, every worker observes the shared
+// abort flag within one scanline of work (or one condition-variable
+// wakeup if it is waiting on a band) and the call returns ctx's error. A
+// panic in any worker or in setup is recovered into a *render.FrameError:
+// peers are aborted the same way, nothing is poisoned, and the next frame
+// on this renderer renders byte-identically to an undisturbed one. On
+// error the returned Result is nil.
+func (nr *Renderer) RenderFrameCtx(ctx context.Context, yaw, pitch float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := nr.Cfg
 	pc := nr.Perf
 	pc.Reset(cfg.Procs)
+
+	if nr.bandCond == nil {
+		nr.bandCond = sync.NewCond(&nr.bmu)
+	}
+	nr.abortMu.Lock()
+	nr.frameGen++
+	gen := nr.frameGen
+	nr.abortErr = nil
+	nr.abortMu.Unlock()
+	nr.abortFlag.Store(false)
 
 	// One runtime/trace task per frame; the workers' phase regions attach
 	// to it. Gated on IsEnabled so the untraced path allocates nothing.
@@ -160,6 +223,96 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 	if rtrace.IsEnabled() {
 		nr.traceCtx, task = rtrace.NewTask(nr.traceCtx, "shearwarp.frame")
 	}
+
+	if err := nr.setupFrame(yaw, pitch); err != nil {
+		if task != nil {
+			task.End()
+		}
+		return nil, err
+	}
+
+	// Watch for external cancellation only when the context is actually
+	// cancellable, so the background-context frame loop stays free of the
+	// watcher's allocation. The generation check makes a watcher that
+	// fires after this frame ends harmless to the next one.
+	var stopWatch func() bool
+	if ctx.Done() != nil {
+		stopWatch = context.AfterFunc(ctx, func() {
+			nr.requestAbort(gen, ctx.Err())
+		})
+	}
+
+	nr.ensureWorkers(cfg.Procs)
+	nr.clearWG.Add(cfg.Procs)
+	nr.frameWG.Add(cfg.Procs)
+	pc.FrameStart()
+	for p := 0; p < cfg.Procs; p++ {
+		nr.start[p] <- struct{}{}
+	}
+	nr.frameWG.Wait()
+	pc.FrameEnd()
+	if task != nil {
+		task.End()
+	}
+	if stopWatch != nil {
+		stopWatch()
+	}
+
+	if nr.abortFlag.Load() {
+		nr.abortMu.Lock()
+		err := nr.abortErr
+		nr.abortMu.Unlock()
+		if err == nil {
+			err = ctx.Err()
+		}
+		if err == nil {
+			err = context.Canceled
+		}
+		return nil, err
+	}
+	// A cancellation that lands in the frame's final scanlines can lose
+	// the race against frame completion: the workers finish before the
+	// watcher raises the abort flag. Honour the context anyway — a
+	// cancelled frame never reports success. The completed render is
+	// discarded; partition state is unaffected (it never changes output).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if nr.profiling {
+		fr := &nr.fr
+		nr.profile, nr.profBuf = nr.profBuf, nr.profile
+		nr.profAxis = fr.F.Axis
+		nr.profYaw, nr.profPitch = yaw, pitch
+		nr.profImageH = fr.M.H
+		nr.profSj, nr.profTv = fr.F.Sj, fr.F.Tv
+		nr.profValid = true
+	}
+	return &nr.res, nil
+}
+
+// setupFrame runs the per-frame setup (factorization, partition, queue and
+// image reuse) with panic containment: a panic — a degenerate view matrix,
+// an RLE invariant violation surfaced by a cache-fed encoding, an injected
+// setup fault — converts to a *render.FrameError before any worker starts.
+func (nr *Renderer) setupFrame(yaw, pitch float64) error {
+	nr.setupErr = nil
+	nr.runSetup(yaw, pitch)
+	return nr.setupErr
+}
+
+// recoverSetup is the deferred recover of runSetup; a direct method defer
+// (no closure) so the steady-state frame loop stays allocation-free.
+func (nr *Renderer) recoverSetup() {
+	if v := recover(); v != nil {
+		nr.setupErr = render.NewFrameError(-1, "setup", -1, v)
+	}
+}
+
+func (nr *Renderer) runSetup(yaw, pitch float64) {
+	defer nr.recoverSetup()
+	cfg := nr.Cfg
+	nr.Faults.Visit("setup", -1, -1)
 
 	fr := &nr.fr
 	nr.R.SetupInto(fr, yaw, pitch)
@@ -239,15 +392,14 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 	} else {
 		nr.bands.Reset(nr.boundaries, steal)
 	}
-	// Per-band completion signals replace the global barrier. The frame-end
-	// wait below separates the Add cycles, so the WaitGroups are reusable.
-	if len(nr.doneWG) != cfg.Procs {
-		nr.doneWG = make([]sync.WaitGroup, cfg.Procs)
+	// Per-band completion flags replace the global barrier: a band's warp
+	// waiters block on bandCond until its flag is set (or the frame
+	// aborts). Bands that start empty are complete immediately.
+	if len(nr.bandDone) != cfg.Procs {
+		nr.bandDone = make([]atomic.Bool, cfg.Procs)
 	}
 	for p := 0; p < cfg.Procs; p++ {
-		if !nr.bands.Complete(p) {
-			nr.doneWG[p].Add(1)
-		}
+		nr.bandDone[p].Store(nr.bands.Complete(p))
 	}
 
 	if profiling {
@@ -262,29 +414,43 @@ func (nr *Renderer) RenderFrame(yaw, pitch float64) *Result {
 	}
 
 	nr.warpTasks = nr.tb.Partition(nr.boundaries)
+}
 
-	nr.ensureWorkers(cfg.Procs)
-	nr.clearWG.Add(cfg.Procs)
-	nr.frameWG.Add(cfg.Procs)
-	pc.FrameStart()
-	for p := 0; p < cfg.Procs; p++ {
-		nr.start[p] <- struct{}{}
+// requestAbort aborts the frame identified by gen: external cancellation
+// goes through here so a watcher that outlives its frame cannot abort a
+// later one.
+func (nr *Renderer) requestAbort(gen uint64, err error) {
+	nr.abortMu.Lock()
+	if gen != nr.frameGen {
+		nr.abortMu.Unlock()
+		return
 	}
-	nr.frameWG.Wait()
-	pc.FrameEnd()
-	if task != nil {
-		task.End()
+	if nr.abortErr == nil {
+		nr.abortErr = err
 	}
+	nr.abortMu.Unlock()
+	nr.raiseAbort()
+}
 
-	if profiling {
-		nr.profile, nr.profBuf = nr.profBuf, nr.profile
-		nr.profAxis = fr.F.Axis
-		nr.profYaw, nr.profPitch = yaw, pitch
-		nr.profImageH = fr.M.H
-		nr.profSj, nr.profTv = fr.F.Sj, fr.F.Tv
-		nr.profValid = true
+// abortCurrent aborts the frame in flight; workers (which by construction
+// belong to the current frame) report panics through it.
+func (nr *Renderer) abortCurrent(err error) {
+	nr.abortMu.Lock()
+	if nr.abortErr == nil {
+		nr.abortErr = err
 	}
-	return res
+	nr.abortMu.Unlock()
+	nr.raiseAbort()
+}
+
+// raiseAbort publishes the abort flag and wakes every band waiter. The
+// flag is set before the broadcast so a waiter cannot recheck its
+// predicate, miss the flag, and sleep through the wakeup.
+func (nr *Renderer) raiseAbort() {
+	nr.abortFlag.Store(true)
+	nr.bmu.Lock()
+	nr.bandCond.Broadcast()
+	nr.bmu.Unlock()
 }
 
 // ensureWorkers keeps one persistent goroutine per processor, woken once
@@ -298,12 +464,13 @@ func (nr *Renderer) ensureWorkers(procs int) {
 		close(ch)
 	}
 	nr.start = make([]chan struct{}, procs)
+	nr.wstate = make([]workerRec, procs)
 	for p := 0; p < procs; p++ {
 		ch := make(chan struct{}, 1)
 		nr.start[p] = ch
 		go func(p int, ch chan struct{}) {
 			for range ch {
-				nr.renderWorker(p)
+				nr.frameWorker(p)
 				nr.frameWG.Done()
 			}
 		}(p, ch)
@@ -321,13 +488,56 @@ func (nr *Renderer) Close() {
 	nr.start = nil
 }
 
+// frameWorker runs one worker's share of a frame inside its panic domain.
+func (nr *Renderer) frameWorker(p int) {
+	st := &nr.wstate[p]
+	st.phase, st.band, st.cleared = "clear", -1, false
+	defer nr.recoverWorker(p)
+	nr.renderWorker(p, st)
+}
+
+// recoverWorker is each worker's deferred recover (a direct method defer,
+// no closure, to keep the frame loop allocation-free). A panic converts
+// to a *render.FrameError carrying the worker's phase and band, aborts
+// the peers, and — critically for deadlock freedom — still releases the
+// clear rendezvous if the worker died before reaching it. Bands the dead
+// worker had claimed stay incomplete; their waiters are released by the
+// abort broadcast instead of a completion signal.
+func (nr *Renderer) recoverWorker(p int) {
+	st := &nr.wstate[p]
+	if v := recover(); v != nil {
+		nr.abortCurrent(render.NewFrameError(p, st.phase, st.band, v))
+	}
+	if !st.cleared {
+		st.cleared = true
+		nr.clearWG.Done()
+	}
+}
+
+// waitBand blocks until band q completes or the frame aborts. The
+// lock-free fast path is a single atomic load; the slow path sleeps on
+// bandCond, woken by band completions and aborts.
+func (nr *Renderer) waitBand(q int) {
+	if nr.bandDone[q].Load() {
+		return
+	}
+	nr.bmu.Lock()
+	for !nr.bandDone[q].Load() && !nr.abortFlag.Load() {
+		nr.bandCond.Wait()
+	}
+	nr.bmu.Unlock()
+}
+
 // renderWorker is one processor's share of a frame: clear a stripe of the
 // intermediate image, composite own-band chunks then stolen chunks, and
-// warp the owned tasks as their band dependencies complete.
-func (nr *Renderer) renderWorker(p int) {
+// warp the owned tasks as their band dependencies complete. It polls the
+// shared abort flag at scanline granularity throughout, so a cancelled or
+// failed frame frees the worker within one scanline of work.
+func (nr *Renderer) renderWorker(p int, st *workerRec) {
 	fr := &nr.fr
 	procs := len(nr.start)
 	pc := nr.Perf
+	fi := nr.Faults
 	ctx := nr.traceCtx
 	var tw, t0 time.Time
 	if pc != nil {
@@ -338,6 +548,9 @@ func (nr *Renderer) renderWorker(p int) {
 	// Parallel clear: each worker wipes one horizontal stripe of the
 	// (reused) intermediate image, then all workers rendezvous so no one
 	// composites into rows another worker has yet to clear.
+	if fi != nil {
+		fi.Visit("clear", p, -1)
+	}
 	reg := rtrace.StartRegion(ctx, "clear")
 	nr.fr.M.ClearRows(p*fr.M.H/procs, (p+1)*fr.M.H/procs)
 	reg.End()
@@ -346,26 +559,35 @@ func (nr *Renderer) renderWorker(p int) {
 		t0 = time.Now()
 	}
 	nr.clearWG.Done()
+	st.cleared = true
 	nr.clearWG.Wait()
 	if pc != nil {
 		pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
 		t0 = time.Now()
+	}
+	if nr.abortFlag.Load() {
+		return
 	}
 
 	ps := &nr.res.PerProc[p]
 	cc, _ := nr.ctxPool.Get().(*composite.Ctx)
 	cc = fr.BindCompositeCtx(cc)
 
+	st.phase = "composite"
 	reg = rtrace.StartRegion(ctx, "composite-own")
-	for {
+	for !nr.abortFlag.Load() {
 		nr.bmu.Lock()
 		c, ok := nr.bands.TakeOwn(p)
 		nr.bmu.Unlock()
 		if !ok {
 			break
 		}
+		st.band = p
+		if fi != nil {
+			fi.Visit("composite", p, p)
+		}
 		ps.Chunks++
-		nr.runChunk(cc, ps, c, p)
+		nr.runChunk(cc, ps, p, c, p)
 	}
 	reg.End()
 	if pc != nil {
@@ -373,17 +595,22 @@ func (nr *Renderer) renderWorker(p int) {
 		t0 = time.Now()
 	}
 	if !nr.Cfg.DisableSteal {
+		st.phase = "steal"
 		reg = rtrace.StartRegion(ctx, "composite-steal")
-		for {
+		for !nr.abortFlag.Load() {
 			nr.bmu.Lock()
 			c, band, ok := nr.bands.TakeSteal()
 			nr.bmu.Unlock()
 			if !ok {
 				break
 			}
+			st.band = band
+			if fi != nil {
+				fi.Visit("steal", p, band)
+			}
 			ps.Chunks++
 			ps.Steals++
-			nr.runChunk(cc, ps, c, band)
+			nr.runChunk(cc, ps, p, c, band)
 		}
 		reg.End()
 		if pc != nil {
@@ -391,6 +618,7 @@ func (nr *Renderer) renderWorker(p int) {
 		}
 	}
 	nr.ctxPool.Put(cc)
+	st.band = -1
 
 	// Warp this processor's tasks; each waits only on the bands its
 	// bilinear reads can touch — no global barrier (section 5.5.2).
@@ -401,20 +629,38 @@ func (nr *Renderer) renderWorker(p int) {
 		if tk.Owner != p {
 			continue
 		}
+		if nr.abortFlag.Load() {
+			return
+		}
+		st.phase, st.band = "band-wait", tk.NeedLo
+		if fi != nil {
+			fi.Visit("band-wait", p, tk.NeedLo)
+		}
 		if pc != nil {
 			t0 = time.Now()
 		}
 		reg = rtrace.StartRegion(ctx, "band-wait")
 		for q := tk.NeedLo; q <= tk.NeedHi; q++ {
-			nr.doneWG[q].Wait()
+			nr.waitBand(q)
 		}
 		reg.End()
 		if pc != nil {
 			pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
 			t0 = time.Now()
 		}
+		if nr.abortFlag.Load() {
+			return // bands may be incomplete after an abort: do not warp them
+		}
+		st.phase = "warp"
+		if fi != nil {
+			fi.Visit("warp", p, tk.NeedLo)
+		}
 		reg = rtrace.StartRegion(ctx, "warp")
 		for y := 0; y < fr.Out.H; y++ {
+			if nr.abortFlag.Load() {
+				reg.End()
+				return
+			}
 			if x0, x1, ok := wc.RowSpan(y, tk.Band); ok {
 				wc.WarpSpan(y, x0, x1, &ps.Warp)
 			}
@@ -437,8 +683,18 @@ func (nr *Renderer) renderWorker(p int) {
 
 // runChunk composites one chunk of rows belonging to band, recording the
 // per-scanline profile on profiling frames and signalling band completion.
-func (nr *Renderer) runChunk(cc *composite.Ctx, ps *ProcStats, c par.Chunk, band int) {
+// The abort flag is polled once per scanline — the one predictable load
+// the cancellation design budgets for — and an aborted chunk leaves its
+// band incomplete rather than mis-reporting rows it never composited.
+func (nr *Renderer) runChunk(cc *composite.Ctx, ps *ProcStats, p int, c par.Chunk, band int) {
+	fi := nr.Faults
 	for row := c.Lo; row < c.Hi; row++ {
+		if nr.abortFlag.Load() {
+			return
+		}
+		if fi != nil {
+			fi.Visit("scanline", p, band)
+		}
 		before := ps.Composite.Samples
 		cycles := cc.Scanline(row, &ps.Composite)
 		if nr.profiling {
@@ -453,11 +709,11 @@ func (nr *Renderer) runChunk(cc *composite.Ctx, ps *ProcStats, c par.Chunk, band
 		}
 	}
 	nr.bmu.Lock()
-	complete := nr.bands.MarkDone(band, c.Hi-c.Lo)
-	nr.bmu.Unlock()
-	if complete {
-		nr.doneWG[band].Done()
+	if nr.bands.MarkDone(band, c.Hi-c.Lo) {
+		nr.bandDone[band].Store(true)
+		nr.bandCond.Broadcast()
 	}
+	nr.bmu.Unlock()
 }
 
 // Profile returns the current per-scanline cost profile (nil before the

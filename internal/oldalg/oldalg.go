@@ -19,9 +19,11 @@ import (
 	"context"
 	rtrace "runtime/trace"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shearwarp/internal/composite"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
 	"shearwarp/internal/par"
 	"shearwarp/internal/perf"
@@ -38,6 +40,9 @@ type Config struct {
 	// counters (the native Figure-5/6 breakdown). All instrumentation is
 	// nil-checked, so the default path performs no clock reads.
 	Perf *perf.Collector
+	// Faults, when non-nil, injects deterministic faults at the worker
+	// phase sites (internal/faultinject). Nil-checked everywhere.
+	Faults *faultinject.Injector
 }
 
 // DefaultChunkSize mirrors the paper's empirically-tuned task size: small
@@ -93,18 +98,75 @@ func (r *Result) Stats() render.FrameStats {
 
 // Render renders one frame with the old parallel algorithm using native
 // goroutines. The output image is bit-identical to the serial renderer's.
+// Render is the uncancellable entry point: it runs under
+// context.Background and re-panics a *render.FrameError if a worker
+// panicked. Services use RenderCtx.
 func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
-	fr := r.Setup(yaw, pitch)
+	res, err := RenderCtx(context.Background(), r, yaw, pitch, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// abortState is the frame's shared cancellation/failure record: flag is
+// the cancel flag every worker polls at scanline/tile granularity, err
+// holds the first failure.
+type abortState struct {
+	flag atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (a *abortState) abort(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+	a.flag.Store(true)
+}
+
+// setupFrame runs the per-frame setup with panic containment, so a
+// degenerate view matrix or injected setup fault converts to a
+// *render.FrameError before any worker starts.
+func setupFrame(r *render.Renderer, yaw, pitch float64, fi *faultinject.Injector) (fr *render.Frame, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			fr, err = nil, render.NewFrameError(-1, "setup", -1, v)
+		}
+	}()
+	fi.Visit("setup", -1, -1)
+	return r.Setup(yaw, pitch), nil
+}
+
+// RenderCtx is Render with cooperative cancellation and panic isolation.
+// When ctx is cancelled, every worker observes the shared abort flag
+// within one scanline (compositing) or one tile (warping) of work, drains
+// through the inter-phase barrier so no peer deadlocks, and the call
+// returns ctx's error. A panic in any worker is recovered into a
+// *render.FrameError; its deferred recovery arrives at the barrier on the
+// dead worker's behalf if it had not yet done so, keeping the barrier
+// count intact. On error the returned Result is nil.
+func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	fi := cfg.Faults
+	fr, err := setupFrame(r, yaw, pitch, fi)
+	if err != nil {
+		return nil, err
+	}
 	cfg.normalize(fr)
 	res := &Result{Out: fr.Out, PerProc: make([]ProcStats, cfg.Procs)}
 	pc := cfg.Perf
 	pc.Reset(cfg.Procs)
 
 	// One runtime/trace task per frame; worker phase regions attach to it.
-	ctx := context.Background()
+	tctx := context.Background()
 	var task *rtrace.Task
 	if rtrace.IsEnabled() {
-		ctx, task = rtrace.NewTask(ctx, "shearwarp.frame")
+		tctx, task = rtrace.NewTask(tctx, "shearwarp.frame")
 	}
 
 	queue := par.NewInterleaved(0, fr.M.H, cfg.ChunkSize, cfg.Procs)
@@ -112,12 +174,34 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 	barrier := par.NewBarrier(cfg.Procs)
 	tiles := tileGrid(fr.Out.W, fr.Out.H, cfg.TileSize)
 
+	var ab abortState
+	var stopWatch func() bool
+	if ctx.Done() != nil {
+		stopWatch = context.AfterFunc(ctx, func() {
+			ab.abort(ctx.Err())
+		})
+	}
+
 	var wg sync.WaitGroup
 	pc.FrameStart()
 	for p := 0; p < cfg.Procs; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			// The worker's panic domain: phase/band are kept current for
+			// the FrameError, and a worker that dies before reaching the
+			// inter-phase barrier still arrives there in recovery so its
+			// peers (who drain to the barrier on abort) are never stranded.
+			phase, band := "composite", -1
+			arrivedBarrier := false
+			defer func() {
+				if v := recover(); v != nil {
+					ab.abort(render.NewFrameError(p, phase, band, v))
+					if !arrivedBarrier {
+						barrier.Wait()
+					}
+				}
+			}()
 			ps := &res.PerProc[p]
 			var tw, t0 time.Time
 			if pc != nil {
@@ -127,20 +211,38 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 
 			// Compositing phase: own chunks, then stealing. Chunk times
 			// are attributed to the own or steal bucket as they complete.
+			// The abort flag is polled per scanline; an aborting worker
+			// drains to the barrier rather than returning, so the barrier
+			// count stays intact.
 			cc := fr.NewCompositeCtx()
-			reg := rtrace.StartRegion(ctx, "composite")
-			for {
+			reg := rtrace.StartRegion(tctx, "composite")
+		compositing:
+			for !ab.flag.Load() {
 				qmu.Lock()
 				c, stolen, ok := queue.Next(p)
 				qmu.Unlock()
 				if !ok {
 					break
 				}
+				band = p
+				if fi != nil {
+					if stolen {
+						fi.Visit("steal", p, -1)
+					} else {
+						fi.Visit("composite", p, p)
+					}
+				}
 				ps.Chunks++
 				if stolen {
 					ps.Steals++
 				}
 				for row := c.Lo; row < c.Hi; row++ {
+					if ab.flag.Load() {
+						break compositing
+					}
+					if fi != nil {
+						fi.Visit("scanline", p, -1)
+					}
 					cc.Scanline(row, &ps.Composite)
 				}
 				if pc != nil {
@@ -155,18 +257,34 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 			reg.End()
 
 			// Global barrier between compositing and warping.
-			reg = rtrace.StartRegion(ctx, "barrier-wait")
+			phase, band = "barrier", -1
+			if fi != nil {
+				fi.Visit("barrier", p, -1)
+			}
+			reg = rtrace.StartRegion(tctx, "barrier-wait")
 			barrier.Wait()
+			arrivedBarrier = true
 			reg.End()
 			if pc != nil {
 				pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
 				t0 = time.Now()
 			}
+			if ab.flag.Load() {
+				return
+			}
 
-			// Warp phase: round-robin tiles, no stealing.
-			reg = rtrace.StartRegion(ctx, "warp")
+			// Warp phase: round-robin tiles, no stealing. The abort flag
+			// is polled per tile.
+			phase = "warp"
+			reg = rtrace.StartRegion(tctx, "warp")
 			wc := warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out}
 			for t := p; t < len(tiles); t += cfg.Procs {
+				if ab.flag.Load() {
+					break
+				}
+				if fi != nil {
+					fi.Visit("warp", p, t)
+				}
 				tl := tiles[t]
 				wc.WarpTile(tl[0], tl[1], tl[2], tl[3], &ps.Warp)
 				ps.Tiles++
@@ -188,7 +306,29 @@ func Render(r *render.Renderer, yaw, pitch float64, cfg Config) *Result {
 	if task != nil {
 		task.End()
 	}
-	return res
+	if stopWatch != nil {
+		stopWatch()
+	}
+
+	if ab.flag.Load() {
+		ab.mu.Lock()
+		err := ab.err
+		ab.mu.Unlock()
+		if err == nil {
+			err = ctx.Err()
+		}
+		if err == nil {
+			err = context.Canceled
+		}
+		return nil, err
+	}
+	// A cancellation landing in the final warp tiles can lose the race
+	// against frame completion; honour the context anyway so a cancelled
+	// frame never reports success.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // tileGrid enumerates the final image's square tiles row-major as

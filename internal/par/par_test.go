@@ -416,13 +416,32 @@ func TestBarrierSynchronizes(t *testing.T) {
 	}
 }
 
-func TestBandsMarkDonePanicsOnOverComplete(t *testing.T) {
+// TestBandsMarkDoneIdempotentUnderCancellation is the regression test for
+// the "band over-completed" panic: a worker that claimed a chunk before a
+// frame aborted may re-report rows of a band that has already completed.
+// The re-report must be a no-op — no panic, and no second completion
+// signal (a double completion would double-release the band's warp wait).
+func TestBandsMarkDoneIdempotentUnderCancellation(t *testing.T) {
 	b := NewBands([]int{0, 2}, 1)
-	b.MarkDone(0, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("over-completion did not panic")
-		}
-	}()
-	b.MarkDone(0, 1)
+	if !b.MarkDone(0, 2) {
+		t.Fatal("band did not report completion")
+	}
+	if b.MarkDone(0, 1) {
+		t.Fatal("re-report after completion signalled a second completion")
+	}
+	if !b.Complete(0) {
+		t.Fatal("band no longer complete after re-report")
+	}
+	// Over-reporting while incomplete (a cancelled chunk counted twice)
+	// clamps at complete rather than going negative.
+	b2 := NewBands([]int{0, 3}, 2)
+	if b2.MarkDone(0, 2) {
+		t.Fatal("band complete with one row remaining")
+	}
+	if !b2.MarkDone(0, 2) {
+		t.Fatal("clamped over-report did not complete the band")
+	}
+	if b2.MarkDone(0, 1) {
+		t.Fatal("post-completion report signalled completion again")
+	}
 }

@@ -183,13 +183,20 @@ func (b *Bands) TakeSteal() (Chunk, int, bool) {
 }
 
 // MarkDone records that n rows of band p have been composited; it returns
-// true when the band just completed.
+// true when the band just completed. Completion is idempotent: once a band
+// has completed, further reports (a cancelled worker re-reporting rows it
+// had claimed before the frame aborted) are no-ops rather than panics, and
+// never signal a second completion.
 func (b *Bands) MarkDone(p, n int) bool {
-	b.remaining[p] -= n
-	if b.remaining[p] < 0 {
-		panic("par: band over-completed")
+	if b.remaining[p] == 0 {
+		return false
 	}
-	return b.remaining[p] == 0
+	b.remaining[p] -= n
+	if b.remaining[p] <= 0 {
+		b.remaining[p] = 0
+		return true
+	}
+	return false
 }
 
 // Complete reports whether band p has been fully composited.

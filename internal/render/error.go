@@ -1,0 +1,40 @@
+package render
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// FrameError reports a frame that failed mid-render: a panic in a worker
+// (or in the setup/orchestration path) was recovered and converted, its
+// peers were cancelled through the frame's abort flag, and the renderer
+// was left in a state where the next frame renders byte-identically. The
+// render service maps it to a 500 and keeps serving.
+type FrameError struct {
+	Worker int    // panicking worker id, or -1 for the setup path
+	Phase  string // phase at the panic site ("setup", "clear", "composite", "steal", "warp", ...)
+	Band   int    // band being processed, or -1 when not applicable
+	Value  any    // the recovered panic value
+	Stack  []byte // goroutine stack captured at recovery
+}
+
+// NewFrameError converts a recovered panic value into a FrameError,
+// capturing the recovering goroutine's stack. Call it from the deferred
+// recover itself so the stack still contains the panic site.
+func NewFrameError(worker int, phase string, band int, value any) *FrameError {
+	return &FrameError{Worker: worker, Phase: phase, Band: band, Value: value, Stack: debug.Stack()}
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("render: frame failed in phase %q (worker %d, band %d): %v",
+		e.Phase, e.Worker, e.Band, e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As, so callers can see
+// through to injected faults or cache build failures.
+func (e *FrameError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 
 	"shearwarp/internal/classify"
 	"shearwarp/internal/composite"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/rle"
@@ -50,6 +51,9 @@ type Renderer struct {
 	// privately. The returned encodings must be immutable and equivalent
 	// to rle.Encode over Classified.
 	encodeFn func(xform.Axis) *rle.Volume
+	// Faults, when non-nil, injects deterministic faults into the serial
+	// render path (internal/faultinject). Nil-checked everywhere.
+	Faults *faultinject.Injector
 }
 
 // New classifies the volume and returns a renderer.
@@ -188,27 +192,68 @@ func (r *Renderer) RenderSerial(yaw, pitch float64) (*img.Final, FrameStats) {
 // RenderSerialPerf is RenderSerial with an optional perf collector
 // recording the compositing and warp phase times as a one-worker
 // breakdown. A nil collector adds no clock reads (the same nil-check
-// split the parallel renderers use).
+// split the parallel renderers use). It re-panics a *FrameError if the
+// frame panicked; services use RenderSerialCtx.
 func (r *Renderer) RenderSerialPerf(yaw, pitch float64, pc *perf.Collector) (*img.Final, FrameStats) {
-	fr := r.Setup(yaw, pitch)
+	out, st, err := r.RenderSerialCtx(context.Background(), yaw, pitch, pc)
+	if err != nil {
+		panic(err)
+	}
+	return out, st
+}
+
+// RenderSerialCtx is RenderSerialPerf with cooperative cancellation and
+// panic containment: the context is polled once per composited scanline
+// (and once before the warp), and a panic anywhere in the frame —
+// factorization of a degenerate view, a compositing invariant, an
+// injected fault — is recovered into a *FrameError. On error the returned
+// image is nil.
+func (r *Renderer) RenderSerialCtx(ctx context.Context, yaw, pitch float64, pc *perf.Collector) (out *img.Final, st FrameStats, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, FrameStats{}, err
+	}
 	pc.Reset(1)
 	pc.FrameStart()
+	defer pc.FrameEnd()
 
-	ctx := context.Background()
+	phase := "setup"
+	defer func() {
+		if v := recover(); v != nil {
+			out, st, err = nil, FrameStats{}, NewFrameError(0, phase, -1, v)
+		}
+	}()
+
+	fi := r.Faults
+	fi.Visit("setup", 0, -1)
+	fr := r.Setup(yaw, pitch)
+
+	tctx := context.Background()
 	var task *rtrace.Task
 	if rtrace.IsEnabled() {
-		ctx, task = rtrace.NewTask(ctx, "shearwarp.frame")
+		tctx, task = rtrace.NewTask(tctx, "shearwarp.frame")
 	}
+	defer func() {
+		if task != nil {
+			task.End()
+		}
+	}()
 
-	var st FrameStats
 	var tw, t0 time.Time
 	if pc != nil {
 		tw = time.Now()
 		t0 = tw
 	}
+	phase = "composite"
 	cc := fr.NewCompositeCtx()
-	reg := rtrace.StartRegion(ctx, "composite")
+	reg := rtrace.StartRegion(tctx, "composite")
 	for vRow := 0; vRow < fr.M.H; vRow++ {
+		if ctx.Err() != nil {
+			reg.End()
+			return nil, FrameStats{}, ctx.Err()
+		}
+		if fi != nil {
+			fi.Visit("scanline", 0, -1)
+		}
 		cc.Scanline(vRow, &st.Composite)
 	}
 	reg.End()
@@ -216,8 +261,13 @@ func (r *Renderer) RenderSerialPerf(yaw, pitch float64, pc *perf.Collector) (*im
 		pc.AddPhase(0, perf.PhaseCompositeOwn, time.Since(t0))
 		t0 = time.Now()
 	}
+	if ctx.Err() != nil {
+		return nil, FrameStats{}, ctx.Err()
+	}
+	phase = "warp"
+	fi.Visit("warp", 0, -1)
 	wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
-	reg = rtrace.StartRegion(ctx, "warp")
+	reg = rtrace.StartRegion(tctx, "warp")
 	wc.WarpTile(0, 0, fr.Out.W, fr.Out.H, &st.Warp)
 	reg.End()
 	if pc != nil {
@@ -227,11 +277,12 @@ func (r *Renderer) RenderSerialPerf(yaw, pitch float64, pc *perf.Collector) (*im
 		pc.AddCount(0, perf.CounterEarlyTerm, st.Composite.Skips)
 		pc.AddCount(0, perf.CounterWarpSpans, st.Warp.Rows)
 	}
-	if task != nil {
-		task.End()
+	// A cancellation during the warp loses the race against completion;
+	// honour the context anyway so a cancelled frame never reports success.
+	if err := ctx.Err(); err != nil {
+		return nil, FrameStats{}, err
 	}
-	pc.FrameEnd()
-	return fr.Out, st
+	return fr.Out, st, nil
 }
 
 // Rotation returns n (yaw, pitch) viewpoints advancing stepDeg degrees of

@@ -12,10 +12,16 @@
 //     with at most MaxQueue requests waiting for admission and a
 //     QueueTimeout on the wait (overload answers 503 quickly instead of
 //     piling up goroutines);
-//   - per-request deadlines: a request that cannot start rendering before
-//     RenderTimeout answers 504 (a frame that has started is allowed to
-//     finish — the compositing loop is not cancellable mid-frame, and
-//     frames are short);
+//   - per-request deadlines: a request that cannot finish before
+//     RenderTimeout answers 504, and the frame it may have started is
+//     cancelled cooperatively — every render worker polls the frame's
+//     abort flag at scanline granularity, so the renderer and the
+//     admission slot come back within one scanline of work;
+//   - fault isolation: a panic inside any render worker is recovered into
+//     a typed *render.FrameError, the request answers 500, the renderer
+//     is swapped for a freshly built one, and the daemon keeps serving;
+//     an optional watchdog (Config.WatchdogTimeout) cancels and reports
+//     frames that stop making progress;
 //   - graceful shutdown: Close stops admitting, waits for in-flight
 //     frames, and releases the pools' persistent worker goroutines;
 //   - observability: per-endpoint request/error/latency counters, cache
@@ -34,6 +40,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -41,7 +48,9 @@ import (
 	"time"
 
 	"shearwarp"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/perf"
+	"shearwarp/internal/render"
 	"shearwarp/internal/volcache"
 )
 
@@ -58,6 +67,15 @@ type Config struct {
 	CacheBytes    int64               // volcache budget (default 256 MiB; <0 = unbounded)
 	CollectStats  bool                // per-frame perf breakdowns feeding /metrics (default on via New)
 	OpacityCorrection bool            // forwarded to every renderer
+	// WatchdogTimeout, when positive, bounds how long a frame may render
+	// after it has started: a frame still running at the deadline is
+	// cancelled through its abort flag, counted as a stall, and answered
+	// 500. Zero disables the watchdog (the render deadline still applies).
+	WatchdogTimeout time.Duration
+	// Faults, when non-nil, wires a deterministic fault injector
+	// (internal/faultinject) into every renderer and preprocessing build
+	// the server creates — the chaos-test hook. Nil in production.
+	Faults *faultinject.Injector
 }
 
 func (c *Config) normalize() {
@@ -125,7 +143,11 @@ type Server struct {
 	inflight sync.WaitGroup
 
 	cum        perf.Cumulative // phase totals across all rendered frames
-	frames     atomic.Int64
+	frames     atomic.Int64    // successfully rendered frames
+	panics     atomic.Int64    // frames that failed with a recovered panic (*render.FrameError)
+	cancels    atomic.Int64    // frames aborted by deadline or client disconnect
+	stalls     atomic.Int64    // frames cancelled by the watchdog
+	replaced   atomic.Int64    // renderers discarded and rebuilt after a panic
 	renderHook func() // test hook: runs while holding an admission slot
 
 	mRender, mHealth, mMetrics endpointMetrics
@@ -301,19 +323,23 @@ func (s *Server) renderPool(rec *volumeRec, transfer shearwarp.Transfer, alg she
 			pe.err = err
 			return
 		}
+		pv.SetFaultInjector(s.cfg.Faults)
 		pe.pool, pe.err = shearwarp.NewRendererPool(s.cfg.PoolSize, func() (*shearwarp.Renderer, error) {
 			return pv.NewRenderer(shearwarp.Config{
 				Algorithm:         alg,
 				Procs:             s.cfg.Procs,
 				OpacityCorrection: s.cfg.OpacityCorrection,
 				CollectStats:      s.cfg.CollectStats && alg != shearwarp.RayCast,
-			}), nil
+				Faults:            s.cfg.Faults,
+			})
 		})
 	})
 	return pe.pool, pe.err
 }
 
 // parseFloat parses a required float query parameter with a default.
+// Non-finite values are rejected here, at the HTTP boundary, so they
+// surface as 400s rather than as renderer validation errors.
 func parseFloat(r *http.Request, name string, def float64) (float64, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
@@ -322,6 +348,9 @@ func parseFloat(r *http.Request, name string, def float64) (float64, error) {
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("bad %s %q: must be finite", name, v)
 	}
 	return f, nil
 }
@@ -387,20 +416,22 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%s", msg)
 		return
 	}
-	defer release()
 	s.inflight.Add(1)
-	defer s.inflight.Done()
 	if s.renderHook != nil {
 		s.renderHook()
 	}
 
 	pool, err := s.renderPool(rec, transfer, alg)
 	if err != nil {
+		release()
+		s.inflight.Done()
 		httpError(w, http.StatusInternalServerError, "preparing volume: %v", err)
 		return
 	}
 	ren, err := pool.Acquire(ctx)
 	if err != nil {
+		release()
+		s.inflight.Done()
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			httpError(w, http.StatusGatewayTimeout, "deadline expired waiting for a renderer")
@@ -411,18 +442,96 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	defer pool.Release(ren)
-	if ctx.Err() != nil {
-		httpError(w, http.StatusGatewayTimeout, "deadline expired before rendering")
+
+	// Render asynchronously so the handler can react to cancellation and
+	// the watchdog while the frame runs. The goroutine — not the handler —
+	// owns the renderer, the admission slot and the in-flight count, and
+	// gives all three back the moment RenderCtx returns: on cancellation
+	// that is within one scanline of work per worker, so an abandoned
+	// request frees its resources long before the handler's HTTP deadline
+	// machinery would. A panicked frame additionally swaps the renderer
+	// for a freshly built one before the slot comes back.
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	type renderResult struct {
+		im   *shearwarp.Image
+		info shearwarp.FrameInfo
+		err  error
+	}
+	done := make(chan renderResult, 1)
+	go func() {
+		im, info, err := ren.RenderCtx(rctx, yaw, pitch)
+		var fe *render.FrameError
+		if errors.As(err, &fe) {
+			s.panics.Add(1)
+			if derr := pool.Discard(ren); derr == nil {
+				s.replaced.Add(1)
+			}
+		} else {
+			if err == nil {
+				s.frames.Add(1)
+				if bd := ren.LastBreakdown(); bd != nil {
+					s.cum.Add(bd.Frame())
+				}
+			}
+			pool.Release(ren)
+		}
+		release()
+		s.inflight.Done()
+		done <- renderResult{im, info, err}
+	}()
+
+	var wdC <-chan time.Time
+	if s.cfg.WatchdogTimeout > 0 {
+		wd := time.NewTimer(s.cfg.WatchdogTimeout)
+		defer wd.Stop()
+		wdC = wd.C
+	}
+
+	var res renderResult
+	select {
+	case res = <-done:
+	case <-wdC:
+		// The frame exceeded the watchdog budget: cancel it and answer
+		// now. The render goroutine drains in the background and returns
+		// the slot as soon as the workers observe the abort flag.
+		s.stalls.Add(1)
+		rcancel()
+		httpError(w, http.StatusInternalServerError,
+			"watchdog: frame exceeded %v and was cancelled", s.cfg.WatchdogTimeout)
+		return
+	case <-ctx.Done():
+		s.cancels.Add(1)
+		rcancel()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			httpError(w, http.StatusGatewayTimeout, "deadline expired while rendering")
+		} else {
+			httpError(w, 499, "client went away")
+		}
 		return
 	}
 
-	im, info := ren.Render(yaw, pitch)
-	s.frames.Add(1)
-	if bd := ren.LastBreakdown(); bd != nil {
-		s.cum.Add(bd.Frame())
+	if res.err != nil {
+		var ve *shearwarp.ValidationError
+		var fe *render.FrameError
+		switch {
+		case errors.As(res.err, &ve):
+			httpError(w, http.StatusBadRequest, "%v", ve)
+		case errors.As(res.err, &fe):
+			httpError(w, http.StatusInternalServerError, "frame failed: %v", fe)
+		case errors.Is(res.err, context.DeadlineExceeded):
+			s.cancels.Add(1)
+			httpError(w, http.StatusGatewayTimeout, "deadline expired while rendering")
+		case errors.Is(res.err, context.Canceled):
+			s.cancels.Add(1)
+			httpError(w, 499, "client went away")
+		default:
+			httpError(w, http.StatusInternalServerError, "render failed: %v", res.err)
+		}
+		return
 	}
 
+	im, info := res.im, res.info
 	w.Header().Set("X-Shearwarp-Algorithm", alg.String())
 	w.Header().Set("X-Shearwarp-Samples", strconv.FormatInt(info.Samples, 10))
 	w.Header().Set("X-Shearwarp-Size", fmt.Sprintf("%dx%d", im.Width(), im.Height()))
@@ -465,6 +574,10 @@ type MetricsSnapshot struct {
 	Frames        int64                       `json:"frames"`
 	Rendering     int                         `json:"rendering"`
 	Queued        int64                       `json:"queued"`
+	Panics        int64                       `json:"frame_panics"`
+	Canceled      int64                       `json:"frames_canceled"`
+	Stalls        int64                       `json:"watchdog_stalls"`
+	Replaced      int64                       `json:"renderers_replaced"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Cache         volcache.Stats              `json:"cache"`
 	Phases        perf.CumulativeSnapshot     `json:"phases"`
@@ -476,6 +589,10 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		Frames:        s.frames.Load(),
 		Rendering:     len(s.sem),
 		Queued:        s.waiting.Load(),
+		Panics:        s.panics.Load(),
+		Canceled:      s.cancels.Load(),
+		Stalls:        s.stalls.Load(),
+		Replaced:      s.replaced.Load(),
 		Endpoints: map[string]EndpointSnapshot{
 			"/render":  s.mRender.snapshot(),
 			"/healthz": s.mHealth.snapshot(),

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"shearwarp"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/vol"
 )
 
@@ -386,4 +387,161 @@ func TestCloseRejectsNewRequests(t *testing.T) {
 		t.Errorf("post-close healthz status %d, want 503", status)
 	}
 	s.Close() // idempotent
+}
+
+// TestWorkerPanicAnswers500AndServerSurvives injects a worker panic into
+// the first frame: the request must answer 500 with a structured frame
+// error, the panicked renderer must be replaced, and the next request —
+// same pool, fresh renderer — must succeed byte-identically.
+func TestWorkerPanicAnswers500AndServerSurvives(t *testing.T) {
+	const procs = 2
+	s := newTestServer(t, Config{
+		Procs:         procs,
+		Algorithm:     shearwarp.NewParallel,
+		MaxConcurrent: 2,
+		PoolSize:      1,
+		Faults: faultinject.New(faultinject.Rule{
+			Kind: faultinject.KindPanic, Site: "composite", Worker: -1, Band: -1,
+		}),
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicked frame: status %d (%s), want 500", status, body)
+	}
+	if !bytes.Contains(body, []byte("frame failed")) {
+		t.Errorf("panicked frame body %q does not name the frame failure", body)
+	}
+
+	// The injector fires once; the second request runs clean on the
+	// replacement renderer and must match a direct render exactly.
+	want := directPPM(t, shearwarp.NewParallel, procs, 30, 15)
+	status, body = get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15")
+	if status != http.StatusOK {
+		t.Fatalf("frame after panic: status %d (%s), want 200", status, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Error("frame after panic differs from direct render")
+	}
+
+	snap := s.metricsSnapshot()
+	if snap.Panics < 1 {
+		t.Errorf("frame_panics = %d, want >= 1", snap.Panics)
+	}
+	if snap.Replaced < 1 {
+		t.Errorf("renderers_replaced = %d, want >= 1", snap.Replaced)
+	}
+	if snap.Frames != 1 {
+		t.Errorf("frames = %d, want 1 (the panicked frame must not count)", snap.Frames)
+	}
+	if status, _ := get(t, ts.Client(), ts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("healthz after panic: %d", status)
+	}
+}
+
+// TestTimeoutReleasesSlotPromptly holds a worker mid-frame with a delay
+// fault long past the render deadline: the request must answer 504 before
+// the delay elapses (the handler does not wait out the frame), and the
+// admission slot must come back as soon as the cancelled frame drains —
+// well before an uncancelled frame could have finished.
+func TestTimeoutReleasesSlotPromptly(t *testing.T) {
+	const (
+		procs = 2
+		delay = 600 * time.Millisecond
+	)
+	s := newTestServer(t, Config{
+		Procs:         procs,
+		Algorithm:     shearwarp.NewParallel,
+		MaxConcurrent: 1,
+		PoolSize:      1,
+		RenderTimeout: 60 * time.Millisecond,
+		Faults: faultinject.New(faultinject.Rule{
+			Kind: faultinject.KindDelay, Site: "scanline",
+			Worker: -1, Band: -1, Hit: 2, Delay: delay,
+		}),
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	status, body := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15")
+	responded := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stalled frame: status %d (%s), want 504", status, body)
+	}
+	if responded >= delay {
+		t.Errorf("504 took %v — the handler waited out the stalled frame (delay %v)", responded, delay)
+	}
+
+	// The slot is owned by the render goroutine and freed when the abort
+	// drains: the sleeping worker wakes after `delay`, every other worker
+	// bails within a scanline. Poll the semaphore, bounding slot latency.
+	slotDeadline := time.Now().Add(delay + 2*time.Second)
+	for len(s.sem) != 0 {
+		if time.Now().After(slotDeadline) {
+			t.Fatalf("admission slot still held %v after the 504", time.Since(start))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	snap := s.metricsSnapshot()
+	if snap.Canceled < 1 {
+		t.Errorf("frames_canceled = %d, want >= 1", snap.Canceled)
+	}
+	if snap.Frames != 0 {
+		t.Errorf("frames = %d, want 0 (the aborted frame must not count)", snap.Frames)
+	}
+
+	// With the slot back and the injector spent, the next frame renders.
+	s.cfg.RenderTimeout = 30 * time.Second
+	want := directPPM(t, shearwarp.NewParallel, procs, 30, 15)
+	status, body = get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15")
+	if status != http.StatusOK {
+		t.Fatalf("frame after timeout: status %d (%s), want 200", status, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Error("frame after timeout differs from direct render")
+	}
+}
+
+// TestWatchdogCancelsStuckFrame wedges a worker with a delay fault and a
+// generous request deadline: the watchdog must fire first, cancel the
+// frame, answer 500, and leave the server serving.
+func TestWatchdogCancelsStuckFrame(t *testing.T) {
+	const delay = 600 * time.Millisecond
+	s := newTestServer(t, Config{
+		Procs:           2,
+		Algorithm:       shearwarp.NewParallel,
+		MaxConcurrent:   1,
+		PoolSize:        1,
+		RenderTimeout:   30 * time.Second,
+		WatchdogTimeout: 50 * time.Millisecond,
+		Faults: faultinject.New(faultinject.Rule{
+			Kind: faultinject.KindDelay, Site: "scanline",
+			Worker: -1, Band: -1, Hit: 2, Delay: delay,
+		}),
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	status, body := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15")
+	if status != http.StatusInternalServerError || !bytes.Contains(body, []byte("watchdog")) {
+		t.Fatalf("stuck frame: status %d (%s), want watchdog 500", status, body)
+	}
+	if d := time.Since(start); d >= delay {
+		t.Errorf("watchdog response took %v, want < %v", d, delay)
+	}
+	if snap := s.metricsSnapshot(); snap.Stalls != 1 {
+		t.Errorf("watchdog_stalls = %d, want 1", snap.Stalls)
+	}
+
+	if status, _ := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15"); status != http.StatusOK {
+		t.Errorf("frame after watchdog: status %d, want 200", status)
+	}
 }

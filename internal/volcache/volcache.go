@@ -15,10 +15,16 @@
 // Builds are single-flight: when several requests miss on the same key at
 // once, one goroutine classifies/encodes and the rest wait for its
 // result, so a thundering herd on a cold volume costs one build, not N.
+// A build that fails — by returning an error or by panicking — releases
+// every waiter with that error, caches nothing, and clears the in-flight
+// slot, so the next request retries the build instead of wedging on a
+// poisoned entry.
 package volcache
 
 import (
 	"container/list"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"shearwarp/internal/xform"
@@ -43,6 +49,7 @@ type Stats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Builds    int64 `json:"builds"`
+	Failures  int64 `json:"build_failures"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
@@ -59,6 +66,28 @@ type entry struct {
 type call struct {
 	done  chan struct{}
 	value any
+	err   error
+}
+
+// BuildError wraps a panic recovered from a cache builder, so the
+// builder's caller and every coalesced waiter receive the failure as a
+// value instead of a deadlock.
+type BuildError struct {
+	Key   Key
+	Value any    // the recovered panic value
+	Stack []byte // builder goroutine stack at recovery
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("volcache: build of %v panicked: %v", e.Key, e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As.
+func (e *BuildError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Cache is a byte-bounded LRU over preprocessing products. The zero value
@@ -72,7 +101,7 @@ type Cache struct {
 	items    map[Key]*list.Element
 	inflight map[Key]*call
 
-	hits, misses, builds, evictions int64
+	hits, misses, builds, failures, evictions int64
 }
 
 // New returns a cache that evicts least-recently-used entries once the
@@ -104,36 +133,70 @@ func (c *Cache) Get(k Key) (any, bool) {
 // a miss. build returns the value and its resident size in bytes.
 // Concurrent misses on the same key share a single build; every caller
 // receives the same value. The build runs without the cache lock, so a
-// slow classification never blocks hits on other keys.
+// slow classification never blocks hits on other keys. A panicking build
+// re-panics here (and in every coalesced waiter) with a *BuildError;
+// callers that want failures as values use GetOrBuildE.
 func (c *Cache) GetOrBuild(k Key, build func() (any, int64)) any {
+	v, err := c.GetOrBuildE(k, func() (any, int64, error) {
+		v, n := build()
+		return v, n, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// GetOrBuildE is GetOrBuild for builders that can fail. A build that
+// returns an error or panics (the panic is recovered into a *BuildError)
+// caches nothing: every coalesced waiter receives the same error, the
+// in-flight slot is cleared before waiters are released, and the next
+// call for the key runs the build again.
+func (c *Cache) GetOrBuildE(k Key, build func() (any, int64, error)) (any, error) {
 	c.mu.Lock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		c.mu.Unlock()
-		return el.Value.(*entry).value
+		return el.Value.(*entry).value, nil
 	}
 	c.misses++
 	if cl, ok := c.inflight[k]; ok {
 		// Another goroutine is already building this key: wait for it.
 		c.mu.Unlock()
 		<-cl.done
-		return cl.value
+		return cl.value, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[k] = cl
 	c.mu.Unlock()
 
-	v, n := build()
-	cl.value = v
+	var n int64
+	cl.value, n, cl.err = runBuild(k, build)
 
 	c.mu.Lock()
-	c.builds++
 	delete(c.inflight, k)
-	c.insertLocked(k, v, n)
+	if cl.err == nil {
+		c.builds++
+		c.insertLocked(k, cl.value, n)
+	} else {
+		c.failures++
+		cl.value = nil
+	}
 	c.mu.Unlock()
 	close(cl.done)
-	return v
+	return cl.value, cl.err
+}
+
+// runBuild runs one builder, converting a panic into a *BuildError so
+// single-flight state is always unwound.
+func runBuild(k Key, build func() (any, int64, error)) (v any, n int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, n, err = nil, 0, &BuildError{Key: k, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return build()
 }
 
 // Put inserts (or refreshes) an entry directly.
@@ -204,6 +267,7 @@ func (c *Cache) Snapshot() Stats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Builds:    c.builds,
+		Failures:  c.failures,
 		Evictions: c.evictions,
 		Entries:   c.ll.Len(),
 		Bytes:     c.bytes,

@@ -1,10 +1,12 @@
 package volcache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"shearwarp/internal/xform"
 )
@@ -133,4 +135,98 @@ func TestSingleFlightCoalescesConcurrentMisses(t *testing.T) {
 			t.Fatalf("waiter %d got %v", i, v)
 		}
 	}
+}
+
+// TestFailedBuildNotCachedAndRetried verifies the single-flight failure
+// contract: an error build caches nothing, counts a failure, and the next
+// call re-runs the builder.
+func TestFailedBuildNotCachedAndRetried(t *testing.T) {
+	c := New(0)
+	k := Key{Volume: "v", Transfer: "mri", Axis: AxisNone}
+	calls := 0
+	boom := errors.New("boom")
+	_, err := c.GetOrBuildE(k, func() (any, int64, error) {
+		calls++
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed build cached an entry")
+	}
+	if st := c.Snapshot(); st.Failures != 1 || st.Builds != 0 {
+		t.Fatalf("failures=%d builds=%d, want 1/0", st.Failures, st.Builds)
+	}
+	v, err := c.GetOrBuildE(k, func() (any, int64, error) {
+		calls++
+		return "ok", 1, nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("retry: v=%v err=%v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("builder ran %d times, want 2 (failure then retry)", calls)
+	}
+	if st := c.Snapshot(); st.Failures != 1 || st.Builds != 1 {
+		t.Fatalf("failures=%d builds=%d after retry, want 1/1", st.Failures, st.Builds)
+	}
+}
+
+// TestPanickedBuildReleasesWaiters starts many waiters on one key whose
+// build panics: every waiter must receive a *BuildError (no deadlock, no
+// poisoned in-flight slot), and a later call must retry and succeed.
+func TestPanickedBuildReleasesWaiters(t *testing.T) {
+	c := New(0)
+	k := Key{Volume: "v", Transfer: "mri", Axis: AxisNone}
+	const waiters = 8
+	started := make(chan struct{})
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := c.GetOrBuildE(k, func() (any, int64, error) {
+				close(started) // only the single-flight winner runs this
+				<-time.After(20 * time.Millisecond)
+				panic("builder exploded")
+			})
+			errs <- err
+		}()
+	}
+	<-started
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			var be *BuildError
+			if !errors.As(err, &be) {
+				t.Fatalf("waiter got %v, want *BuildError", err)
+			}
+			if be.Value != "builder exploded" {
+				t.Fatalf("BuildError.Value = %v", be.Value)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter deadlocked on a panicked build")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("panicked build cached an entry")
+	}
+	// The key is not wedged: a clean build succeeds.
+	v, err := c.GetOrBuildE(k, func() (any, int64, error) { return 42, 1, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry after panic: v=%v err=%v", v, err)
+	}
+}
+
+// TestGetOrBuildRepanicsBuildError keeps the panic contract of the
+// error-less entry point: GetOrBuild re-panics a failed build as
+// *BuildError.
+func TestGetOrBuildRepanicsBuildError(t *testing.T) {
+	c := New(0)
+	defer func() {
+		v := recover()
+		if _, ok := v.(*BuildError); !ok {
+			t.Fatalf("recovered %v, want *BuildError", v)
+		}
+	}()
+	c.GetOrBuild(Key{Volume: "v"}, func() (any, int64) { panic("nope") })
 }

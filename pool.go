@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"shearwarp/internal/classify"
+	"shearwarp/internal/faultinject"
 	"shearwarp/internal/render"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/vol"
@@ -43,12 +44,18 @@ func VolumeKey(data []uint8, nx, ny, nz int) string {
 // function, principal axis); they are immutable once built, so renderers
 // sharing them may render concurrently.
 type PreparedVolume struct {
-	v     *vol.Volume
-	key   string
-	tf    Transfer
-	procs int
-	cache *volcache.Cache
+	v      *vol.Volume
+	key    string
+	tf     Transfer
+	procs  int
+	cache  *volcache.Cache
+	faults *faultinject.Injector
 }
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector to
+// this volume's preprocessing builds (site "cachebuild"). Call it before
+// building renderers.
+func (pv *PreparedVolume) SetFaultInjector(in *faultinject.Injector) { pv.faults = in }
 
 // PrepareVolume wraps a raw 8-bit volume (X fastest, as in NewRenderer)
 // for shared rendering. procs parallelizes classification and encoding
@@ -86,25 +93,40 @@ func (pv *PreparedVolume) TransferFunc() Transfer { return pv.tf }
 // Dims returns the volume dimensions.
 func (pv *PreparedVolume) Dims() (nx, ny, nz int) { return pv.v.Nx, pv.v.Ny, pv.v.Nz }
 
-// classified fetches (building on a miss) the classified volume.
-func (pv *PreparedVolume) classified() *classify.Classified {
+// classified fetches (building on a miss) the classified volume. A build
+// failure caches nothing and is retried on the next call (see volcache).
+func (pv *PreparedVolume) classified() (*classify.Classified, error) {
 	k := volcache.Key{Volume: pv.key, Transfer: pv.tf.String(), Axis: volcache.AxisNone}
-	v := pv.cache.GetOrBuild(k, func() (any, int64) {
+	v, err := pv.cache.GetOrBuildE(k, func() (any, int64, error) {
+		if err := pv.faults.Error("cachebuild", -1, -1); err != nil {
+			return nil, 0, err
+		}
+		pv.faults.Visit("cachebuild", -1, -1)
 		opt := classify.Options{}
 		if pv.tf == TransferCT {
 			opt.Transfer = classify.CTTransfer
 		}
 		c := classify.ClassifyParallel(pv.v, opt, pv.procs)
-		return c, int64(len(c.Voxels)) * 4
+		return c, int64(len(c.Voxels)) * 4, nil
 	})
-	return v.(*classify.Classified)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*classify.Classified), nil
 }
 
 // encoding fetches (building on a miss) the RLE encoding for one
-// principal axis of the given classified volume.
+// principal axis of the given classified volume. It panics on a build
+// failure: the call happens lazily inside a frame's setup (through the
+// render.Renderer encodeFn), whose panic containment converts it to a
+// *render.FrameError with phase "setup".
 func (pv *PreparedVolume) encoding(c *classify.Classified, axis xform.Axis) *rle.Volume {
 	k := volcache.Key{Volume: pv.key, Transfer: pv.tf.String(), Axis: axis}
 	v := pv.cache.GetOrBuild(k, func() (any, int64) {
+		if err := pv.faults.Error("cachebuild", -1, int(axis)); err != nil {
+			panic(err)
+		}
+		pv.faults.Visit("cachebuild", -1, int(axis))
 		rv := rle.EncodeParallel(c, axis, pv.procs)
 		return rv, rv.MemoryBytes()
 	})
@@ -115,13 +137,17 @@ func (pv *PreparedVolume) encoding(c *classify.Classified, axis xform.Axis) *rle
 // preprocessing. cfg.Transfer is overridden by the prepared transfer
 // function (it is baked into the cached classification); everything else
 // behaves as in NewRenderer. Output images are byte-identical to a
-// renderer built directly over the same data and config.
-func (pv *PreparedVolume) NewRenderer(cfg Config) *Renderer {
+// renderer built directly over the same data and config. It fails if the
+// classification build fails (a later call retries the build).
+func (pv *PreparedVolume) NewRenderer(cfg Config) (*Renderer, error) {
 	cfg.Transfer = pv.tf
 	if cfg.Procs < 1 {
 		cfg.Procs = 1
 	}
-	c := pv.classified()
+	c, err := pv.classified()
+	if err != nil {
+		return nil, err
+	}
 	opt := render.Options{
 		OpacityCorrection: cfg.OpacityCorrection,
 		PreprocProcs:      cfg.Procs,
@@ -129,7 +155,7 @@ func (pv *PreparedVolume) NewRenderer(cfg Config) *Renderer {
 	r := render.NewShared(pv.v, c, func(axis xform.Axis) *rle.Volume {
 		return pv.encoding(c, axis)
 	}, opt)
-	return newRendererFrom(r, cfg)
+	return newRendererFrom(r, cfg), nil
 }
 
 // ErrPoolClosed is returned by RendererPool.Acquire after Close.
@@ -140,8 +166,9 @@ var ErrPoolClosed = errors.New("shearwarp: renderer pool closed")
 // concurrent requests. Acquire blocks until a renderer is free (or the
 // context ends); Release returns it. The pool is safe for concurrent use.
 type RendererPool struct {
-	free chan *Renderer
-	done chan struct{} // closed by Close; unblocks waiting Acquires
+	free  chan *Renderer
+	done  chan struct{} // closed by Close; unblocks waiting Acquires
+	build func() (*Renderer, error)
 
 	mu     sync.Mutex
 	closed bool
@@ -155,8 +182,9 @@ func NewRendererPool(size int, build func() (*Renderer, error)) (*RendererPool, 
 		size = 1
 	}
 	p := &RendererPool{
-		free: make(chan *Renderer, size),
-		done: make(chan struct{}),
+		free:  make(chan *Renderer, size),
+		done:  make(chan struct{}),
+		build: build,
 	}
 	for i := 0; i < size; i++ {
 		r, err := build()
@@ -211,6 +239,24 @@ func (p *RendererPool) Acquire(ctx context.Context) (*Renderer, error) {
 // renderers to come back).
 func (p *RendererPool) Release(r *Renderer) {
 	p.free <- r // cap == size and Acquire/Release pair up, so never blocks
+}
+
+// Discard retires an acquired renderer and replaces it with a freshly
+// built one — the service calls this instead of Release after a frame
+// panicked, trading the (recovered, believed-consistent) renderer for a
+// provably clean one. The replacement is built first: if the build fails,
+// the original renderer is returned to the pool (a recovered renderer
+// remains usable — every panic path restores its invariants) and the
+// build error is reported, so the pool never shrinks either way.
+func (p *RendererPool) Discard(r *Renderer) error {
+	fresh, err := p.build()
+	if err != nil {
+		p.free <- r
+		return fmt.Errorf("shearwarp: replacing discarded renderer: %w", err)
+	}
+	p.free <- fresh
+	r.Close()
+	return nil
 }
 
 // Close waits for all renderers to be released and shuts them down.

@@ -37,7 +37,10 @@ func TestPreparedVolumeByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		shared := pv.NewRenderer(Config{Algorithm: alg, Procs: procs})
+		shared, err := pv.NewRenderer(Config{Algorithm: alg, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, vw := range views {
 			want, _ := direct.Render(vw[0], vw[1])
 			got, _ := shared.Render(vw[0], vw[1])
@@ -71,7 +74,12 @@ func TestPreparedVolumeSharesBuilds(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rs[i] = pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2})
+			r, err := pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rs[i] = r
 		}(i)
 	}
 	wg.Wait()
@@ -98,7 +106,7 @@ func TestPreparedVolumeSharesBuilds(t *testing.T) {
 func TestRendererPoolLifecycle(t *testing.T) {
 	pv := preparedMRI(t, 16, nil)
 	pool, err := NewRendererPool(2, func() (*Renderer, error) {
-		return pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2}), nil
+		return pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +171,7 @@ func TestRendererPoolBuildError(t *testing.T) {
 			return nil, fmt.Errorf("boom")
 		}
 		built++
-		return pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2}), nil
+		return pv.NewRenderer(Config{Algorithm: NewParallel, Procs: 2})
 	})
 	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("boom")) {
 		t.Fatalf("err = %v, want wrapped boom", err)
