@@ -36,6 +36,7 @@ import (
 	"shearwarp/internal/perf"
 	"shearwarp/internal/raycast"
 	"shearwarp/internal/render"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 	"shearwarp/internal/xform"
 )
@@ -158,8 +159,9 @@ type Renderer struct {
 	r   *render.Renderer
 	nr  *newalg.Renderer // cross-frame state for NewParallel
 	rc  *raycast.Renderer
-	pc  *perf.Collector  // nil unless cfg.CollectStats
-	bd  *PhaseBreakdown  // breakdown of the last rendered frame
+	pc  *perf.Collector       // nil unless cfg.CollectStats
+	bd  *PhaseBreakdown       // breakdown of the last rendered frame
+	sr  *telemetry.FrameSpans // nil unless a span recorder is attached
 }
 
 // Image is a rendered frame.
@@ -267,6 +269,22 @@ func (re *Renderer) SetFaultInjector(in *faultinject.Injector) {
 	}
 }
 
+// SetSpanRecorder attaches (or, with nil, detaches) a per-request span
+// recorder to every layer of this renderer's pipeline: subsequent frames
+// record one timestamped span per worker phase into it (the render
+// service's per-request traces). Like the fault injector it follows the
+// nil-checked instrumentation contract — detached, the frame loop
+// performs no extra clock reads and allocates nothing. Call it between
+// frames only; the caller retains ownership of the recorder and must
+// detach it before reusing the renderer for an untraced request.
+func (re *Renderer) SetSpanRecorder(sr *telemetry.FrameSpans) {
+	re.sr = sr
+	re.r.Spans = sr
+	if re.nr != nil {
+		re.nr.Spans = sr
+	}
+}
+
 // Close releases the renderer's persistent worker goroutines (NewParallel
 // keeps one per processor parked between frames). It is optional — an
 // abandoned Renderer merely parks its workers — but pools that cycle
@@ -345,7 +363,7 @@ func (re *Renderer) RenderCtx(ctx context.Context, yawDeg, pitchDeg float64) (*I
 	switch re.cfg.Algorithm {
 	case OldParallel:
 		res, err := oldalg.RenderCtx(ctx, re.r, yaw, pitch,
-			oldalg.Config{Procs: re.cfg.Procs, Perf: re.pc, Faults: re.cfg.Faults})
+			oldalg.Config{Procs: re.cfg.Procs, Perf: re.pc, Faults: re.cfg.Faults, Spans: re.sr})
 		if err != nil {
 			return nil, FrameInfo{}, err
 		}

@@ -28,6 +28,7 @@ import (
 	"shearwarp"
 	"shearwarp/internal/cli"
 	"shearwarp/internal/perf"
+	"shearwarp/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	statsFlag := flag.Bool("stats", false, "print a per-worker phase breakdown table after each frame")
 	statsJSON := flag.String("statsjson", "", "write the per-frame phase breakdowns as JSON to this file (\"-\" = stdout)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address during the run")
+	spansFile := flag.String("spans", "", "write per-frame worker span traces as Chrome trace-event JSON to this file (load in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
 
 	alg, err := shearwarp.ParseAlgorithm(*algName)
@@ -54,8 +56,8 @@ func main() {
 	}
 	collect := *statsFlag || *statsJSON != "" || *metricsAddr != ""
 	cfg := shearwarp.Config{Algorithm: alg, Procs: *procs, CollectStats: collect}
-	if collect && alg == shearwarp.RayCast {
-		fatal(fmt.Errorf("-stats/-statsjson/-metrics-addr need a shear-warp algorithm (serial, old, new)"))
+	if (collect || *spansFile != "") && alg == shearwarp.RayCast {
+		fatal(fmt.Errorf("-stats/-statsjson/-metrics-addr/-spans need a shear-warp algorithm (serial, old, new)"))
 	}
 
 	v, tf, err := vf.Load()
@@ -109,6 +111,18 @@ func main() {
 		}()
 	}
 
+	// Span tracing shares one epoch across the whole animation, so the
+	// exported Chrome trace lays the frames out end to end on one timeline
+	// (one "process" per frame, one row per worker).
+	var spanRec *telemetry.FrameSpans
+	var spanTraces []*telemetry.Trace
+	var spanEpoch time.Time
+	if *spansFile != "" {
+		spanEpoch = time.Now()
+		spanRec = telemetry.NewFrameSpans(spanEpoch)
+		r.SetSpanRecorder(spanRec)
+	}
+
 	var last *shearwarp.Image
 	var breakdowns []*perf.FrameBreakdown
 	start := time.Now()
@@ -130,8 +144,27 @@ func main() {
 				fmt.Print(bd.Table())
 			}
 		}
+		if spanRec != nil {
+			spans := spanRec.Spans()
+			spanTraces = append(spanTraces, &telemetry.Trace{
+				ID:      uint64(i + 1),
+				Label:   fmt.Sprintf("frame %d yaw=%.1f", i, y),
+				StartNS: t0.Sub(spanEpoch).Nanoseconds(),
+				DurNS:   time.Since(t0).Nanoseconds(),
+				Dropped: spanRec.Dropped(),
+				Spans:   append([]telemetry.Span(nil), spans...),
+			})
+			spanRec.Reset(spanEpoch)
+		}
 	}
 	elapsed := time.Since(start)
+
+	if *spansFile != "" {
+		if err := writeSpans(*spansFile, spanTraces); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *spansFile)
+	}
 
 	if *statsJSON != "" {
 		if err := writeStatsJSON(*statsJSON, alg.String(), breakdowns); err != nil {
@@ -199,6 +232,20 @@ func writeStatsJSON(path, alg string, frames []*perf.FrameBreakdown) error {
 		Algorithm string                 `json:"algorithm"`
 		Frames    []*perf.FrameBreakdown `json:"frames"`
 	}{alg, frames})
+}
+
+// writeSpans exports the per-frame span traces as one Chrome trace-event
+// JSON document.
+func writeSpans(path string, traces []*telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

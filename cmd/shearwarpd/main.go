@@ -7,7 +7,9 @@
 //
 //	GET /render?volume=mri&yaw=30&pitch=15[&alg=new][&transfer=mri][&format=ppm]
 //	GET /healthz
-//	GET /metrics
+//	GET /metrics        (JSON; Prometheus text under Accept: text/plain)
+//	GET /debug/spans    (Chrome trace-event JSON; ?view=timeline for text bars)
+//	GET /debug/latency  (latency quantile digests as JSON)
 //
 // With no -in the service registers the two synthetic phantoms under the
 // names "mri" and "ct"; with -in FILE it registers that volume under the
@@ -26,6 +28,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +39,7 @@ import (
 	"shearwarp/internal/cli"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/server"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 )
 
@@ -54,6 +58,9 @@ func main() {
 	stats := flag.Bool("stats", true, "collect per-frame phase breakdowns for /metrics")
 	watchdog := flag.Duration("watchdog", 0, "cancel frames still rendering after this long and answer 500 (0 = off)")
 	faultSpec := flag.String("fault-spec", "", "inject deterministic faults for chaos testing, e.g. 'panic@composite:w=1;delay@scanline:n=100:d=2ms' (see internal/faultinject)")
+	logFormat := flag.String("log-format", "", "structured log format: text | json (empty = logging off)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	traceRing := flag.Int("trace-ring", 64, "recent request traces retained for /debug/spans (<0 = tracing off)")
 	flag.Parse()
 
 	alg, err := shearwarp.ParseAlgorithm(*algName)
@@ -67,6 +74,11 @@ func main() {
 	if faults != nil {
 		fmt.Fprintf(os.Stderr, "shearwarpd: FAULT INJECTION ACTIVE: %s\n", *faultSpec)
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	logger := telemetry.NewLogger(os.Stderr, *logFormat, level)
 	srv := server.New(server.Config{
 		Procs:           *procs,
 		Algorithm:       alg,
@@ -79,6 +91,8 @@ func main() {
 		CollectStats:    *stats,
 		WatchdogTimeout: *watchdog,
 		Faults:          faults,
+		Logger:          logger,
+		TraceRing:       *traceRing,
 	})
 
 	if vf.In != "" {

@@ -14,6 +14,7 @@ import (
 	"shearwarp/internal/par"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/warp"
 	"shearwarp/internal/xform"
 )
@@ -106,6 +107,15 @@ type Renderer struct {
 	// disabled path costs one branch per site. Set it between frames only.
 	Faults *faultinject.Injector
 
+	// Spans, when non-nil, receives one timestamped span per worker phase
+	// (clear, rendezvous wait, composite-own/steal, band-wait, warp) —
+	// the raw material for the service's per-request traces and the
+	// paper's Figure 5/6 timeline. The recorder shares the perf
+	// collector's clock reads, so attaching both costs no extra time
+	// calls; like Perf it is nil-checked at every site and must only be
+	// swapped between frames.
+	Spans *telemetry.FrameSpans
+
 	profile    []int64
 	profAxis   xform.Axis
 	profYaw    float64
@@ -129,11 +139,11 @@ type Renderer struct {
 	warpTasks  []warp.Task
 	profiling  bool
 	bmu        sync.Mutex
-	bandDone   []atomic.Bool  // per-band completion flags, replace the barrier
-	bandCond   *sync.Cond     // signals band completion and frame aborts; locker is bmu
-	clearWG    sync.WaitGroup // rendezvous after the parallel image clear
-	frameWG    sync.WaitGroup // frame completion
-	ctxPool    sync.Pool      // *composite.Ctx
+	bandDone   []atomic.Bool   // per-band completion flags, replace the barrier
+	bandCond   *sync.Cond      // signals band completion and frame aborts; locker is bmu
+	clearWG    sync.WaitGroup  // rendezvous after the parallel image clear
+	frameWG    sync.WaitGroup  // frame completion
+	ctxPool    sync.Pool       // *composite.Ctx
 	start      []chan struct{} // per-worker frame-start tokens
 	wstate     []workerRec     // per-worker failure bookkeeping
 	traceCtx   context.Context // runtime/trace task context of the current frame
@@ -224,11 +234,19 @@ func (nr *Renderer) RenderFrameCtx(ctx context.Context, yaw, pitch float64) (*Re
 		nr.traceCtx, task = rtrace.NewTask(nr.traceCtx, "shearwarp.frame")
 	}
 
+	sr := nr.Spans
+	var tSetup time.Time
+	if sr != nil {
+		tSetup = time.Now()
+	}
 	if err := nr.setupFrame(yaw, pitch); err != nil {
 		if task != nil {
 			task.End()
 		}
 		return nil, err
+	}
+	if sr != nil {
+		sr.Record(-1, "setup", telemetry.CatRequest, tSetup, time.Since(tSetup))
 	}
 
 	// Watch for external cancellation only when the context is actually
@@ -537,10 +555,15 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 	fr := &nr.fr
 	procs := len(nr.start)
 	pc := nr.Perf
+	sr := nr.Spans
 	fi := nr.Faults
 	ctx := nr.traceCtx
+	// One timing gate for both recorders: perf's AddPhase and the span
+	// recorder's Record are nil-safe, so each site reads the clock once
+	// and feeds both.
+	timed := pc != nil || sr != nil
 	var tw, t0 time.Time
-	if pc != nil {
+	if timed {
 		tw = time.Now()
 		t0 = tw
 	}
@@ -554,15 +577,19 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 	reg := rtrace.StartRegion(ctx, "clear")
 	nr.fr.M.ClearRows(p*fr.M.H/procs, (p+1)*fr.M.H/procs)
 	reg.End()
-	if pc != nil {
-		pc.AddPhase(p, perf.PhaseClear, time.Since(t0))
+	if timed {
+		d := time.Since(t0)
+		pc.AddPhase(p, perf.PhaseClear, d)
+		sr.Record(p, "clear", telemetry.CatBusy, t0, d)
 		t0 = time.Now()
 	}
 	nr.clearWG.Done()
 	st.cleared = true
 	nr.clearWG.Wait()
-	if pc != nil {
-		pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
+	if timed {
+		d := time.Since(t0)
+		pc.AddPhase(p, perf.PhaseWait, d)
+		sr.Record(p, "clear-rendezvous", telemetry.CatSync, t0, d)
 		t0 = time.Now()
 	}
 	if nr.abortFlag.Load() {
@@ -590,8 +617,10 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 		nr.runChunk(cc, ps, p, c, p)
 	}
 	reg.End()
-	if pc != nil {
-		pc.AddPhase(p, perf.PhaseCompositeOwn, time.Since(t0))
+	if timed {
+		d := time.Since(t0)
+		pc.AddPhase(p, perf.PhaseCompositeOwn, d)
+		sr.Record(p, "composite-own", telemetry.CatBusy, t0, d)
 		t0 = time.Now()
 	}
 	if !nr.Cfg.DisableSteal {
@@ -613,8 +642,10 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 			nr.runChunk(cc, ps, p, c, band)
 		}
 		reg.End()
-		if pc != nil {
-			pc.AddPhase(p, perf.PhaseCompositeSteal, time.Since(t0))
+		if timed {
+			d := time.Since(t0)
+			pc.AddPhase(p, perf.PhaseCompositeSteal, d)
+			sr.Record(p, "composite-steal", telemetry.CatBusy, t0, d)
 		}
 	}
 	nr.ctxPool.Put(cc)
@@ -636,7 +667,7 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 		if fi != nil {
 			fi.Visit("band-wait", p, tk.NeedLo)
 		}
-		if pc != nil {
+		if timed {
 			t0 = time.Now()
 		}
 		reg = rtrace.StartRegion(ctx, "band-wait")
@@ -644,8 +675,10 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 			nr.waitBand(q)
 		}
 		reg.End()
-		if pc != nil {
-			pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
+		if timed {
+			d := time.Since(t0)
+			pc.AddPhase(p, perf.PhaseWait, d)
+			sr.Record(p, "band-wait", telemetry.CatSync, t0, d)
 			t0 = time.Now()
 		}
 		if nr.abortFlag.Load() {
@@ -666,8 +699,10 @@ func (nr *Renderer) renderWorker(p int, st *workerRec) {
 			}
 		}
 		reg.End()
-		if pc != nil {
-			pc.AddPhase(p, perf.PhaseWarp, time.Since(t0))
+		if timed {
+			d := time.Since(t0)
+			pc.AddPhase(p, perf.PhaseWarp, d)
+			sr.Record(p, "warp", telemetry.CatBusy, t0, d)
 		}
 	}
 

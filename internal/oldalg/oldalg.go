@@ -28,6 +28,7 @@ import (
 	"shearwarp/internal/par"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/warp"
 )
 
@@ -43,6 +44,11 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic faults at the worker
 	// phase sites (internal/faultinject). Nil-checked everywhere.
 	Faults *faultinject.Injector
+	// Spans, when non-nil, receives one timestamped span per worker phase
+	// (per-chunk composite own/steal, barrier wait, warp) for the
+	// service's per-request traces. It shares Perf's clock reads and is
+	// nil-checked at every site.
+	Spans *telemetry.FrameSpans
 }
 
 // DefaultChunkSize mirrors the paper's empirically-tuned task size: small
@@ -153,9 +159,17 @@ func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg 
 		return nil, err
 	}
 	fi := cfg.Faults
+	sr := cfg.Spans
+	var tSetup time.Time
+	if sr != nil {
+		tSetup = time.Now()
+	}
 	fr, err := setupFrame(r, yaw, pitch, fi)
 	if err != nil {
 		return nil, err
+	}
+	if sr != nil {
+		sr.Record(-1, "setup", telemetry.CatRequest, tSetup, time.Since(tSetup))
 	}
 	cfg.normalize(fr)
 	res := &Result{Out: fr.Out, PerProc: make([]ProcStats, cfg.Procs)}
@@ -203,8 +217,11 @@ func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg 
 				}
 			}()
 			ps := &res.PerProc[p]
+			// One timing gate for both recorders; AddPhase and Record are
+			// nil-safe, so each site reads the clock once and feeds both.
+			timed := pc != nil || sr != nil
 			var tw, t0 time.Time
-			if pc != nil {
+			if timed {
 				tw = time.Now()
 				t0 = tw
 			}
@@ -245,12 +262,14 @@ func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg 
 					}
 					cc.Scanline(row, &ps.Composite)
 				}
-				if pc != nil {
-					ph := perf.PhaseCompositeOwn
+				if timed {
+					ph, name := perf.PhaseCompositeOwn, "composite-own"
 					if stolen {
-						ph = perf.PhaseCompositeSteal
+						ph, name = perf.PhaseCompositeSteal, "composite-steal"
 					}
-					pc.AddPhase(p, ph, time.Since(t0))
+					d := time.Since(t0)
+					pc.AddPhase(p, ph, d)
+					sr.Record(p, name, telemetry.CatBusy, t0, d)
 					t0 = time.Now()
 				}
 			}
@@ -265,8 +284,10 @@ func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg 
 			barrier.Wait()
 			arrivedBarrier = true
 			reg.End()
-			if pc != nil {
-				pc.AddPhase(p, perf.PhaseWait, time.Since(t0))
+			if timed {
+				d := time.Since(t0)
+				pc.AddPhase(p, perf.PhaseWait, d)
+				sr.Record(p, "barrier-wait", telemetry.CatSync, t0, d)
 				t0 = time.Now()
 			}
 			if ab.flag.Load() {
@@ -290,8 +311,12 @@ func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg 
 				ps.Tiles++
 			}
 			reg.End()
+			if timed {
+				d := time.Since(t0)
+				pc.AddPhase(p, perf.PhaseWarp, d)
+				sr.Record(p, "warp", telemetry.CatBusy, t0, d)
+			}
 			if pc != nil {
-				pc.AddPhase(p, perf.PhaseWarp, time.Since(t0))
 				pc.AddPhase(p, perf.PhaseTotal, time.Since(tw))
 				pc.AddCount(p, perf.CounterScanlines, ps.Composite.Scanlines)
 				pc.AddCount(p, perf.CounterChunks, int64(ps.Chunks))

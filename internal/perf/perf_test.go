@@ -2,6 +2,7 @@ package perf
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -218,5 +219,57 @@ func TestCumulativeAggregation(t *testing.T) {
 	var empty *Cumulative
 	if snap := empty.Snapshot(); snap.Frames != 0 || snap.PhaseNS == nil {
 		t.Fatal("nil cumulative snapshot malformed")
+	}
+}
+
+// TestCumulativeAddSnapshotHammer is the -race stress for the documented
+// Add/Snapshot concurrency contract: dedicated adders and snapshotters
+// run flat out, and every snapshot must observe whole frames only —
+// frame count and phase totals advance in lockstep, never torn.
+func TestCumulativeAddSnapshotHammer(t *testing.T) {
+	var cum Cumulative
+	fb := synthetic().Breakdown("new")
+	perFrameOwn := int64(0)
+	for i := range fb.PerWorker {
+		perFrameOwn += fb.PerWorker[i].CompositeOwnNS
+	}
+
+	const adders, snapshotters, rounds = 4, 4, 500
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cum.Add(fb)
+			}
+		}()
+	}
+	errc := make(chan error, snapshotters)
+	for sidx := 0; sidx < snapshotters; sidx++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s := cum.Snapshot()
+				if s.PhaseNS["composite-own"] != s.Frames*perFrameOwn {
+					errc <- fmt.Errorf("torn snapshot: %d frames but composite-own %d (want %d)",
+						s.Frames, s.PhaseNS["composite-own"], s.Frames*perFrameOwn)
+					return
+				}
+				if s.WallNS != s.Frames*fb.WallNS {
+					errc <- fmt.Errorf("torn snapshot: %d frames but wall %d", s.Frames, s.WallNS)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if s := cum.Snapshot(); s.Frames != adders*rounds {
+		t.Fatalf("final frames = %d, want %d", s.Frames, adders*rounds)
 	}
 }

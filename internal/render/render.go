@@ -16,6 +16,7 @@ import (
 	"shearwarp/internal/img"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/rle"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 	"shearwarp/internal/warp"
 	"shearwarp/internal/xform"
@@ -54,6 +55,10 @@ type Renderer struct {
 	// Faults, when non-nil, injects deterministic faults into the serial
 	// render path (internal/faultinject). Nil-checked everywhere.
 	Faults *faultinject.Injector
+	// Spans, when non-nil, receives timestamped spans for the serial
+	// render path's phases (setup, composite, warp) on worker lane 0.
+	// Nil-checked at every site; swap only between frames.
+	Spans *telemetry.FrameSpans
 }
 
 // New classifies the volume and returns a renderer.
@@ -224,8 +229,16 @@ func (r *Renderer) RenderSerialCtx(ctx context.Context, yaw, pitch float64, pc *
 	}()
 
 	fi := r.Faults
+	sr := r.Spans
 	fi.Visit("setup", 0, -1)
+	var tSetup time.Time
+	if sr != nil {
+		tSetup = time.Now()
+	}
 	fr := r.Setup(yaw, pitch)
+	if sr != nil {
+		sr.Record(-1, "setup", telemetry.CatRequest, tSetup, time.Since(tSetup))
+	}
 
 	tctx := context.Background()
 	var task *rtrace.Task
@@ -238,8 +251,9 @@ func (r *Renderer) RenderSerialCtx(ctx context.Context, yaw, pitch float64, pc *
 		}
 	}()
 
+	timed := pc != nil || sr != nil
 	var tw, t0 time.Time
-	if pc != nil {
+	if timed {
 		tw = time.Now()
 		t0 = tw
 	}
@@ -257,8 +271,10 @@ func (r *Renderer) RenderSerialCtx(ctx context.Context, yaw, pitch float64, pc *
 		cc.Scanline(vRow, &st.Composite)
 	}
 	reg.End()
-	if pc != nil {
-		pc.AddPhase(0, perf.PhaseCompositeOwn, time.Since(t0))
+	if timed {
+		d := time.Since(t0)
+		pc.AddPhase(0, perf.PhaseCompositeOwn, d)
+		sr.Record(0, "composite-own", telemetry.CatBusy, t0, d)
 		t0 = time.Now()
 	}
 	if ctx.Err() != nil {
@@ -270,8 +286,12 @@ func (r *Renderer) RenderSerialCtx(ctx context.Context, yaw, pitch float64, pc *
 	reg = rtrace.StartRegion(tctx, "warp")
 	wc.WarpTile(0, 0, fr.Out.W, fr.Out.H, &st.Warp)
 	reg.End()
+	if timed {
+		d := time.Since(t0)
+		pc.AddPhase(0, perf.PhaseWarp, d)
+		sr.Record(0, "warp", telemetry.CatBusy, t0, d)
+	}
 	if pc != nil {
-		pc.AddPhase(0, perf.PhaseWarp, time.Since(t0))
 		pc.AddPhase(0, perf.PhaseTotal, time.Since(tw))
 		pc.AddCount(0, perf.CounterScanlines, st.Composite.Scanlines)
 		pc.AddCount(0, perf.CounterEarlyTerm, st.Composite.Skips)

@@ -3,6 +3,8 @@ package server
 import (
 	"net/http"
 	"sync/atomic"
+
+	"shearwarp/internal/telemetry"
 )
 
 // endpointMetrics counts one endpoint's traffic. All fields are atomics:
@@ -15,19 +17,23 @@ type endpointMetrics struct {
 	deadlines atomic.Int64 // deadline expiries (504)
 	inFlight  atomic.Int64
 	nanos     atomic.Int64 // summed wall time of completed requests
+	// latency is the endpoint's request-duration histogram, feeding the
+	// Prometheus exposition and /debug/latency. Set once in New (lock-
+	// free recording needs no further synchronization).
+	latency *telemetry.Histogram
 }
 
 // EndpointSnapshot is the marshal-friendly view of one endpoint's
 // counters.
 type EndpointSnapshot struct {
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
-	Rejected    int64   `json:"rejected"`
-	Deadlines   int64   `json:"deadlines"`
-	InFlight    int64   `json:"in_flight"`
-	TotalSecs   float64 `json:"total_seconds"`
-	MeanMillis  float64 `json:"mean_ms"`
-	ErrorsFrac  float64 `json:"error_frac"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Rejected   int64   `json:"rejected"`
+	Deadlines  int64   `json:"deadlines"`
+	InFlight   int64   `json:"in_flight"`
+	TotalSecs  float64 `json:"total_seconds"`
+	MeanMillis float64 `json:"mean_ms"`
+	ErrorsFrac float64 `json:"error_frac"`
 }
 
 func (m *endpointMetrics) snapshot() EndpointSnapshot {

@@ -40,9 +40,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,22 +53,23 @@ import (
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/volcache"
 )
 
 // Config tunes the service. The zero value gets sensible defaults from
 // New.
 type Config struct {
-	Procs         int                 // workers inside each parallel render (default 4)
-	Algorithm     shearwarp.Algorithm // default algorithm when a request omits ?alg (default NewParallel)
-	PoolSize      int                 // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
-	MaxConcurrent int                 // frames rendering at once (default 8)
-	MaxQueue      int                 // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
-	QueueTimeout  time.Duration       // longest admission wait (default 5s)
-	RenderTimeout time.Duration       // request deadline to start rendering (default 30s)
-	CacheBytes    int64               // volcache budget (default 256 MiB; <0 = unbounded)
-	CollectStats  bool                // per-frame perf breakdowns feeding /metrics (default on via New)
-	OpacityCorrection bool            // forwarded to every renderer
+	Procs             int                 // workers inside each parallel render (default 4)
+	Algorithm         shearwarp.Algorithm // default algorithm when a request omits ?alg (default NewParallel)
+	PoolSize          int                 // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
+	MaxConcurrent     int                 // frames rendering at once (default 8)
+	MaxQueue          int                 // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
+	QueueTimeout      time.Duration       // longest admission wait (default 5s)
+	RenderTimeout     time.Duration       // request deadline to start rendering (default 30s)
+	CacheBytes        int64               // volcache budget (default 256 MiB; <0 = unbounded)
+	CollectStats      bool                // per-frame perf breakdowns feeding /metrics (default on via New)
+	OpacityCorrection bool                // forwarded to every renderer
 	// WatchdogTimeout, when positive, bounds how long a frame may render
 	// after it has started: a frame still running at the deadline is
 	// cancelled through its abort flag, counted as a stall, and answered
@@ -76,6 +79,16 @@ type Config struct {
 	// (internal/faultinject) into every renderer and preprocessing build
 	// the server creates — the chaos-test hook. Nil in production.
 	Faults *faultinject.Injector
+	// Logger receives the service's structured logs (request lifecycle,
+	// cache builds, watchdog stalls), each /render line carrying the
+	// request ID shared with its span trace. Nil discards — the default
+	// for embedded servers and tests.
+	Logger *slog.Logger
+	// TraceRing sizes the per-request span tracer's recent-trace ring
+	// (/debug/spans): 0 keeps the default of 64 retained traces (plus
+	// head and slowest samples), negative disables span tracing entirely
+	// — renders then take the span-free path with no extra clock reads.
+	TraceRing int
 }
 
 func (c *Config) normalize() {
@@ -137,9 +150,9 @@ type Server struct {
 	vols  map[string]*volumeRec
 	pools map[poolKey]*poolEntry
 
-	sem     chan struct{} // admission slots
-	waiting atomic.Int64  // requests blocked on admission
-	closed  atomic.Bool
+	sem      chan struct{} // admission slots
+	waiting  atomic.Int64  // requests blocked on admission
+	closed   atomic.Bool
 	inflight sync.WaitGroup
 
 	cum        perf.Cumulative // phase totals across all rendered frames
@@ -148,9 +161,11 @@ type Server struct {
 	cancels    atomic.Int64    // frames aborted by deadline or client disconnect
 	stalls     atomic.Int64    // frames cancelled by the watchdog
 	replaced   atomic.Int64    // renderers discarded and rebuilt after a panic
-	renderHook func() // test hook: runs while holding an admission slot
+	renderHook func()          // test hook: runs while holding an admission slot
 
 	mRender, mHealth, mMetrics endpointMetrics
+	mSpans, mLatency           endpointMetrics
+	tel                        *serverTelemetry
 	mux                        *http.ServeMux
 }
 
@@ -166,10 +181,19 @@ func New(cfg Config) *Server {
 		pools: make(map[poolKey]*poolEntry),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	s.tel = newServerTelemetry(&cfg)
+	s.cache.OnBuild = s.tel.onCacheBuild
+	s.mRender.latency = telemetry.NewHistogram("render", "")
+	s.mHealth.latency = telemetry.NewHistogram("healthz", "")
+	s.mMetrics.latency = telemetry.NewHistogram("metrics", "")
+	s.mSpans.latency = telemetry.NewHistogram("spans", "")
+	s.mLatency.latency = telemetry.NewHistogram("latency", "")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/render", s.instrument(&s.mRender, s.handleRender))
 	s.mux.HandleFunc("/healthz", s.instrument(&s.mHealth, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument(&s.mMetrics, s.handleMetrics))
+	s.mux.HandleFunc("/debug/spans", s.instrument(&s.mSpans, s.handleSpans))
+	s.mux.HandleFunc("/debug/latency", s.instrument(&s.mLatency, s.handleLatency))
 	return s
 }
 
@@ -252,7 +276,9 @@ func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.Handler
 		t0 := time.Now()
 		h(sw, r)
 		m.inFlight.Add(-1)
-		m.nanos.Add(int64(time.Since(t0)))
+		elapsed := time.Since(t0)
+		m.nanos.Add(int64(elapsed))
+		m.latency.Observe(elapsed)
 		m.requests.Add(1)
 		switch {
 		case sw.status >= 400:
@@ -308,7 +334,7 @@ func (s *Server) admit(ctx context.Context) (release func(), status int, msg str
 // key. Pool construction classifies and encodes through the LRU cache, so
 // even a cold pool costs one classification, and a pool rebuilt after
 // cache-warm use costs none.
-func (s *Server) renderPool(rec *volumeRec, transfer shearwarp.Transfer, alg shearwarp.Algorithm) (*shearwarp.RendererPool, error) {
+func (s *Server) renderPool(ctx context.Context, rec *volumeRec, transfer shearwarp.Transfer, alg shearwarp.Algorithm) (*shearwarp.RendererPool, error) {
 	k := poolKey{volume: rec.name, transfer: transfer, algorithm: alg}
 	s.mu.Lock()
 	pe, ok := s.pools[k]
@@ -318,6 +344,14 @@ func (s *Server) renderPool(rec *volumeRec, transfer shearwarp.Transfer, alg she
 	}
 	s.mu.Unlock()
 	pe.once.Do(func() {
+		t0 := time.Now()
+		defer func() {
+			s.tel.logger.Info("renderer pool built",
+				"req", telemetry.RequestID(ctx), "volume", rec.name,
+				"transfer", transfer.String(), "alg", alg.String(),
+				"size", s.cfg.PoolSize, "duration_ms", float64(time.Since(t0))/1e6,
+				"err", pe.err)
+		}()
 		pv, err := shearwarp.PrepareVolume(rec.data, rec.nx, rec.ny, rec.nz, transfer, s.cfg.Procs, s.cache)
 		if err != nil {
 			pe.err = err
@@ -406,13 +440,30 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Request identity: one ID shared by the structured log lines, the
+	// context (so downstream layers can correlate), and the span trace.
+	t0 := time.Now()
+	id := s.tel.reqSeq.Add(1)
+	log := s.tel.logger.With("req", id, "volume", name, "alg", alg.String())
+	log.Debug("render request", "yaw", yaw, "pitch", pitch, "format", format)
+	rt := s.tel.startTrace(id,
+		fmt.Sprintf("render %s yaw=%g pitch=%g alg=%s", name, yaw, pitch, alg), t0)
+
 	// The whole request — admission wait, renderer acquisition, render —
 	// runs under the render deadline.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RenderTimeout)
 	defer cancel()
+	ctx = telemetry.WithRequestID(ctx, id)
 
+	admitAt := time.Now()
 	release, status, msg := s.admit(ctx)
+	admitDur := time.Since(admitAt)
+	s.tel.hQueue.Observe(admitDur)
+	rt.record("admission", admitAt, admitDur)
 	if release == nil {
+		log.Warn("request rejected", "status", status, "reason", msg,
+			"wait_ms", float64(admitDur)/1e6)
+		rt.finish(status, time.Now())
 		httpError(w, status, "%s", msg)
 		return
 	}
@@ -421,26 +472,39 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		s.renderHook()
 	}
 
-	pool, err := s.renderPool(rec, transfer, alg)
+	acquireAt := time.Now()
+	pool, err := s.renderPool(ctx, rec, transfer, alg)
 	if err != nil {
 		release()
 		s.inflight.Done()
+		log.Error("preparing volume failed", "err", err)
+		rt.finish(http.StatusInternalServerError, time.Now())
 		httpError(w, http.StatusInternalServerError, "preparing volume: %v", err)
 		return
 	}
 	ren, err := pool.Acquire(ctx)
+	rt.record("acquire-renderer", acquireAt, time.Since(acquireAt))
 	if err != nil {
 		release()
 		s.inflight.Done()
+		var code int
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			httpError(w, http.StatusGatewayTimeout, "deadline expired waiting for a renderer")
+			code = http.StatusGatewayTimeout
+			httpError(w, code, "deadline expired waiting for a renderer")
 		case errors.Is(err, shearwarp.ErrPoolClosed):
-			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			code = http.StatusServiceUnavailable
+			httpError(w, code, "server shutting down")
 		default:
-			httpError(w, 499, "client went away")
+			code = 499
+			httpError(w, code, "client went away")
 		}
+		log.Warn("renderer acquisition failed", "status", code, "err", err)
+		rt.finish(code, time.Now())
 		return
+	}
+	if rt != nil {
+		ren.SetSpanRecorder(rt.spans)
 	}
 
 	// Render asynchronously so the handler can react to cancellation and
@@ -461,6 +525,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	done := make(chan renderResult, 1)
 	go func() {
 		im, info, err := ren.RenderCtx(rctx, yaw, pitch)
+		// Detach the span recorder before the renderer can serve another
+		// request; RenderCtx has returned, so no worker records past here.
+		if rt != nil {
+			ren.SetSpanRecorder(nil)
+		}
 		var fe *render.FrameError
 		if errors.As(err, &fe) {
 			s.panics.Add(1)
@@ -471,13 +540,16 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 			if err == nil {
 				s.frames.Add(1)
 				if bd := ren.LastBreakdown(); bd != nil {
-					s.cum.Add(bd.Frame())
+					fb := bd.Frame()
+					s.cum.Add(fb)
+					s.tel.observePhases(fb)
 				}
 			}
 			pool.Release(ren)
 		}
 		release()
 		s.inflight.Done()
+		rt.goroutineDone(time.Now())
 		done <- renderResult{im, info, err}
 	}()
 
@@ -497,37 +569,55 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		// the slot as soon as the workers observe the abort flag.
 		s.stalls.Add(1)
 		rcancel()
+		log.Error("watchdog stall: frame cancelled",
+			"budget_ms", float64(s.cfg.WatchdogTimeout)/1e6,
+			"duration_ms", float64(time.Since(t0))/1e6)
+		rt.handlerExits(http.StatusInternalServerError, time.Now())
 		httpError(w, http.StatusInternalServerError,
 			"watchdog: frame exceeded %v and was cancelled", s.cfg.WatchdogTimeout)
 		return
 	case <-ctx.Done():
 		s.cancels.Add(1)
 		rcancel()
+		code := 499
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			httpError(w, http.StatusGatewayTimeout, "deadline expired while rendering")
+			code = http.StatusGatewayTimeout
+			httpError(w, code, "deadline expired while rendering")
 		} else {
-			httpError(w, 499, "client went away")
+			httpError(w, code, "client went away")
 		}
+		log.Warn("request abandoned", "status", code,
+			"duration_ms", float64(time.Since(t0))/1e6)
+		rt.handlerExits(code, time.Now())
 		return
 	}
 
 	if res.err != nil {
 		var ve *shearwarp.ValidationError
 		var fe *render.FrameError
+		var code int
 		switch {
 		case errors.As(res.err, &ve):
-			httpError(w, http.StatusBadRequest, "%v", ve)
+			code = http.StatusBadRequest
+			httpError(w, code, "%v", ve)
 		case errors.As(res.err, &fe):
-			httpError(w, http.StatusInternalServerError, "frame failed: %v", fe)
+			code = http.StatusInternalServerError
+			httpError(w, code, "frame failed: %v", fe)
 		case errors.Is(res.err, context.DeadlineExceeded):
 			s.cancels.Add(1)
-			httpError(w, http.StatusGatewayTimeout, "deadline expired while rendering")
+			code = http.StatusGatewayTimeout
+			httpError(w, code, "deadline expired while rendering")
 		case errors.Is(res.err, context.Canceled):
 			s.cancels.Add(1)
-			httpError(w, 499, "client went away")
+			code = 499
+			httpError(w, code, "client went away")
 		default:
-			httpError(w, http.StatusInternalServerError, "render failed: %v", res.err)
+			code = http.StatusInternalServerError
+			httpError(w, code, "render failed: %v", res.err)
 		}
+		log.Error("render failed", "status", code, "err", res.err,
+			"duration_ms", float64(time.Since(t0))/1e6)
+		rt.handlerFinishes(code, time.Time{}, 0, time.Now())
 		return
 	}
 
@@ -535,13 +625,18 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Shearwarp-Algorithm", alg.String())
 	w.Header().Set("X-Shearwarp-Samples", strconv.FormatInt(info.Samples, 10))
 	w.Header().Set("X-Shearwarp-Size", fmt.Sprintf("%dx%d", im.Width(), im.Height()))
+	encStart := time.Now()
 	if format == "png" {
 		w.Header().Set("Content-Type", "image/png")
 		im.WritePNG(w)
-		return
+	} else {
+		w.Header().Set("Content-Type", "image/x-portable-pixmap")
+		im.WritePPM(w)
 	}
-	w.Header().Set("Content-Type", "image/x-portable-pixmap")
-	im.WritePPM(w)
+	now := time.Now()
+	rt.handlerFinishes(http.StatusOK, encStart, now.Sub(encStart), now)
+	log.Info("render complete", "samples", info.Samples,
+		"duration_ms", float64(now.Sub(t0))/1e6)
 }
 
 // handleHealthz is GET /healthz: liveness plus a tiny status summary.
@@ -603,11 +698,38 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 	}
 }
 
-// handleMetrics is GET /metrics: per-endpoint counters, preprocessing
-// cache counters, and the cumulative per-phase render-time totals.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+// writeJSON writes v as indented JSON with an explicit Content-Type,
+// logging (it is too late to re-status) any encode or write failure.
+func writeJSON(w http.ResponseWriter, v any, logger *slog.Logger) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metricsSnapshot())
+	if err := enc.Encode(v); err != nil {
+		logger.Warn("response encoding failed", "err", err)
+	}
+}
+
+// handleMetrics is GET /metrics: per-endpoint counters, preprocessing
+// cache counters, and the cumulative per-phase render-time totals.
+// Content negotiation selects the representation: an Accept header
+// naming text/plain (a Prometheus scraper) gets the text exposition
+// format with the latency histograms' _bucket/_sum/_count series; every
+// other request gets the JSON document, whose shape predates the
+// histograms and stays byte-compatible with its consumers (quantiles
+// live on /debug/latency).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsPromText(r.Header.Get("Accept")) {
+		s.handlePromMetrics(w)
+		return
+	}
+	writeJSON(w, s.metricsSnapshot(), s.tel.logger)
+}
+
+// acceptsPromText reports whether an Accept header asks for the
+// Prometheus text format. Prometheus scrapers send text/plain with a
+// version parameter (and openmetrics variants); a JSON-preferring or
+// absent Accept keeps the JSON default.
+func acceptsPromText(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }

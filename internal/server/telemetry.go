@@ -1,0 +1,414 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shearwarp/internal/perf"
+	"shearwarp/internal/telemetry"
+	"shearwarp/internal/volcache"
+)
+
+// serverTelemetry is the request-level observability state of the
+// service: latency histograms, the per-request span tracer, and the
+// structured logger. It is always constructed (the histograms are a few
+// KiB of atomics and recording is a handful of atomic adds per
+// request); only the per-request span tracing can be disabled, through
+// Config.TraceRing < 0, because it is the one part whose recording
+// reaches into the render workers' frame loop.
+type serverTelemetry struct {
+	logger *slog.Logger
+	tracer *telemetry.Tracer // nil when span tracing is disabled
+	epoch  time.Time         // span/trace timestamps are measured from here
+	reqSeq atomic.Uint64     // request-ID source (also the trace ID)
+
+	hQueue *telemetry.Histogram                 // admission wait, including the zero-wait fast path
+	hBuild *telemetry.Histogram                 // volcache builder invocations (classify / RLE-encode)
+	hPhase [perf.NumPhases]*telemetry.Histogram // per-worker per-frame phase durations
+
+	// spanPool recycles FrameSpans recorders across requests so tracing
+	// a request allocates only its retained Trace, not the 512-span
+	// recording buffer.
+	spanPool sync.Pool
+}
+
+func newServerTelemetry(cfg *Config) *serverTelemetry {
+	t := &serverTelemetry{
+		logger: cfg.Logger,
+		epoch:  time.Now(),
+		hQueue: telemetry.NewHistogram("shearwarpd_admission_wait_seconds",
+			"Time requests spent waiting for an admission slot."),
+		hBuild: telemetry.NewHistogram("shearwarpd_cache_build_seconds",
+			"Wall time of preprocessing cache builds (classification, RLE encoding)."),
+	}
+	if t.logger == nil {
+		t.logger = telemetry.DiscardLogger()
+	}
+	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+		t.hPhase[ph] = telemetry.NewHistogram("shearwarpd_phase_seconds",
+			"Per-worker per-frame render phase durations.")
+	}
+	if cfg.TraceRing >= 0 {
+		t.tracer = telemetry.NewTracer(cfg.TraceRing, 0, 0)
+	}
+	t.spanPool.New = func() any { return telemetry.NewFrameSpans(t.epoch) }
+	return t
+}
+
+// sinceEpochNS returns the instant t as nanoseconds past the telemetry
+// epoch — the clock traces and spans share.
+func (t *serverTelemetry) sinceEpochNS(at time.Time) int64 {
+	return at.Sub(t.epoch).Nanoseconds()
+}
+
+// observePhases feeds one frame's per-worker phase durations into the
+// phase histograms: each worker's time in each phase is one observation,
+// so the histograms answer "how long does a worker's warp phase take"
+// across frames and workers.
+func (t *serverTelemetry) observePhases(fb *perf.FrameBreakdown) {
+	if fb == nil {
+		return
+	}
+	for i := range fb.PerWorker {
+		w := &fb.PerWorker[i]
+		t.hPhase[perf.PhaseClear].ObserveNS(w.ClearNS)
+		t.hPhase[perf.PhaseCompositeOwn].ObserveNS(w.CompositeOwnNS)
+		t.hPhase[perf.PhaseCompositeSteal].ObserveNS(w.CompositeStealNS)
+		t.hPhase[perf.PhaseWait].ObserveNS(w.WaitNS)
+		t.hPhase[perf.PhaseWarp].ObserveNS(w.WarpNS)
+		t.hPhase[perf.PhaseTotal].ObserveNS(w.TotalNS)
+	}
+}
+
+// onCacheBuild is wired into volcache.Cache.OnBuild: every completed
+// builder invocation lands in the build histogram and the log.
+func (t *serverTelemetry) onCacheBuild(k volcache.Key, d time.Duration, err error) {
+	t.hBuild.Observe(d)
+	if err != nil {
+		t.logger.Error("cache build failed",
+			"volume", k.Volume, "transfer", k.Transfer, "axis", int(k.Axis),
+			"duration_ms", float64(d)/1e6, "err", err)
+		return
+	}
+	t.logger.Info("cache build",
+		"volume", k.Volume, "transfer", k.Transfer, "axis", int(k.Axis),
+		"duration_ms", float64(d)/1e6)
+}
+
+// reqTrace is one /render request's in-flight trace state, shared
+// between the handler and its render goroutine. Exactly one of them
+// finalizes (Adds) the trace; the owner field arbitrates:
+//
+//   - The handler, exiting early (watchdog, deadline, disconnect),
+//     stores its HTTP status and CASes owner 0->1: the render goroutine
+//     finalizes when the frame eventually drains.
+//   - The render goroutine, done first, stashes the built trace and
+//     CASes owner 0->2: the handler finalizes after writing (and
+//     timing) the response body.
+//   - Whoever loses the CAS observes the winner's state through the
+//     atomic's happens-before edge and finalizes itself.
+type reqTrace struct {
+	tel     *serverTelemetry
+	id      uint64
+	label   string
+	startNS int64
+	spans   *telemetry.FrameSpans // pooled recorder attached to the renderer
+	owner   atomic.Int32          // 0 = undecided, 1 = handler left, 2 = goroutine done
+	status  atomic.Int32          // HTTP status stored by the handler on early exit
+	tr      *telemetry.Trace      // built by the goroutine, published by the 0->2 CAS
+}
+
+// startTrace begins tracing one /render request; returns nil when span
+// tracing is disabled. The recorder comes from the pool and goes back
+// when the trace is built.
+func (t *serverTelemetry) startTrace(id uint64, label string, start time.Time) *reqTrace {
+	if t.tracer == nil {
+		return nil
+	}
+	fs := t.spanPool.Get().(*telemetry.FrameSpans)
+	fs.Reset(t.epoch)
+	return &reqTrace{
+		tel:     t,
+		id:      id,
+		label:   label,
+		startNS: t.sinceEpochNS(start),
+		spans:   fs,
+	}
+}
+
+// record adds one request-lane span. Nil-safe.
+func (rt *reqTrace) record(name string, start time.Time, d time.Duration) {
+	if rt == nil {
+		return
+	}
+	rt.spans.Record(-1, name, telemetry.CatRequest, start, d)
+}
+
+// build converts the recorder's contents into a Trace and returns the
+// recorder to the pool. Call once, after every recording worker is done.
+func (rt *reqTrace) build(durNS int64) *telemetry.Trace {
+	spans := rt.spans.Spans()
+	tr := &telemetry.Trace{
+		ID:      rt.id,
+		Label:   rt.label,
+		StartNS: rt.startNS,
+		DurNS:   durNS,
+		Dropped: rt.spans.Dropped(),
+		Spans:   append(make([]telemetry.Span, 0, len(spans)), spans...),
+	}
+	rt.tel.spanPool.Put(rt.spans)
+	rt.spans = nil
+	return tr
+}
+
+// finish finalizes a trace the handler owned start to finish (rejection
+// paths that never spawned a render goroutine). Nil-safe.
+func (rt *reqTrace) finish(status int, now time.Time) {
+	if rt == nil {
+		return
+	}
+	tr := rt.build(rt.tel.sinceEpochNS(now) - rt.startNS)
+	tr.Status = status
+	rt.tel.tracer.Add(tr)
+}
+
+// handlerExits is called when the handler abandons the request while the
+// render goroutine still runs (watchdog, deadline, disconnect): it
+// leaves finalization to the goroutine, unless the goroutine got there
+// first, in which case the handler finalizes. Nil-safe.
+func (rt *reqTrace) handlerExits(status int, now time.Time) {
+	if rt == nil {
+		return
+	}
+	rt.status.Store(int32(status))
+	if rt.owner.CompareAndSwap(0, 1) {
+		return // the render goroutine finalizes when the frame drains
+	}
+	// The goroutine finished in the same instant (owner == 2): its trace
+	// is published; finalize it here.
+	tr := rt.tr
+	tr.Status = status
+	tr.DurNS = rt.tel.sinceEpochNS(now) - rt.startNS
+	rt.tel.tracer.Add(tr)
+}
+
+// goroutineDone is called by the render goroutine after the frame
+// drained and the worker spans were copied out. If the handler already
+// left, the goroutine finalizes with the handler's status; otherwise the
+// trace is published for the handler to finish after encoding. Nil-safe.
+func (rt *reqTrace) goroutineDone(now time.Time) {
+	if rt == nil {
+		return
+	}
+	rt.tr = rt.build(rt.tel.sinceEpochNS(now) - rt.startNS)
+	if rt.owner.CompareAndSwap(0, 2) {
+		return // handler still active; it finalizes after the response
+	}
+	rt.tr.Status = int(rt.status.Load())
+	rt.tel.tracer.Add(rt.tr)
+}
+
+// handlerFinishes finalizes on the handler's normal path: the render
+// goroutine has published the trace (owner == 2), the response has been
+// written, and the encode span is appended. Nil-safe.
+func (rt *reqTrace) handlerFinishes(status int, encodeStart time.Time, encodeDur time.Duration, now time.Time) {
+	if rt == nil {
+		return
+	}
+	tr := rt.tr
+	if tr == nil {
+		return // defensive: goroutine result consumed without a publish
+	}
+	if encodeDur > 0 {
+		tr.Spans = append(tr.Spans, telemetry.Span{
+			Name: "encode", Cat: telemetry.CatRequest, Worker: -1,
+			StartNS: rt.tel.sinceEpochNS(encodeStart), DurNS: int64(encodeDur),
+		})
+	}
+	tr.Status = status
+	tr.DurNS = rt.tel.sinceEpochNS(now) - rt.startNS
+	rt.tel.tracer.Add(tr)
+}
+
+// handlePromMetrics writes the Prometheus text exposition of every
+// counter and histogram the JSON snapshot carries, plus the latency
+// histograms that exist only here (the JSON document stays byte-
+// compatible with its pre-telemetry consumers, so quantiles live on
+// /debug/latency instead).
+func (s *Server) handlePromMetrics(w http.ResponseWriter) {
+	snap := s.metricsSnapshot()
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	pw := telemetry.NewPromWriter(w)
+
+	pw.Gauge("shearwarpd_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
+	pw.Counter("shearwarpd_frames_total", "Successfully rendered frames.", float64(snap.Frames))
+	pw.Gauge("shearwarpd_rendering", "Frames rendering right now.", float64(snap.Rendering))
+	pw.Gauge("shearwarpd_queued", "Requests waiting for admission.", float64(snap.Queued))
+	pw.Counter("shearwarpd_frame_panics_total", "Frames that failed with a recovered panic.", float64(snap.Panics))
+	pw.Counter("shearwarpd_frames_canceled_total", "Frames aborted by deadline or disconnect.", float64(snap.Canceled))
+	pw.Counter("shearwarpd_watchdog_stalls_total", "Frames cancelled by the watchdog.", float64(snap.Stalls))
+	pw.Counter("shearwarpd_renderers_replaced_total", "Renderers discarded and rebuilt after a panic.", float64(snap.Replaced))
+
+	// Per-endpoint counters: one metric name per counter, one series per
+	// path, emitted in sorted path order so the exposition is stable.
+	paths := make([]string, 0, len(snap.Endpoints))
+	for p := range snap.Endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	emit := func(name, help string, v func(EndpointSnapshot) float64) {
+		for _, p := range paths {
+			pw.Counter(name, help, v(snap.Endpoints[p]), "path", p)
+		}
+	}
+	emit("shearwarpd_requests_total", "Completed requests.",
+		func(e EndpointSnapshot) float64 { return float64(e.Requests) })
+	emit("shearwarpd_request_errors_total", "Responses with status >= 400.",
+		func(e EndpointSnapshot) float64 { return float64(e.Errors) })
+	emit("shearwarpd_requests_rejected_total", "Admission rejections (503).",
+		func(e EndpointSnapshot) float64 { return float64(e.Rejected) })
+	emit("shearwarpd_request_deadlines_total", "Deadline expiries (504).",
+		func(e EndpointSnapshot) float64 { return float64(e.Deadlines) })
+	for _, p := range paths {
+		pw.Gauge("shearwarpd_requests_in_flight", "Requests in flight.",
+			float64(snap.Endpoints[p].InFlight), "path", p)
+	}
+	for _, p := range paths {
+		if h := s.endpointHist(p); h != nil {
+			pw.Histogram("shearwarpd_request_duration_seconds",
+				"End-to-end request latency.", h.Snapshot(), "path", p)
+		}
+	}
+
+	pw.Counter("shearwarpd_cache_hits_total", "Preprocessing cache hits.", float64(snap.Cache.Hits))
+	pw.Counter("shearwarpd_cache_misses_total", "Preprocessing cache misses.", float64(snap.Cache.Misses))
+	pw.Counter("shearwarpd_cache_builds_total", "Completed cache builds.", float64(snap.Cache.Builds))
+	pw.Counter("shearwarpd_cache_build_failures_total", "Failed cache builds.", float64(snap.Cache.Failures))
+	pw.Counter("shearwarpd_cache_evictions_total", "Cache entries evicted.", float64(snap.Cache.Evictions))
+	pw.Gauge("shearwarpd_cache_entries", "Cached entries.", float64(snap.Cache.Entries))
+	pw.Gauge("shearwarpd_cache_bytes", "Accounted cache bytes.", float64(snap.Cache.Bytes))
+
+	// Cumulative per-phase totals (counters, nanoseconds summed across
+	// workers and frames), then the per-frame phase histograms.
+	phases := make([]string, 0, len(snap.Phases.PhaseNS))
+	for ph := range snap.Phases.PhaseNS {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		pw.Counter("shearwarpd_phase_ns_total",
+			"Cumulative phase time, summed across workers and frames.",
+			float64(snap.Phases.PhaseNS[ph]), "phase", ph)
+	}
+	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+		pw.Histogram("shearwarpd_phase_seconds",
+			"Per-worker per-frame render phase durations.",
+			s.tel.hPhase[ph].Snapshot(), "phase", ph.String())
+	}
+
+	pw.Histogram("shearwarpd_admission_wait_seconds",
+		"Time requests spent waiting for an admission slot.", s.tel.hQueue.Snapshot())
+	pw.Histogram("shearwarpd_cache_build_seconds",
+		"Wall time of preprocessing cache builds.", s.tel.hBuild.Snapshot())
+
+	if err := pw.Err(); err != nil {
+		// Headers are long gone; all we can do is log the broken scrape.
+		s.tel.logger.Warn("metrics exposition failed", "err", err)
+	}
+}
+
+// endpointHist maps an exposition path to its latency histogram.
+func (s *Server) endpointHist(path string) *telemetry.Histogram {
+	switch path {
+	case "/render":
+		return s.mRender.latency
+	case "/healthz":
+		return s.mHealth.latency
+	case "/metrics":
+		return s.mMetrics.latency
+	case "/debug/spans":
+		return s.mSpans.latency
+	case "/debug/latency":
+		return s.mLatency.latency
+	}
+	return nil
+}
+
+// LatencySnapshot is the /debug/latency document: quantile digests of
+// every latency histogram, in milliseconds. scripts/bench.sh saves it
+// verbatim as BENCH_latency.json.
+type LatencySnapshot struct {
+	Endpoints     map[string]telemetry.QuantileSummary `json:"endpoints"`
+	AdmissionWait telemetry.QuantileSummary            `json:"admission_wait"`
+	CacheBuild    telemetry.QuantileSummary            `json:"cache_build"`
+	Phases        map[string]telemetry.QuantileSummary `json:"phases"`
+}
+
+// latencySnapshot digests every histogram into quantile summaries.
+func (s *Server) latencySnapshot() LatencySnapshot {
+	ls := LatencySnapshot{
+		Endpoints: map[string]telemetry.QuantileSummary{
+			"/render":        s.mRender.latency.Snapshot().Summary(),
+			"/healthz":       s.mHealth.latency.Snapshot().Summary(),
+			"/metrics":       s.mMetrics.latency.Snapshot().Summary(),
+			"/debug/spans":   s.mSpans.latency.Snapshot().Summary(),
+			"/debug/latency": s.mLatency.latency.Snapshot().Summary(),
+		},
+		AdmissionWait: s.tel.hQueue.Snapshot().Summary(),
+		CacheBuild:    s.tel.hBuild.Snapshot().Summary(),
+		Phases:        make(map[string]telemetry.QuantileSummary, perf.NumPhases),
+	}
+	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+		ls.Phases[ph.String()] = s.tel.hPhase[ph].Snapshot().Summary()
+	}
+	return ls
+}
+
+// handleSpans is GET /debug/spans: the retained request traces as Chrome
+// trace-event JSON (loadable by chrome://tracing and ui.perfetto.dev).
+// ?id=N restricts to one trace; ?view=timeline renders the paper's
+// Figure 5/6 per-worker busy/sync/imbalance bars as text instead.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.tel.tracer == nil {
+		httpError(w, http.StatusNotFound, "span tracing disabled")
+		return
+	}
+	var traces []*telemetry.Trace
+	if v := r.URL.Query().Get("id"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad id %q", v)
+			return
+		}
+		tr := s.tel.tracer.Find(id)
+		if tr == nil {
+			httpError(w, http.StatusNotFound, "no retained trace with id %d", id)
+			return
+		}
+		traces = []*telemetry.Trace{tr}
+	} else {
+		traces = s.tel.tracer.Traces()
+	}
+	if r.URL.Query().Get("view") == "timeline" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, tr := range traces {
+			fmt.Fprintln(w, telemetry.Timeline(tr))
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := telemetry.WriteChromeTrace(w, traces); err != nil {
+		s.tel.logger.Warn("span export failed", "err", err)
+	}
+}
+
+// handleLatency is GET /debug/latency: the quantile digests as JSON.
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.latencySnapshot(), s.tel.logger)
+}

@@ -91,3 +91,70 @@ func TestCSVRendering(t *testing.T) {
 		t.Fatalf("CSV = %q, want %q", csv, want)
 	}
 }
+
+// TestTableEdgeCases pins String on the degenerate shapes the metrics
+// paths can produce: no columns at all, a lone row, and cells (or extra
+// trailing cells) wider than their headers.
+func TestTableEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		tb := Table{ID: "e", Title: "Empty"}
+		s := tb.String()
+		if !strings.Contains(s, "== e: Empty ==") {
+			t.Fatalf("missing header: %q", s)
+		}
+		// Title + empty header row + separator; must not panic and must
+		// still terminate every line.
+		if !strings.HasSuffix(s, "\n") {
+			t.Fatalf("unterminated output: %q", s)
+		}
+		if tb.CSV() != "\n" {
+			t.Fatalf("empty CSV = %q", tb.CSV())
+		}
+	})
+
+	t.Run("single-row", func(t *testing.T) {
+		tb := Table{ID: "s", Title: "One", Columns: []string{"k", "v"}}
+		tb.AddRow("only", "42")
+		lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+		// Title + header + separator + 1 row.
+		if len(lines) != 4 {
+			t.Fatalf("lines = %d: %q", len(lines), lines)
+		}
+		if !strings.HasSuffix(lines[3], "42") {
+			t.Fatalf("row mangled: %q", lines[3])
+		}
+	})
+
+	t.Run("wide-cells", func(t *testing.T) {
+		tb := Table{ID: "w", Title: "Wide", Columns: []string{"x", "y"}}
+		wide := strings.Repeat("0123456789", 5)
+		tb.AddRow("a", wide)
+		tb.AddRow("b", "1")
+		lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+		// The column grows to the widest cell: the separator spans it and
+		// the short value right-aligns to the same edge.
+		if len(lines[2]) < len(wide) {
+			t.Fatalf("separator narrower than widest cell: %q", lines[2])
+		}
+		if len(lines[3]) != len(lines[4]) {
+			t.Fatalf("rows not aligned: %q vs %q", lines[3], lines[4])
+		}
+		if !strings.HasSuffix(lines[4], "1") {
+			t.Fatalf("short value not right-aligned: %q", lines[4])
+		}
+	})
+
+	t.Run("extra-cells", func(t *testing.T) {
+		// A row with more cells than columns must render (and CSV) without
+		// panicking; the surplus cells print unpadded.
+		tb := Table{ID: "x", Title: "Extra", Columns: []string{"only"}}
+		tb.AddRow("a", "surplus")
+		s := tb.String()
+		if !strings.Contains(s, "surplus") {
+			t.Fatalf("surplus cell dropped: %q", s)
+		}
+		if !strings.Contains(tb.CSV(), "a,surplus") {
+			t.Fatalf("surplus cell dropped from CSV: %q", tb.CSV())
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package promtest validates Prometheus text-format (0.0.4) expositions
+// in tests: internal/telemetry checks its writer against it, and
+// internal/server parse-checks the /metrics exposition end to end.
+package promtest
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleRe matches one exposition sample line: name, optional labels,
+// value, optional timestamp.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+)?$`)
+
+// Validate is a minimal Prometheus text-format (0.0.4) parser: it checks
+// line syntax, HELP/TYPE placement, contiguous metric groups, and
+// histogram invariants (monotone buckets, +Inf == _count). It returns the
+// parsed samples as name{labels} -> value.
+func Validate(t testing.TB, body string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	var lastName string
+	closed := map[string]bool{} // metric groups that have ended
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && typed[b] == "histogram" {
+				return b
+			}
+		}
+		return name
+	}
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && (f[1] == "TYPE" || f[1] == "HELP") {
+				if f[1] == "TYPE" {
+					switch f[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						t.Fatalf("line %d: bad TYPE %q", ln, f[3])
+					}
+					typed[f[2]] = f[3]
+					if samples[f[2]] != 0 {
+						t.Fatalf("line %d: TYPE %s after its samples", ln, f[2])
+					}
+				}
+				continue
+			}
+			continue // plain comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample: %q", ln, line)
+		}
+		name := m[1]
+		group := base(name)
+		if closed[group] {
+			t.Fatalf("line %d: metric %s not contiguous", ln, group)
+		}
+		if lastName != "" && lastName != group {
+			closed[lastName] = true
+		}
+		lastName = group
+		v, err := strconv.ParseFloat(strings.TrimPrefix(m[3], "+"), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln, m[3], err)
+		}
+		samples[name+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+
+	// Histogram invariants: per (base, non-le label set), bucket counts
+	// are monotone in le and the +Inf bucket equals _count.
+	for name, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		type bkt struct {
+			le  float64
+			val float64
+		}
+		series := map[string][]bkt{}
+		for key, v := range samples {
+			if !strings.HasPrefix(key, name+"_bucket") {
+				continue
+			}
+			labels := key[len(name+"_bucket"):]
+			le, rest := extractLE(labels)
+			series[rest] = append(series[rest], bkt{le, v})
+		}
+		for rest, bs := range series {
+			for i := range bs {
+				for j := range bs {
+					if bs[i].le < bs[j].le && bs[i].val > bs[j].val {
+						t.Fatalf("%s%s: bucket le=%g count %g > le=%g count %g",
+							name, rest, bs[i].le, bs[i].val, bs[j].le, bs[j].val)
+					}
+				}
+			}
+			countKey := name + "_count" + rest
+			count, ok := samples[countKey]
+			if !ok {
+				t.Fatalf("%s: missing %s", name, countKey)
+			}
+			var inf float64 = -1
+			for _, b := range bs {
+				if b.le > 1e300 {
+					inf = b.val
+				}
+			}
+			if inf != count {
+				t.Fatalf("%s%s: le=+Inf bucket %g != count %g", name, rest, inf, count)
+			}
+		}
+	}
+	return samples
+}
+
+// extractLE splits the le label out of a rendered label set, returning
+// its value and the label set without it.
+func extractLE(labels string) (le float64, rest string) {
+	if labels == "" {
+		return 0, ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, part := range strings.Split(inner, ",") {
+		if v, ok := strings.CutPrefix(part, `le="`); ok {
+			v = strings.TrimSuffix(v, `"`)
+			if v == "+Inf" {
+				le = 1e308
+			} else {
+				le, _ = strconv.ParseFloat(v, 64)
+			}
+			continue
+		}
+		kept = append(kept, part)
+	}
+	if len(kept) == 0 {
+		return le, ""
+	}
+	return le, "{" + strings.Join(kept, ",") + "}"
+}

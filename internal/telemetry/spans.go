@@ -1,0 +1,391 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span categories, mapped onto the paper's Figure 5/6 vocabulary by the
+// timeline view: busy spans are computation, sync spans are explicit
+// synchronization, and whatever remains of a worker's frame wall clock
+// is load imbalance. Request-category spans live on the request lane
+// (worker -1) and are excluded from the per-worker accounting.
+const (
+	CatBusy    = "busy"
+	CatSync    = "sync"
+	CatRequest = "request"
+)
+
+// Span is one timed section of a request or frame. StartNS is measured
+// from the owning tracer's epoch so spans from overlapping requests
+// share a timeline.
+type Span struct {
+	Name    string `json:"name"`
+	Cat     string `json:"cat"`
+	Worker  int    `json:"worker"` // -1 = request lane, >= 0 = render worker
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// maxFrameSpans bounds one request's span count. A frame records a
+// handful of spans per worker plus the request-level phases; chunked
+// compositing in the old algorithm can emit one span per chunk, so the
+// cap is generous. Overflow drops spans and counts the drop instead of
+// growing.
+const maxFrameSpans = 512
+
+// FrameSpans is the per-request span recorder the render workers write
+// into: a preallocated fixed-size buffer claimed by atomic index, so
+// concurrent workers record without locks and a whole frame's recording
+// allocates nothing. All methods are no-ops on a nil receiver — the
+// disabled-telemetry contract the renderers' nil checks rely on.
+//
+// Ownership: one goroutine resets the recorder, attaches it to a
+// renderer, and reads Spans after the frame's completion barrier;
+// workers only Record between those points.
+type FrameSpans struct {
+	epoch   time.Time
+	n       atomic.Int64
+	dropped atomic.Int64
+	spans   [maxFrameSpans]Span
+}
+
+// NewFrameSpans returns a recorder whose span timestamps are measured
+// from epoch.
+func NewFrameSpans(epoch time.Time) *FrameSpans {
+	return &FrameSpans{epoch: epoch}
+}
+
+// Reset clears the recorder for a new request, rebasing on epoch.
+func (fs *FrameSpans) Reset(epoch time.Time) {
+	if fs == nil {
+		return
+	}
+	fs.epoch = epoch
+	fs.n.Store(0)
+	fs.dropped.Store(0)
+}
+
+// Record appends one span. Safe for concurrent workers; allocation-free.
+func (fs *FrameSpans) Record(worker int, name, cat string, start time.Time, d time.Duration) {
+	if fs == nil {
+		return
+	}
+	i := fs.n.Add(1) - 1
+	if i >= maxFrameSpans {
+		fs.dropped.Add(1)
+		return
+	}
+	fs.spans[i] = Span{
+		Name:    name,
+		Cat:     cat,
+		Worker:  worker,
+		StartNS: start.Sub(fs.epoch).Nanoseconds(),
+		DurNS:   int64(d),
+	}
+}
+
+// Spans returns the recorded spans. Call only after every recording
+// worker has finished (the frame's completion barrier); the slice
+// aliases the recorder and is invalidated by Reset.
+func (fs *FrameSpans) Spans() []Span {
+	if fs == nil {
+		return nil
+	}
+	n := fs.n.Load()
+	if n > maxFrameSpans {
+		n = maxFrameSpans
+	}
+	return fs.spans[:n]
+}
+
+// Dropped returns how many spans overflowed the buffer.
+func (fs *FrameSpans) Dropped() int64 {
+	if fs == nil {
+		return 0
+	}
+	return fs.dropped.Load()
+}
+
+// Trace is one request's captured spans plus identification. DurNS
+// covers the whole request (admission through encode); Status is the
+// HTTP status the request answered with (0 while in flight).
+type Trace struct {
+	ID      uint64 `json:"id"`
+	Label   string `json:"label"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Status  int    `json:"status"`
+	Dropped int64  `json:"dropped_spans,omitempty"`
+	Spans   []Span `json:"spans"`
+}
+
+// Tracer retains completed request traces for /debug/spans. Retention
+// combines three fixed-size samples so both "what does a normal request
+// look like" and "what did the slow ones do" stay answerable without
+// unbounded memory:
+//
+//   - head: the first headN traces ever captured (cold-start behaviour,
+//     cache builds, pool construction);
+//   - recent: a ring of the last ringN traces;
+//   - slow: the slowN largest-duration traces (tail latency).
+//
+// A trace can appear in several samples; Traces deduplicates.
+type Tracer struct {
+	epoch time.Time
+	seq   atomic.Uint64
+
+	mu     sync.Mutex
+	head   []*Trace
+	headN  int
+	recent []*Trace // ring, len ringN once full
+	next   int
+	ringN  int
+	slow   []*Trace
+	slowN  int
+}
+
+// NewTracer returns a tracer retaining ring recent traces, head
+// first-ever traces and slow slowest traces (non-positive arguments get
+// defaults of 64, 16 and 16).
+func NewTracer(ring, head, slow int) *Tracer {
+	if ring <= 0 {
+		ring = 64
+	}
+	if head <= 0 {
+		head = 16
+	}
+	if slow <= 0 {
+		slow = 16
+	}
+	return &Tracer{epoch: time.Now(), headN: head, ringN: ring, slowN: slow}
+}
+
+// Epoch is the instant trace and span timestamps are measured from.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+// NextID allocates a request/trace ID (unique within this tracer).
+func (t *Tracer) NextID() uint64 { return t.seq.Add(1) }
+
+// Add retains a completed trace under the sampling policy. The tracer
+// takes ownership of tr; do not mutate it afterwards except through
+// Amend.
+func (t *Tracer) Add(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.head) < t.headN {
+		t.head = append(t.head, tr)
+	}
+	if len(t.recent) < t.ringN {
+		t.recent = append(t.recent, tr)
+	} else {
+		t.recent[t.next] = tr
+		t.next = (t.next + 1) % t.ringN
+	}
+	if len(t.slow) < t.slowN {
+		t.slow = append(t.slow, tr)
+	} else {
+		min, minDur := -1, tr.DurNS
+		for i, s := range t.slow {
+			if s.DurNS < minDur {
+				min, minDur = i, s.DurNS
+			}
+		}
+		if min >= 0 {
+			t.slow[min] = tr
+		}
+	}
+}
+
+// Amend appends spans to a retained trace and updates its status and
+// duration — the handler uses it for work that happens after the render
+// goroutine completed the trace (response encoding). A trace that has
+// aged out of every sample is silently gone.
+func (t *Tracer) Amend(id uint64, status int, durNS int64, spans ...Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, group := range [][]*Trace{t.head, t.recent, t.slow} {
+		for _, tr := range group {
+			if tr.ID == id {
+				tr.Spans = append(tr.Spans, spans...)
+				tr.Status = status
+				if durNS > tr.DurNS {
+					tr.DurNS = durNS
+				}
+				return // samples share pointers; first hit mutates the trace
+			}
+		}
+	}
+}
+
+// Traces returns the retained traces, deduplicated and ordered by start
+// time. The returned traces are shared with the tracer; treat them as
+// read-only.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[uint64]bool)
+	var out []*Trace
+	for _, group := range [][]*Trace{t.head, t.recent, t.slow} {
+		for _, tr := range group {
+			if !seen[tr.ID] {
+				seen[tr.ID] = true
+				out = append(out, tr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	return out
+}
+
+// Find returns the retained trace with the given ID, or nil.
+func (t *Tracer) Find(id uint64) *Trace {
+	for _, tr := range t.Traces() {
+		if tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace-event (the "Trace Event Format"
+// loadable by chrome://tracing and https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  uint64         `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits traces as Chrome trace-event JSON: one process
+// per request (pid = trace ID, named by the trace label), one thread
+// per render worker plus a request lane at tid 0, and one complete
+// ("ph":"X") event per span. Timestamps are shared across traces, so
+// overlapping requests appear concurrent in the viewer.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, tr := range traces {
+		pid := tr.ID
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("req %d: %s", tr.ID, tr.Label)},
+		})
+		lanes := map[int]bool{}
+		for _, sp := range tr.Spans {
+			tid := sp.Worker + 1 // request lane -1 -> tid 0
+			if !lanes[tid] {
+				lanes[tid] = true
+				name := "request"
+				if sp.Worker >= 0 {
+					name = fmt.Sprintf("worker %d", sp.Worker)
+				}
+				ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+					Args: map[string]any{"name": name},
+				})
+			}
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "X",
+				TS: float64(sp.StartNS) / 1e3, Dur: float64(sp.DurNS) / 1e3,
+				PID: pid, TID: tid,
+				Args: map[string]any{"status": tr.Status},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// Timeline renders one trace as the paper's Figure 5/6 per-worker
+// execution-time bars: for each worker, busy time (computation), sync
+// time (tracked waits) and the remaining wall clock as load imbalance,
+// with a proportional bar (B = busy, S = sync, . = imbalance). The wall
+// clock is the envelope of the trace's worker spans.
+func Timeline(tr *Trace) string {
+	const barWidth = 40
+	type acc struct{ busy, sync int64 }
+	workers := map[int]*acc{}
+	var lo, hi int64 = -1, 0
+	for _, sp := range tr.Spans {
+		if sp.Worker < 0 {
+			continue
+		}
+		a := workers[sp.Worker]
+		if a == nil {
+			a = &acc{}
+			workers[sp.Worker] = a
+		}
+		switch sp.Cat {
+		case CatSync:
+			a.sync += sp.DurNS
+		default:
+			a.busy += sp.DurNS
+		}
+		if lo < 0 || sp.StartNS < lo {
+			lo = sp.StartNS
+		}
+		if end := sp.StartNS + sp.DurNS; end > hi {
+			hi = end
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d: %s (status %d, %.3fms)\n", tr.ID, tr.Label, tr.Status, float64(tr.DurNS)/1e6)
+	if len(workers) == 0 {
+		b.WriteString("no worker spans captured\n")
+		return b.String()
+	}
+	wall := hi - lo
+	if wall <= 0 {
+		wall = 1
+	}
+	fmt.Fprintf(&b, "frame wall %.3fms over %d workers; bars: B busy, S sync, . imbalance\n",
+		float64(wall)/1e6, len(workers))
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(&b, "%-6s  %10s  %10s  %10s  bar\n", "proc", "busy(ms)", "sync(ms)", "imbal(ms)")
+	for _, id := range ids {
+		a := workers[id]
+		imbal := wall - a.busy - a.sync
+		if imbal < 0 {
+			imbal = 0
+		}
+		nb := int(float64(a.busy) / float64(wall) * barWidth)
+		ns := int(float64(a.sync) / float64(wall) * barWidth)
+		if nb+ns > barWidth {
+			ns = barWidth - nb
+		}
+		bar := strings.Repeat("B", nb) + strings.Repeat("S", ns) + strings.Repeat(".", barWidth-nb-ns)
+		fmt.Fprintf(&b, "%-6d  %10.3f  %10.3f  %10.3f  |%s|\n",
+			id, float64(a.busy)/1e6, float64(a.sync)/1e6, float64(imbal)/1e6, bar)
+	}
+	return b.String()
+}

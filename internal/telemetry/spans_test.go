@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFrameSpansConcurrent(t *testing.T) {
+	epoch := time.Now()
+	fs := NewFrameSpans(epoch)
+	const workers, per = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fs.Record(w, "composite-own", CatBusy, epoch.Add(time.Duration(i)*time.Microsecond), time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := fs.Spans()
+	if len(spans) != workers*per {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*per)
+	}
+	if fs.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", fs.Dropped())
+	}
+	perWorker := map[int]int{}
+	for _, sp := range spans {
+		perWorker[sp.Worker]++
+		if sp.Name != "composite-own" || sp.Cat != CatBusy {
+			t.Fatalf("corrupted span %+v", sp)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if perWorker[w] != per {
+			t.Fatalf("worker %d recorded %d spans, want %d", w, perWorker[w], per)
+		}
+	}
+}
+
+func TestFrameSpansOverflowAndReset(t *testing.T) {
+	epoch := time.Now()
+	fs := NewFrameSpans(epoch)
+	for i := 0; i < maxFrameSpans+30; i++ {
+		fs.Record(0, "s", CatBusy, epoch, time.Nanosecond)
+	}
+	if got := len(fs.Spans()); got != maxFrameSpans {
+		t.Fatalf("len %d, want cap %d", got, maxFrameSpans)
+	}
+	if fs.Dropped() != 30 {
+		t.Fatalf("dropped %d, want 30", fs.Dropped())
+	}
+	fs.Reset(epoch.Add(time.Second))
+	if len(fs.Spans()) != 0 || fs.Dropped() != 0 {
+		t.Fatal("reset did not clear recorder")
+	}
+	fs.Record(1, "after", CatSync, epoch.Add(time.Second+time.Millisecond), time.Millisecond)
+	sp := fs.Spans()
+	if len(sp) != 1 || sp[0].StartNS != int64(time.Millisecond) {
+		t.Fatalf("post-reset span %+v, want start rebased to new epoch", sp)
+	}
+}
+
+func TestFrameSpansNil(t *testing.T) {
+	var fs *FrameSpans
+	fs.Record(0, "x", CatBusy, time.Now(), time.Second) // must not panic
+	fs.Reset(time.Now())
+	if fs.Spans() != nil || fs.Dropped() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+}
+
+// mkTrace builds a trace with the given id, start and duration.
+func mkTrace(id uint64, startNS, durNS int64) *Trace {
+	return &Trace{ID: id, Label: "render", StartNS: startNS, DurNS: durNS, Status: 200}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4, 2, 2) // ring 4, head 2, slow 2
+	// 10 traces; trace 5 and 6 are the slowest.
+	for i := 1; i <= 10; i++ {
+		dur := int64(i * 1000)
+		if i == 5 || i == 6 {
+			dur = int64(1e9) + int64(i)
+		}
+		tr.Add(mkTrace(uint64(i), int64(i), dur))
+	}
+	got := map[uint64]bool{}
+	for _, x := range tr.Traces() {
+		got[x.ID] = true
+	}
+	// head keeps 1,2; ring keeps 7,8,9,10; slow keeps 5,6.
+	for _, want := range []uint64{1, 2, 5, 6, 7, 8, 9, 10} {
+		if !got[want] {
+			t.Fatalf("trace %d missing from retention; have %v", want, got)
+		}
+	}
+	if got[3] || got[4] {
+		t.Fatalf("traces 3/4 should have aged out; have %v", got)
+	}
+	// Ordered by start.
+	ts := tr.Traces()
+	for i := 1; i < len(ts); i++ {
+		if ts[i].StartNS < ts[i-1].StartNS {
+			t.Fatal("Traces not ordered by start")
+		}
+	}
+	if tr.Find(7) == nil || tr.Find(3) != nil {
+		t.Fatal("Find mismatch")
+	}
+}
+
+func TestTracerAmend(t *testing.T) {
+	tr := NewTracer(8, 2, 2)
+	tr.Add(mkTrace(1, 0, 1000))
+	tr.Amend(1, 503, 5000, Span{Name: "encode", Cat: CatRequest, Worker: -1, StartNS: 1000, DurNS: 4000})
+	x := tr.Find(1)
+	if x.Status != 503 || x.DurNS != 5000 || len(x.Spans) != 1 || x.Spans[0].Name != "encode" {
+		t.Fatalf("amend not applied: %+v", x)
+	}
+	// Shorter duration must not shrink the trace.
+	tr.Amend(1, 200, 10)
+	if x.DurNS != 5000 {
+		t.Fatalf("amend shrank duration to %d", x.DurNS)
+	}
+	tr.Amend(999, 200, 1) // unknown id: no-op, no panic
+	var nilT *Tracer
+	nilT.Add(mkTrace(2, 0, 1))
+	nilT.Amend(2, 200, 1)
+	if nilT.Traces() != nil {
+		t.Fatal("nil tracer retained traces")
+	}
+}
+
+func TestTracerIDsUnique(t *testing.T) {
+	tr := NewTracer(0, 0, 0)
+	const n = 1000
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/10; j++ {
+				ids <- tr.NextID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[uint64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := &Trace{ID: 7, Label: "render yaw=30", StartNS: 0, DurNS: 3_000_000, Status: 200, Spans: []Span{
+		{Name: "admission", Cat: CatRequest, Worker: -1, StartNS: 0, DurNS: 10_000},
+		{Name: "composite-own", Cat: CatBusy, Worker: 0, StartNS: 20_000, DurNS: 1_000_000},
+		{Name: "wait", Cat: CatSync, Worker: 1, StartNS: 20_000, DurNS: 500_000},
+		{Name: "warp", Cat: CatBusy, Worker: 1, StartNS: 520_000, DurNS: 400_000},
+	}}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, []*Trace{tr}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  uint64  `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid trace-event JSON: %v\n%s", err, b.String())
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", got.DisplayTimeUnit)
+	}
+	var x, meta int
+	for _, ev := range got.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			x++
+			if ev.PID != 7 {
+				t.Fatalf("event pid %d, want trace id 7", ev.PID)
+			}
+			if ev.Name == "warp" {
+				if ev.TID != 2 { // worker 1 -> tid 2
+					t.Fatalf("warp tid %d, want 2", ev.TID)
+				}
+				if ev.TS != 520 || ev.Dur != 400 { // µs
+					t.Fatalf("warp ts/dur %.1f/%.1f, want 520/400", ev.TS, ev.Dur)
+				}
+			}
+			if ev.Name == "admission" && ev.TID != 0 {
+				t.Fatalf("request-lane tid %d, want 0", ev.TID)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if x != len(tr.Spans) {
+		t.Fatalf("%d complete events, want %d", x, len(tr.Spans))
+	}
+	if meta < 4 { // process_name + 3 thread lanes
+		t.Fatalf("%d metadata events, want >= 4", meta)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents": []`) {
+		t.Fatalf("empty trace must still carry traceEvents array:\n%s", b.String())
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	// Worker 0 fully busy; worker 1 half busy, quarter sync, rest imbalance.
+	tr := &Trace{ID: 3, Label: "render", DurNS: 4_000_000, Status: 200, Spans: []Span{
+		{Name: "composite-own", Cat: CatBusy, Worker: 0, StartNS: 0, DurNS: 4_000_000},
+		{Name: "composite-own", Cat: CatBusy, Worker: 1, StartNS: 0, DurNS: 2_000_000},
+		{Name: "wait", Cat: CatSync, Worker: 1, StartNS: 2_000_000, DurNS: 1_000_000},
+		{Name: "admission", Cat: CatRequest, Worker: -1, StartNS: 0, DurNS: 50_000},
+	}}
+	out := Timeline(tr)
+	for _, want := range []string{"trace 3", "proc", "busy(ms)", "sync(ms)", "imbal(ms)", "2 workers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var w0, w1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "0 ") {
+			w0 = l
+		}
+		if strings.HasPrefix(l, "1 ") {
+			w1 = l
+		}
+	}
+	if w0 == "" || w1 == "" {
+		t.Fatalf("missing worker rows:\n%s", out)
+	}
+	// Worker 0's bar is all B; worker 1's has B, S and imbalance dots.
+	bar := func(row string) string {
+		i, j := strings.Index(row, "|"), strings.LastIndex(row, "|")
+		if i < 0 || j <= i {
+			t.Fatalf("row has no bar: %s", row)
+		}
+		return row[i+1 : j]
+	}
+	if b0 := bar(w0); strings.Contains(b0, ".") || !strings.Contains(b0, "B") {
+		t.Fatalf("worker 0 bar should be fully busy: %s", w0)
+	}
+	for _, ch := range []string{"B", "S", "."} {
+		if !strings.Contains(bar(w1), ch) {
+			t.Fatalf("worker 1 bar missing %q: %s", ch, w1)
+		}
+	}
+	// No worker spans at all.
+	empty := Timeline(&Trace{ID: 4, Label: "rejected", Status: 429, Spans: []Span{
+		{Name: "admission", Cat: CatRequest, Worker: -1, StartNS: 0, DurNS: 10},
+	}})
+	if !strings.Contains(empty, "no worker spans") {
+		t.Fatalf("want no-worker notice:\n%s", empty)
+	}
+}

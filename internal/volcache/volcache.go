@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"shearwarp/internal/xform"
 )
@@ -94,6 +95,15 @@ func (e *BuildError) Unwrap() error {
 // is not usable; construct with New. All methods are safe for concurrent
 // use.
 type Cache struct {
+	// OnBuild, when non-nil, observes every completed builder invocation
+	// (coalesced waiters do not re-fire it) with the key, the build's
+	// wall-clock duration and its error (nil on success). The render
+	// service wires it to the cache-build latency histogram and the
+	// structured log. Set it before the cache is shared between
+	// goroutines; it must not call back into the cache. Nil costs no
+	// clock reads.
+	OnBuild func(Key, time.Duration, error)
+
 	mu       sync.Mutex
 	capacity int64
 	bytes    int64
@@ -172,7 +182,13 @@ func (c *Cache) GetOrBuildE(k Key, build func() (any, int64, error)) (any, error
 	c.mu.Unlock()
 
 	var n int64
-	cl.value, n, cl.err = runBuild(k, build)
+	if hook := c.OnBuild; hook != nil {
+		t0 := time.Now()
+		cl.value, n, cl.err = runBuild(k, build)
+		hook(k, time.Since(t0), cl.err)
+	} else {
+		cl.value, n, cl.err = runBuild(k, build)
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, k)

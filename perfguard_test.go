@@ -1,20 +1,23 @@
 package shearwarp
 
-// The observability overhead guard: attaching a perf.Collector must cost
-// under 5% on the new algorithm's frame loop, and the disabled (nil
-// collector) path must stay exactly as it was — 0 allocs/op in steady
-// state and byte-identical output. This is the contract that lets the
-// breakdown layer stay compiled into the production render path.
+// The observability overhead guard: attaching a perf.Collector or a
+// telemetry.FrameSpans recorder must cost under 5% on the new
+// algorithm's frame loop, and the disabled (nil collector, nil recorder)
+// path must stay exactly as it was — 0 allocs/op in steady state and
+// byte-identical output. This is the contract that lets the breakdown
+// and span-trace layers stay compiled into the production render path.
 
 import (
 	"bytes"
 	"math"
 	"os"
 	"testing"
+	"time"
 
 	"shearwarp/internal/newalg"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 )
 
@@ -84,23 +87,115 @@ func TestPerfDisabledByteIdentical(t *testing.T) {
 	}
 }
 
-// TestPerfOverheadGuard benchmarks the frame loop with and without the
-// collector and asserts the enabled overhead stays under 5%. Timing
-// ratios are noisy on loaded CI machines, so each side takes the best of
-// three benchmark runs and the comparison retries before failing; set
+// TestSpansDetachedZeroAllocs checks that a renderer that once carried a
+// span recorder returns to the pristine disabled path after detaching:
+// 0 allocs/op, like a renderer that was never traced.
+func TestSpansDetachedZeroAllocs(t *testing.T) {
+	nr := warmRenderer(nil)
+	fs := telemetry.NewFrameSpans(time.Now())
+	nr.Spans = fs
+	yaw := 50 * math.Pi / 180
+	pitch := 15 * math.Pi / 180
+	nr.RenderFrame(yaw, pitch)
+	if len(fs.Spans()) == 0 {
+		t.Fatal("attached recorder captured no spans")
+	}
+	nr.Spans = nil
+	allocs := testing.AllocsPerRun(20, func() {
+		yaw += 3 * math.Pi / 180
+		nr.RenderFrame(yaw, pitch)
+	})
+	if allocs != 0 {
+		t.Fatalf("detached recorder: RenderFrame allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpansAttachedSteadyStateZeroAllocs: recording spans is index-claim
+// plus in-place writes into the preallocated buffer — no allocation.
+func TestSpansAttachedSteadyStateZeroAllocs(t *testing.T) {
+	nr := warmRenderer(nil)
+	fs := telemetry.NewFrameSpans(time.Now())
+	epoch := time.Now()
+	nr.Spans = fs
+	yaw := 50 * math.Pi / 180
+	pitch := 15 * math.Pi / 180
+	allocs := testing.AllocsPerRun(20, func() {
+		fs.Reset(epoch)
+		yaw += 3 * math.Pi / 180
+		nr.RenderFrame(yaw, pitch)
+	})
+	if allocs != 0 {
+		t.Fatalf("attached recorder: RenderFrame allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpansByteIdentical: tracing a frame must not change its pixels —
+// attached, detached-after-attach, and never-attached renderers all
+// produce byte-identical output, and the traced frames carry the
+// expected per-worker span names.
+func TestSpansByteIdentical(t *testing.T) {
+	plain := warmRenderer(nil)
+	traced := warmRenderer(nil)
+	fs := telemetry.NewFrameSpans(time.Now())
+	epoch := time.Now()
+	traced.Spans = fs
+	pitch := 15 * math.Pi / 180
+	for _, yawDeg := range []float64{30, 77, 141, 260} {
+		fs.Reset(epoch)
+		yaw := yawDeg * math.Pi / 180
+		a := plain.RenderFrame(yaw, pitch).Out
+		b := traced.RenderFrame(yaw, pitch).Out
+		if a.W != b.W || a.H != b.H || !bytes.Equal(a.Pix, b.Pix) {
+			t.Fatalf("yaw %v: traced frame differs from plain frame", yawDeg)
+		}
+		names := map[string]bool{}
+		for _, sp := range fs.Spans() {
+			names[sp.Name] = true
+		}
+		for _, want := range []string{"setup", "clear", "composite-own", "warp"} {
+			if !names[want] {
+				t.Fatalf("yaw %v: no %q span recorded; have %v", yawDeg, want, names)
+			}
+		}
+	}
+	// Detached again, the output still matches.
+	traced.Spans = nil
+	yaw := 200 * math.Pi / 180
+	a := plain.RenderFrame(yaw, pitch).Out
+	b := traced.RenderFrame(yaw, pitch).Out
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("detached renderer diverged from plain renderer")
+	}
+}
+
+// TestPerfOverheadGuard benchmarks the frame loop with instrumentation
+// off, with the collector on, and with collector plus span recorder on
+// (the fully traced render-service configuration), asserting each
+// enabled mode stays under 5% overhead. Timing ratios are noisy on
+// loaded CI machines, so each side takes the best of three benchmark
+// runs and the comparison retries before failing; set
 // PERF_GUARD_STRICT=1 to fail on the first miss instead.
 func TestPerfOverheadGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed guard")
 	}
-	bench := func(pc *perf.Collector) float64 {
+	bench := func(pc *perf.Collector, withSpans bool) float64 {
 		nr := warmRenderer(pc)
+		var fs *telemetry.FrameSpans
+		epoch := time.Now()
+		if withSpans {
+			fs = telemetry.NewFrameSpans(epoch)
+			nr.Spans = fs
+		}
 		yaw := 77 * math.Pi / 180
 		pitch := 15 * math.Pi / 180
 		best := math.MaxFloat64
 		for run := 0; run < 3; run++ {
 			res := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
+					if fs != nil {
+						fs.Reset(epoch)
+					}
 					yaw += 3 * math.Pi / 180
 					nr.RenderFrame(yaw, pitch)
 				}
@@ -117,16 +212,19 @@ func TestPerfOverheadGuard(t *testing.T) {
 	if os.Getenv("PERF_GUARD_STRICT") != "" {
 		attempts = 1
 	}
-	var ratio float64
+	var perfRatio, traceRatio float64
 	for a := 0; a < attempts; a++ {
-		disabled := bench(nil)
-		enabled := bench(perf.NewCollector(4))
-		ratio = enabled / disabled
-		t.Logf("attempt %d: disabled %.0f ns/op, enabled %.0f ns/op, ratio %.3f", a, disabled, enabled, ratio)
-		if ratio < limit {
+		disabled := bench(nil, false)
+		enabled := bench(perf.NewCollector(4), false)
+		traced := bench(perf.NewCollector(4), true)
+		perfRatio = enabled / disabled
+		traceRatio = traced / disabled
+		t.Logf("attempt %d: disabled %.0f ns/op, collector %.0f ns/op (%.3f), collector+spans %.0f ns/op (%.3f)",
+			a, disabled, enabled, perfRatio, traced, traceRatio)
+		if perfRatio < limit && traceRatio < limit {
 			return
 		}
 	}
-	t.Fatalf("enabled collector costs %.1f%% (> %.0f%% budget) on the frame loop",
-		100*(ratio-1), 100*(limit-1))
+	t.Fatalf("instrumentation over budget: collector %.1f%%, collector+spans %.1f%% (budget %.0f%%)",
+		100*(perfRatio-1), 100*(traceRatio-1), 100*(limit-1))
 }

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # bench.sh — run the native kernel and frame benchmarks and emit
-# BENCH_native.json (plus benchstat-ready raw output in BENCH_native.txt)
-# and BENCH_phases.json (per-worker phase breakdowns of instrumented
+# BENCH_native.json (plus benchstat-ready raw output in BENCH_native.txt),
+# BENCH_phases.json (per-worker phase breakdowns of instrumented
 # old/new-algorithm runs, so the perf trajectory records where frame time
-# goes — busy vs. wait vs. imbalance — not just totals).
+# goes — busy vs. wait vs. imbalance — not just totals), and
+# BENCH_latency.json (request-level latency quantiles — p50/p95/p99 per
+# endpoint and per render phase — from a short load loop against a live
+# shearwarpd, saved verbatim from its /debug/latency endpoint).
 #
 # Usage:  scripts/bench.sh [count]
 #
 #   count   repetitions per benchmark (default 5) — enough for benchstat
 #           to report a confidence interval:
 #               benchstat BENCH_native.txt
+#
+#   SHEARWARPD_PORT   port for the latency load loop (default 18080)
 #
 # The JSON records the per-run ns/op samples, their mean, and allocation
 # stats for each benchmark, alongside the frozen pre-PR baseline of the
@@ -77,7 +82,13 @@ END {
 echo "collecting per-phase breakdowns..." >&2
 PH_OLD="$(mktemp)"
 PH_NEW="$(mktemp)"
-trap 'rm -f "$PH_OLD" "$PH_NEW"' EXIT
+SRV_PID=""
+SRV_BIN="$(mktemp)"
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f "$PH_OLD" "$PH_NEW" "$SRV_BIN"
+}
+trap cleanup EXIT
 go run ./cmd/shearwarp -kind mri -size 64 -alg old -procs 4 -frames 8 -statsjson "$PH_OLD" >/dev/null
 go run ./cmd/shearwarp -kind mri -size 64 -alg new -procs 4 -frames 8 -statsjson "$PH_NEW" >/dev/null
 {
@@ -90,4 +101,35 @@ go run ./cmd/shearwarp -kind mri -size 64 -alg new -procs 4 -frames 8 -statsjson
     printf '}\n'
 } > "$PHASES"
 
-echo "wrote $RAW, $JSON and $PHASES" >&2
+# Request-level latency digest: drive a short load loop through a live
+# shearwarpd and save its /debug/latency quantile document verbatim —
+# p50/p95/p99 per endpoint and per render phase.
+LATENCY=BENCH_latency.json
+PORT="${SHEARWARPD_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+echo "collecting request latency digest on $BASE..." >&2
+go build -o "$SRV_BIN" ./cmd/shearwarpd
+"$SRV_BIN" -addr "127.0.0.1:$PORT" -size 48 -procs 4 -max-concurrent 4 >/dev/null &
+SRV_PID=$!
+
+ready=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.2
+done
+if [ "$ready" != 1 ]; then
+    echo "shearwarpd did not become ready on $BASE" >&2
+    exit 1
+fi
+
+for i in $(seq 1 40); do
+    curl -fsS "$BASE/render?volume=mri&yaw=$((i * 9))&pitch=15&alg=new" -o /dev/null
+    curl -fsS "$BASE/render?volume=ct&yaw=$((i * 9))&pitch=10&alg=old" -o /dev/null
+done
+curl -fsS "$BASE/metrics" >/dev/null        # exercise the scrape path too
+curl -fsS "$BASE/debug/latency" > "$LATENCY"
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "wrote $RAW, $JSON, $PHASES and $LATENCY" >&2
