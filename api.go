@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"shearwarp/internal/classify"
+	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/experiments"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
@@ -81,6 +82,51 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("shearwarp: unknown algorithm %q", s)
 }
 
+// Kernel selects the pixel-kernel tier the untraced compositing and warp
+// fast paths run with. The constants mirror internal/cpudispatch one to
+// one (the conversions in this file rely on the shared numbering).
+type Kernel int
+
+// Kernel tiers.
+const (
+	// KernelAuto resolves via the SHEARWARP_KERNEL environment variable
+	// and otherwise picks KernelScalar — the default, because the scalar
+	// tier is the one that is bit-identical across every algorithm.
+	KernelAuto Kernel = iota
+	// KernelScalar is the exact float32 reference tier.
+	KernelScalar
+	// KernelPacked is the 64-bit packed-lane fixed-point tier: faster,
+	// deterministic, but a documented epsilon mode — images agree with
+	// the scalar tier only to within the quantization bounds pinned in
+	// DESIGN.md, so it must be opted into explicitly.
+	KernelPacked
+)
+
+func (k Kernel) String() string { return cpudispatch.Kernel(k).String() }
+
+// UnknownKernelError reports a kernel name that ParseKernel rejected.
+type UnknownKernelError struct {
+	Value string
+}
+
+func (e *UnknownKernelError) Error() string {
+	return fmt.Sprintf("shearwarp: unknown kernel %q (valid: auto, scalar, packed)", e.Value)
+}
+
+// ParseKernel converts a kernel name ("auto", "scalar", "packed"; ""
+// means auto). Unknown names return a *UnknownKernelError.
+func ParseKernel(s string) (Kernel, error) {
+	k, err := cpudispatch.Parse(s)
+	if err != nil {
+		return 0, &UnknownKernelError{Value: s}
+	}
+	return Kernel(k), nil
+}
+
+// CPUFeatures reports the probed CPU features relevant to the packed
+// tier ("avx2,fma", "neon,fma", "none", ...) for logs and metrics.
+func CPUFeatures() string { return cpudispatch.FeatureString() }
+
 // Transfer selects a classification transfer function.
 type Transfer int
 
@@ -116,6 +162,10 @@ type Config struct {
 	Algorithm Algorithm
 	Procs     int      // workers for the parallel algorithms (default 1)
 	Transfer  Transfer // classification preset
+	// Kernel selects the pixel-kernel tier (resolved once at renderer
+	// construction; see the Kernel constants). The ray-casting baseline
+	// ignores it.
+	Kernel Kernel
 	// OpacityCorrection enables the view-dependent correction of stored
 	// opacities for the shear's per-slice sample spacing (Lacroute). The
 	// ray-casting baseline samples at unit spacing and ignores it.
@@ -230,6 +280,7 @@ func newRenderer(v *vol.Volume, cfg Config) *Renderer {
 	opt := render.Options{
 		OpacityCorrection: cfg.OpacityCorrection,
 		PreprocProcs:      cfg.Procs,
+		Kernel:            cpudispatch.Kernel(cfg.Kernel),
 	}
 	if cfg.Transfer == TransferCT {
 		opt.Transfer = classify.CTTransfer
@@ -450,6 +501,11 @@ func (b *PhaseBreakdown) Frame() *perf.FrameBreakdown { return b.fb }
 // RayCast (which has no shear-warp phases to break down). The returned
 // value is a snapshot and stays valid across later frames.
 func (re *Renderer) LastBreakdown() *PhaseBreakdown { return re.bd }
+
+// Kernel reports the resolved pixel-kernel tier this renderer runs with
+// (never KernelAuto — construction resolves the choice). Services report
+// it alongside the algorithm in logs and /metrics.
+func (re *Renderer) Kernel() Kernel { return Kernel(re.r.Kernel) }
 
 // ListFigures returns the IDs and titles of the reproducible paper figures
 // and the ablation studies.

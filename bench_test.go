@@ -17,6 +17,7 @@ import (
 
 	"shearwarp/internal/classify"
 	"shearwarp/internal/composite"
+	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/experiments"
 	"shearwarp/internal/newalg"
 	"shearwarp/internal/perf"
@@ -135,10 +136,11 @@ func BenchmarkCompositePhaseOnly(b *testing.B) {
 	}
 }
 
-// BenchmarkCompositeScanline measures the untraced compositing kernel on a
-// single central intermediate scanline.
-func BenchmarkCompositeScanline(b *testing.B) {
-	r := render.New(vol.MRIBrain(64), render.Options{})
+// benchCompositeScanline measures the untraced compositing kernel on a
+// single central intermediate scanline, for the given pixel-kernel tier.
+func benchCompositeScanline(b *testing.B, k cpudispatch.Kernel) {
+	b.Helper()
+	r := render.New(vol.MRIBrain(64), render.Options{Kernel: k})
 	fr := r.Setup(0.5, 0.25)
 	cc := fr.NewCompositeCtx()
 	row := fr.M.H / 2
@@ -151,17 +153,116 @@ func BenchmarkCompositeScanline(b *testing.B) {
 	}
 }
 
-// BenchmarkWarpSpan measures the untraced warp kernel on a single central
+// BenchmarkCompositeScanline is the headline compositing benchmark and runs
+// the packed tier — the fastest kernel this machine supports (the scalar
+// twin below tracks the exact tier). BENCH_native.json records both.
+func BenchmarkCompositeScanline(b *testing.B) {
+	benchCompositeScanline(b, cpudispatch.KernelPacked)
+}
+
+// BenchmarkCompositeScanlineScalar is the exact scalar tier — the default
+// kernel and the bit-identity reference for the golden suites.
+func BenchmarkCompositeScanlineScalar(b *testing.B) {
+	benchCompositeScanline(b, cpudispatch.KernelScalar)
+}
+
+// ---- skewed-workload kernel benchmarks ----
+//
+// The MRI phantom's central scanline is the balanced case; these phantoms
+// stress the kernels' extreme run structures instead: scanlines with no
+// work at all, scanlines where early termination kills the whole tail of
+// the slice stack, and maximally fragmented 1-voxel runs where per-span
+// overhead dominates per-sample cost.
+
+// stepTransfer makes classification entirely density-driven: zero density
+// is exactly transparent, anything else fully opaque. The skewed phantoms
+// rely on it so their run structure is by construction, not an artifact of
+// the MRI transfer ramp.
+func stepTransfer(density uint8, _ float64) (alpha, r, g, bl float64) {
+	if density == 0 {
+		return 0, 0, 0, 0
+	}
+	return 1, 1, 0.9, 0.8
+}
+
+// benchSkewedScanline composites the central intermediate scanline of a
+// synthetic phantom under the given kernel tier.
+func benchSkewedScanline(b *testing.B, v *vol.Volume, k cpudispatch.Kernel) {
+	b.Helper()
+	r := render.New(v, render.Options{Transfer: stepTransfer, Kernel: k})
+	fr := r.Setup(0.5, 0.25)
+	cc := fr.NewCompositeCtx()
+	row := fr.M.H / 2
+	var cnt composite.Counters
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.M.ClearRow(row)
+		cc.Scanline(row, &cnt)
+	}
+}
+
+// volAllTransparent: every scanline is one transparent run — the kernel
+// should do nothing but walk slice headers.
+func volAllTransparent(n int) *vol.Volume { return vol.New(n, n, n) }
+
+// volFullyOpaque: every voxel saturates immediately, so the first slice
+// opacifies the whole row and every later slice exercises only the
+// early-termination (opaque-pixel skip) path.
+func volFullyOpaque(n int) *vol.Volume {
+	v := vol.New(n, n, n)
+	for i := range v.Data {
+		v.Data[i] = 255
+	}
+	return v
+}
+
+// volOneVoxelRuns: a 3-D parity checkerboard — along any principal axis
+// every run is exactly one voxel, the worst case for span bookkeeping.
+func volOneVoxelRuns(n int) *vol.Volume {
+	v := vol.New(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := (z + y) % 2; x < n; x += 2 {
+				v.Set(x, y, z, 255)
+			}
+		}
+	}
+	return v
+}
+
+func BenchmarkCompositeTransparentScalar(b *testing.B) {
+	benchSkewedScanline(b, volAllTransparent(64), cpudispatch.KernelScalar)
+}
+func BenchmarkCompositeTransparentPacked(b *testing.B) {
+	benchSkewedScanline(b, volAllTransparent(64), cpudispatch.KernelPacked)
+}
+func BenchmarkCompositeOpaqueScalar(b *testing.B) {
+	benchSkewedScanline(b, volFullyOpaque(64), cpudispatch.KernelScalar)
+}
+func BenchmarkCompositeOpaquePacked(b *testing.B) {
+	benchSkewedScanline(b, volFullyOpaque(64), cpudispatch.KernelPacked)
+}
+func BenchmarkCompositeOneVoxelRunsScalar(b *testing.B) {
+	benchSkewedScanline(b, volOneVoxelRuns(64), cpudispatch.KernelScalar)
+}
+func BenchmarkCompositeOneVoxelRunsPacked(b *testing.B) {
+	benchSkewedScanline(b, volOneVoxelRuns(64), cpudispatch.KernelPacked)
+}
+
+// benchWarpSpan measures the untraced warp kernel on a single central
 // final-image row over a fully composited intermediate image.
-func BenchmarkWarpSpan(b *testing.B) {
-	r := render.New(vol.MRIBrain(64), render.Options{})
+func benchWarpSpan(b *testing.B, k cpudispatch.Kernel) {
+	b.Helper()
+	r := render.New(vol.MRIBrain(64), render.Options{Kernel: k})
 	fr := r.Setup(0.5, 0.25)
 	cc := fr.NewCompositeCtx()
 	var ccnt composite.Counters
 	for row := 0; row < fr.M.H; row++ {
 		cc.Scanline(row, &ccnt)
 	}
-	wc := warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out}
+	var scratch warp.Scratch
+	wc := fr.NewWarpCtx(&scratch)
 	y := fr.Out.H / 2
 	var cnt warp.Counters
 	b.ReportAllocs()
@@ -170,6 +271,9 @@ func BenchmarkWarpSpan(b *testing.B) {
 		wc.WarpSpan(y, 0, fr.Out.W, &cnt)
 	}
 }
+
+func BenchmarkWarpSpan(b *testing.B)       { benchWarpSpan(b, cpudispatch.KernelScalar) }
+func BenchmarkWarpSpanPacked(b *testing.B) { benchWarpSpan(b, cpudispatch.KernelPacked) }
 
 // ---- per-figure benchmarks ----
 

@@ -35,6 +35,8 @@ func main() {
 	var vf cli.VolumeFlags
 	vf.Register(flag.CommandLine)
 	algName := flag.String("alg", "new", "algorithm: serial | old | new | raycast")
+	var kf cli.KernelFlag
+	kf.Register(flag.CommandLine)
 	procs := flag.Int("procs", 4, "workers for the parallel algorithms")
 	yaw := flag.Float64("yaw", 30, "yaw in degrees")
 	pitch := flag.Float64("pitch", 15, "pitch in degrees")
@@ -54,8 +56,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kernel, err := kf.Kernel()
+	if err != nil {
+		fatal(err)
+	}
 	collect := *statsFlag || *statsJSON != "" || *metricsAddr != ""
-	cfg := shearwarp.Config{Algorithm: alg, Procs: *procs, CollectStats: collect}
+	cfg := shearwarp.Config{Algorithm: alg, Kernel: kernel, Procs: *procs, CollectStats: collect}
 	if (collect || *spansFile != "") && alg == shearwarp.RayCast {
 		fatal(fmt.Errorf("-stats/-statsjson/-metrics-addr/-spans need a shear-warp algorithm (serial, old, new)"))
 	}

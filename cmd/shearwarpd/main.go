@@ -48,6 +48,8 @@ func main() {
 	vf.Register(flag.CommandLine)
 	addr := flag.String("addr", ":8080", "listen address")
 	algName := flag.String("alg", "new", "default algorithm: serial | old | new | raycast")
+	var kf cli.KernelFlag
+	kf.Register(flag.CommandLine)
 	procs := flag.Int("procs", 4, "workers inside each parallel render")
 	pool := flag.Int("pool", 0, "renderers per (volume, transfer, algorithm) pool (0 = max-concurrent)")
 	maxConcurrent := flag.Int("max-concurrent", 8, "frames rendering at once")
@@ -67,6 +69,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kernel, err := kf.Kernel()
+	if err != nil {
+		fatal(err)
+	}
 	faults, err := faultinject.Parse(*faultSpec)
 	if err != nil {
 		fatal(err)
@@ -82,6 +88,7 @@ func main() {
 	srv := server.New(server.Config{
 		Procs:           *procs,
 		Algorithm:       alg,
+		Kernel:          kernel,
 		PoolSize:        *pool,
 		MaxConcurrent:   *maxConcurrent,
 		MaxQueue:        *maxQueue,

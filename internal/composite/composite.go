@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"shearwarp/internal/classify"
+	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/img"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/trace"
@@ -127,6 +128,14 @@ type Ctx struct {
 	Tracer trace.Tracer // nil in native mode
 	Arrays Arrays
 
+	// Kernel selects the untraced pixel-kernel tier: KernelScalar (or the
+	// zero value KernelAuto) runs the exact float32 kernel, KernelPacked
+	// the 64-bit packed-lane fixed-point tier (a documented epsilon mode —
+	// see DESIGN.md). The traced simulator path always runs the scalar
+	// reference kernel regardless. Set it between frames only; the render
+	// layer assigns it after every (re)bind.
+	Kernel cpudispatch.Kernel
+
 	// alphaLUT, when non-nil, applies Lacroute's view-dependent opacity
 	// correction: stored opacities assume unit sample spacing, but the
 	// shear samples once per slice, spacing the samples
@@ -135,15 +144,48 @@ type Ctx struct {
 	alphaLUT []float32
 	lutBuf   []float32 // backing storage, reused across rebinds
 
-	// Scratch, private per processor. Per slice, the rows hold valid data
-	// (decoded voxels, or zero) only over the voxel footprint of the merged
-	// pixel spans: decode fills the spans and zeroGaps zeroes the footprint
+	// Traced-path scratch. Per slice, the rows hold valid data (decoded
+	// voxels, or zero) only over the voxel footprint of the merged pixel
+	// spans: decode fills the spans and zeroGaps zeroes the footprint
 	// between them, so the pixel kernel reads the rows unconditionally and
 	// nothing outside the footprint is ever touched — the full-width clears
 	// of a naive scratch wipe never happen.
 	row0, row1     []classify.Voxel
 	spans0, spans1 []rle.Span
-	merged         []pixSpan
+	merged         []pixSpan // shared with the untraced path
+
+	// Untraced-path scratch.
+	//
+	// act is the scanline's active list: the pixel intervals not yet
+	// saturated, maintained across slices instead of re-walking the
+	// skip links per merged span. It is seeded from the links once per
+	// scanline and updated after each slice by splitting around the
+	// pixels that saturated (sat, collected by the kernels in ascending
+	// order); actNext is the double buffer for the split.
+	//
+	// live holds the current slice's live pieces — merged spans
+	// intersected with act — each carrying a per-line tap-source code
+	// (see liveIv): most pieces read their bilinear taps directly from
+	// the packed voxel stream (span-interior) or from a shared,
+	// never-written zero lane (line absent under the piece); only pieces
+	// straddling a span edge stage their taps through the scratch lanes.
+	// vlane holds raw voxels for the exact scalar kernel; plane holds
+	// rle.SpreadPremul lanes for the packed tier. Only the footprint of
+	// straddling pieces is ever (re)written or read — stale content
+	// elsewhere is never touched.
+	//
+	// rowAcc is the packed tier's fixed-point row accumulator: two
+	// uint64 per pixel (A<<32|R and G<<32|B, channel values scaled by
+	// 65280), loaded from Pix once per scanline and flushed back once,
+	// so the blend itself never leaves integer registers.
+	act, actNext   []pixSpan
+	sat            []int32
+	live           []liveIv
+	vlane0, vlane1 []classify.Voxel
+	plane0, plane1 []uint64
+	zvlane         []classify.Voxel // shared zero lane, never written
+	zplane         []uint64         // shared zero lane, never written
+	rowAcc         []uint64
 }
 
 // lutSize is the resolution of the opacity-correction table; resampled
@@ -186,6 +228,35 @@ func (c *Ctx) correctAlpha(aa float32) float32 {
 // that can receive non-transparent samples from the current slice.
 type pixSpan struct{ Lo, Hi int }
 
+// liveIv is one live piece of the current slice: a pixel interval [Lo, Hi)
+// that both intersects the slice's merged voxel spans and is not yet
+// saturated, plus a tap-source code per contributing line. A code b >= 0
+// means the piece lies in the interior of one voxel span and the kernel
+// reads its taps directly from the source stream starting at index b; the
+// sentinel laneZero means the line has no voxels under the piece and the
+// kernel reads the shared zero lane; any other negative value means the
+// piece straddles span edges and its taps were staged into the scratch
+// lane starting at index ^b.
+type liveIv struct {
+	Lo, Hi int32
+	B0, B1 int32
+}
+
+// laneZero marks a live piece with no contributing voxels on that line.
+const laneZero = math.MinInt32
+
+// laneSel resolves a liveIv tap-source code to the slice the kernel reads
+// its taps from.
+func laneSel[T classify.Voxel | uint64](b int32, src, lane, zero []T) []T {
+	if b >= 0 {
+		return src[b:]
+	}
+	if b == laneZero {
+		return zero
+	}
+	return lane[^b:]
+}
+
 // NewCtx builds a per-processor compositing context.
 func NewCtx(f *xform.Factorization, v *rle.Volume, m *img.Intermediate) *Ctx {
 	c := &Ctx{}
@@ -221,6 +292,40 @@ func (c *Ctx) Bind(f *xform.Factorization, v *rle.Volume, m *img.Intermediate) {
 	}
 	if cap(c.merged) < 2*maxSpans {
 		c.merged = make([]pixSpan, 0, 2*maxSpans)
+	}
+	// Active and live intervals are disjoint with at least one dead pixel
+	// between them, so a scanline can never hold more than W/2+1 of
+	// either; a slice saturates at most W pixels.
+	if cap(c.act) < m.W/2+1 {
+		c.act = make([]pixSpan, 0, m.W/2+1)
+		c.actNext = make([]pixSpan, 0, m.W/2+1)
+		c.live = make([]liveIv, 0, m.W/2+1)
+	}
+	if cap(c.sat) < m.W {
+		c.sat = make([]int32, 0, m.W)
+	}
+	if cap(c.rowAcc) < 2*m.W {
+		c.rowAcc = make([]uint64, 2*m.W)
+	} else {
+		c.rowAcc = c.rowAcc[:2*m.W]
+	}
+	// A live piece spans at most Ni+1 pixels (tap indices -1..Ni), so
+	// lanes of Ni+2 cover any piece; the z-lanes are made zeroed and never
+	// written, so shrinking reslices keep them zero.
+	if cap(c.vlane0) < v.Ni+2 {
+		c.vlane0 = make([]classify.Voxel, v.Ni+2)
+		c.vlane1 = make([]classify.Voxel, v.Ni+2)
+		c.plane0 = make([]uint64, v.Ni+2)
+		c.plane1 = make([]uint64, v.Ni+2)
+		c.zvlane = make([]classify.Voxel, v.Ni+2)
+		c.zplane = make([]uint64, v.Ni+2)
+	} else {
+		c.vlane0 = c.vlane0[:v.Ni+2]
+		c.vlane1 = c.vlane1[:v.Ni+2]
+		c.plane0 = c.plane0[:v.Ni+2]
+		c.plane1 = c.plane1[:v.Ni+2]
+		c.zvlane = c.zvlane[:v.Ni+2]
+		c.zplane = c.zplane[:v.Ni+2]
 	}
 }
 
@@ -278,64 +383,175 @@ func (c *Ctx) Scanline(vRow int, cnt *Counters) int64 {
 
 // scanlineUntraced is the native fast path: no tracer checks or trace.Array
 // indirection anywhere in the slice, span and pixel loops.
+//
+// It seeds an active list of not-yet-saturated pixel intervals from the
+// skip links once, then per slice (1) windows the contributing lines'
+// encode-time span index without touching the packed voxels, (2) merges
+// the spans into pixel intervals, (3) intersects those with the active
+// list — charging the reference walk's skip-link traversals — and
+// classifies each surviving piece's tap source per line (direct stream
+// read, shared zero lane, or a staged scratch lane for span-edge
+// straddles), and (4) runs a checkless pixel kernel over the pieces,
+// splitting the active list around the pixels that saturated. The cost
+// model charges the reference algorithm's full traversal (every run header
+// and packed voxel of the contributing lines, identically to the traced
+// twin), while the implementation reads only the live footprint; images
+// and all counter totals stay bit-identical to scanlineTraced — see
+// DESIGN.md for the reordering argument.
 func (c *Ctx) scanlineUntraced(vRow int, cnt *Counters) int64 {
 	f, M := c.F, c.M
 	start := cnt.Cycles
 	cnt.Scanlines++
 	cnt.Cycles += CyclesPerLineSetup
+	V := c.V
+	c.initAct(vRow)
+	// Opacity correction forces the exact scalar kernel: the correction
+	// LUT is defined over float alphas and the fixed-point tier would
+	// have to round-trip through it per pixel anyway.
+	packed := c.Kernel == cpudispatch.KernelPacked && c.alphaLUT == nil
+	var pkv []uint64
+	touchLo, touchHi := M.W, 0
+	if packed {
+		pkv = V.PackedVox()
+		c.loadRowAcc(vRow)
+	}
 
+	// The slice loop accumulates its counter charges in locals and flushes
+	// them once per scanline: the totals are plain int64 sums, so batching
+	// is exactly associative and the flushed counters (and Cycles, charged
+	// per unit) are bit-identical to the traced walk's running updates.
+	var slices, runs, nvox, skips int64
 	for idx := 0; idx < f.Nk; idx++ {
-		// Row saturated: early ray termination ends the whole task.
-		if M.Skip(0, vRow) >= M.W {
-			cnt.Skips++
-			cnt.Cycles += CyclesPerSkip
+		// Row saturated: early ray termination ends the whole task. The
+		// active list is empty exactly when Skip(0) reports a full row,
+		// so the counter charge matches the traced walk.
+		if len(c.act) == 0 {
+			skips++
 			break
 		}
 		k := f.KFront + idx*f.KStep
-		cnt.Slices++
-		cnt.Cycles += CyclesPerSliceSetup
+		slices++
 
 		g, ok := c.sliceSetup(vRow, k)
 		if !ok {
 			continue // slice does not reach this scanline
 		}
 
-		// Decode the contributing spans of up to two volume scanlines into
-		// the scratch rows (one fused pass over the run headers), collect
-		// the union of pixel intervals they can affect, and zero the
-		// footprint gaps so the pixel kernel reads unconditionally.
-		c.spans0 = c.spans0[:0]
-		c.spans1 = c.spans1[:0]
+		// Window the encode-time span index of the contributing lines and
+		// charge the cost model's full-line traversal in O(1) from the
+		// offset tables: the run and voxel counts are sums over the same
+		// ranges the traced walk charges span by span, and int64 addition
+		// is order-independent, so counter identity with the simulator
+		// holds even though the native decode below only touches the live
+		// footprint.
+		var lo0, cn0, vx0, lo1, cn1, vx1 []int32
 		if g.have0 {
-			c.spans0 = c.decodeLineUntraced(k, g.j0, c.spans0, c.row0, cnt)
+			s := k*V.Nj + g.j0
+			a, b := V.SpanOff[s], V.SpanOff[s+1]
+			lo0, cn0, vx0 = V.SpanLo[a:b], V.SpanCnt[a:b], V.SpanVox[a:b]
+			runs += int64(V.RunOff[s+1] - V.RunOff[s])
+			nvox += int64(V.VoxOff[s+1] - V.VoxOff[s])
 		}
 		if g.have1 {
-			c.spans1 = c.decodeLineUntraced(k, g.j0+1, c.spans1, c.row1, cnt)
+			s := k*V.Nj + g.j0 + 1
+			a, b := V.SpanOff[s], V.SpanOff[s+1]
+			lo1, cn1, vx1 = V.SpanLo[a:b], V.SpanCnt[a:b], V.SpanVox[a:b]
+			runs += int64(V.RunOff[s+1] - V.RunOff[s])
+			nvox += int64(V.VoxOff[s+1] - V.VoxOff[s])
 		}
-		if len(c.spans0)+len(c.spans1) == 0 {
+		if len(lo0)+len(lo1) == 0 {
 			continue
 		}
-		c.mergePixelSpans(g.off, g.fractional)
-		c.zeroGaps(c.spans0, c.row0, g.off)
-		c.zeroGaps(c.spans1, c.row1, g.off)
-
-		rowBase := vRow * M.W
-		for _, ps := range c.merged {
-			u := ps.Lo
-			for u < ps.Hi {
-				// Early ray termination: hop over saturated pixels.
-				if M.Links[rowBase+u] > 0 {
-					u = M.Skip(u, vRow)
-					cnt.Skips++
-					cnt.Cycles += CyclesPerSkip
-					continue
-				}
-				// Composite a contiguous live segment.
-				u = c.compositeSegment(vRow, u, ps.Hi, g.off, g.w00, g.w10, g.w01, g.w11, cnt)
+		lead := 0
+		if g.fractional {
+			lead = 1
+		}
+		if packed {
+			skips += mergeIntersectClassify(c, lo0, cn0, vx0, lo1, cn1, vx1, pkv, c.plane0, c.plane1, g.off, lead)
+		} else {
+			skips += mergeIntersectClassify(c, lo0, cn0, vx0, lo1, cn1, vx1, V.Vox, c.vlane0, c.vlane1, g.off, lead)
+		}
+		if len(c.live) == 0 {
+			continue
+		}
+		if packed {
+			if lo := int(c.live[0].Lo); lo < touchLo {
+				touchLo = lo
 			}
+			if hi := int(c.live[len(c.live)-1].Hi); hi > touchHi {
+				touchHi = hi
+			}
+			c.compositeLivePacked(vRow, &g, cnt, pkv)
+		} else {
+			c.compositeLiveScalar(vRow, &g, cnt)
+		}
+		if len(c.sat) > 0 {
+			c.applySat(vRow)
 		}
 	}
+	cnt.Slices += slices
+	cnt.Runs += runs
+	cnt.VoxelsRead += nvox
+	cnt.Skips += skips
+	cnt.Cycles += slices*CyclesPerSliceSetup + runs*CyclesPerRun +
+		nvox*CyclesPerVoxelCopy + skips*CyclesPerSkip
+	if packed && touchLo < touchHi {
+		c.flushRowAcc(vRow, touchLo, touchHi)
+	}
 	return cnt.Cycles - start
+}
+
+// initAct seeds the scanline's active list with the intervals of pixels
+// the skip links do not mark opaque. It reads the links directly — link
+// values name the length of the opaque run starting at a pixel — and
+// charges nothing: the reference walk's link traversals are accounted
+// where the merged spans actually encounter dead pixels.
+func (c *Ctx) initAct(vRow int) {
+	M := c.M
+	links := M.Links[vRow*M.W : vRow*M.W+M.W]
+	c.act = c.act[:0]
+	u := 0
+	for u < len(links) {
+		if n := links[u]; n > 0 {
+			u += int(n)
+			continue
+		}
+		a := u
+		for u < len(links) && links[u] == 0 {
+			u++
+		}
+		c.act = append(c.act, pixSpan{a, u})
+	}
+}
+
+// applySat splits the active list around the pixels the slice kernel just
+// saturated (ascending, each inside some active interval) and marks them
+// in the image's skip links so Opaque/RowOpaqueCount and any later traced
+// pass see the same opacity state as the reference walk.
+func (c *Ctx) applySat(vRow int) {
+	M := c.M
+	c.actNext = c.actNext[:0]
+	ai := 0
+	for _, s := range c.sat {
+		u := int(s)
+		M.MarkOpaque(u, vRow)
+		for ai < len(c.act) && c.act[ai].Hi <= u {
+			c.actNext = append(c.actNext, c.act[ai])
+			ai++
+		}
+		a := c.act[ai]
+		if a.Lo < u {
+			c.actNext = append(c.actNext, pixSpan{a.Lo, u})
+		}
+		if u+1 < a.Hi {
+			c.act[ai].Lo = u + 1
+		} else {
+			ai++
+		}
+	}
+	c.actNext = append(c.actNext, c.act[ai:]...)
+	c.act, c.actNext = c.actNext, c.act
+	c.sat = c.sat[:0]
 }
 
 // scanlineTraced is the instrumented twin of scanlineUntraced, emitting the
@@ -409,31 +625,212 @@ func (c *Ctx) scanlineTraced(vRow int, cnt *Counters) int64 {
 	return cnt.Cycles - start
 }
 
-// decodeLineUntraced walks the run headers of scanline (k, j) once,
-// appending the non-transparent spans to spans while streaming their packed
-// voxels into the scratch row and charging the traversal costs.
-func (c *Ctx) decodeLineUntraced(k, j int, spans []rle.Span, row []classify.Voxel, cnt *Counters) []rle.Span {
-	s := c.V.ScanlineID(k, j)
-	rl := c.V.RunLens[c.V.RunOff[s]:c.V.RunOff[s+1]]
-	vox := c.V.Vox[c.V.VoxOff[s]:c.V.VoxOff[s+1]]
-	cnt.Runs += int64(len(rl))
-	cnt.Cycles += int64(len(rl)) * CyclesPerRun
-	i, vi := 0, 0
-	for r := 0; r < len(rl); r += 2 {
-		i += int(rl[r])
-		if r+1 < len(rl) {
-			o := int(rl[r+1])
-			if o > 0 {
-				spans = append(spans, rle.Span{Start: i, End: i + o, VoxStart: vi})
-				copy(row[i:i+o], vox[vi:vi+o])
-				cnt.VoxelsRead += int64(o)
-				cnt.Cycles += int64(o) * CyclesPerVoxelCopy
-				i += o
-				vi += o
+// mergeIntersectClassify is the untraced path's per-slice sweep: it merges
+// the two contributing lines' SoA span windows into coalesced pixel
+// intervals (the same intervals the traced path's mergePixelSpans
+// produces), intersects each with the active list, and appends every
+// surviving piece to c.live with its per-line tap source resolved (staged
+// into the scratch lanes only for span-edge straddles). It returns the
+// number of skip-link traversals the reference walk would perform: one per
+// maximal dead gap each merged interval encounters. That count is exact
+// because the reference walk calls Skip once whenever it lands on a marked
+// pixel and the call jumps over the whole maximal run; hoisting the
+// intersection before the compositing is safe because a pixel saturating
+// can only mark positions at or behind itself, so no link ahead of the
+// walk changes while a slice composites (DESIGN.md spells out the
+// argument). Everything runs in one pass with all cursors in locals, so
+// the per-slice cost is one call regardless of how many pieces survive.
+func mergeIntersectClassify[T classify.Voxel | uint64](c *Ctx, lo0, cn0, vx0, lo1, cn1, vx1 []int32, src, lane0, lane1 []T, off, lead int) int64 {
+	c.live = c.live[:0]
+	act := c.act
+	W := c.M.W
+	const inf = int(1) << 30
+	i0, i1 := 0, 0
+	ai := 0
+	n0, n1 := len(lo0), len(lo1)
+	curLo, curHi := 0, -1 // pending merged interval; curHi < 0 means none
+	f0, f1 := 0, 0        // span-window start of the pending interval, per line
+	var skips int64
+	for {
+		// Pull the next span's pixel interval (or a sentinel once both
+		// streams are exhausted) and extend the pending merged interval
+		// while they touch; a gap — or exhaustion — finalizes the pending
+		// interval below before starting the next.
+		plo, phi := inf, inf
+		from0 := false
+		if i0 < n0 || i1 < n1 {
+			var s, e int
+			if i1 >= n1 || (i0 < n0 && lo0[i0] <= lo1[i1]) {
+				s = int(lo0[i0])
+				e = s + int(cn0[i0])
+				i0++
+				from0 = true
+			} else {
+				s = int(lo1[i1])
+				e = s + int(cn1[i1])
+				i1++
+			}
+			// A voxel span [s, e) is sampled by pixels [s+off-lead, e+off),
+			// clamped to the row.
+			plo = s + off - lead
+			phi = e + off
+			if plo < 0 {
+				plo = 0
+			}
+			if phi > W {
+				phi = W
+			}
+			if plo >= phi {
+				continue
+			}
+			if curHi >= 0 && plo <= curHi {
+				if phi > curHi {
+					curHi = phi
+				}
+				continue
 			}
 		}
+		if curHi >= 0 {
+			// Finalize [curLo, curHi): intersect with the active list and
+			// classify each surviving piece's tap sources against the
+			// interval's span windows [f0, i0) and [f1, i1). The windows
+			// may include the gap span that triggered this finalize, but
+			// its pixel projection starts past curHi so it can never
+			// overlap a piece's tap range; the common windows — empty, or
+			// a single span — classify without any cursor walk.
+			w0n := i0 - f0
+			w1n := i1 - f1
+			var s0, e0, s1, e1 int
+			if w0n == 1 {
+				s0 = int(lo0[f0])
+				e0 = s0 + int(cn0[f0])
+			}
+			if w1n == 1 {
+				s1 = int(lo1[f1])
+				e1 = s1 + int(cn1[f1])
+			}
+			cc0, cc1 := f0, f1
+			u := curLo
+			for ai < len(act) && act[ai].Hi <= u {
+				ai++
+			}
+			for u < curHi {
+				if ai == len(act) {
+					skips++ // one link jump clears the rest of the interval
+					break
+				}
+				a := act[ai]
+				if a.Lo > u {
+					skips++ // jump over the dead gap in front of act[ai]
+					u = a.Lo
+					if u >= curHi {
+						break
+					}
+				}
+				e := a.Hi
+				if e > curHi {
+					e = curHi
+				}
+				x0 := u - off // first tap of the piece (>= -1)
+				x1 := e - off // last tap, inclusive
+				b0 := int32(laneZero)
+				if w0n == 1 {
+					if s0 <= x0 && x1 < e0 {
+						b0 = vx0[f0] + int32(x0-s0)
+					} else if s0 <= x1 && x0 < e0 {
+						fillLane(lo0, cn0, vx0, src, lane0, f0, x0, x1)
+						b0 = ^int32(x0 + 1)
+					}
+				} else if w0n > 1 {
+					for cc0 < i0 && int(lo0[cc0])+int(cn0[cc0]) <= x0 {
+						cc0++
+					}
+					if cc0 < i0 && int(lo0[cc0]) <= x1 {
+						if s := int(lo0[cc0]); s <= x0 && x1 < s+int(cn0[cc0]) {
+							b0 = vx0[cc0] + int32(x0-s)
+						} else {
+							fillLane(lo0, cn0, vx0, src, lane0, cc0, x0, x1)
+							b0 = ^int32(x0 + 1)
+						}
+					}
+				}
+				b1 := int32(laneZero)
+				if w1n == 1 {
+					if s1 <= x0 && x1 < e1 {
+						b1 = vx1[f1] + int32(x0-s1)
+					} else if s1 <= x1 && x0 < e1 {
+						fillLane(lo1, cn1, vx1, src, lane1, f1, x0, x1)
+						b1 = ^int32(x0 + 1)
+					}
+				} else if w1n > 1 {
+					for cc1 < i1 && int(lo1[cc1])+int(cn1[cc1]) <= x0 {
+						cc1++
+					}
+					if cc1 < i1 && int(lo1[cc1]) <= x1 {
+						if s := int(lo1[cc1]); s <= x0 && x1 < s+int(cn1[cc1]) {
+							b1 = vx1[cc1] + int32(x0-s)
+						} else {
+							fillLane(lo1, cn1, vx1, src, lane1, cc1, x0, x1)
+							b1 = ^int32(x0 + 1)
+						}
+					}
+				}
+				c.live = append(c.live, liveIv{int32(u), int32(e), b0, b1})
+				u = e
+				if u >= curHi {
+					break
+				}
+				ai++
+			}
+		}
+		if plo == inf {
+			return skips
+		}
+		curLo, curHi = plo, phi
+		f0, f1 = i0, i1
+		if from0 {
+			f0 = i0 - 1
+		} else {
+			f1 = i1 - 1
+		}
 	}
-	return spans
+}
+
+// fillLane stages one straddling piece's taps (inclusive tap range
+// [x0, x1]) into the scratch lane — voxel x at lane index x+1, gaps
+// between the line's spans zeroed — starting from span cursor i.
+func fillLane[T classify.Voxel | uint64](lo, cn, vx []int32, src, lane []T, i, x0, x1 int) {
+	// Manual element loops: segments are typically a handful of voxels, so
+	// plain stores beat the memmove/memclr call overhead of copy/clear.
+	n := len(lo)
+	x := x0
+	j := i
+	for x <= x1 {
+		if j < n && int(lo[j]) <= x {
+			e := int(lo[j]) + int(cn[j])
+			stop := x1 + 1
+			if e < stop {
+				stop = e
+			}
+			b := int(vx[j]) + x - int(lo[j])
+			for ; x < stop; x++ {
+				lane[x+1] = src[b]
+				b++
+			}
+			if stop == e {
+				j++
+			}
+			continue
+		}
+		g := x1 + 1
+		if j < n && int(lo[j]) < g {
+			g = int(lo[j])
+		}
+		var z T
+		for ; x < g; x++ {
+			lane[x+1] = z
+		}
+	}
 }
 
 // decodeSpansTraced streams the span voxels into the scratch row and emits
@@ -593,68 +990,70 @@ func (c *Ctx) compositePixel(vRow, u, off int, w00, w10, w01, w11 float32, cnt *
 	return false
 }
 
-// compositeSegment is the untraced hot loop: it composites the live pixels
-// of [u, hi) on row vRow until the segment ends or a saturated pixel is
-// reached, and returns the stopping pixel. It performs exactly the
+// compositeLiveScalar is the untraced hot loop: the exact float32 pixel
+// kernel over the precollected live intervals. It performs exactly the
 // arithmetic of compositePixel per pixel — same unpack tables, same
-// grouping, same order — with the row, image and counter state hoisted out
-// of the loop, so images and counter totals stay bit-identical to the
-// traced path.
-func (c *Ctx) compositeSegment(vRow, u, hi, off int, w00, w10, w01, w11 float32, cnt *Counters) int {
+// grouping, same order — but reads its four bilinear taps from the padded
+// lanes with no bounds or validity branches: every tap window and pixel
+// quad is a fixed-shape subslice, so the inner loop compiles without bounds
+// checks (verified with -d=ssa/check_bce). Images and counter totals stay
+// bit-identical to the traced path.
+func (c *Ctx) compositeLiveScalar(vRow int, g *sliceGeom, cnt *Counters) {
 	M := c.M
 	rowBase := vRow * M.W
-	links := M.Links[rowBase : rowBase+M.W]
 	pix := M.Pix[4*rowBase : 4*(rowBase+M.W)]
-	row0, row1 := c.row0, c.row1
+	vox := c.V.Vox
+	w00, w10, w01, w11 := g.w00, g.w10, g.w01, g.w11
+	lut := c.alphaLUT
 	var samples, empty int64
-	for u < hi && links[u] == 0 {
-		i0 := u - off
-		var v00, v10, v01, v11 classify.Voxel
-		if uint(i0) < uint(len(row0)) {
-			v00 = row0[i0]
-			v01 = row1[i0]
-		}
-		if i1 := i0 + 1; uint(i1) < uint(len(row0)) {
-			v10 = row0[i1]
-			v11 = row1[i1]
-		}
-		aa := w00*u8f255[v00>>24] + w10*u8f255[v10>>24] +
-			w01*u8f255[v01>>24] + w11*u8f255[v11>>24]
-		if aa < 1.0/512 {
-			empty++
-			u++
-			continue
-		}
-		scale := float32(1)
-		if c.alphaLUT != nil {
-			corrected := c.correctAlpha(aa)
-			scale = corrected / aa
-			aa = corrected
-		}
-		a0 := w00 * u8f[v00>>24] * (1.0 / 255)
-		a1 := w10 * u8f[v10>>24] * (1.0 / 255)
-		a2 := w01 * u8f[v01>>24] * (1.0 / 255)
-		a3 := w11 * u8f[v11>>24] * (1.0 / 255)
-		ar := a0*u8f[(v00>>16)&0xff] + a1*u8f[(v10>>16)&0xff] + a2*u8f[(v01>>16)&0xff] + a3*u8f[(v11>>16)&0xff]
-		ag := a0*u8f[(v00>>8)&0xff] + a1*u8f[(v10>>8)&0xff] + a2*u8f[(v01>>8)&0xff] + a3*u8f[(v11>>8)&0xff]
-		ab := a0*u8f[v00&0xff] + a1*u8f[v10&0xff] + a2*u8f[v01&0xff] + a3*u8f[v11&0xff]
+	for _, iv := range c.live {
+		n := int(iv.Hi - iv.Lo)
+		t0 := laneSel(iv.B0, vox, c.vlane0, c.zvlane)[:n+1]
+		t1 := laneSel(iv.B1, vox, c.vlane1, c.zvlane)
+		t1 = t1[:len(t0)] // teach the compiler the lanes are the same length
+		lo := int(iv.Lo)
+		v00, v01 := t0[0], t1[0]
+		for j := 1; j < len(t0); j++ {
+			v10 := t0[j]
+			v11 := t1[j]
+			aa := w00*u8f255[v00>>24] + w10*u8f255[v10>>24] +
+				w01*u8f255[v01>>24] + w11*u8f255[v11>>24]
+			if aa < 1.0/512 {
+				empty++
+				v00, v01 = v10, v11
+				continue
+			}
+			scale := float32(1)
+			if lut != nil {
+				corrected := c.correctAlpha(aa)
+				scale = corrected / aa
+				aa = corrected
+			}
+			a0 := w00 * u8f[v00>>24] * (1.0 / 255)
+			a1 := w10 * u8f[v10>>24] * (1.0 / 255)
+			a2 := w01 * u8f[v01>>24] * (1.0 / 255)
+			a3 := w11 * u8f[v11>>24] * (1.0 / 255)
+			ar := a0*u8f[(v00>>16)&0xff] + a1*u8f[(v10>>16)&0xff] + a2*u8f[(v01>>16)&0xff] + a3*u8f[(v11>>16)&0xff]
+			ag := a0*u8f[(v00>>8)&0xff] + a1*u8f[(v10>>8)&0xff] + a2*u8f[(v01>>8)&0xff] + a3*u8f[(v11>>8)&0xff]
+			ab := a0*u8f[v00&0xff] + a1*u8f[v10&0xff] + a2*u8f[v01&0xff] + a3*u8f[v11&0xff]
 
-		p := 4 * u
-		t := scale * (1 - pix[p+3])
-		pix[p] += t * ar * (1.0 / 255)
-		pix[p+1] += t * ag * (1.0 / 255)
-		pix[p+2] += t * ab * (1.0 / 255)
-		pix[p+3] += (1 - pix[p+3]) * aa
-		samples++
-		if pix[p+3] >= img.OpacityThreshold {
-			M.MarkOpaque(u, vRow)
+			u := lo + j - 1
+			px := pix[4*u : 4*u+4 : 4*u+4]
+			t := scale * (1 - px[3])
+			px[0] += t * ar * (1.0 / 255)
+			px[1] += t * ag * (1.0 / 255)
+			px[2] += t * ab * (1.0 / 255)
+			px[3] += (1 - px[3]) * aa
+			samples++
+			if px[3] >= img.OpacityThreshold {
+				c.sat = append(c.sat, int32(u))
+			}
+			v00, v01 = v10, v11
 		}
-		u++
 	}
 	cnt.Samples += samples
 	cnt.EmptyPixels += empty
 	cnt.Cycles += samples*CyclesPerSample + empty*CyclesPerEmptyPixel
-	return u
 }
 
 func alphaOf(v classify.Voxel) float32 {

@@ -1,0 +1,147 @@
+package composite
+
+// Packed-lane compositing tier (cpudispatch.KernelPacked).
+//
+// The scalar kernel spends most of its time on the float multiplies of the
+// bilinear resample and the float blend into the intermediate image. This
+// tier keeps the whole pixel in 64-bit integer registers: each voxel is
+// pre-spread (once per encoding, in rle.(*Volume).PackedVox) into four
+// 16-bit sublanes of a uint64 holding alpha and the premultiplied
+// channels; the four bilinear taps are weighted by 8.8 fixed-point weights
+// that sum to exactly 256, so each accumulator sublane is the resampled
+// channel scaled by 256 (full scale 255*256 = 65280 < 2^16 — no carries
+// between sublanes, no precision discarded); and the front-to-back blend
+// runs against a fixed-point row accumulator (two uint64 per pixel,
+// A<<32|R and G<<32|B at the same 65280 full scale) that is loaded from
+// the float image once per scanline and flushed back once.
+//
+// The blend multiplies each resampled sublane s by
+// tq = floor((65280-A)*65793 / 65536), a 16.16 approximation of the
+// transparency factor (1 - A/65280) scaled by 65536, and adds
+// floor(s*tq/65536) to the accumulator. Since 65793*65280 < 65536^2, the
+// increment never exceeds 65280-A, so channels cannot overflow full scale
+// and the transparency factor can never go negative. Both 32-bit
+// accumulator lanes are updated with one 64-bit multiply each: the largest
+// lane product is 65280*65535 < 2^32, so the lanes cannot contaminate each
+// other.
+//
+// This is a documented epsilon mode, never auto-selected: quantizing the
+// resample weights to 8.8 and the blend to this fixed-point grid perturbs
+// each channel by a small bounded amount (TestPackedKernelCloseToScalar
+// pins the bound), and the Samples/EmptyPixels split can shift where a
+// resampled alpha straddles the empty threshold (alpha < 128/65280 here vs
+// aa < 1/512 in float). The arithmetic is pure integer, so packed output
+// is deterministic and identical across architectures. Opacity correction
+// (alphaLUT) forces the exact scalar kernel instead — the correction table
+// is defined over float alphas.
+
+// fpScale is the fixed-point full scale: channel value 1.0 = 255 * 256.
+const fpScale = 65280
+
+// fpSatAlpha is img.OpacityThreshold on the fixed-point alpha scale
+// (0.98 * 65280, rounded up so the packed tier never marks a pixel the
+// float threshold would keep live at the same alpha).
+const fpSatAlpha = 63975
+
+// packWeights quantizes the bilinear weights to 8.8 fixed point summing to
+// exactly 256, deterministically: the first three round half-up and the
+// fourth absorbs the remainder; a negative remainder is deducted from the
+// largest of the first three.
+func packWeights(g *sliceGeom) (q0, q1, q2, q3 uint64) {
+	w0 := int64(g.w00*256 + 0.5)
+	w1 := int64(g.w10*256 + 0.5)
+	w2 := int64(g.w01*256 + 0.5)
+	w3 := 256 - w0 - w1 - w2
+	if w3 < 0 {
+		if w0 >= w1 && w0 >= w2 {
+			w0 += w3
+		} else if w1 >= w2 {
+			w1 += w3
+		} else {
+			w2 += w3
+		}
+		w3 = 0
+	}
+	return uint64(w0), uint64(w1), uint64(w2), uint64(w3)
+}
+
+// loadRowAcc converts intermediate row vRow into the fixed-point row
+// accumulator. Freshly cleared rows take the all-zero fast path; pixels
+// carrying prior float state are snapped to the fixed-point grid (part of
+// the packed tier's documented epsilon).
+func (c *Ctx) loadRowAcc(vRow int) {
+	M := c.M
+	base := 4 * vRow * M.W
+	pix := M.Pix[base : base+4*M.W]
+	ra := c.rowAcc[:2*M.W]
+	for u := 0; u < M.W; u++ {
+		px := pix[4*u : 4*u+4 : 4*u+4]
+		r, g, b, a := px[0], px[1], px[2], px[3]
+		if r == 0 && g == 0 && b == 0 && a == 0 {
+			ra[2*u] = 0
+			ra[2*u+1] = 0
+			continue
+		}
+		ra[2*u] = uint64(a*fpScale+0.5)<<32 | uint64(r*fpScale+0.5)
+		ra[2*u+1] = uint64(g*fpScale+0.5)<<32 | uint64(b*fpScale+0.5)
+	}
+}
+
+// flushRowAcc writes the accumulator back to the float image over the
+// pixel window the slice loop actually touched.
+func (c *Ctx) flushRowAcc(vRow, lo, hi int) {
+	M := c.M
+	base := 4 * vRow * M.W
+	pix := M.Pix[base : base+4*M.W]
+	ra := c.rowAcc
+	for u := lo; u < hi; u++ {
+		p0 := ra[2*u]
+		p1 := ra[2*u+1]
+		px := pix[4*u : 4*u+4 : 4*u+4]
+		px[0] = float32(p0&0xffffffff) * (1.0 / fpScale)
+		px[1] = float32(p1>>32) * (1.0 / fpScale)
+		px[2] = float32(p1&0xffffffff) * (1.0 / fpScale)
+		px[3] = float32(p0>>32) * (1.0 / fpScale)
+	}
+}
+
+// compositeLivePacked runs the packed-lane pixel kernel over the live
+// pieces: 4-tap SWAR resample and fixed-point front-to-back blend into the
+// row accumulator, all in integer registers.
+func (c *Ctx) compositeLivePacked(vRow int, g *sliceGeom, cnt *Counters, pkv []uint64) {
+	q0, q1, q2, q3 := packWeights(g)
+	ra := c.rowAcc
+	var samples, empty int64
+	for _, iv := range c.live {
+		n := int(iv.Hi - iv.Lo)
+		t0 := laneSel(iv.B0, pkv, c.plane0, c.zplane)[:n+1]
+		t1 := laneSel(iv.B1, pkv, c.plane1, c.zplane)
+		t1 = t1[:len(t0)] // teach the compiler the lanes are the same length
+		lo := int(iv.Lo)
+		r0, r1 := t0[0], t1[0]
+		for j := 1; j < len(t0); j++ {
+			n0, n1 := t0[j], t1[j]
+			acc := r0*q0 + n0*q1 + r1*q2 + n1*q3
+			r0, r1 = n0, n1
+			if acc>>48 < 128 {
+				empty++
+				continue
+			}
+			u := lo + j - 1
+			p0 := ra[2*u]
+			tq := ((fpScale - (p0 >> 32)) * 65793) >> 16
+			sAR := ((acc >> 16) & 0xffff_00000000) | ((acc >> 32) & 0xffff)
+			sGB := ((acc & 0xffff0000) << 16) | (acc & 0xffff)
+			p0 += ((sAR * tq) >> 16) & 0x0000ffff_0000ffff
+			ra[2*u] = p0
+			ra[2*u+1] += ((sGB * tq) >> 16) & 0x0000ffff_0000ffff
+			samples++
+			if p0>>32 >= fpSatAlpha {
+				c.sat = append(c.sat, int32(u))
+			}
+		}
+	}
+	cnt.Samples += samples
+	cnt.EmptyPixels += empty
+	cnt.Cycles += samples*CyclesPerSample + empty*CyclesPerEmptyPixel
+}

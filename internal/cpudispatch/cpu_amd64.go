@@ -1,0 +1,34 @@
+//go:build amd64
+
+package cpudispatch
+
+// Implemented in cpu_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// probe interrogates the CPU the way golang.org/x/sys/cpu does, without
+// the dependency: CPUID leaf 1 for the baseline feature bits, XGETBV
+// (guarded by OSXSAVE — executing it without OS support faults) for
+// whether the OS saves the xmm/ymm register state, and CPUID leaf 7 for
+// AVX2. FMA and AVX2 are only reported usable when the OS support bit
+// pattern (xcr0 & 0x6 == 0x6) holds.
+func probe() Features {
+	var f Features
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	f.HasSSE42 = ecx1&(1<<20) != 0
+	avxOS := false
+	if ecx1&(1<<27) != 0 { // OSXSAVE: XGETBV is safe to execute
+		eax, _ := xgetbv()
+		avxOS = eax&0x6 == 0x6 // OS saves both xmm and ymm state
+	}
+	f.HasFMA = avxOS && ecx1&(1<<12) != 0
+	if maxID >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.HasAVX2 = avxOS && ebx7&(1<<5) != 0
+	}
+	return f
+}

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package cpudispatch
+
+import "runtime"
+
+// probe on non-amd64 hosts: arm64's baseline spec mandates advanced SIMD
+// and fused multiply-add, so they are reported statically; every other
+// GOARCH reports no features. The packed tier is pure Go and runs
+// regardless — these flags describe the hardware, they never gate it.
+func probe() Features {
+	if runtime.GOARCH == "arm64" {
+		return Features{HasNEON: true, HasFMA: true}
+	}
+	return Features{}
+}

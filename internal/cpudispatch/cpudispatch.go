@@ -1,0 +1,160 @@
+// Package cpudispatch selects the pixel-kernel tier the untraced
+// compositing and warp fast paths run with, and probes the CPU features
+// that inform the choice.
+//
+// Two tiers exist:
+//
+//   - KernelScalar: the exact float32 reference kernels. Byte-identical to
+//     the traced simulator path and to the serial golden images — the
+//     default everywhere, because bit-identity across algorithms is this
+//     repository's core contract.
+//   - KernelPacked: 64-bit packed-lane (4×u16 fixed-point) resampling for
+//     the composite accumulator and the warp bilinear gather. A documented
+//     epsilon mode: images agree with the scalar tier to within the 8-bit
+//     premultiply and 8.8 weight quantization (see DESIGN.md), so it is
+//     never selected automatically.
+//
+// Selection happens once, at renderer construction, through Resolve:
+// an explicit KernelScalar/KernelPacked request wins; KernelAuto consults
+// the SHEARWARP_KERNEL environment variable (the A/B-benchmarking
+// override) and otherwise resolves to KernelScalar. The feature probe
+// (CPUID/XGETBV on amd64, static tables elsewhere, a pure-Go stub on
+// exotic GOARCHes) is exposed so services can report what the host offers
+// alongside the tier actually chosen.
+package cpudispatch
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Kernel names a pixel-kernel tier.
+type Kernel uint8
+
+// Kernel tiers. The zero value is KernelAuto so an unset configuration
+// field means "pick the default".
+const (
+	KernelAuto   Kernel = iota // resolve via env override, else scalar
+	KernelScalar               // exact float32 reference kernels
+	KernelPacked               // packed 64-bit-lane fixed-point (epsilon mode)
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelScalar:
+		return "scalar"
+	case KernelPacked:
+		return "packed"
+	}
+	return fmt.Sprintf("Kernel(%d)", uint8(k))
+}
+
+// UnknownKernelError reports a kernel name that Parse rejected. Commands
+// and the render service surface it to the user (exit 2 / HTTP 400), so
+// it is a typed error rather than a fmt.Errorf string.
+type UnknownKernelError struct {
+	Value string
+}
+
+func (e *UnknownKernelError) Error() string {
+	return fmt.Sprintf("cpudispatch: unknown kernel %q (valid: auto, scalar, packed)", e.Value)
+}
+
+// Parse converts a kernel name ("auto", "scalar", "packed"; "" means
+// auto). Unknown names return a *UnknownKernelError.
+func Parse(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "scalar":
+		return KernelScalar, nil
+	case "packed":
+		return KernelPacked, nil
+	}
+	return KernelAuto, &UnknownKernelError{Value: s}
+}
+
+// EnvVar is the environment override consulted by Resolve when the
+// configured kernel is KernelAuto.
+const EnvVar = "SHEARWARP_KERNEL"
+
+var (
+	envOnce   sync.Once
+	envKernel Kernel
+	envErr    error
+)
+
+// FromEnv parses the SHEARWARP_KERNEL override once. An unset variable
+// yields (KernelAuto, nil); an invalid value yields KernelAuto and the
+// *UnknownKernelError, which Resolve ignores (a bad env var must not
+// break a library caller) but commands may report via EnvError.
+func FromEnv() (Kernel, error) {
+	envOnce.Do(func() {
+		envKernel, envErr = Parse(os.Getenv(EnvVar))
+	})
+	return envKernel, envErr
+}
+
+// EnvError returns the parse error of an invalid SHEARWARP_KERNEL value,
+// or nil. Commands check it at startup so a typoed override fails loudly
+// instead of silently rendering with the default tier.
+func EnvError() error {
+	_, err := FromEnv()
+	return err
+}
+
+// Resolve maps a configured kernel to the tier the fast paths actually
+// run: explicit choices pass through, KernelAuto takes the environment
+// override when one is set and valid, and otherwise resolves to
+// KernelScalar — the exact tier — because the packed tier trades
+// bit-identity for lane-parallel arithmetic and must be opted into.
+func Resolve(k Kernel) Kernel {
+	if k != KernelAuto {
+		return k
+	}
+	if env, err := FromEnv(); err == nil && env != KernelAuto {
+		return env
+	}
+	return KernelScalar
+}
+
+// Features describes what the host CPU offers the packed tier. On amd64
+// it is filled by a CPUID/XGETBV probe at init; on arm64 the baseline
+// spec guarantees ASIMD and fused multiply-add, and other GOARCHes
+// report nothing (the pure-Go packed tier still runs there — the flags
+// only describe hardware, they never gate correctness).
+type Features struct {
+	HasAVX2  bool // amd64: AVX2 usable (CPUID bit + OS xmm/ymm state support)
+	HasFMA   bool // fused multiply-add available
+	HasSSE42 bool // amd64 baseline-v2 vector integer ops
+	HasNEON  bool // arm64 advanced SIMD (always true on arm64)
+}
+
+// CPU holds the probed features of the running host.
+var CPU = probe()
+
+// FeatureString renders the probed features as a comma-separated list
+// ("avx2,fma", "neon,fma", or "none") for logs and the /metrics page.
+func FeatureString() string {
+	var fs []string
+	if CPU.HasAVX2 {
+		fs = append(fs, "avx2")
+	}
+	if CPU.HasNEON {
+		fs = append(fs, "neon")
+	}
+	if CPU.HasSSE42 {
+		fs = append(fs, "sse4.2")
+	}
+	if CPU.HasFMA {
+		fs = append(fs, "fma")
+	}
+	if len(fs) == 0 {
+		return "none"
+	}
+	return strings.Join(fs, ",")
+}

@@ -1,0 +1,73 @@
+package cpudispatch
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"", KernelAuto, true},
+		{"auto", KernelAuto, true},
+		{"scalar", KernelScalar, true},
+		{"packed", KernelPacked, true},
+		{"avx512", 0, false},
+		{"Scalar", 0, false},
+	}
+	for _, c := range cases {
+		k, err := Parse(c.in)
+		if c.ok {
+			if err != nil || k != c.want {
+				t.Errorf("Parse(%q) = %v, %v; want %v, nil", c.in, k, err, c.want)
+			}
+			continue
+		}
+		var uk *UnknownKernelError
+		if !errors.As(err, &uk) {
+			t.Errorf("Parse(%q): error %v is not *UnknownKernelError", c.in, err)
+		} else if uk.Value != c.in {
+			t.Errorf("Parse(%q): error records value %q", c.in, uk.Value)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{KernelAuto, KernelScalar, KernelPacked} {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	// Explicit choices pass through untouched.
+	if got := Resolve(KernelScalar); got != KernelScalar {
+		t.Errorf("Resolve(scalar) = %v", got)
+	}
+	if got := Resolve(KernelPacked); got != KernelPacked {
+		t.Errorf("Resolve(packed) = %v", got)
+	}
+	// Auto resolves to a concrete tier — scalar unless the env override
+	// (cached at first use, so not settable from this test) says packed.
+	got := Resolve(KernelAuto)
+	if got != KernelScalar && got != KernelPacked {
+		t.Errorf("Resolve(auto) = %v, want a concrete tier", got)
+	}
+	env, err := FromEnv()
+	if err == nil && env == KernelAuto && got != KernelScalar {
+		t.Errorf("Resolve(auto) with no env override = %v, want scalar", got)
+	}
+}
+
+func TestProbeSmoke(t *testing.T) {
+	// The probe must not crash and the feature string must be non-empty.
+	if s := FeatureString(); s == "" {
+		t.Fatal("FeatureString() returned an empty string")
+	}
+	t.Logf("cpu features: %s", FeatureString())
+}

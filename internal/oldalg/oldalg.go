@@ -32,6 +32,11 @@ import (
 	"shearwarp/internal/warp"
 )
 
+// warpScratchPool recycles packed-warp row caches across frames and
+// workers; unlike newalg, this algorithm has no persistent renderer
+// object to own them.
+var warpScratchPool sync.Pool
+
 // Config tunes the old parallel algorithm.
 type Config struct {
 	Procs     int // number of workers; 0 means 1
@@ -298,7 +303,12 @@ func RenderCtx(ctx context.Context, r *render.Renderer, yaw, pitch float64, cfg 
 			// is polled per tile.
 			phase = "warp"
 			reg = rtrace.StartRegion(tctx, "warp")
-			wc := warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out}
+			ws, _ := warpScratchPool.Get().(*warp.Scratch)
+			if ws == nil {
+				ws = &warp.Scratch{}
+			}
+			wc := fr.NewWarpCtx(ws)
+			defer warpScratchPool.Put(ws)
 			for t := p; t < len(tiles); t += cfg.Procs {
 				if ab.flag.Load() {
 					break

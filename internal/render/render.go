@@ -12,6 +12,7 @@ import (
 
 	"shearwarp/internal/classify"
 	"shearwarp/internal/composite"
+	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
 	"shearwarp/internal/perf"
@@ -34,6 +35,12 @@ type Options struct {
 	// (the renderer's view-independent preprocessing) with this many
 	// goroutines; 0 or 1 keeps them serial. Outputs are bit-identical.
 	PreprocProcs int
+	// Kernel selects the pixel-kernel tier of the untraced compositing
+	// and warp fast paths. It is resolved once, here at construction
+	// (KernelAuto consults SHEARWARP_KERNEL and falls back to the exact
+	// scalar tier), and every frame of this renderer then uses the
+	// resolved tier.
+	Kernel cpudispatch.Kernel
 }
 
 // Renderer owns a classified volume and its lazily-built per-axis RLE
@@ -45,8 +52,14 @@ type Renderer struct {
 	Vol               *vol.Volume
 	Classified        *classify.Classified
 	OpacityCorrection bool
-	preprocProcs      int
-	enc               [3]*rle.Volume
+	// Kernel is the resolved pixel-kernel tier every frame runs with
+	// (never KernelAuto — construction resolves it).
+	Kernel       cpudispatch.Kernel
+	preprocProcs int
+	enc          [3]*rle.Volume
+	// warpScratch backs the packed warp tier of the serial render path;
+	// a Renderer runs one frame at a time, so one scratch suffices.
+	warpScratch warp.Scratch
 	// encodeFn, when set, supplies per-axis encodings from an external
 	// source (the render service's LRU cache) instead of encoding
 	// privately. The returned encodings must be immutable and equivalent
@@ -69,6 +82,7 @@ func New(v *vol.Volume, opt Options) *Renderer {
 	return &Renderer{
 		Vol:               v,
 		OpacityCorrection: opt.OpacityCorrection,
+		Kernel:            cpudispatch.Resolve(opt.Kernel),
 		preprocProcs:      opt.PreprocProcs,
 		Classified:        classify.ClassifyParallel(v, copt, opt.PreprocProcs),
 	}
@@ -87,6 +101,7 @@ func NewShared(v *vol.Volume, c *classify.Classified, encode func(xform.Axis) *r
 		Vol:               v,
 		Classified:        c,
 		OpacityCorrection: opt.OpacityCorrection,
+		Kernel:            cpudispatch.Resolve(opt.Kernel),
 		preprocProcs:      opt.PreprocProcs,
 		encodeFn:          encode,
 	}
@@ -115,6 +130,9 @@ type Frame struct {
 	// CorrectOpacity tells compositing contexts to enable the per-frame
 	// opacity-correction table.
 	CorrectOpacity bool
+	// Kernel is the resolved pixel-kernel tier the frame's untraced
+	// compositing and warp contexts run with.
+	Kernel cpudispatch.Kernel
 }
 
 // NewCompositeCtx builds a compositing context for this frame, applying
@@ -123,6 +141,7 @@ type Frame struct {
 // bit-identical across algorithms.
 func (fr *Frame) NewCompositeCtx() *composite.Ctx {
 	cc := composite.NewCtx(&fr.F, fr.RV, fr.M)
+	cc.Kernel = fr.Kernel
 	if fr.CorrectOpacity {
 		cc.EnableOpacityCorrection()
 	}
@@ -137,10 +156,22 @@ func (fr *Frame) BindCompositeCtx(cc *composite.Ctx) *composite.Ctx {
 		return fr.NewCompositeCtx()
 	}
 	cc.Bind(&fr.F, fr.RV, fr.M)
+	cc.Kernel = fr.Kernel
 	if fr.CorrectOpacity {
 		cc.EnableOpacityCorrection()
 	}
 	return cc
+}
+
+// NewWarpCtx builds a warp context for this frame with the frame's kernel
+// tier. The optional scratch (required for the packed tier to stay
+// allocation-free) is reset here: NewWarpCtx marks a frame boundary, and
+// rows cached from an earlier frame must not survive into this one.
+func (fr *Frame) NewWarpCtx(s *warp.Scratch) warp.Ctx {
+	if s != nil {
+		s.Reset()
+	}
+	return warp.Ctx{F: &fr.F, M: fr.M, Out: fr.Out, Kernel: fr.Kernel, S: s}
 }
 
 // Setup factorizes the view and allocates the frame's images.
@@ -153,6 +184,7 @@ func (r *Renderer) Setup(yaw, pitch float64) *Frame {
 		M:              img.NewIntermediate(f.IntW, f.IntH),
 		Out:            img.NewFinal(f.FinalW, f.FinalH),
 		CorrectOpacity: r.OpacityCorrection,
+		Kernel:         r.Kernel,
 	}
 }
 
@@ -176,6 +208,7 @@ func (r *Renderer) SetupInto(fr *Frame, yaw, pitch float64) {
 		fr.Out.Resize(fr.F.FinalW, fr.F.FinalH)
 	}
 	fr.CorrectOpacity = r.OpacityCorrection
+	fr.Kernel = r.Kernel
 }
 
 // FrameStats reports the modeled work of one rendered frame.
@@ -282,7 +315,7 @@ func (r *Renderer) RenderSerialCtx(ctx context.Context, yaw, pitch float64, pc *
 	}
 	phase = "warp"
 	fi.Visit("warp", 0, -1)
-	wc := warp.NewCtx(&fr.F, fr.M, fr.Out)
+	wc := fr.NewWarpCtx(&r.warpScratch)
 	reg = rtrace.StartRegion(tctx, "warp")
 	wc.WarpTile(0, 0, fr.Out.W, fr.Out.H, &st.Warp)
 	reg.End()

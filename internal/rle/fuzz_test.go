@@ -140,3 +140,86 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSpanDecodeSoAEquivalence pins the contract the compositing kernels
+// build on: windowing the encode-time SoA span index (AppendSpansSoA) and
+// walking the run headers scalar-style (AppendSpans) must visit the same
+// spans in the same order, with identical (offset, count, voxel offset)
+// triples, and the index's class byte must equal the maximum opacity over
+// the span's packed voxels. The kernels consume only the SoA side, so any
+// divergence here would silently change rendered frames.
+func FuzzSpanDecodeSoAEquivalence(f *testing.F) {
+	f.Add([]byte{0}, uint8(2), uint8(2), uint8(2), uint8(4), uint8(0))                         // all transparent
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint8(3), uint8(2), uint8(4), uint8(4), uint8(1))    // all opaque
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0}, uint8(4), uint8(3), uint8(2), uint8(4), uint8(2)) // 1-voxel runs
+	f.Add([]byte{0, 0, 0, 0, 0xff, 1, 2, 3}, uint8(5), uint8(5), uint8(5), uint8(128), uint8(0))
+	f.Add([]byte{4, 4, 4, 4, 3, 3, 3, 3}, uint8(8), uint8(2), uint8(2), uint8(4), uint8(1)) // threshold boundary
+	f.Fuzz(func(t *testing.T, data []byte, bx, by, bz, minOp, axisByte uint8) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		nx, ny, nz := 2+int(bx)%14, 2+int(by)%14, 2+int(bz)%14
+		axis := xform.Axis(int(axisByte) % 3)
+		c := buildClassified(data, nx, ny, nz, minOp)
+		v := Encode(c, axis)
+
+		// The SoA index must be index-aligned and scanline-monotone.
+		nSpans := len(v.SpanLo)
+		if len(v.SpanCnt) != nSpans || len(v.SpanVox) != nSpans || len(v.SpanClass) != nSpans {
+			t.Fatalf("SoA arrays misaligned: lo %d cnt %d vox %d class %d",
+				nSpans, len(v.SpanCnt), len(v.SpanVox), len(v.SpanClass))
+		}
+		if got, want := len(v.SpanOff), v.Nk*v.Nj+1; got != want {
+			t.Fatalf("len(SpanOff) = %d, want %d", got, want)
+		}
+		if v.SpanOff[len(v.SpanOff)-1] != int32(nSpans) {
+			t.Fatalf("SpanOff end %d != span count %d", v.SpanOff[len(v.SpanOff)-1], nSpans)
+		}
+
+		var b SpanBuf
+		for k := 0; k < v.Nk; k++ {
+			for j := 0; j < v.Nj; j++ {
+				s := v.ScanlineID(k, j)
+				if v.SpanOff[s] > v.SpanOff[s+1] {
+					t.Fatalf("scanline %d: non-monotone SpanOff", s)
+				}
+
+				scalar := v.AppendSpans(k, j, nil)
+				b.Reset()
+				v.AppendSpansSoA(k, j, &b)
+				if b.Len() != len(scalar) {
+					t.Fatalf("scanline %d: SoA decodes %d spans, scalar run walk %d",
+						s, b.Len(), len(scalar))
+				}
+
+				_, vox := v.Scanline(k, j)
+				for n, sp := range scalar {
+					if int(b.Lo[n]) != sp.Start {
+						t.Fatalf("scanline %d span %d: SoA offset %d, scalar %d",
+							s, n, b.Lo[n], sp.Start)
+					}
+					if int(b.Cnt[n]) != sp.End-sp.Start {
+						t.Fatalf("scanline %d span %d: SoA count %d, scalar %d",
+							s, n, b.Cnt[n], sp.End-sp.Start)
+					}
+					if int(b.Vox[n]) != sp.VoxStart {
+						t.Fatalf("scanline %d span %d: SoA voxel offset %d, scalar %d",
+							s, n, b.Vox[n], sp.VoxStart)
+					}
+					// The class byte must be the exact max opacity of the
+					// span's voxels — kernels skip class-0 spans entirely.
+					var class uint8
+					for _, px := range vox[sp.VoxStart : sp.VoxStart+sp.End-sp.Start] {
+						if a := classify.Opacity(px); a > class {
+							class = a
+						}
+					}
+					if b.Class[n] != class {
+						t.Fatalf("scanline %d span %d: SoA class %d, scalar max opacity %d",
+							s, n, b.Class[n], class)
+					}
+				}
+			}
+		}
+	})
+}

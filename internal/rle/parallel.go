@@ -24,8 +24,13 @@ func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume 
 		k0, k1  int
 		runOff  []int32 // per scanline, relative to the slab
 		voxOff  []int32
+		spanOff []int32
 		runLens []uint16
 		vox     []classify.Voxel
+		spanLo  []int32
+		spanCnt []int32
+		spanVox []int32
+		spanCls []uint8
 	}
 	slabs := make([]slab, procs)
 
@@ -43,6 +48,7 @@ func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume 
 				for j := 0; j < nj; j++ {
 					s.runOff = append(s.runOff, int32(len(sub.RunLens)))
 					s.voxOff = append(s.voxOff, int32(len(sub.Vox)))
+					s.spanOff = append(s.spanOff, int32(len(sub.SpanClass)))
 					for i := 0; i < ni; i++ {
 						x, y, z := xform.ObjectIndex(axis, i, j, k)
 						line[i] = c.Voxels[(z*c.Ny+y)*c.Nx+x]
@@ -52,6 +58,10 @@ func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume 
 			}
 			s.runLens = sub.RunLens
 			s.vox = sub.Vox
+			s.spanLo = sub.SpanLo
+			s.spanCnt = sub.SpanCnt
+			s.spanVox = sub.SpanVox
+			s.spanCls = sub.SpanClass
 		}(&slabs[p])
 	}
 	wg.Wait()
@@ -59,19 +69,27 @@ func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume 
 	// Phase 2: serial prefix over slab sizes.
 	v := &Volume{
 		Axis: axis, Ni: ni, Nj: nj, Nk: nk, MinOpacity: c.MinOpacity,
-		RunOff: make([]int32, nk*nj+1),
-		VoxOff: make([]int32, nk*nj+1),
+		RunOff:  make([]int32, nk*nj+1),
+		VoxOff:  make([]int32, nk*nj+1),
+		SpanOff: make([]int32, nk*nj+1),
 	}
 	runBase := make([]int32, procs+1)
 	voxBase := make([]int32, procs+1)
+	spanBase := make([]int32, procs+1)
 	for p := 0; p < procs; p++ {
 		runBase[p+1] = runBase[p] + int32(len(slabs[p].runLens))
 		voxBase[p+1] = voxBase[p] + int32(len(slabs[p].vox))
+		spanBase[p+1] = spanBase[p] + int32(len(slabs[p].spanCls))
 	}
 	v.RunLens = make([]uint16, runBase[procs])
 	v.Vox = make([]classify.Voxel, voxBase[procs])
+	v.SpanLo = make([]int32, spanBase[procs])
+	v.SpanCnt = make([]int32, spanBase[procs])
+	v.SpanVox = make([]int32, spanBase[procs])
+	v.SpanClass = make([]uint8, spanBase[procs])
 	v.RunOff[nk*nj] = runBase[procs]
 	v.VoxOff[nk*nj] = voxBase[procs]
+	v.SpanOff[nk*nj] = spanBase[procs]
 
 	// Phase 3: copy slabs into place and rebase the offsets, in parallel.
 	for p := 0; p < procs; p++ {
@@ -81,10 +99,19 @@ func EncodeParallel(c *classify.Classified, axis xform.Axis, procs int) *Volume 
 			s := &slabs[p]
 			copy(v.RunLens[runBase[p]:], s.runLens)
 			copy(v.Vox[voxBase[p]:], s.vox)
+			copy(v.SpanLo[spanBase[p]:], s.spanLo)
+			copy(v.SpanCnt[spanBase[p]:], s.spanCnt)
+			copy(v.SpanClass[spanBase[p]:], s.spanCls)
+			// Slab SpanVox values are offsets into the slab's private voxel
+			// stream; rebase them to the merged Vox array.
+			for i, vx := range s.spanVox {
+				v.SpanVox[spanBase[p]+int32(i)] = voxBase[p] + vx
+			}
 			base := s.k0 * nj
 			for i := range s.runOff {
 				v.RunOff[base+i] = runBase[p] + s.runOff[i]
 				v.VoxOff[base+i] = voxBase[p] + s.voxOff[i]
+				v.SpanOff[base+i] = spanBase[p] + s.spanOff[i]
 			}
 		}(p)
 	}

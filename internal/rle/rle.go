@@ -13,6 +13,7 @@ package rle
 
 import (
 	"fmt"
+	"sync"
 
 	"shearwarp/internal/classify"
 	"shearwarp/internal/xform"
@@ -37,10 +38,30 @@ type Volume struct {
 	VoxOff []int32
 	Vox    []classify.Voxel
 
+	// Encode-time span index, structure-of-arrays: one entry per non-empty
+	// non-transparent run, in scanline order, built while the voxels stream
+	// through the encoder anyway. Scanline s owns index range
+	// [SpanOff[s], SpanOff[s+1]). SpanLo is the span's first voxel index
+	// within its scanline, SpanCnt its voxel count, SpanVox the absolute
+	// offset of its first voxel in Vox, and SpanClass the maximum opacity
+	// byte over its voxels (class 0 means every sample contributes exact
+	// zero opacity, so kernels may treat the span as a gap). The compositor
+	// windows these arrays directly, so expanding a scanline's runs into
+	// spans costs nothing per frame.
+	SpanOff   []int32
+	SpanLo    []int32
+	SpanCnt   []int32
+	SpanVox   []int32
+	SpanClass []uint8
+
 	// MaxLineRuns is the largest run-header count of any scanline, set by
 	// the encoders. Compositing contexts size their span scratch from it so
 	// steady-state frames never grow an append.
 	MaxLineRuns int
+
+	// Lazily-built packed-kernel lane array; see PackedVox.
+	packedOnce sync.Once
+	packed     []uint64
 }
 
 // computeMaxLineRuns scans RunOff for the densest scanline.
@@ -59,8 +80,9 @@ func Encode(c *classify.Classified, axis xform.Axis) *Volume {
 	ni, nj, nk := xform.PermutedDims(axis, c.Nx, c.Ny, c.Nz)
 	v := &Volume{
 		Axis: axis, Ni: ni, Nj: nj, Nk: nk, MinOpacity: c.MinOpacity,
-		RunOff: make([]int32, nk*nj+1),
-		VoxOff: make([]int32, nk*nj+1),
+		RunOff:  make([]int32, nk*nj+1),
+		VoxOff:  make([]int32, nk*nj+1),
+		SpanOff: make([]int32, nk*nj+1),
 	}
 	if ni > 0xffff {
 		panic(fmt.Sprintf("rle: scanline length %d exceeds uint16 runs", ni))
@@ -71,6 +93,7 @@ func Encode(c *classify.Classified, axis xform.Axis) *Volume {
 			s := k*nj + j
 			v.RunOff[s] = int32(len(v.RunLens))
 			v.VoxOff[s] = int32(len(v.Vox))
+			v.SpanOff[s] = int32(len(v.SpanClass))
 			for i := 0; i < ni; i++ {
 				x, y, z := xform.ObjectIndex(axis, i, j, k)
 				line[i] = c.Voxels[(z*c.Ny+y)*c.Nx+x]
@@ -80,6 +103,7 @@ func Encode(c *classify.Classified, axis xform.Axis) *Volume {
 	}
 	v.RunOff[nk*nj] = int32(len(v.RunLens))
 	v.VoxOff[nk*nj] = int32(len(v.Vox))
+	v.SpanOff[nk*nj] = int32(len(v.SpanClass))
 	v.computeMaxLineRuns()
 	return v
 }
@@ -97,11 +121,22 @@ func (v *Volume) encodeLine(line []classify.Voxel) {
 		i = t
 		// Non-transparent run (may be empty only at end of line).
 		o := i
+		var class uint8
+		vox := int32(len(v.Vox))
 		for o < len(line) && classify.Opacity(line[o]) >= v.MinOpacity {
+			if a := classify.Opacity(line[o]); a > class {
+				class = a
+			}
 			v.Vox = append(v.Vox, line[o])
 			o++
 		}
 		v.RunLens = append(v.RunLens, uint16(o-i))
+		if o > i {
+			v.SpanLo = append(v.SpanLo, int32(i))
+			v.SpanCnt = append(v.SpanCnt, int32(o-i))
+			v.SpanVox = append(v.SpanVox, vox)
+			v.SpanClass = append(v.SpanClass, class)
+		}
 		i = o
 	}
 	if len(line) == 0 {
@@ -187,6 +222,92 @@ func (v *Volume) AppendSpans(k, j int, dst []Span) []Span {
 	return dst
 }
 
+// SpanBuf holds one or more scanlines' worth of non-transparent spans in
+// structure-of-arrays form: four flat, index-aligned arrays instead of a
+// slice of structs. Compositing contexts own one per contributing line and
+// reuse it across scanlines, so the decode stage is append-only into
+// buffers that reach steady-state capacity after the first frame.
+type SpanBuf struct {
+	Lo    []int32 // first voxel index of each span within its scanline
+	Cnt   []int32 // sample (voxel) count of each span
+	Vox   []int32 // offset of each span's first voxel in the line's packed stream
+	Class []uint8 // maximum opacity byte over the span's voxels
+}
+
+// Reset empties the buffer, keeping its capacity.
+func (b *SpanBuf) Reset() {
+	b.Lo = b.Lo[:0]
+	b.Cnt = b.Cnt[:0]
+	b.Vox = b.Vox[:0]
+	b.Class = b.Class[:0]
+}
+
+// Len returns the number of buffered spans.
+func (b *SpanBuf) Len() int { return len(b.Lo) }
+
+// Grow ensures capacity for at least n spans without changing Len, so a
+// compositing context bound to an encoding never grows an append in the
+// steady state.
+func (b *SpanBuf) Grow(n int) {
+	if cap(b.Lo) >= n {
+		return
+	}
+	b.Lo = make([]int32, 0, n)
+	b.Cnt = make([]int32, 0, n)
+	b.Vox = make([]int32, 0, n)
+	b.Class = make([]uint8, 0, n)
+}
+
+// AppendSpansSoA appends the non-transparent spans of scanline (k, j) to b
+// in structure-of-arrays form, windowing the encode-time span index — no
+// run header or packed voxel is touched, and Vox offsets are rebased to the
+// scanline (matching Span.VoxStart). It visits exactly the (offset, count)
+// sequence AppendSpans produces by walking the run headers (fuzz-verified
+// by FuzzSpanDecodeSoAEquivalence).
+func (v *Volume) AppendSpansSoA(k, j int, b *SpanBuf) {
+	s := k*v.Nj + j
+	lo, hi := v.SpanOff[s], v.SpanOff[s+1]
+	base := v.VoxOff[s]
+	b.Lo = append(b.Lo, v.SpanLo[lo:hi]...)
+	b.Cnt = append(b.Cnt, v.SpanCnt[lo:hi]...)
+	b.Class = append(b.Class, v.SpanClass[lo:hi]...)
+	for _, vx := range v.SpanVox[lo:hi] {
+		b.Vox = append(b.Vox, vx-base)
+	}
+}
+
+// SpreadPremul converts a packed voxel into the packed compositing tier's
+// lane format: alpha and the premultiplied color channels
+// round(alpha*channel/255), spread into the four 16-bit sublanes of a
+// uint64 as 0x00AA00RR00GG00BB. Premultiplying before resampling keeps
+// transparent neighbors from bleeding color into span edges, and the
+// spread layout lets a kernel resample all four channels with one 64-bit
+// multiply per tap (weights summing to 256 cannot carry across sublanes:
+// 255*256 < 2^16).
+func SpreadPremul(v classify.Voxel) uint64 {
+	a := uint64(v >> 24)
+	r := (a*uint64((v>>16)&0xff) + 127) / 255
+	g := (a*uint64((v>>8)&0xff) + 127) / 255
+	b := (a*uint64(v&0xff) + 127) / 255
+	return a<<48 | r<<32 | g<<16 | b
+}
+
+// PackedVox returns the volume's voxels in SpreadPremul lane form, aligned
+// index-for-index with Vox. The array is view-independent, so it is built
+// once per encoding (lazily, on the first packed-kernel frame) and shared
+// by every renderer bound to the volume thereafter; callers must not
+// mutate it.
+func (v *Volume) PackedVox() []uint64 {
+	v.packedOnce.Do(func() {
+		p := make([]uint64, len(v.Vox))
+		for i, x := range v.Vox {
+			p[i] = SpreadPremul(x)
+		}
+		v.packed = p
+	})
+	return v.packed
+}
+
 // Stats summarizes the encoding.
 type Stats struct {
 	Voxels          int     // total voxels in the volume
@@ -200,7 +321,9 @@ type Stats struct {
 func (v *Volume) ComputeStats() Stats {
 	total := v.Ni * v.Nj * v.Nk
 	dense := total * 4
-	enc := len(v.Vox)*4 + len(v.RunLens)*2 + len(v.RunOff)*4 + len(v.VoxOff)*4
+	enc := len(v.Vox)*4 + len(v.RunLens)*2 + len(v.RunOff)*4 + len(v.VoxOff)*4 +
+		len(v.SpanOff)*4 + len(v.SpanClass) +
+		(len(v.SpanLo)+len(v.SpanCnt)+len(v.SpanVox))*4
 	return Stats{
 		Voxels:          total,
 		NonTransparent:  len(v.Vox),

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"shearwarp"
+	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
@@ -60,8 +61,12 @@ import (
 // Config tunes the service. The zero value gets sensible defaults from
 // New.
 type Config struct {
-	Procs             int                 // workers inside each parallel render (default 4)
-	Algorithm         shearwarp.Algorithm // default algorithm when a request omits ?alg (default NewParallel)
+	Procs     int                 // workers inside each parallel render (default 4)
+	Algorithm shearwarp.Algorithm // default algorithm when a request omits ?alg (default NewParallel)
+	// Kernel selects the pixel-kernel tier every renderer the service
+	// builds runs with (KernelAuto = $SHEARWARP_KERNEL, else scalar).
+	// The resolved tier is reported by /metrics.
+	Kernel shearwarp.Kernel
 	PoolSize          int                 // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
 	MaxConcurrent     int                 // frames rendering at once (default 8)
 	MaxQueue          int                 // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
@@ -361,6 +366,7 @@ func (s *Server) renderPool(ctx context.Context, rec *volumeRec, transfer shearw
 		pe.pool, pe.err = shearwarp.NewRendererPool(s.cfg.PoolSize, func() (*shearwarp.Renderer, error) {
 			return pv.NewRenderer(shearwarp.Config{
 				Algorithm:         alg,
+				Kernel:            s.cfg.Kernel,
 				Procs:             s.cfg.Procs,
 				OpacityCorrection: s.cfg.OpacityCorrection,
 				CollectStats:      s.cfg.CollectStats && alg != shearwarp.RayCast,
@@ -666,6 +672,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // MetricsSnapshot is the full /metrics document.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Kernel        string                      `json:"kernel"`       // resolved pixel-kernel tier
+	CPUFeatures   string                      `json:"cpu_features"` // probed host features
 	Frames        int64                       `json:"frames"`
 	Rendering     int                         `json:"rendering"`
 	Queued        int64                       `json:"queued"`
@@ -681,6 +689,8 @@ type MetricsSnapshot struct {
 func (s *Server) metricsSnapshot() MetricsSnapshot {
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Kernel:        cpudispatch.Resolve(cpudispatch.Kernel(s.cfg.Kernel)).String(),
+		CPUFeatures:   shearwarp.CPUFeatures(),
 		Frames:        s.frames.Load(),
 		Rendering:     len(s.sem),
 		Queued:        s.waiting.Load(),

@@ -61,7 +61,8 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		if err := json.Unmarshal(body, &doc); err != nil {
 			t.Fatalf("Accept %q: bad JSON: %v", accept, err)
 		}
-		want := []string{"uptime_seconds", "frames", "rendering", "queued",
+		want := []string{"uptime_seconds", "kernel", "cpu_features", "frames",
+			"rendering", "queued",
 			"frame_panics", "frames_canceled", "watchdog_stalls", "renderers_replaced",
 			"endpoints", "cache", "phases"}
 		if len(doc) != len(want) {

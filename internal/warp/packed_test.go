@@ -1,0 +1,99 @@
+package warp
+
+import (
+	"testing"
+
+	"shearwarp/internal/cpudispatch"
+	"shearwarp/internal/img"
+)
+
+// packedWarpTol is the pinned epsilon bound of the packed warp tier:
+// per-channel output bytes may differ from the scalar kernel by at most
+// this much. Quantizing each tap to a byte costs up to half an LSB, and
+// quantizing the bilinear weights to 8.8 fixed point costs up to 1/512 of
+// the channel range per axis; together the error stays within 2 LSB.
+const packedWarpTol = 2
+
+func warpBoth(t *testing.T, n int, yaw, pitch float64) (scalar, packed *img.Final, sc, pc Counters) {
+	t.Helper()
+	f, m := composited(t, n, yaw, pitch)
+	scalar = img.NewFinal(f.FinalW, f.FinalH)
+	packed = img.NewFinal(f.FinalW, f.FinalH)
+	NewCtx(f, m, scalar).WarpTile(0, 0, scalar.W, scalar.H, &sc)
+	pctx := NewCtx(f, m, packed)
+	pctx.Kernel = cpudispatch.KernelPacked
+	pctx.WarpTile(0, 0, packed.W, packed.H, &pc)
+	return
+}
+
+func TestPackedWarpCloseToScalar(t *testing.T) {
+	for _, view := range [][2]float64{{0.4, 0.3}, {0.9, -0.5}, {2.1, 0.1}} {
+		scalar, packed, _, _ := warpBoth(t, 24, view[0], view[1])
+		worst := 0
+		for i := range scalar.Pix {
+			if i%4 == 3 {
+				continue // X byte, never written by either kernel
+			}
+			d := int(scalar.Pix[i]) - int(packed.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > packedWarpTol {
+			t.Errorf("view %v: packed warp deviates by %d > %d LSB", view, worst, packedWarpTol)
+		}
+		if packed.NonBlackCount() == 0 {
+			t.Errorf("view %v: packed warp produced an all-black image", view)
+		}
+	}
+}
+
+// TestPackedWarpCountersIdentical pins that the packed tier's epsilon is
+// confined to pixel bytes: the interior/background classification — and
+// with it every counter and the modeled cycle cost — matches the scalar
+// kernel exactly.
+func TestPackedWarpCountersIdentical(t *testing.T) {
+	_, _, sc, pc := warpBoth(t, 20, 0.7, -0.4)
+	if sc != pc {
+		t.Fatalf("packed counters %+v differ from scalar %+v", pc, sc)
+	}
+}
+
+// TestPackedWarpScratchReuse pins that pooled scratch reused across frames
+// (after the mandatory Reset) cannot leak stale rows into the next frame.
+func TestPackedWarpScratchReuse(t *testing.T) {
+	var s Scratch
+	s.Reset()
+	fa, ma := composited(t, 18, 0.4, 0.3)
+	fb, mb := composited(t, 18, 1.9, -0.2)
+
+	fresh := img.NewFinal(fb.FinalW, fb.FinalH)
+	fctx := NewCtx(fb, mb, fresh)
+	fctx.Kernel = cpudispatch.KernelPacked
+	var cnt Counters
+	fctx.WarpTile(0, 0, fresh.W, fresh.H, &cnt)
+
+	// Warp frame A with the shared scratch, then frame B after a Reset.
+	outA := img.NewFinal(fa.FinalW, fa.FinalH)
+	actx := NewCtx(fa, ma, outA)
+	actx.Kernel = cpudispatch.KernelPacked
+	actx.S = &s
+	actx.WarpTile(0, 0, outA.W, outA.H, &cnt)
+
+	s.Reset()
+	outB := img.NewFinal(fb.FinalW, fb.FinalH)
+	bctx := NewCtx(fb, mb, outB)
+	bctx.Kernel = cpudispatch.KernelPacked
+	bctx.S = &s
+	bctx.WarpTile(0, 0, outB.W, outB.H, &cnt)
+
+	for i := range fresh.Pix {
+		if outB.Pix[i] != fresh.Pix[i] {
+			t.Fatalf("pixel byte %d: reused scratch gave %d, fresh scratch %d",
+				i, outB.Pix[i], fresh.Pix[i])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package shearwarp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseKernelRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+	}{
+		{"", KernelAuto},
+		{"auto", KernelAuto},
+		{"scalar", KernelScalar},
+		{"packed", KernelPacked},
+	} {
+		k, err := ParseKernel(tc.in)
+		if err != nil || k != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, nil", tc.in, k, err, tc.want)
+		}
+	}
+	for _, k := range []Kernel{KernelAuto, KernelScalar, KernelPacked} {
+		name := k.String()
+		back, err := ParseKernel(name)
+		if err != nil || back != k {
+			t.Errorf("ParseKernel(%v.String()=%q) = %v, %v; want the original", k, name, back, err)
+		}
+	}
+}
+
+func TestParseKernelTypedError(t *testing.T) {
+	_, err := ParseKernel("avx512")
+	if err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+	var ke *UnknownKernelError
+	if !errors.As(err, &ke) {
+		t.Fatalf("error %T is not *UnknownKernelError", err)
+	}
+	if ke.Value != "avx512" {
+		t.Fatalf("UnknownKernelError.Value = %q, want %q", ke.Value, "avx512")
+	}
+}
+
+// TestKernelRoundTripsToRenderer pins that the configured tier reaches the
+// renderer (resolved, never auto) and that each tier actually renders.
+func TestKernelRoundTripsToRenderer(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Kernel
+		want Kernel
+	}{
+		{KernelAuto, KernelScalar}, // auto resolves to the exact tier
+		{KernelScalar, KernelScalar},
+		{KernelPacked, KernelPacked},
+	} {
+		r := NewMRIPhantom(24, Config{Algorithm: Serial, Kernel: tc.cfg})
+		if got := r.Kernel(); got != tc.want {
+			t.Errorf("Config.Kernel=%v: Renderer.Kernel() = %v, want %v", tc.cfg, got, tc.want)
+		}
+		im, _ := r.Render(30, 15)
+		if im.NonBlackPixels() == 0 {
+			t.Errorf("Config.Kernel=%v: rendered image is all black", tc.cfg)
+		}
+	}
+}
+
+// TestPackedKernelCloseToScalarEndToEnd bounds the packed tier's epsilon
+// over the whole pipeline (packed composite + packed warp vs the exact
+// scalar frame) and checks every parallel algorithm agrees with the
+// packed serial frame bit-for-bit — the cross-algorithm identity contract
+// holds within a tier, not just for the default one.
+func TestPackedKernelCloseToScalarEndToEnd(t *testing.T) {
+	const n, yaw, pitch = 32, 25, -10
+	scalar := NewMRIPhantom(n, Config{Algorithm: Serial})
+	sIm, _ := scalar.Render(yaw, pitch)
+	packed := NewMRIPhantom(n, Config{Algorithm: Serial, Kernel: KernelPacked})
+	pIm, _ := packed.Render(yaw, pitch)
+
+	if sIm.Width() != pIm.Width() || sIm.Height() != pIm.Height() {
+		t.Fatalf("dims differ: %dx%d vs %dx%d", sIm.Width(), sIm.Height(), pIm.Width(), pIm.Height())
+	}
+	const tol = 6 // composite quantization + warp weight quantization, in 8-bit LSB
+	worst := 0
+	for y := 0; y < sIm.Height(); y++ {
+		for x := 0; x < sIm.Width(); x++ {
+			sr, sg, sb := sIm.At(x, y)
+			pr, pg, pb := pIm.At(x, y)
+			for _, d := range []int{int(sr) - int(pr), int(sg) - int(pg), int(sb) - int(pb)} {
+				if d < 0 {
+					d = -d
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst > tol {
+		t.Fatalf("packed frame deviates from scalar by %d > %d LSB", worst, tol)
+	}
+
+	for _, alg := range []Algorithm{OldParallel, NewParallel} {
+		r := NewMRIPhantom(n, Config{Algorithm: alg, Kernel: KernelPacked, Procs: 3})
+		im, _ := r.Render(yaw, pitch)
+		r.Close()
+		for y := 0; y < im.Height(); y++ {
+			for x := 0; x < im.Width(); x++ {
+				pr, pg, pb := pIm.At(x, y)
+				ar, ag, ab := im.At(x, y)
+				if pr != ar || pg != ag || pb != ab {
+					t.Fatalf("%v packed frame differs from serial packed at (%d,%d): (%d,%d,%d) vs (%d,%d,%d)",
+						alg, x, y, ar, ag, ab, pr, pg, pb)
+				}
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"shearwarp/internal/classify"
+	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/render"
 	"shearwarp/internal/rle"
@@ -151,6 +152,7 @@ func (pv *PreparedVolume) NewRenderer(cfg Config) (*Renderer, error) {
 	opt := render.Options{
 		OpacityCorrection: cfg.OpacityCorrection,
 		PreprocProcs:      cfg.Procs,
+		Kernel:            cpudispatch.Kernel(cfg.Kernel),
 	}
 	r := render.NewShared(pv.v, c, func(axis xform.Axis) *rle.Volume {
 		return pv.encoding(c, axis)

@@ -29,7 +29,7 @@ cd "$REPO"
 RAW=BENCH_native.txt
 JSON=BENCH_native.json
 PHASES=BENCH_phases.json
-BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkNewParallelFramePerf|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkWarpSpan)$'
+BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkNewParallelFramePerf|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkCompositeScanlineScalar|BenchmarkCompositeTransparentScalar|BenchmarkCompositeTransparentPacked|BenchmarkCompositeOpaqueScalar|BenchmarkCompositeOpaquePacked|BenchmarkCompositeOneVoxelRunsScalar|BenchmarkCompositeOneVoxelRunsPacked|BenchmarkWarpSpan|BenchmarkWarpSpanPacked)$'
 
 echo "running benchmarks (count=$COUNT)..." >&2
 go test -run '^$' -bench "$BENCHES" -benchmem -count "$COUNT" . | tee "$RAW"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — fast benchmark regression gate.
+#
+# Runs the frame and kernel benchmarks once each with a short benchtime
+# and compares every mean against the checked-in BENCH_native.json
+# baseline, failing on any regression worse than the factor. One short
+# run is noisy, so the factor is deliberately loose — this is a smoke
+# gate catching order-of-magnitude mistakes (an accidental allocation in
+# the frame loop, a kernel falling off its fast path), not a substitute
+# for `scripts/bench.sh` + benchstat on a quiet machine.
+#
+# Usage:  scripts/bench_smoke.sh
+#
+#   BENCH_SMOKE_FACTOR   failure threshold vs baseline mean (default 2.0)
+#   BENCH_SMOKE_TIME     -benchtime per benchmark (default 0.3s)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO"
+
+FACTOR="${BENCH_SMOKE_FACTOR:-2.0}"
+BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkCompositeScanlineScalar|BenchmarkWarpSpan|BenchmarkWarpSpanPacked)$'
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+go test -run '^$' -bench "$BENCHES" -benchtime "${BENCH_SMOKE_TIME:-0.3s}" . | tee "$OUT"
+
+python3 - "$OUT" "$FACTOR" <<'EOF'
+import json, re, sys
+
+out, factor = sys.argv[1], float(sys.argv[2])
+base = json.load(open("BENCH_native.json"))["benchmarks"]
+cur = {}
+for line in open(out):
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", line)
+    if m:
+        cur.setdefault(m.group(1), []).append(float(m.group(2)))
+if not cur:
+    sys.exit("bench-smoke: no benchmark results parsed")
+
+bad = []
+for name in sorted(cur):
+    if name not in base:
+        print(f"bench-smoke: {name}: no baseline in BENCH_native.json, skipped")
+        continue
+    mean = sum(cur[name]) / len(cur[name])
+    ref = base[name]["mean_ns_op"]
+    ratio = mean / ref
+    verdict = "FAIL" if ratio > factor else "ok"
+    print(f"bench-smoke: {name}: {mean:.0f} ns/op vs baseline {ref} ({ratio:.2f}x) {verdict}")
+    if ratio > factor:
+        bad.append(name)
+if bad:
+    sys.exit(f"bench-smoke: >{factor}x regression vs baseline in: {', '.join(bad)}")
+print(f"bench-smoke: all benchmarks within {factor}x of baseline")
+EOF
