@@ -1,0 +1,94 @@
+// Command loadgen replays zipfian multi-tenant render traffic against a
+// running shearwarpd and writes the run's report as JSON (BENCH_load.json
+// by convention). It is the stimulus half of the closed observability
+// loop: drive load here, watch the SLO engine and /debug/dash react.
+//
+// Usage:
+//
+//	shearwarpd -addr :8080 -tenants 12 &
+//	loadgen -url http://localhost:8080 -rps 20 -duration 30s -out BENCH_load.json
+//
+// The volume catalogue is discovered from /healthz unless -volumes
+// names an explicit comma-separated, popularity-ranked list. With
+// -strict, any 5xx response or transport error makes the exit status
+// non-zero (for CI smoke jobs).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shearwarp/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "shearwarpd base URL")
+	rps := flag.Float64("rps", 10, "target request rate (open loop)")
+	duration := flag.Duration("duration", 15*time.Second, "how long to dispatch requests")
+	concurrency := flag.Int("concurrency", 0, "max in-flight requests (0 = 4*rps, min 8)")
+	skew := flag.Float64("skew", 1.2, "Zipf skew over the volume catalogue (> 1)")
+	volumes := flag.String("volumes", "", "comma-separated popularity-ranked volumes (empty = discover from /healthz)")
+	alg := flag.String("alg", "", "render algorithm to request (empty = service default)")
+	format := flag.String("format", "ppm", "frame format to request")
+	seed := flag.Int64("seed", 1, "RNG seed for the tenant/viewpoint sequence")
+	out := flag.String("out", "BENCH_load.json", "report path ('-' = stdout only)")
+	strict := flag.Bool("strict", false, "exit non-zero on any 5xx or transport error")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		BaseURL:     strings.TrimRight(*url, "/"),
+		RPS:         *rps,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Skew:        *skew,
+		Algorithm:   *alg,
+		Format:      *format,
+		Seed:        *seed,
+	}
+	if *volumes != "" {
+		for _, v := range strings.Split(*volumes, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				cfg.Volumes = append(cfg.Volumes, v)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "loadgen: %s for %v at %g rps (zipf %g)\n",
+		cfg.BaseURL, cfg.Duration, cfg.RPS, cfg.Skew)
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(buf)
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%.1f rps achieved), %d shed, %d 5xx, %d transport errors, p99 %.1fms\n",
+		rep.Requests, rep.AchievedRPS, rep.Shed, rep.ServerErrors, rep.TransportErrors, rep.Latency.P99MS)
+	if *strict && (rep.ServerErrors > 0 || rep.TransportErrors > 0) {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL (-strict): server or transport errors observed")
+		os.Exit(2)
+	}
+}

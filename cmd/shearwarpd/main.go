@@ -39,6 +39,7 @@ import (
 	"shearwarp/internal/cli"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/server"
+	"shearwarp/internal/slo"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 )
@@ -63,6 +64,9 @@ func main() {
 	logFormat := flag.String("log-format", "", "structured log format: text | json (empty = logging off)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	traceRing := flag.Int("trace-ring", 64, "recent request traces retained for /debug/spans (<0 = tracing off)")
+	sloSpec := flag.String("slo", slo.DefaultSpec, "service-level objectives for /debug/slo, e.g. 'latency@/render:le=250ms:target=99%;availability@/render:target=99.9%' (empty = engine off)")
+	sloInterval := flag.Duration("slo-interval", 10*time.Second, "SLO engine background sampling period")
+	tenants := flag.Int("tenants", 0, "register N extra synthetic volumes (vol00..) with distinct content for multi-tenant load tests")
 	flag.Parse()
 
 	alg, err := shearwarp.ParseAlgorithm(*algName)
@@ -84,6 +88,14 @@ func main() {
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
 		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
 	}
+	objectives, err := slo.Parse(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
+	sloTick := *sloInterval
+	if *sloSpec == "" {
+		sloTick = -1 // empty spec = engine off
+	}
 	logger := telemetry.NewLogger(os.Stderr, *logFormat, level)
 	srv := server.New(server.Config{
 		Procs:           *procs,
@@ -100,6 +112,8 @@ func main() {
 		Faults:          faults,
 		Logger:          logger,
 		TraceRing:       *traceRing,
+		SLO:             objectives,
+		SLOInterval:     sloTick,
 	})
 
 	if vf.In != "" {
@@ -117,6 +131,22 @@ func main() {
 			fatal(err)
 		}
 		if err := srv.RegisterVolume("ct", c.Data, c.Nx, c.Ny, c.Nz, shearwarp.TransferCT); err != nil {
+			fatal(err)
+		}
+	}
+	// Extra synthetic tenants for multi-tenant load tests: alternating
+	// phantom kinds at staggered sizes, so every tenant has distinct
+	// content (a distinct cache fingerprint) and build cost.
+	for i := 0; i < *tenants; i++ {
+		size := 24 + (i%32)*4
+		var v *vol.Volume
+		tf := shearwarp.TransferMRI
+		if i%2 == 0 {
+			v = vol.MRIBrain(size)
+		} else {
+			v, tf = vol.CTHead(size), shearwarp.TransferCT
+		}
+		if err := srv.RegisterVolume(fmt.Sprintf("vol%02d", i), v.Data, v.Nx, v.Ny, v.Nz, tf); err != nil {
 			fatal(err)
 		}
 	}

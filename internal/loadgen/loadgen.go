@@ -1,0 +1,336 @@
+// Package loadgen replays synthetic multi-tenant render traffic against
+// a running shearwarpd — the closed loop's stimulus half, with the SLO
+// engine and dashboard as the observation half.
+//
+// The generator is open-loop: requests are dispatched on a fixed
+// schedule derived from the target rate, regardless of how fast the
+// service answers, so an overloaded service sees the backlog a real
+// client population would produce instead of the self-throttling a
+// closed loop applies. Bounded in-flight concurrency keeps the client
+// itself healthy; arrivals that would exceed it are counted as shed
+// rather than silently delayed (shed arrivals mean the client, not the
+// service, became the bottleneck — rerun with more concurrency).
+//
+// Traffic shape:
+//
+//   - tenants (volumes) are drawn from a Zipf distribution over the
+//     configured catalogue, modeling the popularity skew real volume
+//     stores exhibit (a few hot studies, a long cold tail);
+//   - viewpoints follow a golden-angle camera path, so successive
+//     requests for one volume render genuinely different frames while
+//     the whole sphere of viewpoints is covered evenly;
+//   - the catalogue is auto-discovered from /healthz (volume_names)
+//     when not configured explicitly.
+//
+// The Report digests the run client-side — achieved rate, per-status
+// counts, latency quantiles — and joins it with the service's own
+// cache counters scraped from /metrics before and after, so a run
+// shows both what clients experienced and what it cost the cache.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shearwarp/internal/telemetry"
+	"shearwarp/internal/volcache"
+)
+
+// Config tunes one load run. BaseURL and RPS are required; everything
+// else has defaults from normalize.
+type Config struct {
+	BaseURL string  // service root, e.g. "localhost:8080" paths are appended to
+	RPS     float64 // target arrival rate (open loop)
+	// Duration bounds the dispatch schedule (default 15s). In-flight
+	// requests are drained (briefly) after the last arrival.
+	Duration time.Duration
+	// Concurrency caps in-flight requests (default 4*RPS rounded up,
+	// minimum 8). Arrivals past the cap are shed client-side.
+	Concurrency int
+	// Skew is the Zipf s parameter over the volume catalogue (default
+	// 1.2; must be > 1). Higher skews concentrate traffic harder on the
+	// first volumes.
+	Skew float64
+	// Volumes is the popularity-ranked catalogue. Empty = discover from
+	// /healthz volume_names.
+	Volumes   []string
+	Algorithm string // forwarded as ?alg when non-empty
+	Format    string // forwarded as ?format (default ppm)
+	Seed      int64  // deterministic tenant/viewpoint sequence (default 1)
+	Client    *http.Client
+}
+
+func (c *Config) normalize() error {
+	if c.BaseURL == "" {
+		return errors.New("loadgen: BaseURL required")
+	}
+	if !(c.RPS > 0) {
+		return errors.New("loadgen: RPS must be positive")
+	}
+	if c.Duration <= 0 {
+		c.Duration = 15 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = max(8, int(math.Ceil(c.RPS*4)))
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.2
+	}
+	if !(c.Skew > 1) {
+		return fmt.Errorf("loadgen: Zipf skew %v must be > 1", c.Skew)
+	}
+	if c.Format == "" {
+		c.Format = "ppm"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return nil
+}
+
+// CacheDelta is the service-side cache traffic attributable to the run:
+// the /metrics cache counters after minus before.
+type CacheDelta struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Builds    int64 `json:"builds"`
+	Evictions int64 `json:"evictions"`
+	BytesNow  int64 `json:"bytes_now"` // absolute, after the run
+}
+
+// Report is one run's digest — written by cmd/loadgen as
+// BENCH_load.json.
+type Report struct {
+	TargetRPS    float64 `json:"target_rps"`
+	AchievedRPS  float64 `json:"achieved_rps"` // completed requests / elapsed
+	DurationSecs float64 `json:"duration_seconds"`
+	Concurrency  int     `json:"concurrency"`
+	Skew         float64 `json:"zipf_skew"`
+
+	Requests        int64            `json:"requests"` // completed (any status)
+	Shed            int64            `json:"shed"`     // arrivals dropped at the client's concurrency cap
+	TransportErrors int64            `json:"transport_errors"`
+	ServerErrors    int64            `json:"server_errors"` // 5xx responses
+	StatusCounts    map[string]int64 `json:"status_counts"`
+	PerVolume       map[string]int64 `json:"per_volume"`
+
+	Latency    telemetry.QuantileSummary `json:"latency"` // client-observed, ms
+	CacheDelta CacheDelta                `json:"cache_delta"`
+}
+
+// runState is the mutable accounting shared by request goroutines.
+type runState struct {
+	hist      *telemetry.Histogram
+	transport atomic.Int64
+	srvErrs   atomic.Int64
+
+	mu       sync.Mutex
+	statuses map[int]int64
+	volumes  map[string]int64
+}
+
+// Run executes one load run and returns its report. The context cancels
+// the run early (the report covers what ran).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	vols := cfg.Volumes
+	if len(vols) == 0 {
+		var err error
+		if vols, err = DiscoverVolumes(ctx, cfg.Client, cfg.BaseURL); err != nil {
+			return nil, err
+		}
+	}
+	if len(vols) == 0 {
+		return nil, errors.New("loadgen: no volumes to request")
+	}
+
+	before, err := ScrapeCache(ctx, cfg.Client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics before run: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.Skew, 1, uint64(len(vols)-1))
+	if len(vols) == 1 {
+		zipf = nil // rand.NewZipf rejects imax 0; the draw is constant anyway
+	}
+
+	st := &runState{
+		hist:     telemetry.NewHistogram("loadgen_client_seconds", ""),
+		statuses: make(map[int]int64),
+		volumes:  make(map[string]int64),
+	}
+	slots := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	var shed int64
+
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+
+	start := time.Now()
+	seq := 0
+dispatch:
+	for {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case <-deadline.C:
+			break dispatch
+		case <-ticker.C:
+			var vi uint64
+			if zipf != nil {
+				vi = zipf.Uint64()
+			}
+			volume := vols[vi]
+			url := requestURL(cfg, volume, seq)
+			seq++
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-slots }()
+					st.do(ctx, cfg.Client, url, volume)
+				}()
+			default:
+				shed++
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := ScrapeCache(ctx, cfg.Client, cfg.BaseURL)
+	if err != nil {
+		// The run itself succeeded; report it with an empty delta rather
+		// than failing (the service may have just been shut down).
+		after = before
+	}
+
+	snap := st.hist.Snapshot()
+	rep := &Report{
+		TargetRPS:       cfg.RPS,
+		DurationSecs:    elapsed.Seconds(),
+		Concurrency:     cfg.Concurrency,
+		Skew:            cfg.Skew,
+		Requests:        snap.Count,
+		Shed:            shed,
+		TransportErrors: st.transport.Load(),
+		ServerErrors:    st.srvErrs.Load(),
+		StatusCounts:    make(map[string]int64, len(st.statuses)),
+		PerVolume:       st.volumes,
+		Latency:         snap.Summary(),
+		CacheDelta: CacheDelta{
+			Hits:      after.Hits - before.Hits,
+			Misses:    after.Misses - before.Misses,
+			Builds:    after.Builds - before.Builds,
+			Evictions: after.Evictions - before.Evictions,
+			BytesNow:  after.Bytes,
+		},
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(snap.Count) / elapsed.Seconds()
+	}
+	for code, n := range st.statuses {
+		rep.StatusCounts[strconv.Itoa(code)] = n
+	}
+	return rep, nil
+}
+
+// requestURL builds the seq-th request for a volume: a golden-angle
+// camera path, so successive frames differ and viewpoints cover the
+// sphere evenly.
+func requestURL(cfg Config, volume string, seq int) string {
+	const golden = 137.50776405003785 // degrees
+	yaw := math.Mod(float64(seq)*golden, 360)
+	pitch := 60 * math.Sin(float64(seq)*0.37)
+	url := fmt.Sprintf("%s/render?volume=%s&yaw=%.2f&pitch=%.2f&format=%s",
+		cfg.BaseURL, volume, yaw, pitch, cfg.Format)
+	if cfg.Algorithm != "" {
+		url += "&alg=" + cfg.Algorithm
+	}
+	return url
+}
+
+// do issues one request and accounts for it.
+func (st *runState) do(ctx context.Context, client *http.Client, url, volume string) {
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		st.transport.Add(1)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		st.transport.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st.hist.Observe(time.Since(t0))
+	if resp.StatusCode >= 500 {
+		st.srvErrs.Add(1)
+	}
+	st.mu.Lock()
+	st.statuses[resp.StatusCode]++
+	st.volumes[volume]++
+	st.mu.Unlock()
+}
+
+// DiscoverVolumes reads the service's volume catalogue from /healthz.
+func DiscoverVolumes(ctx context.Context, client *http.Client, baseURL string) ([]string, error) {
+	var doc struct {
+		VolumeNames []string `json:"volume_names"`
+	}
+	if err := getJSON(ctx, client, baseURL+"/healthz", &doc); err != nil {
+		return nil, fmt.Errorf("loadgen: discovering volumes: %w", err)
+	}
+	sort.Strings(doc.VolumeNames)
+	return doc.VolumeNames, nil
+}
+
+// ScrapeCache reads the service's cache counters from the JSON
+// /metrics document.
+func ScrapeCache(ctx context.Context, client *http.Client, baseURL string) (volcache.Stats, error) {
+	var doc struct {
+		Cache volcache.Stats `json:"cache"`
+	}
+	err := getJSON(ctx, client, baseURL+"/metrics", &doc)
+	return doc.Cache, err
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

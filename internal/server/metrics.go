@@ -13,6 +13,7 @@ import (
 type endpointMetrics struct {
 	requests  atomic.Int64 // completed requests, any status
 	errors    atomic.Int64 // responses with status >= 400
+	srvErrors atomic.Int64 // responses with status >= 500 (the SLO-relevant failures)
 	rejected  atomic.Int64 // admission rejections (503 queue full / queue timeout)
 	deadlines atomic.Int64 // deadline expiries (504)
 	inFlight  atomic.Int64
@@ -26,14 +27,15 @@ type endpointMetrics struct {
 // EndpointSnapshot is the marshal-friendly view of one endpoint's
 // counters.
 type EndpointSnapshot struct {
-	Requests   int64   `json:"requests"`
-	Errors     int64   `json:"errors"`
-	Rejected   int64   `json:"rejected"`
-	Deadlines  int64   `json:"deadlines"`
-	InFlight   int64   `json:"in_flight"`
-	TotalSecs  float64 `json:"total_seconds"`
-	MeanMillis float64 `json:"mean_ms"`
-	ErrorsFrac float64 `json:"error_frac"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	ServerErrors int64   `json:"server_errors"`
+	Rejected     int64   `json:"rejected"`
+	Deadlines    int64   `json:"deadlines"`
+	InFlight     int64   `json:"in_flight"`
+	TotalSecs    float64 `json:"total_seconds"`
+	MeanMillis   float64 `json:"mean_ms"`
+	ErrorsFrac   float64 `json:"error_frac"`
 }
 
 func (m *endpointMetrics) snapshot() EndpointSnapshot {
@@ -41,12 +43,13 @@ func (m *endpointMetrics) snapshot() EndpointSnapshot {
 	errs := m.errors.Load()
 	ns := m.nanos.Load()
 	s := EndpointSnapshot{
-		Requests:  req,
-		Errors:    errs,
-		Rejected:  m.rejected.Load(),
-		Deadlines: m.deadlines.Load(),
-		InFlight:  m.inFlight.Load(),
-		TotalSecs: float64(ns) / 1e9,
+		Requests:     req,
+		Errors:       errs,
+		ServerErrors: m.srvErrors.Load(),
+		Rejected:     m.rejected.Load(),
+		Deadlines:    m.deadlines.Load(),
+		InFlight:     m.inFlight.Load(),
+		TotalSecs:    float64(ns) / 1e9,
 	}
 	if req > 0 {
 		s.MeanMillis = float64(ns) / 1e6 / float64(req)
@@ -56,9 +59,22 @@ func (m *endpointMetrics) snapshot() EndpointSnapshot {
 }
 
 // statusWriter captures the response status for the metrics middleware.
+// exemplarID, when set by a handler (setExemplarID), tags the endpoint's
+// latency observation with the request's trace identity so the
+// histogram can retain it as an exemplar.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status     int
+	exemplarID uint64
+}
+
+// setExemplarID tags the in-flight request's latency observation with a
+// request/trace ID. No-op when w is not the metrics middleware's writer
+// (embedded servers wrapping the handler some other way).
+func setExemplarID(w http.ResponseWriter, id uint64) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.exemplarID = id
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {

@@ -43,6 +43,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,6 +55,7 @@ import (
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/slo"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/volcache"
 )
@@ -66,15 +68,15 @@ type Config struct {
 	// Kernel selects the pixel-kernel tier every renderer the service
 	// builds runs with (KernelAuto = $SHEARWARP_KERNEL, else scalar).
 	// The resolved tier is reported by /metrics.
-	Kernel shearwarp.Kernel
-	PoolSize          int                 // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
-	MaxConcurrent     int                 // frames rendering at once (default 8)
-	MaxQueue          int                 // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
-	QueueTimeout      time.Duration       // longest admission wait (default 5s)
-	RenderTimeout     time.Duration       // request deadline to start rendering (default 30s)
-	CacheBytes        int64               // volcache budget (default 256 MiB; <0 = unbounded)
-	CollectStats      bool                // per-frame perf breakdowns feeding /metrics (default on via New)
-	OpacityCorrection bool                // forwarded to every renderer
+	Kernel            shearwarp.Kernel
+	PoolSize          int           // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
+	MaxConcurrent     int           // frames rendering at once (default 8)
+	MaxQueue          int           // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
+	QueueTimeout      time.Duration // longest admission wait (default 5s)
+	RenderTimeout     time.Duration // request deadline to start rendering (default 30s)
+	CacheBytes        int64         // volcache budget (default 256 MiB; <0 = unbounded)
+	CollectStats      bool          // per-frame perf breakdowns feeding /metrics (default on via New)
+	OpacityCorrection bool          // forwarded to every renderer
 	// WatchdogTimeout, when positive, bounds how long a frame may render
 	// after it has started: a frame still running at the deadline is
 	// cancelled through its abort flag, counted as a stall, and answered
@@ -94,6 +96,14 @@ type Config struct {
 	// head and slowest samples), negative disables span tracing entirely
 	// — renders then take the span-free path with no extra clock reads.
 	TraceRing int
+	// SLO lists the service-level objectives the embedded SLO engine
+	// evaluates (internal/slo). Nil runs slo.DefaultSpec; objectives
+	// naming endpoints the server does not serve are skipped with a log.
+	SLO []slo.Objective
+	// SLOInterval is the engine's background sampling period (default
+	// 10s; the engine also samples on every /debug/slo and /metrics
+	// read). Negative disables the SLO engine entirely.
+	SLOInterval time.Duration
 }
 
 func (c *Config) normalize() {
@@ -117,6 +127,9 @@ func (c *Config) normalize() {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.SLOInterval == 0 {
+		c.SLOInterval = 10 * time.Second
 	}
 }
 
@@ -154,6 +167,9 @@ type Server struct {
 	mu    sync.Mutex
 	vols  map[string]*volumeRec
 	pools map[poolKey]*poolEntry
+	// volKeys joins volume content fingerprints (volcache tenant keys)
+	// back to registered names for the per-tenant cache stats.
+	volKeys map[string]string
 
 	sem      chan struct{} // admission slots
 	waiting  atomic.Int64  // requests blocked on admission
@@ -170,8 +186,13 @@ type Server struct {
 
 	mRender, mHealth, mMetrics endpointMetrics
 	mSpans, mLatency           endpointMetrics
+	mSLO, mDash, mProfile      endpointMetrics
 	tel                        *serverTelemetry
 	mux                        *http.ServeMux
+
+	slo       *slo.Engine   // nil when Config.SLOInterval < 0 or construction failed
+	sloStop   chan struct{} // closed by Close to stop the sampling loop
+	profiling atomic.Bool   // single-flight guard for /debug/profile
 }
 
 // New builds a server. Volumes must be registered before requests name
@@ -179,26 +200,41 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{
-		cfg:   cfg,
-		cache: volcache.New(cfg.CacheBytes),
-		start: time.Now(),
-		vols:  make(map[string]*volumeRec),
-		pools: make(map[poolKey]*poolEntry),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cfg:     cfg,
+		cache:   volcache.New(cfg.CacheBytes),
+		start:   time.Now(),
+		vols:    make(map[string]*volumeRec),
+		pools:   make(map[poolKey]*poolEntry),
+		volKeys: make(map[string]string),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		sloStop: make(chan struct{}),
 	}
 	s.tel = newServerTelemetry(&cfg)
 	s.cache.OnBuild = s.tel.onCacheBuild
 	s.mRender.latency = telemetry.NewHistogram("render", "")
+	// The render endpoint's histogram retains exemplars: tail buckets
+	// link back to the request (and its span trace) that landed there.
+	s.mRender.latency.EnableExemplars()
 	s.mHealth.latency = telemetry.NewHistogram("healthz", "")
 	s.mMetrics.latency = telemetry.NewHistogram("metrics", "")
 	s.mSpans.latency = telemetry.NewHistogram("spans", "")
 	s.mLatency.latency = telemetry.NewHistogram("latency", "")
+	s.mSLO.latency = telemetry.NewHistogram("slo", "")
+	s.mDash.latency = telemetry.NewHistogram("dash", "")
+	s.mProfile.latency = telemetry.NewHistogram("profile", "")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/render", s.instrument(&s.mRender, s.handleRender))
 	s.mux.HandleFunc("/healthz", s.instrument(&s.mHealth, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument(&s.mMetrics, s.handleMetrics))
 	s.mux.HandleFunc("/debug/spans", s.instrument(&s.mSpans, s.handleSpans))
 	s.mux.HandleFunc("/debug/latency", s.instrument(&s.mLatency, s.handleLatency))
+	s.mux.HandleFunc("/debug/slo", s.instrument(&s.mSLO, s.handleSLO))
+	s.mux.HandleFunc("/debug/dash", s.instrument(&s.mDash, s.handleDash))
+	s.mux.HandleFunc("/debug/profile", s.instrument(&s.mProfile, s.handleProfile))
+	s.setupSLO()
+	if s.slo != nil {
+		go s.sloLoop(cfg.SLOInterval)
+	}
 	return s
 }
 
@@ -217,6 +253,9 @@ func (s *Server) RegisterVolume(name string, data []uint8, nx, ny, nz int, trans
 		return fmt.Errorf("server: volume %q already registered", name)
 	}
 	s.vols[name] = &volumeRec{name: name, data: data, nx: nx, ny: ny, nz: nz, transfer: transfer}
+	// The cache keys entries by content fingerprint; remember the join so
+	// per-tenant cache stats can carry the human-readable name.
+	s.volKeys[shearwarp.VolumeKey(data, nx, ny, nz)] = name
 	return nil
 }
 
@@ -247,6 +286,7 @@ func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	close(s.sloStop)
 	s.inflight.Wait()
 	s.mu.Lock()
 	pools := make([]*poolEntry, 0, len(s.pools))
@@ -283,11 +323,17 @@ func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.Handler
 		m.inFlight.Add(-1)
 		elapsed := time.Since(t0)
 		m.nanos.Add(int64(elapsed))
-		m.latency.Observe(elapsed)
+		if sw.exemplarID != 0 {
+			m.latency.ObserveExemplarNS(int64(elapsed), sw.exemplarID)
+		} else {
+			m.latency.Observe(elapsed)
+		}
 		m.requests.Add(1)
-		switch {
-		case sw.status >= 400:
+		if sw.status >= 400 {
 			m.errors.Add(1)
+		}
+		if sw.status >= 500 {
+			m.srvErrors.Add(1)
 		}
 		switch sw.status {
 		case http.StatusServiceUnavailable:
@@ -450,6 +496,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// context (so downstream layers can correlate), and the span trace.
 	t0 := time.Now()
 	id := s.tel.reqSeq.Add(1)
+	setExemplarID(w, id) // the latency observation carries the trace ID as an exemplar
 	log := s.tel.logger.With("req", id, "volume", name, "alg", alg.String())
 	log.Debug("render request", "yaw", yaw, "pitch", pitch, "format", format)
 	rt := s.tel.startTrace(id,
@@ -646,10 +693,17 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz is GET /healthz: liveness plus a tiny status summary.
+// volume_names lets clients (the load generator's auto-discovery) learn
+// what the service can render without an out-of-band catalogue.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	nvols, npools := len(s.vols), len(s.pools)
+	names := make([]string, 0, len(s.vols))
+	for n := range s.vols {
+		names = append(names, n)
+	}
+	npools := len(s.pools)
 	s.mu.Unlock()
+	sort.Strings(names)
 	status := "ok"
 	code := http.StatusOK
 	if s.closed.Load() {
@@ -661,7 +715,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"volumes":        nvols,
+		"volumes":        len(names),
+		"volume_names":   names,
 		"pools":          npools,
 		"rendering":      len(s.sem),
 		"queued":         s.waiting.Load(),
@@ -674,6 +729,7 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Kernel        string                      `json:"kernel"`       // resolved pixel-kernel tier
 	CPUFeatures   string                      `json:"cpu_features"` // probed host features
+	Build         BuildSnapshot               `json:"build"`        // binary + runtime identity
 	Frames        int64                       `json:"frames"`
 	Rendering     int                         `json:"rendering"`
 	Queued        int64                       `json:"queued"`
@@ -683,7 +739,28 @@ type MetricsSnapshot struct {
 	Replaced      int64                       `json:"renderers_replaced"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Cache         volcache.Stats              `json:"cache"`
+	CacheTenants  []TenantCacheStats          `json:"cache_tenants"` // per-volume cache traffic
+	SLO           []slo.Status                `json:"slo"`           // objective evaluations, worst first
 	Phases        perf.CumulativeSnapshot     `json:"phases"`
+}
+
+// TenantCacheStats is one volume's cache traffic, joined with its
+// registered name (empty for volumes the cache saw but the server no
+// longer knows, e.g. the overflow pseudo-tenant).
+type TenantCacheStats struct {
+	Name string `json:"name,omitempty"`
+	volcache.TenantStats
+}
+
+func (s *Server) cacheTenants() []TenantCacheStats {
+	tens := s.cache.Tenants()
+	out := make([]TenantCacheStats, len(tens))
+	s.mu.Lock()
+	for i, ts := range tens {
+		out[i] = TenantCacheStats{Name: s.volKeys[ts.Volume], TenantStats: ts}
+	}
+	s.mu.Unlock()
+	return out
 }
 
 func (s *Server) metricsSnapshot() MetricsSnapshot {
@@ -691,6 +768,7 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Kernel:        cpudispatch.Resolve(cpudispatch.Kernel(s.cfg.Kernel)).String(),
 		CPUFeatures:   shearwarp.CPUFeatures(),
+		Build:         buildSnapshot(),
 		Frames:        s.frames.Load(),
 		Rendering:     len(s.sem),
 		Queued:        s.waiting.Load(),
@@ -703,8 +781,10 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			"/healthz": s.mHealth.snapshot(),
 			"/metrics": s.mMetrics.snapshot(),
 		},
-		Cache:  s.cache.Snapshot(),
-		Phases: s.cum.Snapshot(),
+		Cache:        s.cache.Snapshot(),
+		CacheTenants: s.cacheTenants(),
+		SLO:          s.sloStatuses(),
+		Phases:       s.cum.Snapshot(),
 	}
 }
 

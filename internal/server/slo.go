@@ -1,0 +1,122 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"shearwarp/internal/slo"
+)
+
+// SLO wiring: the server feeds the passive engine in internal/slo from
+// the counters the endpoints already maintain, so objectives cost the
+// request path nothing. Sources:
+//
+//   - latency objectives read the endpoint's latency histogram — good is
+//     the cumulative count at or under the threshold, total the count;
+//   - availability objectives read the endpoint's request counters —
+//     good is requests minus 5xx responses (client-caused 4xx/499 do
+//     not spend the budget).
+//
+// Sampling is both scrape-driven (every /debug/slo and /metrics read
+// ticks the engine, so tests and dashboards see fresh windows) and
+// backed by a ticker (Config.SLOInterval) so burn history exists even
+// when nothing scrapes during an outage.
+
+// setupSLO builds the engine from Config.SLO (default slo.DefaultSpec).
+// Objectives naming endpoints the server does not serve are skipped
+// with a log line; an engine-level failure (duplicate names) disables
+// the engine rather than the server.
+func (s *Server) setupSLO() {
+	if s.cfg.SLOInterval < 0 {
+		return
+	}
+	objs := s.cfg.SLO
+	if objs == nil {
+		objs, _ = slo.Parse(slo.DefaultSpec)
+	}
+	kept := make([]slo.Objective, 0, len(objs))
+	srcs := make([]slo.Source, 0, len(objs))
+	for _, o := range objs {
+		src := s.sloSource(o)
+		if src == nil {
+			s.tel.logger.Error("slo objective names an unserved endpoint; skipped",
+				"name", o.Name, "endpoint", o.Endpoint)
+			continue
+		}
+		kept = append(kept, o)
+		srcs = append(srcs, src)
+	}
+	eng, err := slo.New(kept, srcs, nil)
+	if err != nil {
+		s.tel.logger.Error("slo engine disabled", "err", err)
+		return
+	}
+	s.slo = eng
+	s.slo.Tick() // anchor sample: the first scrape already has a window base
+}
+
+// sloSource maps one objective onto the endpoint's live counters, or
+// nil when the endpoint (or kind) is unknown.
+func (s *Server) sloSource(o slo.Objective) slo.Source {
+	m := s.endpointCounters(o.Endpoint)
+	if m == nil {
+		return nil
+	}
+	switch o.Kind {
+	case slo.Latency:
+		h, thr := m.latency, o.ThresholdNS
+		return func() (good, total int64) {
+			snap := h.Snapshot()
+			return snap.CumulativeLE(thr), snap.Count
+		}
+	case slo.Availability:
+		return func() (good, total int64) {
+			total = m.requests.Load()
+			return total - m.srvErrors.Load(), total
+		}
+	}
+	return nil
+}
+
+// sloLoop is the background sampling ticker, stopped by Close.
+func (s *Server) sloLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.slo.Tick()
+		case <-s.sloStop:
+			return
+		}
+	}
+}
+
+// sloStatuses samples and evaluates every objective, worst first. Nil
+// when the engine is disabled.
+func (s *Server) sloStatuses() []slo.Status {
+	if s.slo == nil {
+		return nil
+	}
+	s.slo.Tick()
+	sts := s.slo.Status()
+	slo.SortStatuses(sts)
+	return sts
+}
+
+// SLOSnapshot is the /debug/slo document.
+type SLOSnapshot struct {
+	Alerting   int          `json:"alerting"` // objectives currently burning past threshold
+	Objectives []slo.Status `json:"objectives"`
+}
+
+// handleSLO is GET /debug/slo: every objective's compliance, error
+// budget and burn-rate alert state as JSON.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		httpError(w, http.StatusNotFound, "slo engine disabled")
+		return
+	}
+	sts := s.sloStatuses()
+	writeJSON(w, SLOSnapshot{Alerting: slo.AlertingCount(sts), Objectives: sts}, s.tel.logger)
+}

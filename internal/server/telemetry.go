@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"shearwarp/internal/perf"
+	"shearwarp/internal/slo"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/volcache"
 )
@@ -247,6 +248,11 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter) {
 	pw := telemetry.NewPromWriter(w)
 
 	pw.Gauge("shearwarpd_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
+	pw.Gauge("shearwarpd_build_info", "Build identity; the value is always 1.", 1,
+		"version", snap.Build.Version, "commit", snap.Build.Commit,
+		"go_version", snap.Build.GoVersion, "kernel", snap.Kernel)
+	pw.Gauge("shearwarpd_gomaxprocs", "Scheduler parallelism (GOMAXPROCS).", float64(snap.Build.GOMAXPROCS))
+	pw.Gauge("shearwarpd_goroutines", "Live goroutines.", float64(snap.Build.Goroutines))
 	pw.Counter("shearwarpd_frames_total", "Successfully rendered frames.", float64(snap.Frames))
 	pw.Gauge("shearwarpd_rendering", "Frames rendering right now.", float64(snap.Rendering))
 	pw.Gauge("shearwarpd_queued", "Requests waiting for admission.", float64(snap.Queued))
@@ -271,6 +277,8 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter) {
 		func(e EndpointSnapshot) float64 { return float64(e.Requests) })
 	emit("shearwarpd_request_errors_total", "Responses with status >= 400.",
 		func(e EndpointSnapshot) float64 { return float64(e.Errors) })
+	emit("shearwarpd_request_server_errors_total", "Responses with status >= 500.",
+		func(e EndpointSnapshot) float64 { return float64(e.ServerErrors) })
 	emit("shearwarpd_requests_rejected_total", "Admission rejections (503).",
 		func(e EndpointSnapshot) float64 { return float64(e.Rejected) })
 	emit("shearwarpd_request_deadlines_total", "Deadline expiries (504).",
@@ -293,6 +301,53 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter) {
 	pw.Counter("shearwarpd_cache_evictions_total", "Cache entries evicted.", float64(snap.Cache.Evictions))
 	pw.Gauge("shearwarpd_cache_entries", "Cached entries.", float64(snap.Cache.Entries))
 	pw.Gauge("shearwarpd_cache_bytes", "Accounted cache bytes.", float64(snap.Cache.Bytes))
+
+	// Per-tenant cache traffic, labeled with the registered volume name
+	// (or the raw fingerprint for tenants the server no longer knows).
+	// Metric-major order: the exposition format wants each metric's
+	// series contiguous under one HELP/TYPE block.
+	tenantName := func(t TenantCacheStats) string {
+		if t.Name != "" {
+			return t.Name
+		}
+		return t.Volume
+	}
+	for _, t := range snap.CacheTenants {
+		pw.Counter("shearwarpd_cache_tenant_hits_total", "Cache hits per volume.", float64(t.Hits), "tenant", tenantName(t))
+	}
+	for _, t := range snap.CacheTenants {
+		pw.Counter("shearwarpd_cache_tenant_misses_total", "Cache misses per volume.", float64(t.Misses), "tenant", tenantName(t))
+	}
+	for _, t := range snap.CacheTenants {
+		pw.Counter("shearwarpd_cache_tenant_evictions_total", "Cache evictions per volume.", float64(t.Evictions), "tenant", tenantName(t))
+	}
+	for _, t := range snap.CacheTenants {
+		pw.Gauge("shearwarpd_cache_tenant_bytes", "Cached bytes per volume.", float64(t.Bytes), "tenant", tenantName(t))
+	}
+
+	// SLO gauges: one series per objective, mirroring /debug/slo.
+	sloGauge := func(name, help string, v func(slo.Status) float64) {
+		for _, st := range snap.SLO {
+			pw.Gauge(name, help, v(st), "slo", st.Name)
+		}
+	}
+	sloGauge("shearwarpd_slo_target", "Objective target good-fraction.",
+		func(st slo.Status) float64 { return st.Target })
+	sloGauge("shearwarpd_slo_compliance", "Good fraction over the budget window.",
+		func(st slo.Status) float64 { return st.Compliance })
+	sloGauge("shearwarpd_slo_error_budget_remaining", "Error budget left (1 = untouched, <0 = blown).",
+		func(st slo.Status) float64 { return st.BudgetRemaining })
+	sloGauge("shearwarpd_slo_fast_burn", "Burn rate over the fast alert window.",
+		func(st slo.Status) float64 { return st.FastBurn })
+	sloGauge("shearwarpd_slo_slow_burn", "Burn rate over the slow alert window.",
+		func(st slo.Status) float64 { return st.SlowBurn })
+	sloGauge("shearwarpd_slo_alerting", "1 while the objective's multi-window burn alert fires.",
+		func(st slo.Status) float64 {
+			if st.Alerting {
+				return 1
+			}
+			return 0
+		})
 
 	// Cumulative per-phase totals (counters, nanoseconds summed across
 	// workers and frames), then the per-frame phase histograms.
@@ -323,19 +378,33 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter) {
 	}
 }
 
-// endpointHist maps an exposition path to its latency histogram.
-func (s *Server) endpointHist(path string) *telemetry.Histogram {
+// endpointCounters maps a served path to its metrics block.
+func (s *Server) endpointCounters(path string) *endpointMetrics {
 	switch path {
 	case "/render":
-		return s.mRender.latency
+		return &s.mRender
 	case "/healthz":
-		return s.mHealth.latency
+		return &s.mHealth
 	case "/metrics":
-		return s.mMetrics.latency
+		return &s.mMetrics
 	case "/debug/spans":
-		return s.mSpans.latency
+		return &s.mSpans
 	case "/debug/latency":
-		return s.mLatency.latency
+		return &s.mLatency
+	case "/debug/slo":
+		return &s.mSLO
+	case "/debug/dash":
+		return &s.mDash
+	case "/debug/profile":
+		return &s.mProfile
+	}
+	return nil
+}
+
+// endpointHist maps an exposition path to its latency histogram.
+func (s *Server) endpointHist(path string) *telemetry.Histogram {
+	if m := s.endpointCounters(path); m != nil {
+		return m.latency
 	}
 	return nil
 }
@@ -348,6 +417,35 @@ type LatencySnapshot struct {
 	AdmissionWait telemetry.QuantileSummary            `json:"admission_wait"`
 	CacheBuild    telemetry.QuantileSummary            `json:"cache_build"`
 	Phases        map[string]telemetry.QuantileSummary `json:"phases"`
+	// RenderExemplars are the render histogram's retained slow-request
+	// exemplars, slowest first: each links a latency region back to the
+	// request that landed there and, while the span ring still holds it,
+	// to that request's trace.
+	RenderExemplars []ExemplarRef `json:"render_exemplars"`
+}
+
+// ExemplarRef is one exemplar joined with its trace's whereabouts.
+type ExemplarRef struct {
+	ValueMS       float64 `json:"value_ms"`
+	ReqID         uint64  `json:"req_id"`
+	TraceRetained bool    `json:"trace_retained"`
+	TraceURL      string  `json:"trace_url,omitempty"`
+}
+
+// renderExemplars joins the render histogram's exemplars with the span
+// tracer's retained traces.
+func (s *Server) renderExemplars() []ExemplarRef {
+	exs := s.mRender.latency.Exemplars()
+	out := make([]ExemplarRef, 0, len(exs))
+	for _, ex := range exs {
+		ref := ExemplarRef{ValueMS: float64(ex.ValueNS) / 1e6, ReqID: ex.ReqID}
+		if s.tel.tracer != nil && s.tel.tracer.Find(ex.ReqID) != nil {
+			ref.TraceRetained = true
+			ref.TraceURL = fmt.Sprintf("/debug/spans?id=%d", ex.ReqID)
+		}
+		out = append(out, ref)
+	}
+	return out
 }
 
 // latencySnapshot digests every histogram into quantile summaries.
@@ -359,10 +457,14 @@ func (s *Server) latencySnapshot() LatencySnapshot {
 			"/metrics":       s.mMetrics.latency.Snapshot().Summary(),
 			"/debug/spans":   s.mSpans.latency.Snapshot().Summary(),
 			"/debug/latency": s.mLatency.latency.Snapshot().Summary(),
+			"/debug/slo":     s.mSLO.latency.Snapshot().Summary(),
+			"/debug/dash":    s.mDash.latency.Snapshot().Summary(),
+			"/debug/profile": s.mProfile.latency.Snapshot().Summary(),
 		},
-		AdmissionWait: s.tel.hQueue.Snapshot().Summary(),
-		CacheBuild:    s.tel.hBuild.Snapshot().Summary(),
-		Phases:        make(map[string]telemetry.QuantileSummary, perf.NumPhases),
+		AdmissionWait:   s.tel.hQueue.Snapshot().Summary(),
+		CacheBuild:      s.tel.hBuild.Snapshot().Summary(),
+		Phases:          make(map[string]telemetry.QuantileSummary, perf.NumPhases),
+		RenderExemplars: s.renderExemplars(),
 	}
 	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
 		ls.Phases[ph.String()] = s.tel.hPhase[ph].Snapshot().Summary()
@@ -402,7 +504,7 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if err := telemetry.WriteChromeTrace(w, traces); err != nil {
 		s.tel.logger.Warn("span export failed", "err", err)
 	}

@@ -61,10 +61,10 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		if err := json.Unmarshal(body, &doc); err != nil {
 			t.Fatalf("Accept %q: bad JSON: %v", accept, err)
 		}
-		want := []string{"uptime_seconds", "kernel", "cpu_features", "frames",
+		want := []string{"uptime_seconds", "kernel", "cpu_features", "build", "frames",
 			"rendering", "queued",
 			"frame_panics", "frames_canceled", "watchdog_stalls", "renderers_replaced",
-			"endpoints", "cache", "phases"}
+			"endpoints", "cache", "cache_tenants", "slo", "phases"}
 		if len(doc) != len(want) {
 			t.Fatalf("JSON document has %d top-level keys, want %d: %v", len(doc), len(want), keys(doc))
 		}

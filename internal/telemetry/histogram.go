@@ -81,7 +81,11 @@ type Histogram struct {
 	name, help string
 	count      atomic.Int64
 	sum        atomic.Int64
-	buckets    [numBuckets]atomic.Int64
+	// exemplars, when attached via EnableExemplars, retains per-region
+	// (value, request ID) pairs on the ObserveExemplarNS path. Nil (the
+	// default) leaves every Observe variant untouched.
+	exemplars *exemplarStore
+	buckets   [numBuckets]atomic.Int64
 }
 
 // NewHistogram returns an empty histogram. name should be a valid
@@ -250,8 +254,12 @@ type QuantileSummary struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
-// Summary digests the snapshot into quantiles.
+// Summary digests the snapshot into quantiles. A nil snapshot digests
+// to the zero summary, like an empty one.
 func (s *HistogramSnapshot) Summary() QuantileSummary {
+	if s == nil {
+		return QuantileSummary{}
+	}
 	const ms = 1e6
 	return QuantileSummary{
 		Count:  s.Count,

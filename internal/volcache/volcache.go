@@ -25,6 +25,7 @@ import (
 	"container/list"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -55,6 +56,39 @@ type Stats struct {
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 	Capacity  int64 `json:"capacity_bytes"`
+}
+
+// TenantStats aggregates the cache's counters for one tenant — one
+// volume fingerprint (Key.Volume) across its transfer functions and
+// axes. The render service joins the fingerprint back to the registered
+// volume name, so the dashboard and load reports can show cache churn
+// per tenant rather than only in aggregate.
+type TenantStats struct {
+	Volume    string `json:"volume"` // fingerprint (Key.Volume)
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Builds    int64  `json:"builds"`
+	Failures  int64  `json:"build_failures"`
+	Evictions int64  `json:"evictions"`
+	BuildNS   int64  `json:"build_ns"` // summed wall time of completed builds
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// maxTenants bounds the per-tenant stats map: a service hammered with
+// more distinct volume fingerprints than this aggregates the excess
+// under TenantOverflow instead of growing without bound.
+const maxTenants = 1024
+
+// TenantOverflow is the pseudo-tenant that absorbs per-tenant counters
+// once maxTenants distinct fingerprints have been seen.
+const TenantOverflow = "_overflow"
+
+type tenantCounters struct {
+	hits, misses, builds, failures, evictions int64
+	buildNS                                   int64
+	entries                                   int
+	bytes                                     int64
 }
 
 type entry struct {
@@ -110,8 +144,26 @@ type Cache struct {
 	ll       *list.List // front = most recently used; elements hold *entry
 	items    map[Key]*list.Element
 	inflight map[Key]*call
+	tenants  map[string]*tenantCounters // Key.Volume -> aggregated counters
 
 	hits, misses, builds, failures, evictions int64
+}
+
+// tenantLocked returns (creating on first use) the counters for a
+// volume fingerprint. Callers hold c.mu.
+func (c *Cache) tenantLocked(volume string) *tenantCounters {
+	tc, ok := c.tenants[volume]
+	if !ok {
+		if len(c.tenants) >= maxTenants {
+			volume = TenantOverflow
+			if tc, ok = c.tenants[volume]; ok {
+				return tc
+			}
+		}
+		tc = &tenantCounters{}
+		c.tenants[volume] = tc
+	}
+	return tc
 }
 
 // New returns a cache that evicts least-recently-used entries once the
@@ -123,6 +175,7 @@ func New(capacity int64) *Cache {
 		ll:       list.New(),
 		items:    make(map[Key]*list.Element),
 		inflight: make(map[Key]*call),
+		tenants:  make(map[string]*tenantCounters),
 	}
 }
 
@@ -133,9 +186,11 @@ func (c *Cache) Get(k Key) (any, bool) {
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.tenantLocked(k.Volume).hits++
 		return el.Value.(*entry).value, true
 	}
 	c.misses++
+	c.tenantLocked(k.Volume).misses++
 	return nil, false
 }
 
@@ -167,10 +222,12 @@ func (c *Cache) GetOrBuildE(k Key, build func() (any, int64, error)) (any, error
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.tenantLocked(k.Volume).hits++
 		c.mu.Unlock()
 		return el.Value.(*entry).value, nil
 	}
 	c.misses++
+	c.tenantLocked(k.Volume).misses++
 	if cl, ok := c.inflight[k]; ok {
 		// Another goroutine is already building this key: wait for it.
 		c.mu.Unlock()
@@ -182,21 +239,24 @@ func (c *Cache) GetOrBuildE(k Key, build func() (any, int64, error)) (any, error
 	c.mu.Unlock()
 
 	var n int64
+	t0 := time.Now()
+	cl.value, n, cl.err = runBuild(k, build)
+	dur := time.Since(t0)
 	if hook := c.OnBuild; hook != nil {
-		t0 := time.Now()
-		cl.value, n, cl.err = runBuild(k, build)
-		hook(k, time.Since(t0), cl.err)
-	} else {
-		cl.value, n, cl.err = runBuild(k, build)
+		hook(k, dur, cl.err)
 	}
 
 	c.mu.Lock()
 	delete(c.inflight, k)
+	tc := c.tenantLocked(k.Volume)
 	if cl.err == nil {
 		c.builds++
+		tc.builds++
+		tc.buildNS += int64(dur)
 		c.insertLocked(k, cl.value, n)
 	} else {
 		c.failures++
+		tc.failures++
 		cl.value = nil
 	}
 	c.mu.Unlock()
@@ -230,11 +290,15 @@ func (c *Cache) insertLocked(k Key, v any, bytes int64) {
 	if el, ok := c.items[k]; ok {
 		e := el.Value.(*entry)
 		c.bytes += bytes - e.bytes
+		c.tenantLocked(k.Volume).bytes += bytes - e.bytes
 		e.value, e.bytes = v, bytes
 		c.ll.MoveToFront(el)
 	} else {
 		c.items[k] = c.ll.PushFront(&entry{key: k, value: v, bytes: bytes})
 		c.bytes += bytes
+		tc := c.tenantLocked(k.Volume)
+		tc.bytes += bytes
+		tc.entries++
 	}
 	if c.capacity <= 0 {
 		return
@@ -246,6 +310,10 @@ func (c *Cache) insertLocked(k Key, v any, bytes int64) {
 		delete(c.items, e.key)
 		c.bytes -= e.bytes
 		c.evictions++
+		tc := c.tenantLocked(e.key.Volume)
+		tc.bytes -= e.bytes
+		tc.entries--
+		tc.evictions++
 	}
 }
 
@@ -258,6 +326,9 @@ func (c *Cache) Remove(k Key) {
 		c.ll.Remove(el)
 		delete(c.items, k)
 		c.bytes -= e.bytes
+		tc := c.tenantLocked(k.Volume)
+		tc.bytes -= e.bytes
+		tc.entries--
 	}
 }
 
@@ -273,6 +344,31 @@ func (c *Cache) Bytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes
+}
+
+// Tenants returns the per-tenant (per-volume-fingerprint) counters,
+// sorted by fingerprint. The snapshot is cheap — one small struct per
+// distinct fingerprint ever seen (bounded by maxTenants) — so the
+// dashboard and load reports can poll it freely.
+func (c *Cache) Tenants() []TenantStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TenantStats, 0, len(c.tenants))
+	for vol, tc := range c.tenants {
+		out = append(out, TenantStats{
+			Volume:    vol,
+			Hits:      tc.hits,
+			Misses:    tc.misses,
+			Builds:    tc.builds,
+			Failures:  tc.failures,
+			Evictions: tc.evictions,
+			BuildNS:   tc.buildNS,
+			Entries:   tc.entries,
+			Bytes:     tc.bytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Volume < out[j].Volume })
+	return out
 }
 
 // Snapshot returns the current counters.

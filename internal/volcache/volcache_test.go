@@ -230,3 +230,79 @@ func TestGetOrBuildRepanicsBuildError(t *testing.T) {
 	}()
 	c.GetOrBuild(Key{Volume: "v"}, func() (any, int64) { panic("nope") })
 }
+
+// TestTenantStats pins the per-tenant aggregation: hits, misses, builds
+// with timed durations, evictions and byte accounting all land under the
+// right volume fingerprint, so the dashboard can show churn per tenant.
+func TestTenantStats(t *testing.T) {
+	c := New(250) // room for two 100-byte entries plus slack
+
+	// Tenant A: one miss+build, then a hit.
+	ka := Key{Volume: "tenantA", Transfer: "mri", Axis: AxisNone}
+	c.GetOrBuild(ka, func() (any, int64) { return "a", 100 })
+	c.GetOrBuild(ka, func() (any, int64) { return "a", 100 })
+	// Tenant B: two distinct keys -> two builds.
+	for ax := xform.Axis(0); ax < 2; ax++ {
+		k := Key{Volume: "tenantB", Transfer: "mri", Axis: ax}
+		c.GetOrBuild(k, func() (any, int64) { return "b", 100 })
+	}
+	// Budget now exceeded (300 > 250): the LRU tail, tenantA's entry,
+	// must have been evicted and accounted against tenantA.
+	byVol := map[string]TenantStats{}
+	for _, ts := range c.Tenants() {
+		byVol[ts.Volume] = ts
+	}
+	a, b := byVol["tenantA"], byVol["tenantB"]
+	if a.Hits != 1 || a.Misses != 1 || a.Builds != 1 {
+		t.Fatalf("tenantA counters = %+v, want 1 hit, 1 miss, 1 build", a)
+	}
+	if a.Evictions != 1 || a.Entries != 0 || a.Bytes != 0 {
+		t.Fatalf("tenantA eviction accounting = %+v, want 1 eviction, 0 entries, 0 bytes", a)
+	}
+	if b.Builds != 2 || b.Entries != 2 || b.Bytes != 200 {
+		t.Fatalf("tenantB accounting = %+v, want 2 builds, 2 entries, 200 bytes", b)
+	}
+	if a.BuildNS < 0 || b.BuildNS < 0 {
+		t.Fatalf("negative build time: a=%d b=%d", a.BuildNS, b.BuildNS)
+	}
+
+	// A failed build counts as a tenant failure, never as a build.
+	kf := Key{Volume: "tenantC", Transfer: "mri", Axis: AxisNone}
+	if _, err := c.GetOrBuildE(kf, func() (any, int64, error) {
+		return nil, 0, errors.New("boom")
+	}); err == nil {
+		t.Fatal("failed build returned nil error")
+	}
+	for _, ts := range c.Tenants() {
+		if ts.Volume == "tenantC" {
+			if ts.Failures != 1 || ts.Builds != 0 {
+				t.Fatalf("tenantC = %+v, want 1 failure, 0 builds", ts)
+			}
+			return
+		}
+	}
+	t.Fatal("tenantC missing from Tenants()")
+}
+
+// TestTenantOverflow checks the per-tenant map stops growing at
+// maxTenants and aggregates the excess under TenantOverflow.
+func TestTenantOverflow(t *testing.T) {
+	c := New(-1)
+	for i := 0; i < maxTenants+10; i++ {
+		k := Key{Volume: fmt.Sprintf("v%05d", i), Transfer: "mri", Axis: AxisNone}
+		c.Get(k) // miss
+	}
+	tenants := c.Tenants()
+	if len(tenants) > maxTenants+1 {
+		t.Fatalf("tenant map grew to %d entries, cap is %d+overflow", len(tenants), maxTenants)
+	}
+	var overflow *TenantStats
+	for i := range tenants {
+		if tenants[i].Volume == TenantOverflow {
+			overflow = &tenants[i]
+		}
+	}
+	if overflow == nil || overflow.Misses < 10 {
+		t.Fatalf("overflow bucket missing or undercounted: %+v", overflow)
+	}
+}

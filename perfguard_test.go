@@ -216,6 +216,74 @@ func TestPackedKernelSpansByteIdentical(t *testing.T) {
 	}
 }
 
+// TestExemplarPathZeroAllocs extends the zero-allocation contract to
+// the request-latency exemplar path: ObserveExemplarNS must not
+// allocate with the store disabled (where it degrades to ObserveNS
+// behind a nil check) nor enabled (where capture is a fixed-array
+// seqlock write).
+func TestExemplarPathZeroAllocs(t *testing.T) {
+	plain := telemetry.NewHistogram("guard_plain_seconds", "")
+	enabled := telemetry.NewHistogram("guard_exemplar_seconds", "")
+	enabled.EnableExemplars()
+	var v int64 = 1
+	allocs := testing.AllocsPerRun(1000, func() {
+		v += 977
+		plain.ObserveExemplarNS(v, uint64(v))
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled exemplar store: ObserveExemplarNS allocates %.1f allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		v += 977
+		enabled.ObserveExemplarNS(v, uint64(v))
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled exemplar store: ObserveExemplarNS allocates %.1f allocs/op, want 0", allocs)
+	}
+	if len(enabled.Exemplars()) == 0 {
+		t.Fatal("enabled store retained no exemplars")
+	}
+}
+
+// TestExemplarObserveOverheadGuard bounds the per-request cost of
+// exemplar-enabled latency observation. The service observes once per
+// HTTP request against frames that render in milliseconds, so the 5%
+// instrumentation budget translates to "an observation must stay in the
+// nanosecond noise floor"; 2µs is three orders of magnitude inside the
+// budget while still catching a regression that adds locking or
+// allocation to the capture path.
+func TestExemplarObserveOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	bench := func(h *telemetry.Histogram) float64 {
+		var v int64 = 1
+		best := math.MaxFloat64
+		for run := 0; run < 3; run++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					v += 977
+					h.ObserveExemplarNS(v, uint64(v))
+				}
+			})
+			if ns := float64(res.NsPerOp()); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	plain := telemetry.NewHistogram("guard_overhead_plain_seconds", "")
+	enabled := telemetry.NewHistogram("guard_overhead_exemplar_seconds", "")
+	enabled.EnableExemplars()
+	base := bench(plain)
+	withCapture := bench(enabled)
+	t.Logf("observe: disabled store %.1f ns/op, enabled store %.1f ns/op", base, withCapture)
+	const limitNS = 2000
+	if withCapture > limitNS {
+		t.Fatalf("exemplar-enabled observation costs %.0f ns/op, budget %d ns", withCapture, limitNS)
+	}
+}
+
 // TestPerfOverheadGuard benchmarks the frame loop with instrumentation
 // off, with the collector on, and with collector plus span recorder on
 // (the fully traced render-service configuration), asserting each

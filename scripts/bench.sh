@@ -8,13 +8,21 @@
 # endpoint and per render phase — from a short load loop against a live
 # shearwarpd, saved verbatim from its /debug/latency endpoint).
 #
-# Usage:  scripts/bench.sh [count]
+# A fourth artifact, BENCH_load.json, is the report of a short zipfian
+# multi-tenant load replay (cmd/loadgen) against a live shearwarpd —
+# achieved RPS, per-status counts, client-side latency quantiles, and
+# the cache hit/miss/eviction delta the run caused.
+#
+# Usage:  scripts/bench.sh [count]      full run (benchmarks + load replay)
+#         scripts/bench.sh load        load replay only, emits BENCH_load.json
 #
 #   count   repetitions per benchmark (default 5) — enough for benchstat
 #           to report a confidence interval:
 #               benchstat BENCH_native.txt
 #
-#   SHEARWARPD_PORT   port for the latency load loop (default 18080)
+#   SHEARWARPD_PORT   port for the latency/load loops (default 18080)
+#   LOADGEN_RPS       load replay target rate (default 15)
+#   LOADGEN_DURATION  load replay length (default 10s)
 #
 # The JSON records the per-run ns/op samples, their mean, and allocation
 # stats for each benchmark, alongside the frozen pre-PR baseline of the
@@ -22,9 +30,61 @@
 # (baseline mean / current mean) can be read off directly.
 set -euo pipefail
 
+MODE=all
+if [ "${1:-}" = "load" ]; then
+    MODE=load
+    shift
+fi
 COUNT="${1:-5}"
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO"
+
+PORT="${SHEARWARPD_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+SRV_PID=""
+TMPFILES=()
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f ${TMPFILES[@]+"${TMPFILES[@]}"}
+}
+trap cleanup EXIT
+
+wait_ready() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "shearwarpd did not become ready on $BASE" >&2
+    return 1
+}
+
+# load_replay: boot shearwarpd with extra synthetic tenants and replay a
+# zipfian open-loop request stream through cmd/loadgen, saving its
+# report (client latency quantiles + service cache delta) as
+# BENCH_load.json.
+load_replay() {
+    local LOAD=BENCH_load.json
+    local srv lg
+    srv="$(mktemp)"; lg="$(mktemp)"
+    TMPFILES+=("$srv" "$lg")
+    echo "running zipfian load replay on $BASE..." >&2
+    go build -o "$srv" ./cmd/shearwarpd
+    go build -o "$lg" ./cmd/loadgen
+    "$srv" -addr "127.0.0.1:$PORT" -size 32 -procs 4 -max-concurrent 4 -tenants 6 >/dev/null &
+    SRV_PID=$!
+    wait_ready
+    "$lg" -url "$BASE" -rps "${LOADGEN_RPS:-15}" -duration "${LOADGEN_DURATION:-10s}" \
+        -skew 1.3 -strict -out "$LOAD" >/dev/null
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+    echo "wrote $LOAD" >&2
+}
+
+if [ "$MODE" = "load" ]; then
+    load_replay
+    exit 0
+fi
 
 RAW=BENCH_native.txt
 JSON=BENCH_native.json
@@ -82,13 +142,8 @@ END {
 echo "collecting per-phase breakdowns..." >&2
 PH_OLD="$(mktemp)"
 PH_NEW="$(mktemp)"
-SRV_PID=""
 SRV_BIN="$(mktemp)"
-cleanup() {
-    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
-    rm -f "$PH_OLD" "$PH_NEW" "$SRV_BIN"
-}
-trap cleanup EXIT
+TMPFILES+=("$PH_OLD" "$PH_NEW" "$SRV_BIN")
 go run ./cmd/shearwarp -kind mri -size 64 -alg old -procs 4 -frames 8 -statsjson "$PH_OLD" >/dev/null
 go run ./cmd/shearwarp -kind mri -size 64 -alg new -procs 4 -frames 8 -statsjson "$PH_NEW" >/dev/null
 {
@@ -105,22 +160,11 @@ go run ./cmd/shearwarp -kind mri -size 64 -alg new -procs 4 -frames 8 -statsjson
 # shearwarpd and save its /debug/latency quantile document verbatim —
 # p50/p95/p99 per endpoint and per render phase.
 LATENCY=BENCH_latency.json
-PORT="${SHEARWARPD_PORT:-18080}"
-BASE="http://127.0.0.1:$PORT"
 echo "collecting request latency digest on $BASE..." >&2
 go build -o "$SRV_BIN" ./cmd/shearwarpd
 "$SRV_BIN" -addr "127.0.0.1:$PORT" -size 48 -procs 4 -max-concurrent 4 >/dev/null &
 SRV_PID=$!
-
-ready=0
-for _ in $(seq 1 50); do
-    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ready=1; break; fi
-    sleep 0.2
-done
-if [ "$ready" != 1 ]; then
-    echo "shearwarpd did not become ready on $BASE" >&2
-    exit 1
-fi
+wait_ready
 
 for i in $(seq 1 40); do
     curl -fsS "$BASE/render?volume=mri&yaw=$((i * 9))&pitch=15&alg=new" -o /dev/null
@@ -132,4 +176,6 @@ kill "$SRV_PID" 2>/dev/null || true
 wait "$SRV_PID" 2>/dev/null || true
 SRV_PID=""
 
-echo "wrote $RAW, $JSON, $PHASES and $LATENCY" >&2
+load_replay
+
+echo "wrote $RAW, $JSON, $PHASES, $LATENCY and BENCH_load.json" >&2
