@@ -37,6 +37,7 @@ import (
 	"shearwarp/internal/perf"
 	"shearwarp/internal/raycast"
 	"shearwarp/internal/render"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 	"shearwarp/internal/xform"
@@ -127,6 +128,47 @@ func ParseKernel(s string) (Kernel, error) {
 // tier ("avx2,fma", "neon,fma", "none", ...) for logs and metrics.
 func CPUFeatures() string { return cpudispatch.FeatureString() }
 
+// Mode selects a render mode. The constants mirror internal/rendermode
+// one to one (the conversions in this file rely on the shared numbering).
+type Mode int
+
+// Render modes.
+const (
+	// ModeComposite is front-to-back alpha compositing with early ray
+	// termination — the paper's workload and the default.
+	ModeComposite Mode = iota
+	// ModeMIP is maximum intensity projection: each ray keeps the
+	// per-channel maximum of its premultiplied samples. Max never
+	// saturates a pixel, so early ray termination is structurally off.
+	ModeMIP
+	// ModeIsosurface is surface display: classification thresholds the
+	// raw densities (Config.IsoThreshold) into a binary-opaque,
+	// gradient-shaded surface, which the standard over-blend then renders
+	// as a first-opaque-surface projection.
+	ModeIsosurface
+)
+
+func (m Mode) String() string { return rendermode.Mode(m).String() }
+
+// UnknownModeError reports a mode name that ParseMode rejected.
+type UnknownModeError struct {
+	Value string
+}
+
+func (e *UnknownModeError) Error() string {
+	return fmt.Sprintf("shearwarp: unknown mode %q (valid: composite, mip, iso)", e.Value)
+}
+
+// ParseMode converts a mode name ("composite", "mip", "iso"; "" means
+// composite). Unknown names return a *UnknownModeError.
+func ParseMode(s string) (Mode, error) {
+	m, err := rendermode.Parse(s)
+	if err != nil {
+		return 0, &UnknownModeError{Value: s}
+	}
+	return Mode(m), nil
+}
+
 // Transfer selects a classification transfer function.
 type Transfer int
 
@@ -166,6 +208,17 @@ type Config struct {
 	// construction; see the Kernel constants). The ray-casting baseline
 	// ignores it.
 	Kernel Kernel
+	// Mode selects the render mode (composite, MIP, isosurface); see the
+	// Mode constants. The packed kernel tier is composite-only: an
+	// explicit Config.Kernel = KernelPacked with a non-composite mode
+	// fails renderer construction with a typed
+	// *cpudispatch.UnsupportedModeError, while KernelAuto falls back to
+	// the scalar tier for those modes.
+	Mode Mode
+	// IsoThreshold is the density threshold of ModeIsosurface: voxels at
+	// or above it form the surface. 0 selects the default
+	// (classify.DefaultIsoThreshold, 128). Other modes ignore it.
+	IsoThreshold uint8
 	// OpacityCorrection enables the view-dependent correction of stored
 	// opacities for the shear's per-slice sample spacing (Lacroute). The
 	// ray-casting baseline samples at unit spacing and ignores it.
@@ -258,34 +311,65 @@ func NewRenderer(data []uint8, nx, ny, nz int, cfg Config) (*Renderer, error) {
 		return nil, fmt.Errorf("shearwarp: volume too small (%dx%dx%d)", nx, ny, nz)
 	}
 	v := &vol.Volume{Nx: nx, Ny: ny, Nz: nz, Data: data}
-	return newRenderer(v, cfg), nil
+	return newRenderer(v, cfg)
 }
 
-// NewMRIPhantom builds a renderer over the synthetic MRI head phantom.
+// NewMRIPhantom builds a renderer over the synthetic MRI head phantom. It
+// panics on an invalid Config (today only the packed kernel tier combined
+// with a non-composite mode); use NewRenderer to receive that as an error.
 func NewMRIPhantom(n int, cfg Config) *Renderer {
-	return newRenderer(vol.MRIBrain(n), cfg)
+	re, err := newRenderer(vol.MRIBrain(n), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return re
 }
 
 // NewCTPhantom builds a renderer over the synthetic CT head phantom. When
-// cfg.Transfer is unset it defaults to the CT transfer function.
+// cfg.Transfer is unset it defaults to the CT transfer function. Like
+// NewMRIPhantom it panics on an invalid Config.
 func NewCTPhantom(n int, cfg Config) *Renderer {
 	cfg.Transfer = TransferCT
-	return newRenderer(vol.CTHead(n), cfg)
+	re, err := newRenderer(vol.CTHead(n), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return re
 }
 
-func newRenderer(v *vol.Volume, cfg Config) *Renderer {
+// isoThreshold returns the effective isosurface threshold of a config
+// (0 means the default).
+func isoThreshold(cfg Config) uint8 {
+	if cfg.IsoThreshold == 0 {
+		return classify.DefaultIsoThreshold
+	}
+	return cfg.IsoThreshold
+}
+
+func newRenderer(v *vol.Volume, cfg Config) (*Renderer, error) {
 	if cfg.Procs < 1 {
 		cfg.Procs = 1
+	}
+	kr, err := cpudispatch.ResolveForMode(cpudispatch.Kernel(cfg.Kernel), rendermode.Mode(cfg.Mode))
+	if err != nil {
+		return nil, err
 	}
 	opt := render.Options{
 		OpacityCorrection: cfg.OpacityCorrection,
 		PreprocProcs:      cfg.Procs,
-		Kernel:            cpudispatch.Kernel(cfg.Kernel),
+		Kernel:            kr,
+		Mode:              rendermode.Mode(cfg.Mode),
 	}
-	if cfg.Transfer == TransferCT {
+	switch {
+	case cfg.Mode == ModeIsosurface:
+		// The isosurface mode lives in classification: the thresholding
+		// transfer function replaces the preset, and the over-blend
+		// renders the resulting binary-opaque volume as a surface.
+		opt.Transfer = classify.IsoTransfer(isoThreshold(cfg))
+	case cfg.Transfer == TransferCT:
 		opt.Transfer = classify.CTTransfer
 	}
-	return newRendererFrom(render.New(v, opt), cfg)
+	return newRendererFrom(render.New(v, opt), cfg), nil
 }
 
 // newRendererFrom wraps an already-prepared pipeline renderer with the
@@ -305,6 +389,7 @@ func newRendererFrom(r *render.Renderer, cfg Config) *Renderer {
 	}
 	if cfg.Algorithm == RayCast {
 		re.rc = raycast.New(r.Classified)
+		re.rc.Mode = r.Mode
 	}
 	re.SetFaultInjector(cfg.Faults)
 	return re
@@ -501,6 +586,10 @@ func (b *PhaseBreakdown) Frame() *perf.FrameBreakdown { return b.fb }
 // RayCast (which has no shear-warp phases to break down). The returned
 // value is a snapshot and stays valid across later frames.
 func (re *Renderer) LastBreakdown() *PhaseBreakdown { return re.bd }
+
+// Mode reports the render mode this renderer runs with. Services report
+// it alongside the algorithm and kernel in logs and /metrics.
+func (re *Renderer) Mode() Mode { return re.cfg.Mode }
 
 // Kernel reports the resolved pixel-kernel tier this renderer runs with
 // (never KernelAuto — construction resolves the choice). Services report

@@ -22,6 +22,7 @@ import (
 	"shearwarp/internal/newalg"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/vol"
 	"shearwarp/internal/warp"
@@ -115,6 +116,64 @@ func BenchmarkNewParallelFramePerf(b *testing.B) {
 		yaw += step
 		nr.RenderFrame(yaw, pitch)
 	}
+}
+
+// ---- render-mode benchmarks ----
+//
+// One frame benchmark per non-composite render mode, at both ends of the
+// algorithm spectrum: the serial reference and the new algorithm's
+// steady-state frame loop. The composite numbers above are the baseline;
+// the deltas here are the real cost of the MIP max-kernel (no early
+// termination, so every ray runs the full slice stack) and of the
+// isosurface pipeline (ordinary compositing over a binary classification,
+// so usually cheaper than composite: opaque surface voxels terminate rays
+// immediately).
+
+func benchFrameMode(b *testing.B, alg Algorithm, procs int, mode Mode) {
+	b.Helper()
+	r := NewMRIPhantom(64, Config{Algorithm: alg, Procs: procs, Mode: mode})
+	r.Render(30, 15) // warm the encoding cache
+	var yaw float64 = 30
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		yaw += 3
+		r.Render(yaw, 15)
+	}
+}
+
+func BenchmarkSerialFrameMIP(b *testing.B) { benchFrameMode(b, Serial, 1, ModeMIP) }
+func BenchmarkSerialFrameIso(b *testing.B) { benchFrameMode(b, Serial, 1, ModeIsosurface) }
+
+// benchNewFrameMode is BenchmarkNewParallelFrame with explicit render
+// options: full warm-up rotation, then the 0 allocs/op steady-state loop.
+func benchNewFrameMode(b *testing.B, opt render.Options) {
+	b.Helper()
+	opt.PreprocProcs = 4
+	r := render.New(vol.MRIBrain(64), opt)
+	nr := newalg.NewRenderer(r, newalg.Config{Procs: 4})
+	const step = 3 * math.Pi / 180
+	pitch := 15 * math.Pi / 180
+	yaw := 30 * math.Pi / 180
+	for i := 0; i < 130; i++ { // full rotation: warm all axes and buffers
+		yaw += step
+		nr.RenderFrame(yaw, pitch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		yaw += step
+		nr.RenderFrame(yaw, pitch)
+	}
+}
+
+func BenchmarkNewParallelFrameMIP(b *testing.B) {
+	benchNewFrameMode(b, render.Options{Mode: rendermode.MIP})
+}
+
+func BenchmarkNewParallelFrameIso(b *testing.B) {
+	benchNewFrameMode(b, render.Options{Mode: rendermode.Isosurface,
+		Transfer: classify.IsoTransfer(classify.DefaultIsoThreshold)})
 }
 
 // BenchmarkCompositePhaseOnly measures the compositing phase in isolation:

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	shearwarp -kind mri -size 128 -alg new -procs 8 -yaw 30 -pitch 15 -out frame.ppm
+//	shearwarp -kind ct -mode mip -out mip.png
+//	shearwarp -mode iso -iso 140 -alg new -procs 8 -out surface.png
 //	shearwarp -in brain.vol -alg serial -frames 24 -step 5
 //	shearwarp -alg old -procs 8 -frames 16 -stats -statsjson phases.json
 //	shearwarp -alg new -frames 100 -trace trace.out -metrics-addr :8080
@@ -37,6 +39,8 @@ func main() {
 	algName := flag.String("alg", "new", "algorithm: serial | old | new | raycast")
 	var kf cli.KernelFlag
 	kf.Register(flag.CommandLine)
+	var mf cli.ModeFlag
+	mf.Register(flag.CommandLine)
 	procs := flag.Int("procs", 4, "workers for the parallel algorithms")
 	yaw := flag.Float64("yaw", 30, "yaw in degrees")
 	pitch := flag.Float64("pitch", 15, "pitch in degrees")
@@ -60,8 +64,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mode, isoThr, err := mf.Mode()
+	if err != nil {
+		fatal(err)
+	}
 	collect := *statsFlag || *statsJSON != "" || *metricsAddr != ""
-	cfg := shearwarp.Config{Algorithm: alg, Kernel: kernel, Procs: *procs, CollectStats: collect}
+	cfg := shearwarp.Config{Algorithm: alg, Kernel: kernel, Procs: *procs,
+		Mode: mode, IsoThreshold: isoThr, CollectStats: collect}
 	if (collect || *spansFile != "") && alg == shearwarp.RayCast {
 		fatal(fmt.Errorf("-stats/-statsjson/-metrics-addr/-spans need a shear-warp algorithm (serial, old, new)"))
 	}

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET /render?volume=mri&yaw=30&pitch=15[&alg=new][&transfer=mri][&format=ppm]
+//	GET /render?volume=mri&yaw=30&pitch=15[&alg=new][&transfer=mri][&mode=mip][&iso=140][&format=ppm]
 //	GET /healthz
 //	GET /metrics        (JSON; Prometheus text under Accept: text/plain)
 //	GET /debug/spans    (Chrome trace-event JSON; ?view=timeline for text bars)
@@ -20,6 +20,10 @@
 //	shearwarpd -addr :8080 -size 128 -procs 8 -max-concurrent 8
 //	shearwarpd -in brain.vol -alg new -cache-mb 512
 //	curl 'localhost:8080/render?volume=mri&yaw=45&pitch=20&format=png' > frame.png
+//	curl 'localhost:8080/render?volume=ct&yaw=45&pitch=20&mode=iso&iso=140&format=png' > surface.png
+//
+// The -mode and -iso flags set the defaults for requests that omit the
+// mode= and iso= parameters.
 package main
 
 import (
@@ -51,6 +55,8 @@ func main() {
 	algName := flag.String("alg", "new", "default algorithm: serial | old | new | raycast")
 	var kf cli.KernelFlag
 	kf.Register(flag.CommandLine)
+	var mf cli.ModeFlag
+	mf.Register(flag.CommandLine)
 	procs := flag.Int("procs", 4, "workers inside each parallel render")
 	pool := flag.Int("pool", 0, "renderers per (volume, transfer, algorithm) pool (0 = max-concurrent)")
 	maxConcurrent := flag.Int("max-concurrent", 8, "frames rendering at once")
@@ -74,6 +80,10 @@ func main() {
 		fatal(err)
 	}
 	kernel, err := kf.Kernel()
+	if err != nil {
+		fatal(err)
+	}
+	mode, isoThr, err := mf.Mode()
 	if err != nil {
 		fatal(err)
 	}
@@ -101,6 +111,8 @@ func main() {
 		Procs:           *procs,
 		Algorithm:       alg,
 		Kernel:          kernel,
+		Mode:            mode,
+		IsoThreshold:    isoThr,
 		PoolSize:        *pool,
 		MaxConcurrent:   *maxConcurrent,
 		MaxQueue:        *maxQueue,

@@ -73,6 +73,30 @@ func CTTransfer(density uint8, gradMag float64) (alpha, r, g, b float64) {
 	return a * gw, 0.93, 0.91, 0.84
 }
 
+// DefaultIsoThreshold is the isosurface density threshold selected when a
+// configuration leaves it unset. 128 sits inside the brightest tissue band
+// of the MRI phantom and just above the CT transfer's bone cutoff (120),
+// so the default surface is anatomically sensible for both phantoms.
+const DefaultIsoThreshold uint8 = 128
+
+// IsoTransfer returns the isosurface (surface display) transfer function
+// for a density threshold: densities at or above the threshold are fully
+// opaque with a fixed bone-white base color, everything below is fully
+// transparent. The threshold comparison is >=, so a voxel whose density
+// equals the threshold lies on the surface. Shading still happens in
+// classifyVoxel — the Lambertian term over the central-difference gradient
+// — so the result is a shaded surface, not a flat silhouette. Note that
+// Classify skips density-0 voxels entirely (air), so they stay transparent
+// even under IsoTransfer(0).
+func IsoTransfer(threshold uint8) TransferFunc {
+	return func(density uint8, gradMag float64) (alpha, r, g, b float64) {
+		if density < threshold {
+			return 0, 0, 0, 0
+		}
+		return 1, 0.95, 0.93, 0.88
+	}
+}
+
 func ramp(x, lo, hi float64) float64 {
 	if x <= lo {
 		return 0

@@ -1,0 +1,170 @@
+package classify
+
+// Edge-case tests for the isosurface transfer function and the
+// classifications it produces: the exact threshold density, all-below
+// and all-above volumes, single-voxel surface crossings, and gradient
+// shading at the volume boundary where central differences read
+// out-of-bounds neighbors as zero.
+
+import (
+	"testing"
+
+	"shearwarp/internal/vol"
+)
+
+// TestIsoTransferThresholdExact pins the >= comparison: a density equal
+// to the threshold is on the surface (fully opaque), one below is fully
+// transparent, and the output is binary — no partial opacities exist.
+func TestIsoTransferThresholdExact(t *testing.T) {
+	for _, thr := range []uint8{1, 64, 128, 200, 255} {
+		tf := IsoTransfer(thr)
+		cases := []struct {
+			name    string
+			density uint8
+			opaque  bool
+		}{
+			{"zero", 0, thr == 0},
+			{"below", thr - 1, false},
+			{"exact", thr, true},
+			{"above", uint8(min(int(thr)+1, 255)), true},
+			{"max", 255, true},
+		}
+		for _, tc := range cases {
+			a, r, g, b := tf(tc.density, 0)
+			if tc.opaque {
+				if a != 1 {
+					t.Errorf("thr %d %s: alpha = %v, want 1", thr, tc.name, a)
+				}
+				if r != 0.95 || g != 0.93 || b != 0.88 {
+					t.Errorf("thr %d %s: base color (%v,%v,%v), want the fixed surface color", thr, tc.name, r, g, b)
+				}
+			} else if a != 0 || r != 0 || g != 0 || b != 0 {
+				t.Errorf("thr %d %s: (%v,%v,%v,%v), want fully transparent", thr, tc.name, a, r, g, b)
+			}
+		}
+		// The gradient magnitude must not leak into the opacity decision
+		// (unlike CTTransfer, the iso surface is purely a density test).
+		if a, _, _, _ := tf(thr, 1e6); a != 1 {
+			t.Errorf("thr %d: huge gradient changed the surface decision (alpha %v)", thr, a)
+		}
+	}
+}
+
+// TestIsoAllBelowAllAbove classifies uniform cubes on either side of the
+// threshold, via both the serial and parallel classifiers (allVoxels
+// asserts they agree): a cube strictly below the threshold is fully
+// transparent, a cube at/above it is fully opaque everywhere — interior
+// voxels (zero gradient, flat shade) and boundary voxels (density cliff
+// at the volume edge, directional shade) alike.
+func TestIsoAllBelowAllAbove(t *testing.T) {
+	const thr = 128
+	opt := Options{Transfer: IsoTransfer(thr)}
+
+	below := allVoxels(t, 8, thr-1, opt)
+	for i, vx := range below.Voxels {
+		if vx != 0 {
+			t.Fatalf("below-threshold cube: voxel %d = %#x, want transparent", i, vx)
+		}
+	}
+	if f := below.TransparentFrac(); f != 1 {
+		t.Fatalf("below-threshold TransparentFrac = %v, want 1", f)
+	}
+
+	above := allVoxels(t, 8, thr, opt) // exactly at threshold: on the surface
+	for i, vx := range above.Voxels {
+		if Opacity(vx) != 255 {
+			t.Fatalf("at-threshold cube: voxel %d opacity = %d, want 255", i, Opacity(vx))
+		}
+		r, g, b := RGB(vx)
+		if r == 0 && g == 0 && b == 0 {
+			t.Fatalf("at-threshold cube: voxel %d is opaque but black", i)
+		}
+	}
+	if f := above.TransparentFrac(); f != 0 {
+		t.Fatalf("at-threshold TransparentFrac = %v, want 0", f)
+	}
+}
+
+// TestIsoSingleVoxelCrossing sweeps one voxel's density across the
+// threshold inside an otherwise-air cube: the voxel must flip from
+// invisible to visible exactly at the threshold, and no other voxel may
+// ever classify visible.
+func TestIsoSingleVoxelCrossing(t *testing.T) {
+	const n, thr = 7, 128
+	center := (n/2*n+n/2)*n + n/2
+	for _, tc := range []struct {
+		density uint8
+		visible bool
+	}{
+		{1, false},       // non-air, far below
+		{thr - 1, false}, // one below the surface
+		{thr, true},      // exactly on the surface
+		{thr + 1, true},  // one above
+		{255, true},      // saturated
+	} {
+		data := make([]uint8, n*n*n)
+		data[center] = tc.density
+		c := Classify(&vol.Volume{Nx: n, Ny: n, Nz: n, Data: data}, Options{Transfer: IsoTransfer(thr)})
+		visible := 0
+		for i, vx := range c.Voxels {
+			if Opacity(vx) >= c.MinOpacity {
+				visible++
+				if i != center {
+					t.Fatalf("density %d: voxel %d visible, expected only the center", tc.density, i)
+				}
+				if Opacity(vx) != 255 {
+					t.Errorf("density %d: surface voxel opacity %d, want binary 255", tc.density, Opacity(vx))
+				}
+			}
+		}
+		if tc.visible && visible != 1 {
+			t.Errorf("density %d: %d visible voxels, want exactly the center", tc.density, visible)
+		}
+		if !tc.visible && visible != 0 {
+			t.Errorf("density %d: %d visible voxels, want none", tc.density, visible)
+		}
+	}
+}
+
+// TestIsoBoundaryGradientClamping pins the shading behavior where the
+// central-difference gradient reads outside the volume: vol.At clamps
+// out-of-bounds samples to zero, so a corner voxel of an above-threshold
+// cube sees the steepest possible density cliff. The classification must
+// stay opaque (shading never affects opacity), the shaded color must be
+// non-black (the Lambertian term has an ambient floor), and the corner
+// facing the light must shade at least as bright as the opposite corner.
+func TestIsoBoundaryGradientClamping(t *testing.T) {
+	const n = 6
+	data := make([]uint8, n*n*n)
+	for i := range data {
+		data[i] = 200
+	}
+	c := Classify(&vol.Volume{Nx: n, Ny: n, Nz: n, Data: data}, Options{Transfer: IsoTransfer(128)})
+	at := func(x, y, z int) Voxel { return c.Voxels[(z*n+y)*n+x] }
+
+	lit := at(0, 0, 0)          // faces DefaultLight (upper-left-front)
+	shadow := at(n-1, n-1, n-1) // opposite corner, normal points away
+	interior := at(n/2, n/2, n/2)
+	for name, vx := range map[string]Voxel{"lit corner": lit, "shadow corner": shadow, "interior": interior} {
+		if Opacity(vx) != 255 {
+			t.Errorf("%s: opacity %d, want 255 (shading must not change opacity)", name, Opacity(vx))
+		}
+		r, g, b := RGB(vx)
+		if int(r)+int(g)+int(b) == 0 {
+			t.Errorf("%s: shaded black — ambient floor missing", name)
+		}
+	}
+	lr, _, _ := RGB(lit)
+	sr, _, _ := RGB(shadow)
+	if lr < sr {
+		t.Errorf("lit corner red %d darker than shadow corner %d — boundary gradient sign wrong", lr, sr)
+	}
+	// Interior voxels of a uniform cube have a zero gradient and take the
+	// flat-shade path; corner voxels shade directionally off the clamped
+	// boundary gradient. Both paths must agree on the base color family
+	// (pure gray scaling of the iso surface color).
+	ir, ig, ib := RGB(interior)
+	if ir == 0 || ig == 0 || ib == 0 {
+		t.Errorf("interior flat shade dropped a channel: (%d,%d,%d)", ir, ig, ib)
+	}
+}

@@ -6,6 +6,7 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,6 +76,37 @@ func (kf *KernelFlag) Register(fs *flag.FlagSet) {
 // *shearwarp.UnknownKernelError so commands can exit 2 with its message.
 func (kf *KernelFlag) Kernel() (shearwarp.Kernel, error) {
 	return shearwarp.ParseKernel(kf.Name)
+}
+
+// ModeFlag is the render-mode selection shared by the commands: shearwarp
+// renders one-shot frames in the chosen mode, shearwarpd uses it as the
+// default for requests that do not pass mode=; both must reject a typo
+// with the same typed error before doing any work.
+type ModeFlag struct {
+	Name string
+	Iso  int
+}
+
+// Register declares the -mode and -iso flags on fs.
+func (mf *ModeFlag) Register(fs *flag.FlagSet) {
+	fs.StringVar(&mf.Name, "mode", "composite",
+		"render mode: composite | mip | iso")
+	fs.IntVar(&mf.Iso, "iso", 0,
+		"isosurface density threshold 1-255 (0 = default 128; iso mode only)")
+}
+
+// Mode resolves the flags. Unknown mode names surface the renderer's typed
+// *shearwarp.UnknownModeError so commands can exit 2 with its message; an
+// out-of-range threshold is rejected the same way a bad flag value is.
+func (mf *ModeFlag) Mode() (shearwarp.Mode, uint8, error) {
+	m, err := shearwarp.ParseMode(mf.Name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if mf.Iso < 0 || mf.Iso > 255 {
+		return 0, 0, fmt.Errorf("bad -iso %d: threshold must be in 0-255", mf.Iso)
+	}
+	return m, uint8(mf.Iso), nil
 }
 
 // Name returns a short name for the selected volume: the input file's

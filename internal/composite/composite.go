@@ -24,6 +24,7 @@ import (
 	"shearwarp/internal/classify"
 	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/img"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/trace"
 	"shearwarp/internal/xform"
@@ -135,6 +136,17 @@ type Ctx struct {
 	// reference kernel regardless. Set it between frames only; the render
 	// layer assigns it after every (re)bind.
 	Kernel cpudispatch.Kernel
+
+	// Mode selects the per-sample accumulation rule of the untraced path:
+	// Composite (the zero value) over-blends front to back with early ray
+	// termination, MIP keeps the per-channel maximum of the premultiplied
+	// samples (never saturating a pixel, so the active list stays full and
+	// early termination is structurally off). Isosurface volumes are
+	// classification-time and composite with the standard over-blend, so
+	// they run as Composite here. The traced simulator path is
+	// composite-only. Set it between frames only; the render layer assigns
+	// it after every (re)bind.
+	Mode rendermode.Mode
 
 	// alphaLUT, when non-nil, applies Lacroute's view-dependent opacity
 	// correction: stored opacities assume unit sample spacing, but the
@@ -407,8 +419,12 @@ func (c *Ctx) scanlineUntraced(vRow int, cnt *Counters) int64 {
 	c.initAct(vRow)
 	// Opacity correction forces the exact scalar kernel: the correction
 	// LUT is defined over float alphas and the fixed-point tier would
-	// have to round-trip through it per pixel anyway.
-	packed := c.Kernel == cpudispatch.KernelPacked && c.alphaLUT == nil
+	// have to round-trip through it per pixel anyway. Non-composite modes
+	// force it too (kernel resolution already rejects or falls back an
+	// explicit packed request for them — this guard is the backstop for
+	// callers that set Ctx fields directly).
+	mip := c.Mode == rendermode.MIP
+	packed := c.Kernel == cpudispatch.KernelPacked && c.alphaLUT == nil && !mip
 	var pkv []uint64
 	touchLo, touchHi := M.W, 0
 	if packed {
@@ -474,7 +490,9 @@ func (c *Ctx) scanlineUntraced(vRow int, cnt *Counters) int64 {
 		if len(c.live) == 0 {
 			continue
 		}
-		if packed {
+		if mip {
+			c.compositeLiveMIP(vRow, &g, cnt)
+		} else if packed {
 			if lo := int(c.live[0].Lo); lo < touchLo {
 				touchLo = lo
 			}
@@ -1048,6 +1066,66 @@ func (c *Ctx) compositeLiveScalar(vRow int, g *sliceGeom, cnt *Counters) {
 			if px[3] >= img.OpacityThreshold {
 				c.sat = append(c.sat, int32(u))
 			}
+			v00, v01 = v10, v11
+		}
+	}
+	cnt.Samples += samples
+	cnt.EmptyPixels += empty
+	cnt.Cycles += samples*CyclesPerSample + empty*CyclesPerEmptyPixel
+}
+
+// compositeLiveMIP is the untraced MIP pixel kernel: the same bilinear
+// resampling as compositeLiveScalar (same unpack tables, same grouping, so
+// per-sample values are bit-identical to the composite kernel's), but the
+// accumulation keeps the per-channel maximum of the premultiplied sample
+// instead of over-blending it. Float max is exactly order-independent, and
+// every intermediate scanline is still owned front-to-back by one worker,
+// so serial, old-parallel and new-parallel MIP frames are byte-identical —
+// the invariant FuzzMIPOrderInvariance pins. No pixel ever saturates, so
+// the kernel never appends to c.sat, the active list never shrinks and
+// early ray termination is structurally disabled. The opacity-correction
+// LUT is deliberately ignored: a maximum over a ray's samples does not
+// depend on their spacing, so MIP output is identical with and without
+// correction (DESIGN.md section 14).
+func (c *Ctx) compositeLiveMIP(vRow int, g *sliceGeom, cnt *Counters) {
+	M := c.M
+	rowBase := vRow * M.W
+	pix := M.Pix[4*rowBase : 4*(rowBase+M.W)]
+	vox := c.V.Vox
+	w00, w10, w01, w11 := g.w00, g.w10, g.w01, g.w11
+	var samples, empty int64
+	for _, iv := range c.live {
+		n := int(iv.Hi - iv.Lo)
+		t0 := laneSel(iv.B0, vox, c.vlane0, c.zvlane)[:n+1]
+		t1 := laneSel(iv.B1, vox, c.vlane1, c.zvlane)
+		t1 = t1[:len(t0)] // teach the compiler the lanes are the same length
+		lo := int(iv.Lo)
+		v00, v01 := t0[0], t1[0]
+		for j := 1; j < len(t0); j++ {
+			v10 := t0[j]
+			v11 := t1[j]
+			aa := w00*u8f255[v00>>24] + w10*u8f255[v10>>24] +
+				w01*u8f255[v01>>24] + w11*u8f255[v11>>24]
+			if aa < 1.0/512 {
+				empty++
+				v00, v01 = v10, v11
+				continue
+			}
+			a0 := w00 * u8f[v00>>24] * (1.0 / 255)
+			a1 := w10 * u8f[v10>>24] * (1.0 / 255)
+			a2 := w01 * u8f[v01>>24] * (1.0 / 255)
+			a3 := w11 * u8f[v11>>24] * (1.0 / 255)
+			ar := a0*u8f[(v00>>16)&0xff] + a1*u8f[(v10>>16)&0xff] + a2*u8f[(v01>>16)&0xff] + a3*u8f[(v11>>16)&0xff]
+			ag := a0*u8f[(v00>>8)&0xff] + a1*u8f[(v10>>8)&0xff] + a2*u8f[(v01>>8)&0xff] + a3*u8f[(v11>>8)&0xff]
+			ab := a0*u8f[v00&0xff] + a1*u8f[v10&0xff] + a2*u8f[v01&0xff] + a3*u8f[v11&0xff]
+
+			u := lo + j - 1
+			px := pix[4*u : 4*u+4 : 4*u+4]
+			px[0] = max(px[0], ar*(1.0/255))
+			px[1] = max(px[1], ag*(1.0/255))
+			px[2] = max(px[2], ab*(1.0/255))
+			px[3] = max(px[3], aa)
+			samples++
 			v00, v01 = v10, v11
 		}
 	}

@@ -28,6 +28,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"shearwarp/internal/rendermode"
 )
 
 // Kernel names a pixel-kernel tier.
@@ -120,6 +122,38 @@ func Resolve(k Kernel) Kernel {
 		return env
 	}
 	return KernelScalar
+}
+
+// UnsupportedModeError reports a kernel tier explicitly requested for a
+// render mode it does not implement — today, the packed SWAR tier with any
+// non-composite mode (the packed accumulator implements the over-blend
+// only). Commands and the render service surface it to the user (exit 2 /
+// HTTP 400) instead of silently substituting a tier.
+type UnsupportedModeError struct {
+	Kernel Kernel
+	Mode   rendermode.Mode
+}
+
+func (e *UnsupportedModeError) Error() string {
+	return fmt.Sprintf("cpudispatch: kernel %q does not support render mode %q (packed is composite-only; use scalar or auto)",
+		e.Kernel, e.Mode)
+}
+
+// ResolveForMode is Resolve with the render mode taken into account: the
+// packed tier implements only the composite over-blend, so an explicit
+// KernelPacked request combined with a non-composite mode is rejected with
+// a *UnsupportedModeError, while KernelAuto (including an auto resolved to
+// packed via SHEARWARP_KERNEL) silently falls back to the scalar tier for
+// those modes. Composite-mode resolution is identical to Resolve.
+func ResolveForMode(k Kernel, m rendermode.Mode) (Kernel, error) {
+	r := Resolve(k)
+	if m == rendermode.Composite || r != KernelPacked {
+		return r, nil
+	}
+	if k == KernelPacked {
+		return KernelScalar, &UnsupportedModeError{Kernel: k, Mode: m}
+	}
+	return KernelScalar, nil // auto (env override says packed): fall back
 }
 
 // Features describes what the host CPU offers the packed tier. On amd64

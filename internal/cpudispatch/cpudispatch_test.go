@@ -2,7 +2,10 @@ package cpudispatch
 
 import (
 	"errors"
+	"strings"
 	"testing"
+
+	"shearwarp/internal/rendermode"
 )
 
 func TestParse(t *testing.T) {
@@ -61,6 +64,47 @@ func TestResolve(t *testing.T) {
 	env, err := FromEnv()
 	if err == nil && env == KernelAuto && got != KernelScalar {
 		t.Errorf("Resolve(auto) with no env override = %v, want scalar", got)
+	}
+}
+
+func TestResolveForMode(t *testing.T) {
+	// Composite behaves exactly like Resolve: every tier passes through.
+	for _, k := range []Kernel{KernelScalar, KernelPacked} {
+		got, err := ResolveForMode(k, rendermode.Composite)
+		if err != nil || got != k {
+			t.Errorf("ResolveForMode(%v, composite) = %v, %v; want %v, nil", k, got, err, k)
+		}
+	}
+
+	for _, m := range []rendermode.Mode{rendermode.MIP, rendermode.Isosurface} {
+		// Scalar supports every mode.
+		if got, err := ResolveForMode(KernelScalar, m); err != nil || got != KernelScalar {
+			t.Errorf("ResolveForMode(scalar, %v) = %v, %v; want scalar, nil", m, got, err)
+		}
+
+		// An explicit packed request for a non-composite mode is a typed,
+		// user-surfaced error — but still resolves to scalar so callers that
+		// ignore the error get a working renderer.
+		got, err := ResolveForMode(KernelPacked, m)
+		if got != KernelScalar {
+			t.Errorf("ResolveForMode(packed, %v) kernel = %v, want scalar fallback", m, got)
+		}
+		var ume *UnsupportedModeError
+		if !errors.As(err, &ume) {
+			t.Fatalf("ResolveForMode(packed, %v): error %v is not *UnsupportedModeError", m, err)
+		}
+		if ume.Kernel != KernelPacked || ume.Mode != m {
+			t.Errorf("error records (%v, %v), want (packed, %v)", ume.Kernel, ume.Mode, m)
+		}
+		if msg := ume.Error(); !strings.Contains(msg, "packed") || !strings.Contains(msg, m.String()) {
+			t.Errorf("error message %q does not name the kernel and mode", msg)
+		}
+
+		// Auto never errors: even if the env override resolves it to packed,
+		// non-composite modes silently fall back to scalar.
+		if got, err := ResolveForMode(KernelAuto, m); err != nil || got != KernelScalar {
+			t.Errorf("ResolveForMode(auto, %v) = %v, %v; want scalar, nil", m, got, err)
+		}
 	}
 }
 

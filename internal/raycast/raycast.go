@@ -20,6 +20,7 @@ import (
 	"shearwarp/internal/img"
 	"shearwarp/internal/octree"
 	"shearwarp/internal/par"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/xform"
 )
 
@@ -72,6 +73,14 @@ func (c *Counters) LoopingCycles() int64 { return c.Cycles - c.CompositeCycles()
 type Renderer struct {
 	C    *classify.Classified
 	Tree *octree.Tree
+	// Mode selects the per-ray accumulation rule: Composite (the zero
+	// value) over-blends front to back with early ray termination, MIP
+	// keeps the per-channel maximum of the premultiplied samples with no
+	// early termination (a later sample can always be brighter). The
+	// isosurface mode is classification-time — render an iso-classified
+	// volume with Mode Composite (the binary opacities make the over-blend
+	// a first-surface projection), exactly as the shear-warp path does.
+	Mode rendermode.Mode
 }
 
 // New builds the ray caster (and its octree) for a classified volume.
@@ -132,6 +141,7 @@ func (r *Renderer) castRay(inv *xform.Mat4, out *img.Final, px, py int, ox, oy, 
 		return
 	}
 
+	mip := r.Mode == rendermode.MIP
 	var accR, accG, accB, accA float32
 	for t := tmin; t <= tmax; t += 1.0 {
 		cnt.Steps++
@@ -173,6 +183,18 @@ func (r *Renderer) castRay(inv *xform.Mat4, out *img.Final, px, py int, ox, oy, 
 		cnt.Resamples++
 		cnt.Cycles += CyclesPerAddress + CyclesPerResample
 		if a < 1.0/512 {
+			continue
+		}
+		if mip {
+			// Maximum intensity: keep the brightest premultiplied sample
+			// per channel; no early termination — any later sample may
+			// still raise the maximum.
+			accR = max(accR, cr)
+			accG = max(accG, cg)
+			accB = max(accB, cb)
+			accA = max(accA, a)
+			cnt.Composites++
+			cnt.Cycles += CyclesPerComposite
 			continue
 		}
 		w := (1 - accA) * a

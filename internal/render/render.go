@@ -16,6 +16,7 @@ import (
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/img"
 	"shearwarp/internal/perf"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
@@ -41,6 +42,13 @@ type Options struct {
 	// scalar tier), and every frame of this renderer then uses the
 	// resolved tier.
 	Kernel cpudispatch.Kernel
+	// Mode selects the render mode every frame of this renderer runs
+	// with: composite (the zero value), MIP, or isosurface. For the
+	// isosurface mode the caller supplies the thresholding transfer
+	// function (classify.IsoTransfer) in Transfer — classification is
+	// where that mode lives; Mode itself only steers the per-scanline
+	// compositing kernel.
+	Mode rendermode.Mode
 }
 
 // Renderer owns a classified volume and its lazily-built per-axis RLE
@@ -54,7 +62,9 @@ type Renderer struct {
 	OpacityCorrection bool
 	// Kernel is the resolved pixel-kernel tier every frame runs with
 	// (never KernelAuto — construction resolves it).
-	Kernel       cpudispatch.Kernel
+	Kernel cpudispatch.Kernel
+	// Mode is the render mode every frame runs with (see Options.Mode).
+	Mode         rendermode.Mode
 	preprocProcs int
 	enc          [3]*rle.Volume
 	// warpScratch backs the packed warp tier of the serial render path;
@@ -83,6 +93,7 @@ func New(v *vol.Volume, opt Options) *Renderer {
 		Vol:               v,
 		OpacityCorrection: opt.OpacityCorrection,
 		Kernel:            cpudispatch.Resolve(opt.Kernel),
+		Mode:              opt.Mode,
 		preprocProcs:      opt.PreprocProcs,
 		Classified:        classify.ClassifyParallel(v, copt, opt.PreprocProcs),
 	}
@@ -102,6 +113,7 @@ func NewShared(v *vol.Volume, c *classify.Classified, encode func(xform.Axis) *r
 		Classified:        c,
 		OpacityCorrection: opt.OpacityCorrection,
 		Kernel:            cpudispatch.Resolve(opt.Kernel),
+		Mode:              opt.Mode,
 		preprocProcs:      opt.PreprocProcs,
 		encodeFn:          encode,
 	}
@@ -133,6 +145,8 @@ type Frame struct {
 	// Kernel is the resolved pixel-kernel tier the frame's untraced
 	// compositing and warp contexts run with.
 	Kernel cpudispatch.Kernel
+	// Mode is the render mode the frame's compositing contexts run with.
+	Mode rendermode.Mode
 }
 
 // NewCompositeCtx builds a compositing context for this frame, applying
@@ -142,6 +156,7 @@ type Frame struct {
 func (fr *Frame) NewCompositeCtx() *composite.Ctx {
 	cc := composite.NewCtx(&fr.F, fr.RV, fr.M)
 	cc.Kernel = fr.Kernel
+	cc.Mode = fr.Mode
 	if fr.CorrectOpacity {
 		cc.EnableOpacityCorrection()
 	}
@@ -157,6 +172,7 @@ func (fr *Frame) BindCompositeCtx(cc *composite.Ctx) *composite.Ctx {
 	}
 	cc.Bind(&fr.F, fr.RV, fr.M)
 	cc.Kernel = fr.Kernel
+	cc.Mode = fr.Mode
 	if fr.CorrectOpacity {
 		cc.EnableOpacityCorrection()
 	}
@@ -185,6 +201,7 @@ func (r *Renderer) Setup(yaw, pitch float64) *Frame {
 		Out:            img.NewFinal(f.FinalW, f.FinalH),
 		CorrectOpacity: r.OpacityCorrection,
 		Kernel:         r.Kernel,
+		Mode:           r.Mode,
 	}
 }
 
@@ -209,6 +226,7 @@ func (r *Renderer) SetupInto(fr *Frame, yaw, pitch float64) {
 	}
 	fr.CorrectOpacity = r.OpacityCorrection
 	fr.Kernel = r.Kernel
+	fr.Mode = r.Mode
 }
 
 // FrameStats reports the modeled work of one rendered frame.

@@ -1,0 +1,73 @@
+// Package rendermode names the render modes every layer of the pipeline
+// agrees on. It is a leaf package — classification, compositing, the
+// raycast oracle, kernel dispatch and the public API all import it, so the
+// mode constants live here rather than in any one of them.
+//
+// Three modes exist, all sharing the run-length/span-index substrate:
+//
+//   - Composite: front-to-back alpha compositing with early ray
+//     termination — the paper's workload and the default.
+//   - MIP: maximum intensity projection — each ray keeps the per-channel
+//     maximum of its premultiplied samples instead of over-blending them.
+//     Max is order-independent and never saturates, so early termination
+//     is structurally disabled.
+//   - Isosurface: surface display — classification thresholds the raw
+//     densities (at/above the threshold is opaque, below is transparent)
+//     and shades by central-difference gradients; compositing then runs
+//     the standard over-blend, which the binary opacities turn into a
+//     first-opaque-surface projection with aggressive early termination.
+package rendermode
+
+import "fmt"
+
+// Mode names a render mode. The zero value is Composite so an unset
+// configuration field means "today's behavior".
+type Mode uint8
+
+// Render modes.
+const (
+	Composite  Mode = iota // front-to-back over-blend (default)
+	MIP                    // maximum intensity projection
+	Isosurface             // thresholded, gradient-shaded surface display
+)
+
+// Count is the number of modes — the dimension of per-mode telemetry
+// arrays.
+const Count = 3
+
+func (m Mode) String() string {
+	switch m {
+	case Composite:
+		return "composite"
+	case MIP:
+		return "mip"
+	case Isosurface:
+		return "iso"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// UnknownModeError reports a mode name Parse rejected. Commands and the
+// render service surface it to the user (exit 2 / HTTP 400).
+type UnknownModeError struct {
+	Value string
+}
+
+func (e *UnknownModeError) Error() string {
+	return fmt.Sprintf("rendermode: unknown mode %q (valid: composite, mip, iso)", e.Value)
+}
+
+// Parse converts a mode name ("composite", "mip", "iso"; "" means
+// composite; "isosurface" is accepted as an alias). Unknown names return a
+// *UnknownModeError.
+func Parse(s string) (Mode, error) {
+	switch s {
+	case "", "composite":
+		return Composite, nil
+	case "mip":
+		return MIP, nil
+	case "iso", "isosurface":
+		return Isosurface, nil
+	}
+	return Composite, &UnknownModeError{Value: s}
+}

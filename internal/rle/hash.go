@@ -44,10 +44,30 @@ const Seed uint64 = fnvOffset64
 // storage order) as a fixed-width hex string, the volume component of the
 // render service's cache keys.
 func VolumeKey(data []uint8, nx, ny, nz int) string {
+	return VolumeModeKey(data, nx, ny, nz, 0, 0)
+}
+
+// modeKeyTag separates the mode parameters from the sample stream in the
+// fingerprint so a data suffix can never alias a mode encoding.
+const modeKeyTag = 0x65646f6d // "mode"
+
+// VolumeModeKey fingerprints a raw volume together with its render-mode
+// preprocessing parameters (the rendermode.Mode ordinal and, for the
+// isosurface mode, its density threshold). Distinct modes always yield
+// distinct keys, so the preprocessing cache can never serve one mode's
+// classification or encodings to another; mode 0 (composite) folds nothing
+// extra and reproduces the legacy VolumeKey exactly, keeping pre-existing
+// fingerprints stable.
+func VolumeModeKey(data []uint8, nx, ny, nz int, mode, isoThreshold uint8) string {
 	h := HashUint64(Seed, uint64(nx))
 	h = HashUint64(h, uint64(ny))
 	h = HashUint64(h, uint64(nz))
 	h = HashBytes(h, data)
+	if mode != 0 {
+		h = HashUint64(h, modeKeyTag)
+		h = HashUint64(h, uint64(mode))
+		h = HashUint64(h, uint64(isoThreshold))
+	}
 	return fmt.Sprintf("%016x", h)
 }
 

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"shearwarp"
+	"shearwarp/internal/classify"
 	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/perf"
@@ -68,7 +69,17 @@ type Config struct {
 	// Kernel selects the pixel-kernel tier every renderer the service
 	// builds runs with (KernelAuto = $SHEARWARP_KERNEL, else scalar).
 	// The resolved tier is reported by /metrics.
-	Kernel            shearwarp.Kernel
+	Kernel shearwarp.Kernel
+	// Mode is the default render mode when a request omits ?mode
+	// (composite, mip, iso). An explicit KernelPacked combined with a
+	// non-composite default fails at pool build (packed is
+	// composite-only); per-request mode= overrides report the same
+	// conflict as a 400.
+	Mode shearwarp.Mode
+	// IsoThreshold is the default isosurface density threshold when a
+	// request omits ?iso (0 = the classifier default). Only consulted in
+	// isosurface mode.
+	IsoThreshold      uint8
 	PoolSize          int           // persistent renderers per (volume, transfer, algorithm) pool (default MaxConcurrent)
 	MaxConcurrent     int           // frames rendering at once (default 8)
 	MaxQueue          int           // requests waiting for admission before fast 503 (default 4*MaxConcurrent)
@@ -142,11 +153,16 @@ type volumeRec struct {
 	transfer   shearwarp.Transfer
 }
 
-// poolKey identifies one renderer pool.
+// poolKey identifies one renderer pool. mode and iso carry the render
+// mode and its effective isosurface threshold (0 unless mode is
+// isosurface, so requests that spell the default threshold differently
+// share a pool).
 type poolKey struct {
 	volume    string
 	transfer  shearwarp.Transfer
 	algorithm shearwarp.Algorithm
+	mode      shearwarp.Mode
+	iso       uint8
 }
 
 // poolEntry lazily builds its pool once; concurrent requests wait on the
@@ -381,12 +397,27 @@ func (s *Server) admit(ctx context.Context) (release func(), status int, msg str
 	}
 }
 
+// effectiveIso normalizes an isosurface threshold for pool keying: only
+// the isosurface mode consults it, and 0 means the classifier default —
+// so requests that spell the default differently share one pool and one
+// set of cache entries.
+func effectiveIso(mode shearwarp.Mode, iso uint8) uint8 {
+	if mode != shearwarp.ModeIsosurface {
+		return 0
+	}
+	if iso == 0 {
+		return classify.DefaultIsoThreshold
+	}
+	return iso
+}
+
 // renderPool returns (building on first use) the renderer pool for a
 // key. Pool construction classifies and encodes through the LRU cache, so
 // even a cold pool costs one classification, and a pool rebuilt after
-// cache-warm use costs none.
-func (s *Server) renderPool(ctx context.Context, rec *volumeRec, transfer shearwarp.Transfer, alg shearwarp.Algorithm) (*shearwarp.RendererPool, error) {
-	k := poolKey{volume: rec.name, transfer: transfer, algorithm: alg}
+// cache-warm use costs none. iso must already be the effective threshold
+// (see effectiveIso).
+func (s *Server) renderPool(ctx context.Context, rec *volumeRec, transfer shearwarp.Transfer, alg shearwarp.Algorithm, mode shearwarp.Mode, iso uint8) (*shearwarp.RendererPool, error) {
+	k := poolKey{volume: rec.name, transfer: transfer, algorithm: alg, mode: mode, iso: iso}
 	s.mu.Lock()
 	pe, ok := s.pools[k]
 	if !ok {
@@ -400,15 +431,26 @@ func (s *Server) renderPool(ctx context.Context, rec *volumeRec, transfer shearw
 			s.tel.logger.Info("renderer pool built",
 				"req", telemetry.RequestID(ctx), "volume", rec.name,
 				"transfer", transfer.String(), "alg", alg.String(),
+				"mode", mode.String(),
 				"size", s.cfg.PoolSize, "duration_ms", float64(time.Since(t0))/1e6,
 				"err", pe.err)
 		}()
-		pv, err := shearwarp.PrepareVolume(rec.data, rec.nx, rec.ny, rec.nz, transfer, s.cfg.Procs, s.cache)
+		pv, err := shearwarp.PrepareVolumeMode(rec.data, rec.nx, rec.ny, rec.nz, transfer, mode, iso, s.cfg.Procs, s.cache)
 		if err != nil {
 			pe.err = err
 			return
 		}
 		pv.SetFaultInjector(s.cfg.Faults)
+		if mode != shearwarp.ModeComposite {
+			// Non-composite preprocessing lands in the cache under a
+			// mode-qualified fingerprint; join it to a mode-qualified
+			// tenant name so per-tenant cache stats stay readable.
+			s.mu.Lock()
+			if _, known := s.volKeys[pv.Key()]; !known {
+				s.volKeys[pv.Key()] = rec.name + "@" + mode.String()
+			}
+			s.mu.Unlock()
+		}
 		pe.pool, pe.err = shearwarp.NewRendererPool(s.cfg.PoolSize, func() (*shearwarp.Renderer, error) {
 			return pv.NewRenderer(shearwarp.Config{
 				Algorithm:         alg,
@@ -442,7 +484,8 @@ func parseFloat(r *http.Request, name string, def float64) (float64, error) {
 }
 
 // handleRender is GET /render?volume=NAME&yaw=DEG&pitch=DEG
-// [&alg=serial|old|new|raycast][&transfer=mri|ct][&format=ppm|png].
+// [&alg=serial|old|new|raycast][&transfer=mri|ct]
+// [&mode=composite|mip|iso][&iso=1-255][&format=ppm|png].
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
@@ -483,6 +526,23 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode := s.cfg.Mode
+	if v := q.Get("mode"); v != "" {
+		if mode, err = shearwarp.ParseMode(v); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	iso := s.cfg.IsoThreshold
+	if v := q.Get("iso"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 || n > 255 {
+			httpError(w, http.StatusBadRequest, "bad iso %q: threshold must be in 0-255", v)
+			return
+		}
+		iso = uint8(n)
+	}
+	iso = effectiveIso(mode, iso)
 	format := q.Get("format")
 	if format == "" {
 		format = "ppm"
@@ -497,10 +557,13 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	id := s.tel.reqSeq.Add(1)
 	setExemplarID(w, id) // the latency observation carries the trace ID as an exemplar
-	log := s.tel.logger.With("req", id, "volume", name, "alg", alg.String())
+	log := s.tel.logger.With("req", id, "volume", name, "alg", alg.String(), "mode", mode.String())
 	log.Debug("render request", "yaw", yaw, "pitch", pitch, "format", format)
-	rt := s.tel.startTrace(id,
-		fmt.Sprintf("render %s yaw=%g pitch=%g alg=%s", name, yaw, pitch, alg), t0)
+	label := fmt.Sprintf("render %s yaw=%g pitch=%g alg=%s", name, yaw, pitch, alg)
+	if mode != shearwarp.ModeComposite {
+		label += " mode=" + mode.String()
+	}
+	rt := s.tel.startTrace(id, label, t0)
 
 	// The whole request — admission wait, renderer acquisition, render —
 	// runs under the render deadline.
@@ -526,10 +589,19 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 
 	acquireAt := time.Now()
-	pool, err := s.renderPool(ctx, rec, transfer, alg)
+	pool, err := s.renderPool(ctx, rec, transfer, alg, mode, iso)
 	if err != nil {
 		release()
 		s.inflight.Done()
+		// A kernel/mode conflict (explicit packed with a non-composite
+		// mode) is the client's request to fix, not a server fault.
+		var ume *cpudispatch.UnsupportedModeError
+		if errors.As(err, &ume) {
+			log.Warn("unsupported kernel/mode combination", "err", err)
+			rt.finish(http.StatusBadRequest, time.Now())
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 		log.Error("preparing volume failed", "err", err)
 		rt.finish(http.StatusInternalServerError, time.Now())
 		httpError(w, http.StatusInternalServerError, "preparing volume: %v", err)
@@ -595,7 +667,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 				if bd := ren.LastBreakdown(); bd != nil {
 					fb := bd.Frame()
 					s.cum.Add(fb)
-					s.tel.observePhases(fb)
+					s.tel.observePhases(mode, fb)
 				}
 			}
 			pool.Release(ren)
@@ -676,6 +748,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 
 	im, info := res.im, res.info
 	w.Header().Set("X-Shearwarp-Algorithm", alg.String())
+	w.Header().Set("X-Shearwarp-Mode", mode.String())
 	w.Header().Set("X-Shearwarp-Samples", strconv.FormatInt(info.Samples, 10))
 	w.Header().Set("X-Shearwarp-Size", fmt.Sprintf("%dx%d", im.Width(), im.Height()))
 	encStart := time.Now()

@@ -10,7 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shearwarp"
 	"shearwarp/internal/perf"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/slo"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/volcache"
@@ -29,9 +31,13 @@ type serverTelemetry struct {
 	epoch  time.Time         // span/trace timestamps are measured from here
 	reqSeq atomic.Uint64     // request-ID source (also the trace ID)
 
-	hQueue *telemetry.Histogram                 // admission wait, including the zero-wait fast path
-	hBuild *telemetry.Histogram                 // volcache builder invocations (classify / RLE-encode)
-	hPhase [perf.NumPhases]*telemetry.Histogram // per-worker per-frame phase durations
+	hQueue *telemetry.Histogram // admission wait, including the zero-wait fast path
+	hBuild *telemetry.Histogram // volcache builder invocations (classify / RLE-encode)
+	// hPhase holds the per-worker per-frame phase duration histograms,
+	// one set per render mode: a MIP frame (no early termination) and a
+	// composite frame have different phase profiles, and folding them
+	// into one histogram would hide both.
+	hPhase [rendermode.Count][perf.NumPhases]*telemetry.Histogram
 
 	// spanPool recycles FrameSpans recorders across requests so tracing
 	// a request allocates only its retained Trace, not the 512-span
@@ -51,9 +57,11 @@ func newServerTelemetry(cfg *Config) *serverTelemetry {
 	if t.logger == nil {
 		t.logger = telemetry.DiscardLogger()
 	}
-	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
-		t.hPhase[ph] = telemetry.NewHistogram("shearwarpd_phase_seconds",
-			"Per-worker per-frame render phase durations.")
+	for m := range t.hPhase {
+		for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+			t.hPhase[m][ph] = telemetry.NewHistogram("shearwarpd_phase_seconds",
+				"Per-worker per-frame render phase durations.")
+		}
 	}
 	if cfg.TraceRing >= 0 {
 		t.tracer = telemetry.NewTracer(cfg.TraceRing, 0, 0)
@@ -69,21 +77,22 @@ func (t *serverTelemetry) sinceEpochNS(at time.Time) int64 {
 }
 
 // observePhases feeds one frame's per-worker phase durations into the
-// phase histograms: each worker's time in each phase is one observation,
-// so the histograms answer "how long does a worker's warp phase take"
-// across frames and workers.
-func (t *serverTelemetry) observePhases(fb *perf.FrameBreakdown) {
-	if fb == nil {
+// frame's render mode's phase histograms: each worker's time in each
+// phase is one observation, so the histograms answer "how long does a
+// worker's warp phase take" across frames and workers, per mode.
+func (t *serverTelemetry) observePhases(mode shearwarp.Mode, fb *perf.FrameBreakdown) {
+	if fb == nil || int(mode) >= len(t.hPhase) {
 		return
 	}
+	h := &t.hPhase[mode]
 	for i := range fb.PerWorker {
 		w := &fb.PerWorker[i]
-		t.hPhase[perf.PhaseClear].ObserveNS(w.ClearNS)
-		t.hPhase[perf.PhaseCompositeOwn].ObserveNS(w.CompositeOwnNS)
-		t.hPhase[perf.PhaseCompositeSteal].ObserveNS(w.CompositeStealNS)
-		t.hPhase[perf.PhaseWait].ObserveNS(w.WaitNS)
-		t.hPhase[perf.PhaseWarp].ObserveNS(w.WarpNS)
-		t.hPhase[perf.PhaseTotal].ObserveNS(w.TotalNS)
+		h[perf.PhaseClear].ObserveNS(w.ClearNS)
+		h[perf.PhaseCompositeOwn].ObserveNS(w.CompositeOwnNS)
+		h[perf.PhaseCompositeSteal].ObserveNS(w.CompositeStealNS)
+		h[perf.PhaseWait].ObserveNS(w.WaitNS)
+		h[perf.PhaseWarp].ObserveNS(w.WarpNS)
+		h[perf.PhaseTotal].ObserveNS(w.TotalNS)
 	}
 }
 
@@ -361,10 +370,12 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter) {
 			"Cumulative phase time, summed across workers and frames.",
 			float64(snap.Phases.PhaseNS[ph]), "phase", ph)
 	}
-	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
-		pw.Histogram("shearwarpd_phase_seconds",
-			"Per-worker per-frame render phase durations.",
-			s.tel.hPhase[ph].Snapshot(), "phase", ph.String())
+	for m := rendermode.Mode(0); m < rendermode.Count; m++ {
+		for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+			pw.Histogram("shearwarpd_phase_seconds",
+				"Per-worker per-frame render phase durations.",
+				s.tel.hPhase[m][ph].Snapshot(), "phase", ph.String(), "mode", m.String())
+		}
 	}
 
 	pw.Histogram("shearwarpd_admission_wait_seconds",
@@ -463,11 +474,19 @@ func (s *Server) latencySnapshot() LatencySnapshot {
 		},
 		AdmissionWait:   s.tel.hQueue.Snapshot().Summary(),
 		CacheBuild:      s.tel.hBuild.Snapshot().Summary(),
-		Phases:          make(map[string]telemetry.QuantileSummary, perf.NumPhases),
+		Phases:          make(map[string]telemetry.QuantileSummary, int(rendermode.Count)*int(perf.NumPhases)),
 		RenderExemplars: s.renderExemplars(),
 	}
-	for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
-		ls.Phases[ph.String()] = s.tel.hPhase[ph].Snapshot().Summary()
+	// Composite keeps the bare phase names the document has always used;
+	// the other modes qualify theirs as "phase@mode".
+	for m := rendermode.Mode(0); m < rendermode.Count; m++ {
+		for ph := perf.Phase(0); ph < perf.NumPhases; ph++ {
+			key := ph.String()
+			if m != rendermode.Composite {
+				key += "@" + m.String()
+			}
+			ls.Phases[key] = s.tel.hPhase[m][ph].Snapshot().Summary()
+		}
 	}
 	return ls
 }

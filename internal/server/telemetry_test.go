@@ -91,7 +91,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 	if samples[`shearwarpd_request_duration_seconds_count{path="/render"}`] < 1 {
 		t.Fatal("missing /render latency histogram")
 	}
-	if samples[`shearwarpd_phase_seconds_count{phase="warp"}`] < 1 {
+	if samples[`shearwarpd_phase_seconds_count{phase="warp",mode="composite"}`] < 1 {
 		t.Fatal("missing warp phase histogram observations")
 	}
 	if samples["shearwarpd_admission_wait_seconds_count"] < 1 {

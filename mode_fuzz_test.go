@@ -1,0 +1,95 @@
+package shearwarp
+
+// FuzzMIPOrderInvariance: MIP compositing is a per-channel float max, so
+// — unlike the over-blend, whose bit-identity rests on every intermediate
+// scanline being owned front to back by exactly one worker — its result
+// must be invariant under ANY execution order: across algorithms, across
+// worker counts, and across arbitrary scheduling perturbations. The fuzz
+// input picks a viewpoint and a packed delay schedule; the schedule is
+// expanded into deterministic faultinject delay rules on the steal and
+// scanline sites, which is the hammer that forces OldParallel into
+// steal-heavy interleavings and NewParallel into skewed band completion.
+// Serial output is the reference; both parallel algorithms must match it
+// byte for byte under every schedule.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"shearwarp/internal/faultinject"
+)
+
+// mipDelayRules expands a packed 32-bit schedule into up to four
+// deterministic delay rules. Each byte of sched seeds one rule: site
+// (steal/scanline), worker (0-3 or any), the Nth matching visit, and a
+// sub-millisecond delay — enough to reorder worker interleavings without
+// making the fuzz loop slow.
+func mipDelayRules(sched uint32) []faultinject.Rule {
+	var rules []faultinject.Rule
+	for i := 0; i < 4; i++ {
+		b := uint8(sched >> (8 * i))
+		if b == 0 {
+			continue // zero byte = no rule, so small seeds stay cheap
+		}
+		site := "scanline"
+		if b&1 != 0 {
+			site = "steal"
+		}
+		worker := int(b>>1) % 5
+		if worker == 4 {
+			worker = -1 // any worker
+		}
+		rules = append(rules, faultinject.Rule{
+			Kind:   faultinject.KindDelay,
+			Site:   site,
+			Worker: worker,
+			Band:   -1,
+			Hit:    int64(b>>3)%7 + 1,
+			Delay:  time.Duration(50+10*int(b>>2)) * time.Microsecond,
+		})
+	}
+	return rules
+}
+
+func FuzzMIPOrderInvariance(f *testing.F) {
+	// Seed corpus: no perturbation, single delays on each site, a
+	// steal-heavy all-workers schedule, and dense mixed schedules across
+	// principal axes and pitch signs.
+	f.Add(int16(30), int8(15), uint32(0))
+	f.Add(int16(30), int8(15), uint32(0x01))          // one steal delay, worker 0
+	f.Add(int16(50), int8(-20), uint32(0x02))         // one scanline delay
+	f.Add(int16(100), int8(-35), uint32(0x09_09))     // steal delays, two workers
+	f.Add(int16(10), int8(70), uint32(0xFF_FF_FF_FF)) // max perturbation, steep pitch
+	f.Add(int16(200), int8(65), uint32(0xA5_5A_C3_3C))
+	f.Add(int16(-45), int8(5), uint32(0x10_01_10_01))
+
+	const size = 24 // small phantom keeps a fuzz iteration ~milliseconds
+	f.Fuzz(func(t *testing.T, yawDeg int16, pitchDeg int8, sched uint32) {
+		yaw, pitch := float64(yawDeg), float64(pitchDeg)
+		ref := NewMRIPhantom(size, Config{Algorithm: Serial, Mode: ModeMIP})
+		want, _ := ref.Render(yaw, pitch)
+
+		// Fresh injectors per algorithm: rules fire once, and sharing one
+		// injector would make the second render run unperturbed.
+		old := NewMRIPhantom(size, Config{
+			Algorithm: OldParallel, Mode: ModeMIP, Procs: 4,
+			Faults: faultinject.New(mipDelayRules(sched)...),
+		})
+		defer old.Close()
+		imo, _ := old.Render(yaw, pitch)
+		if !bytes.Equal(want.f.Pix, imo.f.Pix) {
+			t.Fatalf("yaw %v pitch %v sched %#x: OldParallel MIP differs from Serial", yaw, pitch, sched)
+		}
+
+		nw := NewMRIPhantom(size, Config{
+			Algorithm: NewParallel, Mode: ModeMIP, Procs: 4,
+			Faults: faultinject.New(mipDelayRules(sched)...),
+		})
+		defer nw.Close()
+		imn, _ := nw.Render(yaw, pitch)
+		if !bytes.Equal(want.f.Pix, imn.f.Pix) {
+			t.Fatalf("yaw %v pitch %v sched %#x: NewParallel MIP differs from Serial", yaw, pitch, sched)
+		}
+	})
+}

@@ -14,10 +14,12 @@ import (
 	"testing"
 	"time"
 
+	"shearwarp/internal/classify"
 	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/newalg"
 	"shearwarp/internal/perf"
 	"shearwarp/internal/render"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 )
@@ -31,7 +33,13 @@ func warmRenderer(pc *perf.Collector) *newalg.Renderer {
 
 // warmKernelRenderer is warmRenderer with an explicit pixel-kernel tier.
 func warmKernelRenderer(pc *perf.Collector, k cpudispatch.Kernel) *newalg.Renderer {
-	r := render.New(vol.MRIBrain(48), render.Options{PreprocProcs: 4, Kernel: k})
+	return warmOptionsRenderer(pc, render.Options{PreprocProcs: 4, Kernel: k})
+}
+
+// warmOptionsRenderer is the general warm-up: any render.Options, full
+// rotation, steady-state buffers.
+func warmOptionsRenderer(pc *perf.Collector, opt render.Options) *newalg.Renderer {
+	r := render.New(vol.MRIBrain(48), opt)
 	nr := newalg.NewRenderer(r, newalg.Config{Procs: 4})
 	nr.Perf = pc
 	const step = 3 * math.Pi / 180
@@ -213,6 +221,35 @@ func TestPackedKernelSpansByteIdentical(t *testing.T) {
 		if len(fs.Spans()) == 0 {
 			t.Fatalf("yaw %v: attached recorder captured no spans", yawDeg)
 		}
+	}
+}
+
+// TestModeZeroAllocs extends the steady-state allocation contract across
+// the render-mode axis: the MIP max-kernel and the isosurface pipeline
+// (ordinary compositing over a binary classification) reuse the same
+// pooled scratch as the composite path, so no mode may reintroduce
+// per-frame garbage.
+func TestModeZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  render.Options
+	}{
+		{"mip", render.Options{PreprocProcs: 4, Mode: rendermode.MIP}},
+		{"iso", render.Options{PreprocProcs: 4, Mode: rendermode.Isosurface,
+			Transfer: classify.IsoTransfer(classify.DefaultIsoThreshold)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nr := warmOptionsRenderer(nil, tc.opt)
+			yaw := 77 * math.Pi / 180
+			pitch := 15 * math.Pi / 180
+			allocs := testing.AllocsPerRun(20, func() {
+				yaw += 3 * math.Pi / 180
+				nr.RenderFrame(yaw, pitch)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s mode: RenderFrame allocates %.1f allocs/op, want 0", tc.name, allocs)
+			}
+		})
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"shearwarp/internal/cpudispatch"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/render"
+	"shearwarp/internal/rendermode"
 	"shearwarp/internal/rle"
 	"shearwarp/internal/vol"
 	"shearwarp/internal/volcache"
@@ -39,6 +40,22 @@ func VolumeKey(data []uint8, nx, ny, nz int) string {
 	return rle.VolumeKey(data, nx, ny, nz)
 }
 
+// VolumeModeKey is VolumeKey with the render mode folded in: distinct
+// modes yield distinct keys (the preprocessing differs — or must never be
+// shared — across modes), and ModeComposite reproduces VolumeKey exactly
+// so pre-existing fingerprints stay stable. isoThreshold participates only
+// for ModeIsosurface; pass 0 to mean the default threshold.
+func VolumeModeKey(data []uint8, nx, ny, nz int, mode Mode, isoThreshold uint8) string {
+	var thr uint8
+	if mode == ModeIsosurface {
+		thr = isoThreshold
+		if thr == 0 {
+			thr = classify.DefaultIsoThreshold
+		}
+	}
+	return rle.VolumeModeKey(data, nx, ny, nz, uint8(mode), thr)
+}
+
 // PreparedVolume is a volume plus the recipe for its view-independent
 // preprocessing, shared by every Renderer built from it. The products
 // themselves live in an LRU cache keyed by (volume fingerprint, transfer
@@ -48,6 +65,8 @@ type PreparedVolume struct {
 	v      *vol.Volume
 	key    string
 	tf     Transfer
+	mode   Mode
+	iso    uint8 // effective isosurface threshold (never 0)
 	procs  int
 	cache  *volcache.Cache
 	faults *faultinject.Injector
@@ -64,6 +83,16 @@ func (pv *PreparedVolume) SetFaultInjector(in *faultinject.Injector) { pv.faults
 // unbounded cache, which still deduplicates work across the renderers of
 // this PreparedVolume.
 func PrepareVolume(data []uint8, nx, ny, nz int, transfer Transfer, procs int, cache *volcache.Cache) (*PreparedVolume, error) {
+	return PrepareVolumeMode(data, nx, ny, nz, transfer, ModeComposite, 0, procs, cache)
+}
+
+// PrepareVolumeMode is PrepareVolume for a specific render mode: the mode
+// (and, for ModeIsosurface, the density threshold — 0 selects the default)
+// is baked into the prepared preprocessing exactly like the transfer
+// function, and into the cache keys, so renderers of different modes never
+// share a classification or encoding. Renderers built from the result
+// always render with this mode (cfg.Mode is overridden).
+func PrepareVolumeMode(data []uint8, nx, ny, nz int, transfer Transfer, mode Mode, isoThr uint8, procs int, cache *volcache.Cache) (*PreparedVolume, error) {
 	if len(data) != nx*ny*nz {
 		return nil, fmt.Errorf("shearwarp: volume data length %d != %d*%d*%d", len(data), nx, ny, nz)
 	}
@@ -76,10 +105,16 @@ func PrepareVolume(data []uint8, nx, ny, nz int, transfer Transfer, procs int, c
 	if cache == nil {
 		cache = volcache.New(0)
 	}
+	iso := isoThr
+	if iso == 0 {
+		iso = classify.DefaultIsoThreshold
+	}
 	return &PreparedVolume{
 		v:     &vol.Volume{Nx: nx, Ny: ny, Nz: nz, Data: data},
-		key:   VolumeKey(data, nx, ny, nz),
+		key:   VolumeModeKey(data, nx, ny, nz, mode, isoThr),
 		tf:    transfer,
+		mode:  mode,
+		iso:   iso,
 		procs: procs,
 		cache: cache,
 	}, nil
@@ -90,6 +125,9 @@ func (pv *PreparedVolume) Key() string { return pv.key }
 
 // TransferFunc returns the transfer function the volume classifies with.
 func (pv *PreparedVolume) TransferFunc() Transfer { return pv.tf }
+
+// Mode returns the render mode baked into the prepared preprocessing.
+func (pv *PreparedVolume) Mode() Mode { return pv.mode }
 
 // Dims returns the volume dimensions.
 func (pv *PreparedVolume) Dims() (nx, ny, nz int) { return pv.v.Nx, pv.v.Ny, pv.v.Nz }
@@ -104,7 +142,10 @@ func (pv *PreparedVolume) classified() (*classify.Classified, error) {
 		}
 		pv.faults.Visit("cachebuild", -1, -1)
 		opt := classify.Options{}
-		if pv.tf == TransferCT {
+		switch {
+		case pv.mode == ModeIsosurface:
+			opt.Transfer = classify.IsoTransfer(pv.iso)
+		case pv.tf == TransferCT:
 			opt.Transfer = classify.CTTransfer
 		}
 		c := classify.ClassifyParallel(pv.v, opt, pv.procs)
@@ -142,8 +183,14 @@ func (pv *PreparedVolume) encoding(c *classify.Classified, axis xform.Axis) *rle
 // classification build fails (a later call retries the build).
 func (pv *PreparedVolume) NewRenderer(cfg Config) (*Renderer, error) {
 	cfg.Transfer = pv.tf
+	cfg.Mode = pv.mode
+	cfg.IsoThreshold = pv.iso
 	if cfg.Procs < 1 {
 		cfg.Procs = 1
+	}
+	kr, err := cpudispatch.ResolveForMode(cpudispatch.Kernel(cfg.Kernel), rendermode.Mode(cfg.Mode))
+	if err != nil {
+		return nil, err
 	}
 	c, err := pv.classified()
 	if err != nil {
@@ -152,7 +199,8 @@ func (pv *PreparedVolume) NewRenderer(cfg Config) (*Renderer, error) {
 	opt := render.Options{
 		OpacityCorrection: cfg.OpacityCorrection,
 		PreprocProcs:      cfg.Procs,
-		Kernel:            cpudispatch.Kernel(cfg.Kernel),
+		Kernel:            kr,
+		Mode:              rendermode.Mode(cfg.Mode),
 	}
 	r := render.NewShared(pv.v, c, func(axis xform.Axis) *rle.Volume {
 		return pv.encoding(c, axis)

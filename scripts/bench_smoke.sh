@@ -19,7 +19,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO"
 
 FACTOR="${BENCH_SMOKE_FACTOR:-2.0}"
-BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkCompositeScanlineScalar|BenchmarkWarpSpan|BenchmarkWarpSpanPacked)$'
+BENCHES='^(BenchmarkSerialFrame|BenchmarkOldParallelFrame|BenchmarkNewParallelFrame|BenchmarkSerialFrameMIP|BenchmarkSerialFrameIso|BenchmarkNewParallelFrameMIP|BenchmarkNewParallelFrameIso|BenchmarkCompositePhaseOnly|BenchmarkCompositeScanline|BenchmarkCompositeScanlineScalar|BenchmarkWarpSpan|BenchmarkWarpSpanPacked)$'
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
