@@ -28,8 +28,24 @@ import (
 	"shearwarp/internal/loadgen"
 )
 
+// targetList collects repeated -target flags.
+type targetList []string
+
+func (t *targetList) String() string { return strings.Join(*t, ",") }
+func (t *targetList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*t = append(*t, strings.TrimRight(s, "/"))
+		}
+	}
+	return nil
+}
+
 func main() {
-	url := flag.String("url", "http://localhost:8080", "shearwarpd base URL")
+	url := flag.String("url", "", "shearwarpd base URL (default http://localhost:8080 when no -target given)")
+	var targets targetList
+	flag.Var(&targets, "target", "service base URL; repeat (or comma-separate) to round-robin arrivals across replicas/gateways")
+	retryAfterCap := flag.Duration("retry-after-cap", 2*time.Second, "longest honored Retry-After backoff on shed responses (negative = ignore hints)")
 	rps := flag.Float64("rps", 10, "target request rate (open loop)")
 	duration := flag.Duration("duration", 15*time.Second, "how long to dispatch requests")
 	concurrency := flag.Int("concurrency", 0, "max in-flight requests (0 = 4*rps, min 8)")
@@ -42,15 +58,20 @@ func main() {
 	strict := flag.Bool("strict", false, "exit non-zero on any 5xx or transport error")
 	flag.Parse()
 
+	if *url == "" && len(targets) == 0 {
+		*url = "http://localhost:8080"
+	}
 	cfg := loadgen.Config{
-		BaseURL:     strings.TrimRight(*url, "/"),
-		RPS:         *rps,
-		Duration:    *duration,
-		Concurrency: *concurrency,
-		Skew:        *skew,
-		Algorithm:   *alg,
-		Format:      *format,
-		Seed:        *seed,
+		BaseURL:       strings.TrimRight(*url, "/"),
+		Targets:       targets,
+		RPS:           *rps,
+		Duration:      *duration,
+		Concurrency:   *concurrency,
+		Skew:          *skew,
+		Algorithm:     *alg,
+		Format:        *format,
+		Seed:          *seed,
+		RetryAfterCap: *retryAfterCap,
 	}
 	if *volumes != "" {
 		for _, v := range strings.Split(*volumes, ",") {
@@ -63,8 +84,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	all := cfg.Targets
+	if cfg.BaseURL != "" {
+		all = append([]string{cfg.BaseURL}, all...)
+	}
+	roots := strings.Join(all, ", ")
 	fmt.Fprintf(os.Stderr, "loadgen: %s for %v at %g rps (zipf %g)\n",
-		cfg.BaseURL, cfg.Duration, cfg.RPS, cfg.Skew)
+		roots, cfg.Duration, cfg.RPS, cfg.Skew)
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -87,6 +113,10 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%.1f rps achieved), %d shed, %d 5xx, %d transport errors, p99 %.1fms\n",
 		rep.Requests, rep.AchievedRPS, rep.Shed, rep.ServerErrors, rep.TransportErrors, rep.Latency.P99MS)
+	if rep.RetryAfterSeen > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d Retry-After hints (%d honored, %.1fs waited, %d retries succeeded)\n",
+			rep.RetryAfterSeen, rep.RetryAfterHonored, rep.RetryAfterWaitSecs, rep.RetrySuccesses)
+	}
 	if *strict && (rep.ServerErrors > 0 || rep.TransportErrors > 0) {
 		fmt.Fprintln(os.Stderr, "loadgen: FAIL (-strict): server or transport errors observed")
 		os.Exit(2)

@@ -7,6 +7,7 @@
 //
 //	GET /render?volume=mri&yaw=30&pitch=15[&alg=new][&transfer=mri][&mode=mip][&iso=140][&format=ppm]
 //	GET /healthz
+//	GET /readyz         (503 once graceful shutdown begins — fleet routability)
 //	GET /metrics        (JSON; Prometheus text under Accept: text/plain)
 //	GET /debug/spans    (Chrome trace-event JSON; ?view=timeline for text bars)
 //	GET /debug/latency  (latency quantile digests as JSON)
@@ -182,9 +183,12 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight HTTP requests,
-	// then release the renderer pools' worker goroutines.
+	// Graceful shutdown: flip /readyz unready first so fleet health
+	// checkers stop routing here while the listener is still up, then
+	// stop accepting, drain in-flight HTTP requests, and release the
+	// renderer pools' worker goroutines.
 	fmt.Println("shearwarpd: shutting down")
+	srv.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

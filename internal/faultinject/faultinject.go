@@ -11,15 +11,25 @@
 // fire once. Seed-derived schedules for soak testing come from FromSeed,
 // which maps the same seed to the same schedule forever.
 //
-// Four fault kinds cover the failure modes the render service hardens
-// against:
+// Seven fault kinds cover the failure modes the render service and the
+// gateway in front of it harden against:
 //
 //   - panic: a worker or setup panic, exercising recover/FrameError paths;
 //   - delay: a stuck worker, exercising watchdog and imbalance paths;
 //   - cancel: invokes the injector's cancel hook (a context cancel in
 //     tests), exercising cooperative cancellation at an exact step;
 //   - error: surfaced through Error at sites that report failures as
-//     values (cache builds), exercising single-flight failure handling.
+//     values (cache builds), exercising single-flight failure handling;
+//   - kill: a transport round trip fails with a connection error before
+//     any response bytes, exercising connect-failure retry paths;
+//   - truncate: a transport response body is cut mid-stream with an
+//     unexpected EOF, exercising mid-stream backend-death handling;
+//   - status: a transport response is replaced by a synthesized error
+//     status (503 by default), exercising shed/5xx-burst handling.
+//
+// The transport kinds are evaluated by the Transport RoundTripper (see
+// transport.go); rules can fire on a burst of consecutive visits via the
+// Count field (`c=` in the grammar), the 5xx-burst shape.
 package faultinject
 
 import (
@@ -36,10 +46,13 @@ type Kind uint8
 
 // Fault kinds.
 const (
-	KindPanic  Kind = iota // panic at the visit
-	KindDelay              // sleep Delay at the visit
-	KindCancel             // invoke the injector's cancel hook
-	KindError              // make Error return an *InjectedError
+	KindPanic    Kind = iota // panic at the visit
+	KindDelay                // sleep Delay at the visit
+	KindCancel               // invoke the injector's cancel hook
+	KindError                // make Error return an *InjectedError
+	KindKill                 // fail the transport round trip with a connect error
+	KindTruncate             // cut the transport response body mid-stream
+	KindStatus               // replace the transport response with status Code
 )
 
 func (k Kind) String() string {
@@ -52,20 +65,36 @@ func (k Kind) String() string {
 		return "cancel"
 	case KindError:
 		return "error"
+	case KindKill:
+		return "kill"
+	case KindTruncate:
+		return "truncate"
+	case KindStatus:
+		return "status"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// transportKind reports whether k is evaluated by the Transport
+// RoundTripper rather than the renderers' Visit/Error sites.
+func transportKind(k Kind) bool {
+	return k == KindKill || k == KindTruncate || k == KindStatus || k == KindDelay
+}
+
 // Rule describes one fault. Zero Worker/Band match only worker/band 0;
 // use -1 for "any". Hit is the Nth matching visit that fires the rule
-// (1-based; 0 means the first). Every rule fires at most once.
+// (1-based; 0 means the first). A rule fires on Count consecutive
+// matching visits starting at Hit (0 or 1 = once) — the burst shape for
+// transport faults — so every rule fires a bounded number of times.
 type Rule struct {
 	Kind   Kind
 	Site   string        // instrumented site name; "" matches any site
 	Worker int           // worker id to match, -1 = any
 	Band   int           // band to match, -1 = any
 	Hit    int64         // fire on the Nth matching visit (0 or 1 = first)
+	Count  int64         // consecutive matching visits that fire (0 or 1 = once)
 	Delay  time.Duration // sleep for KindDelay
+	Code   int           // response status for KindStatus (0 = 503)
 }
 
 func (r Rule) String() string {
@@ -79,20 +108,29 @@ func (r Rule) String() string {
 	if r.Hit > 1 {
 		s += fmt.Sprintf(":n=%d", r.Hit)
 	}
+	if r.Count > 1 {
+		s += fmt.Sprintf(":c=%d", r.Count)
+	}
 	if r.Kind == KindDelay {
 		s += fmt.Sprintf(":d=%s", r.Delay)
+	}
+	if r.Kind == KindStatus && r.Code != 0 {
+		s += fmt.Sprintf(":s=%d", r.Code)
 	}
 	return s
 }
 
-// rule pairs a Rule with its fire-once state.
+// rule pairs a Rule with its bounded-fire state.
 type rule struct {
 	Rule
 	seen  atomic.Int64
 	fired atomic.Bool
 }
 
-// tryFire reports whether this visit is the one the rule fires on.
+// tryFire reports whether this visit is one the rule fires on: the
+// visits numbered Hit through Hit+Count-1 among those matching the
+// rule's filters. Each matching visit draws a unique sequence number, so
+// concurrent visitors never double-fire a slot.
 func (r *rule) tryFire(site string, worker, band int) bool {
 	if r.Site != "" && r.Site != site {
 		return false
@@ -107,10 +145,16 @@ func (r *rule) tryFire(site string, worker, band int) bool {
 	if want < 1 {
 		want = 1
 	}
-	if r.seen.Add(1) != want {
+	cnt := r.Count
+	if cnt < 1 {
+		cnt = 1
+	}
+	n := r.seen.Add(1)
+	if n < want || n >= want+cnt {
 		return false
 	}
-	return r.fired.CompareAndSwap(false, true)
+	r.fired.Store(true)
+	return true
 }
 
 // InjectedPanic is the value injected panics carry, so recovery layers
@@ -152,14 +196,16 @@ func (in *Injector) SetCancel(fn func()) {
 
 // Visit evaluates the schedule at a site: a matching panic rule panics
 // with *InjectedPanic, a delay rule sleeps, a cancel rule invokes the
-// cancel hook. Error rules are ignored (see Error). Nil injectors and
-// non-matching visits are free.
+// cancel hook. Error rules are ignored (see Error), and the
+// transport-only kinds (kill, truncate, status) are left for the
+// Transport RoundTripper. Nil injectors and non-matching visits are free.
 func (in *Injector) Visit(site string, worker, band int) {
 	if in == nil {
 		return
 	}
 	for _, r := range in.rules {
-		if r.Kind == KindError || !r.tryFire(site, worker, band) {
+		if r.Kind == KindError || r.Kind == KindKill || r.Kind == KindTruncate ||
+			r.Kind == KindStatus || !r.tryFire(site, worker, band) {
 			continue
 		}
 		switch r.Kind {
@@ -218,10 +264,13 @@ func (in *Injector) Rules() []Rule {
 // Parse builds an injector from a flag-friendly spec: rules separated by
 // ";" or ",", each of the form
 //
-//	kind@site[:w=WORKER][:b=BAND][:n=HIT][:d=DURATION]
+//	kind@site[:w=WORKER][:b=BAND][:n=HIT][:c=COUNT][:d=DURATION][:s=STATUS]
 //
-// e.g. "panic@composite:w=1:b=2" or "delay@warp:d=50ms;cancel@scanline:n=100".
-// An empty spec yields a nil injector (faults disabled).
+// e.g. "panic@composite:w=1:b=2" or "delay@warp:d=50ms;cancel@scanline:n=100",
+// and for the transport kinds "kill@transport:n=3" or
+// "status@transport:s=503:n=10:c=5" (a five-request 503 burst starting at
+// the tenth round trip). An empty spec yields a nil injector (faults
+// disabled).
 func Parse(spec string) (*Injector, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -261,6 +310,12 @@ func parseRule(s string) (Rule, error) {
 		r.Kind = KindCancel
 	case "error":
 		r.Kind = KindError
+	case "kill":
+		r.Kind = KindKill
+	case "truncate":
+		r.Kind = KindTruncate
+	case "status":
+		r.Kind = KindStatus
 	default:
 		return r, fmt.Errorf("faultinject: unknown fault kind %q in %q", kind, s)
 	}
@@ -272,7 +327,7 @@ func parseRule(s string) (Rule, error) {
 			return r, fmt.Errorf("faultinject: bad option %q in %q", f, s)
 		}
 		switch k {
-		case "w", "b", "n":
+		case "w", "b", "n", "c":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil || n < 0 {
 				return r, fmt.Errorf("faultinject: bad %s=%q in %q", k, v, s)
@@ -284,7 +339,15 @@ func parseRule(s string) (Rule, error) {
 				r.Band = int(n)
 			case "n":
 				r.Hit = n
+			case "c":
+				r.Count = n
 			}
+		case "s":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 400 || n > 599 {
+				return r, fmt.Errorf("faultinject: bad status %q in %q (want 400-599)", v, s)
+			}
+			r.Code = n
 		case "d":
 			d, err := time.ParseDuration(v)
 			if err != nil || d < 0 {

@@ -1,0 +1,174 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// TransportSite is the site name the Transport RoundTripper evaluates
+// rules at. Per-Nth-request filters use the usual `n=`/`c=` options;
+// the worker/band filters are matched as -1/-1 (any), so transport
+// rules normally leave them unset.
+const TransportSite = "transport"
+
+// Transport is an http.RoundTripper that evaluates an injector's
+// transport-kind rules around a base transport — the chaos hook between
+// the gateway and its backends. A nil injector forwards every round
+// trip untouched.
+//
+// Rule kinds at the "transport" site:
+//
+//   - delay: sleep before forwarding the request (a slow backend);
+//   - kill: fail with a connection error before the request is sent
+//     (a dead backend, or one that died before answering);
+//   - status: replace the backend's response with a synthesized error
+//     status (503 by default) and a Retry-After: 1 header, the shed
+//     shape backends produce under overload;
+//   - truncate: forward the request but cut the response body halfway
+//     through, surfacing io.ErrUnexpectedEOF to the reader (a backend
+//     that died mid-stream).
+//
+// The visit counter advances once per round trip, so `n=`/`c=` select
+// exact request windows regardless of which kinds fire.
+func NewTransport(in *Injector, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	if in == nil {
+		return t.base.RoundTrip(req)
+	}
+	var kill, truncate bool
+	var status int
+	for _, r := range in.rules {
+		if !transportKind(r.Kind) || !r.tryFire(TransportSite, -1, -1) {
+			continue
+		}
+		switch r.Kind {
+		case KindDelay:
+			time.Sleep(r.Delay)
+		case KindKill:
+			kill = true
+		case KindStatus:
+			status = r.Code
+			if status == 0 {
+				status = http.StatusServiceUnavailable
+			}
+		case KindTruncate:
+			truncate = true
+		}
+	}
+	if kill {
+		return nil, &InjectedError{Rule: Rule{Kind: KindKill, Site: TransportSite}}
+	}
+	if status != 0 {
+		body := fmt.Sprintf("{\"error\":\"faultinject: injected status %d\"}\n", status)
+		resp := &http.Response{
+			Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode:    status,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        make(http.Header),
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		resp.Header.Set("Content-Type", "application/json")
+		resp.Header.Set("Retry-After", "1")
+		resp.Header.Set("X-Faultinject", "status")
+		return resp, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !truncate {
+		return resp, err
+	}
+	// Cut the body halfway: the reader gets the first half of the
+	// declared length (or 1 KiB when unknown) and then an unexpected
+	// EOF, the same failure shape as a backend dying mid-response.
+	cut := resp.ContentLength / 2
+	if resp.ContentLength < 0 {
+		cut = 1024
+	}
+	resp.Body = &truncatedBody{rc: resp.Body, remaining: cut}
+	resp.Header.Set("X-Faultinject", "truncate")
+	return resp, nil
+}
+
+// truncatedBody forwards the first remaining bytes of rc, then reports
+// io.ErrUnexpectedEOF.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF || (err == nil && b.remaining <= 0) {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// CloseIdleConnections forwards to the base transport so wrapped
+// clients can release their keep-alive pools on shutdown.
+func (t *transport) CloseIdleConnections() {
+	if ci, ok := t.base.(interface{ CloseIdleConnections() }); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
+// FromSeedTransport derives a deterministic transport fault schedule
+// from a seed: one to three bounded rules over the first few dozen
+// round trips, mixing kills, short delays, shed bursts and mid-stream
+// truncations. The same seed always yields the same schedule, making
+// gateway chaos failures replayable by seed. The schedule string (via
+// Rules) names exactly which round trips are hit.
+func FromSeedTransport(seed int64) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(3)
+	rules := make([]Rule, n)
+	for i := range rules {
+		r := Rule{Site: TransportSite, Worker: -1, Band: -1}
+		r.Hit = 1 + int64(rng.Intn(24))
+		switch rng.Intn(5) {
+		case 0, 1:
+			r.Kind = KindKill
+			r.Count = 1 + int64(rng.Intn(3))
+		case 2:
+			r.Kind = KindDelay
+			r.Delay = time.Duration(rng.Intn(2000)) * time.Microsecond
+		case 3:
+			r.Kind = KindStatus
+			r.Code = []int{503, 503, 500, 502}[rng.Intn(4)]
+			r.Count = 1 + int64(rng.Intn(4))
+		case 4:
+			r.Kind = KindTruncate
+			r.Count = 1 + int64(rng.Intn(2))
+		}
+		rules[i] = r
+	}
+	return New(rules...)
+}

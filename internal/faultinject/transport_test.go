@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// transportTestServer answers every request with a fixed body.
+func transportTestServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doThrough(t *testing.T, rt http.RoundTripper, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	return resp, body, rerr
+}
+
+func TestTransportKill(t *testing.T) {
+	ts := transportTestServer(t, "payload")
+	in, err := Parse("kill@transport:n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewTransport(in, nil)
+
+	if _, body, err := doThrough(t, rt, ts.URL); err != nil || string(body) != "payload" {
+		t.Fatalf("request 1: body=%q err=%v, want untouched", body, err)
+	}
+	if _, _, err := doThrough(t, rt, ts.URL); err == nil {
+		t.Fatal("request 2: want injected connection error")
+	} else {
+		var ie *InjectedError
+		if !errors.As(err, &ie) {
+			t.Fatalf("request 2: error %v does not unwrap to *InjectedError", err)
+		}
+	}
+	if _, body, err := doThrough(t, rt, ts.URL); err != nil || string(body) != "payload" {
+		t.Fatalf("request 3: body=%q err=%v, want untouched after one-shot kill", body, err)
+	}
+}
+
+func TestTransportStatusBurst(t *testing.T) {
+	ts := transportTestServer(t, "payload")
+	in, err := Parse("status@transport:s=503:n=1:c=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewTransport(in, nil)
+
+	for i := 0; i < 2; i++ {
+		resp, _, err := doThrough(t, rt, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("burst request %d: status %d, want 503", i+1, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("burst request %d: synthesized 503 missing Retry-After", i+1)
+		}
+	}
+	resp, body, err := doThrough(t, rt, ts.URL)
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != "payload" {
+		t.Fatalf("after burst: status=%v body=%q err=%v, want clean 200", resp.StatusCode, body, err)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	ts := transportTestServer(t, strings.Repeat("x", 4096))
+	in, err := Parse("truncate@transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewTransport(in, nil)
+
+	resp, body, err := doThrough(t, rt, ts.URL)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("truncate must deliver headers: resp=%v err=%v", resp, err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(body) >= 4096 {
+		t.Fatalf("body not truncated: got %d bytes", len(body))
+	}
+}
+
+func TestTransportNilInjectorPassthrough(t *testing.T) {
+	ts := transportTestServer(t, "payload")
+	rt := NewTransport(nil, nil)
+	if _, body, err := doThrough(t, rt, ts.URL); err != nil || string(body) != "payload" {
+		t.Fatalf("nil injector: body=%q err=%v, want passthrough", body, err)
+	}
+}
+
+// TestTransportKindsIgnoredByVisit pins that renderer-site visits never
+// consume transport rules: a kill rule must still be armed for the
+// round trip after thousands of Visit calls at renderer sites.
+func TestTransportKindsIgnoredByVisit(t *testing.T) {
+	ts := transportTestServer(t, "payload")
+	in, err := Parse("kill@transport:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		in.Visit("composite", i%4, -1)
+		in.Visit(TransportSite, -1, -1) // even a Visit at the transport site name
+	}
+	if in.Fired() {
+		t.Fatal("Visit consumed a transport-kind rule")
+	}
+	rt := NewTransport(in, nil)
+	if _, _, err := doThrough(t, rt, ts.URL); err == nil {
+		t.Fatal("want injected kill on first round trip")
+	}
+}
+
+func TestParseTransportGrammar(t *testing.T) {
+	in, err := Parse("kill@transport:n=3;status@transport:s=500:c=4;truncate@transport;delay@transport:d=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := in.Rules()
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if rules[0].Kind != KindKill || rules[0].Hit != 3 {
+		t.Errorf("rule 0 = %+v, want kill n=3", rules[0])
+	}
+	if rules[1].Kind != KindStatus || rules[1].Code != 500 || rules[1].Count != 4 {
+		t.Errorf("rule 1 = %+v, want status s=500 c=4", rules[1])
+	}
+	if rules[2].Kind != KindTruncate {
+		t.Errorf("rule 2 = %+v, want truncate", rules[2])
+	}
+	if rules[3].Kind != KindDelay {
+		t.Errorf("rule 3 = %+v, want delay", rules[3])
+	}
+	if _, err := Parse("status@transport:s=200"); err == nil {
+		t.Error("status outside 400-599 must be rejected")
+	}
+	if _, err := Parse("status@transport:c=-1"); err == nil {
+		t.Error("negative count must be rejected")
+	}
+}
+
+// TestFromSeedTransportDeterministic pins replayability: the same seed
+// must always produce the same schedule.
+func TestFromSeedTransportDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		a, b := FromSeedTransport(seed).Rules(), FromSeedTransport(seed).Rules()
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("seed %d: schedules differ in length (%d vs %d)", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d rule %d: %v != %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one in-flight probe; its outcome
+	// decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-backend circuit breaker. Failures while closed
+// accumulate; maxFailures consecutive ones open the circuit. After
+// cooldown the next Allow transitions to half-open and admits a single
+// probe: success closes the circuit, failure re-opens it (restarting
+// the cooldown), abandonment (a cancelled probe that proved nothing)
+// returns to half-open so the next request probes again.
+//
+// All timestamps are passed in by the caller so tests drive the state
+// machine with a synthetic clock.
+type breaker struct {
+	maxFailures int
+	cooldown    time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+
+	opens atomic.Int64 // closed/half-open -> open transitions (ejections)
+}
+
+func newBreaker(maxFailures int, cooldown time.Duration) *breaker {
+	return &breaker{maxFailures: maxFailures, cooldown: cooldown}
+}
+
+// outcome reports how an admitted attempt ended.
+type outcome int
+
+const (
+	outcomeSuccess outcome = iota // backend answered and is healthy
+	outcomeFailure                // backend failed the attempt
+	outcomeAbandon                // attempt cancelled before proving anything
+)
+
+// Allow reports whether an attempt may proceed at time now, reserving
+// the half-open probe slot when the cooldown has elapsed. The caller
+// MUST call done with the attempt's outcome iff ok is true.
+func (b *breaker) Allow(now time.Time) (done func(outcome), ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return b.record, true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return nil, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return b.probeDone, true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return nil, false // exactly one in-flight probe
+		}
+		b.probing = true
+		return b.probeDone, true
+	}
+}
+
+// record is the completion callback for closed-state attempts.
+func (b *breaker) record(o outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		// A stale completion from before a transition; the probe protocol
+		// owns the state now.
+		return
+	}
+	switch o {
+	case outcomeSuccess:
+		b.failures = 0
+	case outcomeFailure:
+		b.failures++
+		if b.failures >= b.maxFailures {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.failures = 0
+			b.opens.Add(1)
+		}
+	}
+}
+
+// probeDone is the completion callback for the half-open probe.
+func (b *breaker) probeDone(o outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	switch o {
+	case outcomeSuccess:
+		b.state = BreakerClosed
+		b.failures = 0
+	case outcomeFailure:
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.opens.Add(1)
+	case outcomeAbandon:
+		// The probe was cancelled before proving anything: stay
+		// half-open so the next request re-probes immediately.
+	}
+}
+
+// State returns the current position (transitioning open->half-open is
+// Allow's job, so a cooled-down open circuit still reads open here).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// forceOpen trips the breaker immediately — used when the health
+// checker marks a backend down so the breaker's cooldown, not just the
+// checker's rise threshold, gates re-admission.
+func (b *breaker) forceOpen(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.failures = 0
+		b.opens.Add(1)
+	}
+}

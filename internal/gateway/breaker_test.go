@@ -1,0 +1,138 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerOpensAfterConsecutiveFailures pins the ejection rule:
+// maxFailures consecutive failures open the circuit; a success in
+// between resets the streak.
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	now := time.Now()
+	fail := func() {
+		done, ok := b.Allow(now)
+		if !ok {
+			t.Fatal("closed breaker refused an attempt")
+		}
+		done(outcomeFailure)
+	}
+	fail()
+	fail()
+	// A success resets the consecutive count.
+	done, _ := b.Allow(now)
+	done(outcomeSuccess)
+	fail()
+	fail()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 consecutive failures = %v, want closed", b.State())
+	}
+	fail()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if b.opens.Load() != 1 {
+		t.Fatalf("opens = %d, want 1", b.opens.Load())
+	}
+	if _, ok := b.Allow(now); ok {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+}
+
+// TestBreakerHalfOpenAdmitsExactlyOne is the probe-admission contract:
+// after the cooldown, any number of concurrent Allow calls admit
+// exactly one probe; everyone else is refused until the probe resolves.
+func TestBreakerHalfOpenAdmitsExactlyOne(t *testing.T) {
+	b := newBreaker(1, time.Millisecond)
+	done, _ := b.Allow(time.Now())
+	done(outcomeFailure) // open
+	after := time.Now().Add(10 * time.Millisecond)
+
+	var admitted atomic.Int64
+	var dones sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if d, ok := b.Allow(after); ok {
+				admitted.Add(1)
+				dones.Store(i, d)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", n)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// While the probe is in flight, nobody else gets in.
+	if _, ok := b.Allow(after); ok {
+		t.Fatal("second probe admitted while first still in flight")
+	}
+	// Probe success closes the circuit.
+	dones.Range(func(_, v any) bool {
+		v.(func(outcome))(outcomeSuccess)
+		return true
+	})
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerProbeFailureReopens pins that a failed probe restarts the
+// cooldown rather than readmitting traffic.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(1, time.Millisecond)
+	done, _ := b.Allow(time.Now())
+	done(outcomeFailure)
+	after := time.Now().Add(10 * time.Millisecond)
+
+	probe, ok := b.Allow(after)
+	if !ok {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	probe(outcomeFailure)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.opens.Load() != 2 {
+		t.Fatalf("opens = %d, want 2", b.opens.Load())
+	}
+	if _, ok := b.Allow(time.Now()); ok {
+		t.Fatal("re-opened breaker admitted traffic before the new cooldown")
+	}
+}
+
+// TestBreakerProbeAbandonStaysHalfOpen pins the abandon outcome: a
+// cancelled probe (hedge loser, client gone) proves nothing, so the
+// next request must probe again immediately instead of waiting out
+// another cooldown.
+func TestBreakerProbeAbandonStaysHalfOpen(t *testing.T) {
+	b := newBreaker(1, time.Millisecond)
+	done, _ := b.Allow(time.Now())
+	done(outcomeFailure)
+	after := time.Now().Add(10 * time.Millisecond)
+
+	probe, ok := b.Allow(after)
+	if !ok {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	probe(outcomeAbandon)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after abandoned probe = %v, want half-open", b.State())
+	}
+	probe2, ok := b.Allow(after)
+	if !ok {
+		t.Fatal("breaker refused a re-probe after abandonment")
+	}
+	probe2(outcomeSuccess)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}

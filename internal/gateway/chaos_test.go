@@ -1,0 +1,228 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"shearwarp"
+	"shearwarp/internal/faultinject"
+	"shearwarp/internal/server"
+	"shearwarp/internal/vol"
+)
+
+// realBackend is a genuine shearwarpd core (server.Server) on a real
+// listener, with kill/restart so the chaos soak can take backends away
+// mid-request and bring them back on the same address.
+type realBackend struct {
+	t    *testing.T
+	srv  *server.Server
+	hs   *http.Server
+	addr string
+	url  string
+}
+
+func startRealBackend(t *testing.T) *realBackend {
+	t.Helper()
+	s := server.New(server.Config{Procs: 1, MaxConcurrent: 4, PoolSize: 2})
+	v := vol.MRIBrain(16)
+	if err := s.RegisterVolume("mri", v.Data, v.Nx, v.Ny, v.Nz, shearwarp.TransferMRI); err != nil {
+		t.Fatal(err)
+	}
+	b := &realBackend{t: t, srv: s}
+	b.listen("")
+	t.Cleanup(func() {
+		b.kill()
+		s.Close()
+	})
+	return b
+}
+
+func (b *realBackend) listen(addr string) {
+	b.t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.addr = ln.Addr().String()
+	b.url = "http://" + b.addr
+	b.hs = &http.Server{Handler: b.srv.Handler()}
+	go b.hs.Serve(ln)
+}
+
+// kill closes the listener and every live connection abruptly — the
+// mid-stream death the retry policy must absorb.
+func (b *realBackend) kill() {
+	if b.hs != nil {
+		b.hs.Close()
+		b.hs = nil
+	}
+}
+
+// restart rebinds the same address; the server core (and its warm
+// preprocessing cache) survives, as a quickly-restarted daemon's would
+// not — but the gateway can't tell and shouldn't care.
+func (b *realBackend) restart() {
+	b.t.Helper()
+	b.kill()
+	// The old port can linger briefly; retry the bind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", b.addr)
+		if err == nil {
+			b.hs = &http.Server{Handler: b.srv.Handler()}
+			go b.hs.Serve(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			b.t.Fatalf("rebinding %s: %v", b.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// soakOracle renders every soak viewpoint directly with the library —
+// the bytes any 2xx gateway response must match exactly.
+func soakOracle(t *testing.T, n int) [][]byte {
+	t.Helper()
+	v := vol.MRIBrain(16)
+	r, err := shearwarp.NewRenderer(v.Data, v.Nx, v.Ny, v.Nz, shearwarp.Config{
+		Algorithm: shearwarp.NewParallel, Procs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	frames := make([][]byte, n)
+	for i := range frames {
+		im, _ := r.Render(soakYaw(i), soakPitch(i))
+		var buf bytes.Buffer
+		if err := im.WritePPM(&buf); err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = buf.Bytes()
+	}
+	return frames
+}
+
+func soakYaw(i int) float64   { return float64((i * 37) % 360) }
+func soakPitch(i int) float64 { return float64(-60 + (i%7)*20) }
+
+// TestChaosSoak is the end-to-end fleet chaos suite: for each of 24
+// seeds, two real backends behind a gateway whose transport injects a
+// seed-derived fault schedule (kills, delays, shed bursts, mid-stream
+// truncations), plus — on every fourth seed — a real backend kill and
+// restart mid-traffic. Every 2xx response must be byte-identical to a
+// direct library render, the gateway must strand no in-flight
+// accounting, and the whole churn must leak no goroutines.
+func TestChaosSoak(t *testing.T) {
+	const requests = 24
+	oracle := soakOracle(t, requests)
+	before := runtime.NumGoroutine()
+
+	for seed := int64(1); seed <= 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			backs := []*realBackend{startRealBackend(t), startRealBackend(t)}
+			base := http.DefaultTransport.(*http.Transport).Clone()
+			faults := faultinject.FromSeedTransport(seed)
+			g, err := New(Config{
+				Backends:        []string{backs[0].url, backs[1].url},
+				HealthInterval:  25 * time.Millisecond,
+				HealthTimeout:   250 * time.Millisecond,
+				FailThreshold:   1,
+				RiseThreshold:   1,
+				MaxAttempts:     4,
+				RetryBaseDelay:  time.Millisecond,
+				RetryMaxDelay:   20 * time.Millisecond,
+				HedgeQuantile:   0.95,
+				HedgeMin:        time.Millisecond,
+				HedgeMax:        250 * time.Millisecond,
+				BreakerFailures: 3,
+				BreakerCooldown: 50 * time.Millisecond,
+				DefaultBudget:   10 * time.Second,
+				Transport:       faultinject.NewTransport(faults, base),
+				Seed:            seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+
+			ok := 0
+			for i := 0; i < requests; i++ {
+				if seed%4 == 0 {
+					switch i {
+					case 8:
+						backs[int(seed/4)%2].kill()
+					case 16:
+						backs[int(seed/4)%2].restart()
+					}
+				}
+				path := fmt.Sprintf("/render?volume=mri&alg=new&yaw=%g&pitch=%g",
+					soakYaw(i), soakPitch(i))
+				resp, body := gwGet(t, g, path)
+				if resp.StatusCode == http.StatusOK {
+					ok++
+					if !bytes.Equal(body, oracle[i]) {
+						t.Fatalf("seed %d request %d: 2xx body differs from direct render (%d vs %d bytes) — byte-identity violated",
+							seed, i, len(body), len(oracle[i]))
+					}
+				}
+			}
+			// The policy exists to absorb this much chaos: a couple of
+			// bounded fault rules and one backend outage must not take
+			// down a meaningful fraction of traffic.
+			if ok < requests/2 {
+				t.Fatalf("seed %d: only %d/%d requests succeeded", seed, ok, requests)
+			}
+			// No double-charged slots: every attempt that started also
+			// finished, on every backend.
+			g.Close()
+			for _, b := range g.backends {
+				if n := b.inflight.Load(); n != 0 {
+					t.Fatalf("seed %d: backend %s in-flight = %d after drain, want 0", seed, b.url, n)
+				}
+			}
+		})
+	}
+
+	waitFor(t, "goroutines return to baseline after soak", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestChaosSoakDirectOracle double-checks the oracle itself: a clean
+// backend (no faults, no gateway) must already produce those bytes,
+// so soak mismatches implicate the gateway and not the fixture.
+func TestChaosSoakDirectOracle(t *testing.T) {
+	oracle := soakOracle(t, 4)
+	b := startRealBackend(t)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 4; i++ {
+		url := fmt.Sprintf("%s/render?volume=mri&alg=new&yaw=%g&pitch=%g",
+			b.url, soakYaw(i), soakPitch(i))
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("direct render %d = %d (%v)", i, resp.StatusCode, err)
+		}
+		if !bytes.Equal(body, oracle[i]) {
+			t.Fatalf("direct render %d differs from library render — fixture broken", i)
+		}
+	}
+	client.CloseIdleConnections()
+}

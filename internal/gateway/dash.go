@@ -1,0 +1,116 @@
+package gateway
+
+import "net/http"
+
+// handleDash is GET /debug/dash: a single self-contained HTML fleet
+// dashboard. Like the backends' dash, everything is inlined and every
+// data fetch is a relative path to this gateway's own /metrics, so the
+// page needs no network access beyond the gateway itself. The backend
+// panel is the point: per-backend health, breaker state, in-flight
+// load, and the retry/hedge traffic each one is absorbing.
+func (g *Gateway) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashHTML))
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>shearwarpgw fleet</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, monospace; margin: 0; background: #10141a; color: #cdd6e4; }
+  header { padding: 10px 16px; background: #161c26; display: flex; gap: 24px; align-items: baseline; flex-wrap: wrap; }
+  header h1 { font-size: 15px; margin: 0; color: #7fd1b9; }
+  header span { color: #8b98ab; }
+  header b { color: #cdd6e4; font-weight: 600; }
+  main { padding: 12px 16px; display: grid; gap: 16px; max-width: 1100px; }
+  section h2 { font-size: 12px; text-transform: uppercase; letter-spacing: .08em; color: #8b98ab; margin: 0 0 6px; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: right; padding: 2px 10px; border-bottom: 1px solid #222b38; white-space: nowrap; }
+  th:first-child, td:first-child { text-align: left; }
+  td:first-child { color: #7fb3d1; }
+  th { color: #8b98ab; font-weight: 500; }
+  .ok { color: #7fd1b9; }
+  .bad { color: #d17f7f; }
+  .warn { color: #d1c97f; }
+  #err { color: #d17f7f; }
+</style>
+</head>
+<body>
+<header>
+  <h1>shearwarpgw</h1>
+  <span>uptime <b id="uptime">&ndash;</b></span>
+  <span>requests <b id="requests">&ndash;</b></span>
+  <span>success <b id="successes">&ndash;</b></span>
+  <span>retries <b id="retries">&ndash;</b></span>
+  <span>hedges <b id="hedges">&ndash;</b> (wins <b id="hedgewins">&ndash;</b>)</span>
+  <span>hedge delay <b id="hedgedelay">&ndash;</b></span>
+  <span id="err"></span>
+</header>
+<main>
+<section>
+  <h2>Backends</h2>
+  <table id="backends">
+    <thead><tr>
+      <th>backend</th><th>health</th><th>breaker</th><th>opens</th><th>in-flight</th>
+      <th>requests</th><th>failures</th><th>retries</th><th>hedges</th><th>hedge wins</th>
+    </tr></thead>
+    <tbody></tbody>
+  </table>
+</section>
+<section>
+  <h2>Latency (proxied renders)</h2>
+  <table id="latency">
+    <thead><tr><th>series</th><th>count</th><th>mean</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr></thead>
+    <tbody></tbody>
+  </table>
+</section>
+</main>
+<script>
+function fmtDur(s) {
+  if (s >= 3600) return (s/3600).toFixed(1) + "h";
+  if (s >= 60) return (s/60).toFixed(1) + "m";
+  return s.toFixed(0) + "s";
+}
+function ms(v) { return v >= 1000 ? (v/1000).toFixed(2) + "s" : v.toFixed(1) + "ms"; }
+function latRow(name, q) {
+  return "<tr><td>" + name + "</td><td>" + q.count + "</td><td>" + ms(q.mean_ms) +
+    "</td><td>" + ms(q.p50_ms) + "</td><td>" + ms(q.p90_ms) + "</td><td>" +
+    ms(q.p99_ms) + "</td><td>" + ms(q.max_ms) + "</td></tr>";
+}
+async function tick() {
+  try {
+    const m = await (await fetch("/metrics")).json();
+    document.getElementById("uptime").textContent = fmtDur(m.uptime_seconds);
+    document.getElementById("requests").textContent = m.requests;
+    document.getElementById("successes").textContent = m.successes;
+    document.getElementById("retries").textContent = m.retries;
+    document.getElementById("hedges").textContent = m.hedges;
+    document.getElementById("hedgewins").textContent = m.hedge_wins;
+    document.getElementById("hedgedelay").textContent = ms(m.hedge_delay_ms);
+    let rows = "";
+    for (const b of m.backends || []) {
+      const h = b.healthy ? '<span class="ok">up</span>' : '<span class="bad">down</span>';
+      const brk = b.breaker === "closed" ? '<span class="ok">closed</span>'
+        : b.breaker === "open" ? '<span class="bad">open</span>'
+        : '<span class="warn">half-open</span>';
+      rows += "<tr><td>" + b.url + "</td><td>" + h + "</td><td>" + brk + "</td><td>" +
+        b.breaker_opens + "</td><td>" + b.in_flight + "</td><td>" + b.requests + "</td><td>" +
+        b.failures + "</td><td>" + b.retries + "</td><td>" + b.hedges + "</td><td>" +
+        b.hedge_wins + "</td></tr>";
+    }
+    document.querySelector("#backends tbody").innerHTML = rows;
+    document.querySelector("#latency tbody").innerHTML =
+      latRow("render (e2e)", m.render) + latRow("attempt", m.attempt);
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent = "fetch failed: " + e;
+  }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

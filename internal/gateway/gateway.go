@@ -1,0 +1,440 @@
+// Package gateway implements shearwarpgw, the resilient front door over
+// a fleet of shearwarpd backends. One gateway owns N backend base URLs
+// and serves /render by proxying to the fleet; everything else is about
+// keeping that one route correct and fast while individual backends
+// die, hang, drain, or brown out:
+//
+//   - fingerprint-affine routing: requests are placed on a consistent
+//     hash ring keyed by (volume, transfer, mode, iso), so one volume's
+//     traffic concentrates on one backend and its preprocessing cache
+//     stays hot; the bounded-load variant spills a hot key to the next
+//     ring node instead of melting its favourite shard;
+//   - active health checking: each backend's /readyz is polled on an
+//     interval; FailThreshold consecutive failures stop routing to it,
+//     RiseThreshold consecutive successes re-admit it — so a draining
+//     backend (which flips /readyz at the start of graceful shutdown)
+//     is drained out of rotation before its listener closes;
+//   - per-backend circuit breakers: consecutive request failures open
+//     the circuit and eject the backend; after a cooldown, a half-open
+//     probe (exactly one in-flight request) decides re-admission;
+//   - retries: capped exponential backoff with full jitter, on a
+//     different backend when one is available, only for failures that
+//     retrying can fix (connect errors, 503 shed, mid-stream death,
+//     typed-transient 500s) — deterministic failures (volume build
+//     errors, client errors) pass through on the first attempt;
+//   - hedging: when an attempt outlives the fleet's learned latency
+//     quantile, a second attempt fires on another backend;
+//     first success wins and the loser is cancelled;
+//   - deadline propagation: the client's budget bounds the whole
+//     policy, and each attempt forwards its remaining budget so no
+//     backend works past the point the client stopped waiting.
+//
+// Output contract: a 2xx response proxied through the gateway is
+// byte-identical to a direct render by any single backend (which is in
+// turn byte-identical to the library) — the chaos soak asserts this
+// while backends are killed and restarted mid-traffic.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shearwarp/internal/telemetry"
+)
+
+// Config tunes the gateway. Backends is required; the zero value of
+// everything else gets defaults from normalize.
+type Config struct {
+	Backends []string // backend base URLs, e.g. "http://10.0.0.1:8080"
+
+	// Replicas is the number of virtual ring nodes per backend
+	// (default 64); more replicas smooth key placement.
+	Replicas int
+	// LoadFactor is the bounded-load factor c: a backend is skipped
+	// when admitting the request would push its in-flight count past
+	// ceil(c * (total+1) / backends). Default 1.25.
+	LoadFactor float64
+
+	HealthInterval time.Duration // /readyz poll period (default 1s)
+	HealthTimeout  time.Duration // per-probe timeout (default 1s)
+	FailThreshold  int           // consecutive probe failures -> down (default 2)
+	RiseThreshold  int           // consecutive probe successes -> up (default 2)
+
+	// MaxAttempts bounds the total attempts per request, first try,
+	// retries and hedges together (default 3).
+	MaxAttempts    int
+	RetryBaseDelay time.Duration // backoff base before the 2nd attempt (default 10ms)
+	RetryMaxDelay  time.Duration // backoff cap (default 250ms)
+
+	// HedgeQuantile arms the tail-latency hedge: when an attempt
+	// outlives this quantile of the gateway's own successful-attempt
+	// latency histogram, a second attempt fires on another backend.
+	// Default 0.95; negative disables hedging.
+	HedgeQuantile float64
+	HedgeMin      time.Duration // learned delay floor (default 10ms)
+	HedgeMax      time.Duration // learned delay ceiling, also used until enough samples (default 2s)
+
+	BreakerFailures int           // consecutive failures that open a breaker (default 5)
+	BreakerCooldown time.Duration // open -> half-open (default 5s)
+
+	// DefaultBudget is the per-request deadline when the client sends
+	// neither a budget= query parameter nor a budget header (default 30s).
+	DefaultBudget time.Duration
+	// MaxBodyBytes caps the buffered backend response (default 64 MiB).
+	// Buffering is what makes mid-stream backend death retryable: no
+	// client byte is written until a whole frame has arrived.
+	MaxBodyBytes int64
+
+	// Transport is the base RoundTripper to the backends — chaos tests
+	// wrap it with faultinject.NewTransport. Nil uses a dedicated
+	// transport with per-backend keep-alive pools.
+	Transport http.RoundTripper
+	// Logger receives structured logs (attempt outcomes, breaker and
+	// health transitions), each line carrying the gateway request ID
+	// that is also forwarded to backends. Nil discards.
+	Logger *slog.Logger
+	// Seed makes retry jitter deterministic in tests (default 1).
+	Seed int64
+}
+
+func (c *Config) normalize() error {
+	if len(c.Backends) == 0 {
+		return fmt.Errorf("gateway: at least one backend required")
+	}
+	for i, b := range c.Backends {
+		b = strings.TrimRight(b, "/")
+		if _, err := url.Parse(b); err != nil {
+			return fmt.Errorf("gateway: bad backend url %q: %w", b, err)
+		}
+		c.Backends[i] = b
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.RiseThreshold <= 0 {
+		c.RiseThreshold = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 10 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 250 * time.Millisecond
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 10 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// backend is one fleet member's live state.
+type backend struct {
+	url string
+	idx int
+
+	inflight atomic.Int64 // gateway attempts running against this backend
+	healthy  atomic.Bool  // health checker's verdict
+	breaker  *breaker
+
+	// health-loop-local streak counters (only the loop touches them)
+	consecFail, consecOK int
+
+	// per-backend counters for /metrics
+	requests  atomic.Int64 // attempts started
+	failures  atomic.Int64 // attempts that failed (retryable classes)
+	retries   atomic.Int64 // attempts that were retries landing here
+	hedges    atomic.Int64 // attempts that were hedges landing here
+	hedgeWins atomic.Int64 // hedged attempts that won their request
+	checksUp  atomic.Int64 // health transitions to up
+	checksDn  atomic.Int64 // health transitions to down
+}
+
+// Gateway is the resilient render front door. Create with New, serve
+// Handler, Close to drain. All methods are safe for concurrent use.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+	client   *http.Client
+	log      *slog.Logger
+	mux      *http.ServeMux
+	start    time.Time
+
+	reqSeq atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry jitter
+
+	hRender  *telemetry.Histogram // end-to-end /render latency (success)
+	hAttempt *telemetry.Histogram // per-attempt latency (success) — feeds the hedge delay
+
+	requests   atomic.Int64 // /render requests completed
+	successes  atomic.Int64 // /render 2xx
+	retried    atomic.Int64 // retry attempts launched
+	hedged     atomic.Int64 // hedge attempts launched
+	hedgeWins  atomic.Int64 // requests won by the hedged attempt
+	noBackend  atomic.Int64 // requests rejected with no eligible backend
+	exhausted  atomic.Int64 // requests that burned every attempt
+	draining   atomic.Bool
+	inflight   sync.WaitGroup // in-flight proxied requests AND attempts
+	healthStop chan struct{}
+	healthWG   sync.WaitGroup
+}
+
+// New builds a gateway over the configured backends and starts its
+// health-check loop. Backends start healthy (optimistic) and the first
+// check round corrects that within HealthInterval.
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.DiscardLogger()
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = 32
+		tr = t
+	}
+	g := &Gateway{
+		cfg:        cfg,
+		ring:       newRing(cfg.Backends, cfg.Replicas),
+		client:     &http.Client{Transport: tr},
+		log:        log,
+		start:      time.Now(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hRender:    telemetry.NewHistogram("gateway_render", ""),
+		hAttempt:   telemetry.NewHistogram("gateway_attempt", ""),
+		healthStop: make(chan struct{}),
+	}
+	for i, u := range cfg.Backends {
+		b := &backend{url: u, idx: i, breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown)}
+		b.healthy.Store(true)
+		g.backends = append(g.backends, b)
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/render", g.handleRender)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/readyz", g.handleReadyz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.HandleFunc("/debug/dash", g.handleDash)
+	g.healthWG.Add(1)
+	go g.healthLoop()
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// BeginDrain flips the gateway's own /readyz unready while /render
+// keeps serving — the same two-phase drain contract as the backends.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Close drains: flips unready, stops the health loop, waits for
+// in-flight proxied requests and their attempts, and releases the
+// backend keep-alive pools.
+func (g *Gateway) Close() {
+	g.BeginDrain()
+	select {
+	case <-g.healthStop:
+	default:
+		close(g.healthStop)
+	}
+	g.healthWG.Wait()
+	g.inflight.Wait()
+	g.client.CloseIdleConnections()
+}
+
+// healthLoop polls every backend's /readyz on the configured interval.
+func (g *Gateway) healthLoop() {
+	defer g.healthWG.Done()
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.healthStop:
+			return
+		case <-ticker.C:
+			g.CheckNow()
+		}
+	}
+}
+
+// CheckNow runs one synchronous health-check round over all backends —
+// the health loop's body, exported so tests (and operators via
+// /healthz?check=1) can force a round instead of sleeping through the
+// interval.
+func (g *Gateway) CheckNow() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.checkBackend(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// checkBackend probes one backend's /readyz and applies the
+// fail/rise-threshold hysteresis.
+func (g *Gateway) checkBackend(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
+	if err == nil {
+		resp, rerr := g.client.Do(req)
+		if rerr == nil {
+			ok = resp.StatusCode >= 200 && resp.StatusCode < 300
+			resp.Body.Close()
+		}
+	}
+	if ok {
+		b.consecFail = 0
+		b.consecOK++
+		if !b.healthy.Load() && b.consecOK >= g.cfg.RiseThreshold {
+			b.healthy.Store(true)
+			b.checksUp.Add(1)
+			g.log.Info("backend up", "backend", b.url)
+		}
+	} else {
+		b.consecOK = 0
+		b.consecFail++
+		if b.healthy.Load() && b.consecFail >= g.cfg.FailThreshold {
+			b.healthy.Store(false)
+			b.checksDn.Add(1)
+			g.log.Warn("backend down", "backend", b.url, "consecutive_failures", b.consecFail)
+		}
+	}
+}
+
+// handleHealthz is the gateway's own liveness: a summary of the fleet.
+// ?check=1 forces a synchronous health round first.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("check") == "1" {
+		g.CheckNow()
+	}
+	type bh struct {
+		URL      string `json:"url"`
+		Healthy  bool   `json:"healthy"`
+		Breaker  string `json:"breaker"`
+		InFlight int64  `json:"in_flight"`
+	}
+	doc := struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Backends      []bh    `json:"backends"`
+	}{Status: "ok", UptimeSeconds: time.Since(g.start).Seconds()}
+	if g.draining.Load() {
+		doc.Status = "draining"
+	}
+	for _, b := range g.backends {
+		doc.Backends = append(doc.Backends, bh{
+			URL: b.url, Healthy: b.healthy.Load(),
+			Breaker: b.breaker.State().String(), InFlight: b.inflight.Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// handleReadyz is the gateway's routability: ready while not draining
+// and at least one backend is eligible for traffic.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if g.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	for _, b := range g.backends {
+		if b.healthy.Load() && b.breaker.State() != BreakerOpen {
+			json.NewEncoder(w).Encode(map[string]any{"ready": true})
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "no eligible backend"})
+}
+
+// hedgeDelay is the learned tail-latency threshold that arms a hedged
+// attempt: the configured quantile of successful attempt latencies,
+// clamped to [HedgeMin, HedgeMax]. Until 32 attempts have been
+// observed the ceiling is used, so a cold gateway never hedges
+// aggressively on noise.
+func (g *Gateway) hedgeDelay() time.Duration {
+	snap := g.hAttempt.Snapshot()
+	if snap.Count < 32 {
+		return g.cfg.HedgeMax
+	}
+	d := time.Duration(snap.Quantile(g.cfg.HedgeQuantile))
+	if d < g.cfg.HedgeMin {
+		d = g.cfg.HedgeMin
+	}
+	if d > g.cfg.HedgeMax {
+		d = g.cfg.HedgeMax
+	}
+	return d
+}
+
+// jitter returns a full-jitter backoff delay for the nth retry
+// (0-based): uniform in [0, min(RetryMaxDelay, RetryBaseDelay<<n)).
+func (g *Gateway) jitter(n int) time.Duration {
+	max := g.cfg.RetryBaseDelay << uint(n)
+	if max > g.cfg.RetryMaxDelay || max <= 0 {
+		max = g.cfg.RetryMaxDelay
+	}
+	g.rngMu.Lock()
+	d := time.Duration(g.rng.Int63n(int64(max) + 1))
+	g.rngMu.Unlock()
+	return d
+}

@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend
+// owns replicas virtual points; a key hashes to a position and walks
+// clockwise, yielding backends in a key-stable preference order. The
+// same (volume, transfer, mode) key therefore lands on the same
+// backend run after run — keeping that backend's preprocessing cache
+// hot — and spills to a deterministic next choice when the favourite
+// is full, broken, or gone (the bounded-load variant; see Gateway.pick).
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // distinct backends
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int // index into the gateway's backend slice
+}
+
+// newRing builds the ring from backend names (their URLs): vnode
+// positions derive from the name, so affinity survives reordering or
+// partial changes of the backend list.
+func newRing(names []string, replicas int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(names)*replicas), n: len(names)}
+	for b, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", name, v)), backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// hashKey hashes a ring key: FNV-1a for the bytes, then a splitmix64
+// finalizer — raw FNV on short, similar keys ("url#0", "url#1", …)
+// clusters on the ring badly enough to skew first-choice ownership by
+// 5x; the avalanche step spreads the vnodes evenly.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// order returns all backend indices in the key's clockwise walk order:
+// the affinity choice first, then each distinct spill candidate as the
+// walk encounters it. len(result) == number of backends.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}

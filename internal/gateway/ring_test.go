@@ -1,0 +1,68 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrderCoversAllBackends pins that a key's walk order is a
+// permutation of every backend, deterministically.
+func TestRingOrderCoversAllBackends(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(names, 64)
+	for _, key := range []string{"mri|||", "ct|warm|mip|", "vol07|||140"} {
+		order := r.order(key)
+		if len(order) != len(names) {
+			t.Fatalf("order(%q) has %d entries, want %d", key, len(order), len(names))
+		}
+		seen := make(map[int]bool)
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("order(%q) repeats backend %d: %v", key, b, order)
+			}
+			seen[b] = true
+		}
+		again := r.order(key)
+		for i := range order {
+			if order[i] != again[i] {
+				t.Fatalf("order(%q) not deterministic: %v vs %v", key, order, again)
+			}
+		}
+	}
+}
+
+// TestRingAffinityStableUnderReorder pins that vnode placement derives
+// from the backend name, not its slice position: permuting the backend
+// list must not move any key's affinity choice.
+func TestRingAffinityStableUnderReorder(t *testing.T) {
+	a := []string{"http://a:1", "http://b:1", "http://c:1"}
+	b := []string{"http://c:1", "http://a:1", "http://b:1"} // rotated
+	ra, rb := newRing(a, 64), newRing(b, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("vol%02d|||", i)
+		fa := a[ra.order(key)[0]]
+		fb := b[rb.order(key)[0]]
+		if fa != fb {
+			t.Fatalf("key %q affinity moved under reorder: %s vs %s", key, fa, fb)
+		}
+	}
+}
+
+// TestRingSpreadsKeys sanity-checks the balance: over many keys, every
+// backend should own a reasonable share of first choices.
+func TestRingSpreadsKeys(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(names, 64)
+	counts := make([]int, len(names))
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.order(fmt.Sprintf("vol%04d|||", i))[0]]++
+	}
+	for b, n := range counts {
+		// Fair share is 1000; vnode placement is lumpy but 64 replicas
+		// should keep everyone within a factor of ~2.5.
+		if n < keys/10 || n > keys/2 {
+			t.Fatalf("backend %d owns %d/%d first choices — ring badly unbalanced (%v)", b, n, keys, counts)
+		}
+	}
+}

@@ -47,10 +47,15 @@ import (
 	"shearwarp/internal/volcache"
 )
 
-// Config tunes one load run. BaseURL and RPS are required; everything
-// else has defaults from normalize.
+// Config tunes one load run. A target (BaseURL or Targets) and RPS are
+// required; everything else has defaults from normalize.
 type Config struct {
-	BaseURL string  // service root, e.g. "localhost:8080" paths are appended to
+	BaseURL string // service root, e.g. "localhost:8080" paths are appended to
+	// Targets is the multi-endpoint form of BaseURL: arrivals round-robin
+	// across these roots, so one run can drive several shearwarpd
+	// replicas (or several gateways) at once. When both are set, BaseURL
+	// is prepended; discovery and cache scraping use the first target.
+	Targets []string
 	RPS     float64 // target arrival rate (open loop)
 	// Duration bounds the dispatch schedule (default 15s). In-flight
 	// requests are drained (briefly) after the last arrival.
@@ -68,12 +73,24 @@ type Config struct {
 	Algorithm string // forwarded as ?alg when non-empty
 	Format    string // forwarded as ?format (default ppm)
 	Seed      int64  // deterministic tenant/viewpoint sequence (default 1)
-	Client    *http.Client
+	// RetryAfterCap bounds how long a shed response's Retry-After hint
+	// is honored: a 503/429 carrying the header gets one client-side
+	// retry after min(hint, cap) (default 2s; negative disables
+	// honoring, so shed responses count as-is).
+	RetryAfterCap time.Duration
+	Client        *http.Client
 }
 
 func (c *Config) normalize() error {
-	if c.BaseURL == "" {
-		return errors.New("loadgen: BaseURL required")
+	if c.BaseURL != "" {
+		c.Targets = append([]string{c.BaseURL}, c.Targets...)
+	}
+	if len(c.Targets) == 0 {
+		return errors.New("loadgen: at least one target required")
+	}
+	c.BaseURL = c.Targets[0]
+	if c.RetryAfterCap == 0 {
+		c.RetryAfterCap = 2 * time.Second
 	}
 	if !(c.RPS > 0) {
 		return errors.New("loadgen: RPS must be positive")
@@ -124,9 +141,19 @@ type Report struct {
 	Requests        int64            `json:"requests"` // completed (any status)
 	Shed            int64            `json:"shed"`     // arrivals dropped at the client's concurrency cap
 	TransportErrors int64            `json:"transport_errors"`
-	ServerErrors    int64            `json:"server_errors"` // 5xx responses
+	ServerErrors    int64            `json:"server_errors"` // 5xx responses (after any honored retry)
 	StatusCounts    map[string]int64 `json:"status_counts"`
 	PerVolume       map[string]int64 `json:"per_volume"`
+	PerTarget       map[string]int64 `json:"per_target,omitempty"` // arrivals per target root (multi-target runs)
+
+	// Retry-After accounting: how often the service asked clients to
+	// back off, how often the client honored it (slept and retried
+	// once), how long those sleeps totalled, and how many honored
+	// retries turned the shed response into a success.
+	RetryAfterSeen     int64   `json:"retry_after_seen"`
+	RetryAfterHonored  int64   `json:"retry_after_honored"`
+	RetryAfterWaitSecs float64 `json:"retry_after_wait_seconds"`
+	RetrySuccesses     int64   `json:"retry_successes"`
 
 	Latency    telemetry.QuantileSummary `json:"latency"` // client-observed, ms
 	CacheDelta CacheDelta                `json:"cache_delta"`
@@ -134,13 +161,19 @@ type Report struct {
 
 // runState is the mutable accounting shared by request goroutines.
 type runState struct {
-	hist      *telemetry.Histogram
-	transport atomic.Int64
-	srvErrs   atomic.Int64
+	hist         *telemetry.Histogram
+	retryCap     time.Duration
+	transport    atomic.Int64
+	srvErrs      atomic.Int64
+	retrySeen    atomic.Int64
+	retryHonored atomic.Int64
+	retryWaitNS  atomic.Int64
+	retrySuccess atomic.Int64
 
 	mu       sync.Mutex
 	statuses map[int]int64
 	volumes  map[string]int64
+	targets  map[string]int64
 }
 
 // Run executes one load run and returns its report. The context cancels
@@ -173,8 +206,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	st := &runState{
 		hist:     telemetry.NewHistogram("loadgen_client_seconds", ""),
+		retryCap: cfg.RetryAfterCap,
 		statuses: make(map[int]int64),
 		volumes:  make(map[string]int64),
+		targets:  make(map[string]int64),
 	}
 	slots := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup
@@ -201,7 +236,8 @@ dispatch:
 				vi = zipf.Uint64()
 			}
 			volume := vols[vi]
-			url := requestURL(cfg, volume, seq)
+			target := cfg.Targets[seq%len(cfg.Targets)]
+			url := requestURL(cfg, target, volume, seq)
 			seq++
 			select {
 			case slots <- struct{}{}:
@@ -209,7 +245,7 @@ dispatch:
 				go func() {
 					defer wg.Done()
 					defer func() { <-slots }()
-					st.do(ctx, cfg.Client, url, volume)
+					st.do(ctx, cfg.Client, url, volume, target)
 				}()
 			default:
 				shed++
@@ -239,6 +275,11 @@ dispatch:
 		StatusCounts:    make(map[string]int64, len(st.statuses)),
 		PerVolume:       st.volumes,
 		Latency:         snap.Summary(),
+
+		RetryAfterSeen:     st.retrySeen.Load(),
+		RetryAfterHonored:  st.retryHonored.Load(),
+		RetryAfterWaitSecs: float64(st.retryWaitNS.Load()) / 1e9,
+		RetrySuccesses:     st.retrySuccess.Load(),
 		CacheDelta: CacheDelta{
 			Hits:      after.Hits - before.Hits,
 			Misses:    after.Misses - before.Misses,
@@ -253,47 +294,89 @@ dispatch:
 	for code, n := range st.statuses {
 		rep.StatusCounts[strconv.Itoa(code)] = n
 	}
+	if len(cfg.Targets) > 1 {
+		rep.PerTarget = st.targets
+	}
 	return rep, nil
 }
 
 // requestURL builds the seq-th request for a volume: a golden-angle
 // camera path, so successive frames differ and viewpoints cover the
 // sphere evenly.
-func requestURL(cfg Config, volume string, seq int) string {
+func requestURL(cfg Config, target, volume string, seq int) string {
 	const golden = 137.50776405003785 // degrees
 	yaw := math.Mod(float64(seq)*golden, 360)
 	pitch := 60 * math.Sin(float64(seq)*0.37)
 	url := fmt.Sprintf("%s/render?volume=%s&yaw=%.2f&pitch=%.2f&format=%s",
-		cfg.BaseURL, volume, yaw, pitch, cfg.Format)
+		target, volume, yaw, pitch, cfg.Format)
 	if cfg.Algorithm != "" {
 		url += "&alg=" + cfg.Algorithm
 	}
 	return url
 }
 
-// do issues one request and accounts for it.
-func (st *runState) do(ctx context.Context, client *http.Client, url, volume string) {
+// do issues one request and accounts for it. A shed response (503/429)
+// carrying a Retry-After hint gets one polite retry: sleep min(hint,
+// cap), reissue, and account for the final outcome — so a well-behaved
+// client population's experience of a shedding fleet is what lands in
+// the report, not the first-touch rejections.
+func (st *runState) do(ctx context.Context, client *http.Client, url, volume, target string) {
 	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
+	status, retryAfter, ok := st.issue(ctx, client, url)
+	if ok && retryAfter > 0 {
+		st.retrySeen.Add(1)
+		if st.retryCap > 0 {
+			wait := retryAfter
+			if wait > st.retryCap {
+				wait = st.retryCap
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(wait):
+				st.retryHonored.Add(1)
+				st.retryWaitNS.Add(int64(wait))
+				first := status
+				status, _, ok = st.issue(ctx, client, url)
+				if ok && status < 400 && first >= 400 {
+					st.retrySuccess.Add(1)
+				}
+			}
+		}
+	}
+	if !ok {
 		st.transport.Add(1)
 		return
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		st.transport.Add(1)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 	st.hist.Observe(time.Since(t0))
-	if resp.StatusCode >= 500 {
+	if status >= 500 {
 		st.srvErrs.Add(1)
 	}
 	st.mu.Lock()
-	st.statuses[resp.StatusCode]++
+	st.statuses[status]++
 	st.volumes[volume]++
+	st.targets[target]++
 	st.mu.Unlock()
+}
+
+// issue performs one HTTP exchange; retryAfter is non-zero when the
+// response was a shed (503/429) carrying a parseable Retry-After hint.
+func (st *runState) issue(ctx context.Context, client *http.Client, url string) (status int, retryAfter time.Duration, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, true
 }
 
 // DiscoverVolumes reads the service's volume catalogue from /healthz.

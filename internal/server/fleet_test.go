@@ -1,0 +1,233 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shearwarp/internal/faultinject"
+)
+
+// TestReadyzDrainFlip pins the fleet-routability contract: /readyz is
+// 200 on a fresh server, flips 503 (with Retry-After) the moment
+// BeginDrain is called — while /render and /healthz keep serving — and
+// stays 503 after Close.
+func TestReadyzDrainFlip(t *testing.T) {
+	s := newTestServer(t, Config{Procs: 1, MaxConcurrent: 1, PoolSize: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if status, body := get(t, ts.Client(), ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("fresh /readyz = %d (%s), want 200", status, body)
+	}
+
+	s.BeginDrain()
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining /readyz missing Retry-After")
+	}
+
+	// Draining means "stop routing new traffic here", not "stop serving":
+	// requests that still arrive must succeed until the listener closes.
+	if status, body := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15"); status != http.StatusOK {
+		t.Fatalf("/render while draining = %d (%s), want 200", status, body)
+	}
+	if status, _ := get(t, ts.Client(), ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200 (liveness is not routability)", status)
+	}
+
+	s.Close()
+	if status, _ := get(t, ts.Client(), ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("closed /readyz = %d, want 503", status)
+	}
+}
+
+// TestRetryAfterOnShed pins that every 503 shed path carries a
+// Retry-After hint: queue-full, queue-timeout, and shutting-down.
+func TestRetryAfterOnShed(t *testing.T) {
+	s := newTestServer(t, Config{
+		Procs:         1,
+		MaxConcurrent: 1,
+		PoolSize:      1,
+		MaxQueue:      1,
+		QueueTimeout:  100 * time.Millisecond,
+	})
+	block := make(chan struct{})
+	s.renderHook = func() { <-block }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	results := make(chan *http.Response, 3)
+	fire := func() {
+		resp, err := ts.Client().Get(ts.URL + "/render?volume=mri&yaw=30&pitch=15")
+		if err != nil {
+			t.Error(err)
+			results <- nil
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		results <- resp
+	}
+	go fire() // takes the slot
+	time.Sleep(50 * time.Millisecond)
+	go fire() // queues, times out -> 503
+	time.Sleep(20 * time.Millisecond)
+	go fire() // queue full -> immediate 503
+
+	for i := 0; i < 2; i++ {
+		resp := <-results
+		if resp == nil {
+			t.Fatal("request failed")
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("shed response %d = %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("shed 503 missing Retry-After (response %d)", i)
+		}
+	}
+	close(block)
+	<-results
+
+	s.Close()
+	resp, err := ts.Client().Get(ts.URL + "/render?volume=mri&yaw=30&pitch=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shutting-down response = %d Retry-After=%q, want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestBudgetHeaderCapsDeadline pins deadline propagation: a request
+// carrying X-Shearwarp-Budget-Ms smaller than the server's own render
+// timeout must give up when the budget lapses, not when the server-side
+// default would.
+func TestBudgetHeaderCapsDeadline(t *testing.T) {
+	s := newTestServer(t, Config{
+		Procs:         1,
+		MaxConcurrent: 1,
+		PoolSize:      1,
+		MaxQueue:      2,
+		QueueTimeout:  10 * time.Second,
+		RenderTimeout: 10 * time.Second,
+	})
+	defer s.Close()
+	block := make(chan struct{})
+	s.renderHook = func() { <-block }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	go func() { // occupy the only slot
+		resp, err := ts.Client().Get(ts.URL + "/render?volume=mri&yaw=30&pitch=15")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/render?volume=mri&yaw=31&pitch=15", nil)
+	req.Header.Set(BudgetHeader, "150")
+	t0 := time.Now()
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(t0)
+	close(block)
+
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("budget-capped response = %d, want 504", resp.StatusCode)
+	}
+	// Generous upper bound: the point is that it is the 150ms budget, not
+	// the 10s queue/render timeouts, that fired.
+	if elapsed > 5*time.Second {
+		t.Fatalf("budget-capped request took %v; budget was not honored", elapsed)
+	}
+}
+
+// TestBuildFailureTypedAndRetried pins the volcache build-failure path
+// end to end at the HTTP surface: an injected build error answers 500
+// with the build-failure error class (the gateway's non-retryable
+// signal), the failed pool entry is NOT wedged, and the next request
+// rebuilds and succeeds.
+func TestBuildFailureTypedAndRetried(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{
+		Kind: faultinject.KindError, Site: "cachebuild", Worker: -1, Band: -1,
+	})
+	s := newTestServer(t, Config{
+		Procs: 1, MaxConcurrent: 1, PoolSize: 1,
+		Faults: faults,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/render?volume=mri&yaw=30&pitch=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected build failure = %d, want 500", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ErrorClassHeader); got != ErrClassBuildFailure {
+		t.Fatalf("error class = %q, want %q", got, ErrClassBuildFailure)
+	}
+
+	// The rule fired once; the entry must have been evicted so this
+	// request retries the build instead of replaying the stale error.
+	if status, body := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15"); status != http.StatusOK {
+		t.Fatalf("request after failed build = %d (%s), want 200 (pool entry wedged?)", status, body)
+	}
+}
+
+// TestFramePanicErrorClass pins that a recovered worker panic is typed
+// frame-panic — the retryable signal, distinct from build failures.
+func TestFramePanicErrorClass(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{
+		Kind: faultinject.KindPanic, Site: "scanline", Worker: -1, Band: -1,
+	})
+	s := newTestServer(t, Config{
+		Procs: 1, MaxConcurrent: 1, PoolSize: 1,
+		Faults: faults,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/render?volume=mri&yaw=30&pitch=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected panic = %d, want 500", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ErrorClassHeader); got != ErrClassFramePanic {
+		t.Fatalf("error class = %q, want %q", got, ErrClassFramePanic)
+	}
+	if status, _ := get(t, ts.Client(), ts.URL+"/render?volume=mri&yaw=30&pitch=15"); status != http.StatusOK {
+		t.Fatalf("request after panic = %d, want 200 on the replaced renderer", status)
+	}
+}

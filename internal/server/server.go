@@ -190,6 +190,7 @@ type Server struct {
 	sem      chan struct{} // admission slots
 	waiting  atomic.Int64  // requests blocked on admission
 	closed   atomic.Bool
+	draining atomic.Bool // /readyz answers 503; /render still serves
 	inflight sync.WaitGroup
 
 	cum        perf.Cumulative // phase totals across all rendered frames
@@ -203,6 +204,7 @@ type Server struct {
 	mRender, mHealth, mMetrics endpointMetrics
 	mSpans, mLatency           endpointMetrics
 	mSLO, mDash, mProfile      endpointMetrics
+	mReady                     endpointMetrics
 	tel                        *serverTelemetry
 	mux                        *http.ServeMux
 
@@ -238,9 +240,11 @@ func New(cfg Config) *Server {
 	s.mSLO.latency = telemetry.NewHistogram("slo", "")
 	s.mDash.latency = telemetry.NewHistogram("dash", "")
 	s.mProfile.latency = telemetry.NewHistogram("profile", "")
+	s.mReady.latency = telemetry.NewHistogram("readyz", "")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/render", s.instrument(&s.mRender, s.handleRender))
 	s.mux.HandleFunc("/healthz", s.instrument(&s.mHealth, s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument(&s.mReady, s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.instrument(&s.mMetrics, s.handleMetrics))
 	s.mux.HandleFunc("/debug/spans", s.instrument(&s.mSpans, s.handleSpans))
 	s.mux.HandleFunc("/debug/latency", s.instrument(&s.mLatency, s.handleLatency))
@@ -294,11 +298,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // assert that repeated requests hit instead of re-classifying.
 func (s *Server) CacheStats() volcache.Stats { return s.cache.Snapshot() }
 
+// BeginDrain flips the server unready: /readyz starts answering 503
+// (with Retry-After) so fleet health checkers stop routing here, while
+// /render keeps serving whatever still arrives. Call it at the start of
+// graceful shutdown, before the HTTP listener closes, so a gateway
+// drains this backend ahead of the listener going away. Idempotent;
+// Close implies it.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Close stops admitting new requests, waits for in-flight requests, and
 // shuts down every renderer pool (releasing their persistent worker
 // goroutines). The HTTP listener, if any, is the caller's to close —
-// typically via http.Server.Shutdown before Close.
+// typically via http.Server.Shutdown before Close (with BeginDrain
+// called first so health checkers saw the drain coming).
 func (s *Server) Close() {
+	s.draining.Store(true)
 	if s.closed.Swap(true) {
 		return
 	}
@@ -365,6 +379,15 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpUnavailable writes a 503 carrying a Retry-After hint: shed and
+// draining responses tell well-behaved clients (the gateway, loadgen)
+// when re-arrival is worth trying instead of leaving them to hammer an
+// overloaded or departing backend.
+func httpUnavailable(w http.ResponseWriter, retryAfterSecs int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
+	httpError(w, http.StatusServiceUnavailable, format, args...)
 }
 
 // admit claims an admission slot, waiting up to QueueTimeout while the
@@ -462,6 +485,19 @@ func (s *Server) renderPool(ctx context.Context, rec *volumeRec, transfer shearw
 			})
 		})
 	})
+	if pe.err != nil {
+		// Mirror the cache's never-cache-failures rule at the pool layer:
+		// evict the failed entry (if it is still the registered one) so
+		// the next request for this key retries the build instead of
+		// replaying a stale error forever. Transient failures heal; a
+		// deterministic one fails again and is reported as non-retryable
+		// through the error-class header.
+		s.mu.Lock()
+		if s.pools[k] == pe {
+			delete(s.pools, k)
+		}
+		s.mu.Unlock()
+	}
 	return pe.pool, pe.err
 }
 
@@ -488,7 +524,7 @@ func parseFloat(r *http.Request, name string, def float64) (float64, error) {
 // [&mode=composite|mip|iso][&iso=1-255][&format=ppm|png].
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpUnavailable(w, 5, "server shutting down")
 		return
 	}
 	q := r.URL.Query()
@@ -558,6 +594,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	id := s.tel.reqSeq.Add(1)
 	setExemplarID(w, id) // the latency observation carries the trace ID as an exemplar
 	log := s.tel.logger.With("req", id, "volume", name, "alg", alg.String(), "mode", mode.String())
+	if gw := r.Header.Get(GatewayRequestHeader); gw != "" {
+		// Behind a gateway: thread its request ID through every log line
+		// so a fleet-wide trace joins both sides.
+		log = log.With("gwreq", gw)
+	}
 	log.Debug("render request", "yaw", yaw, "pitch", pitch, "format", format)
 	label := fmt.Sprintf("render %s yaw=%g pitch=%g alg=%s", name, yaw, pitch, alg)
 	if mode != shearwarp.ModeComposite {
@@ -566,8 +607,18 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	rt := s.tel.startTrace(id, label, t0)
 
 	// The whole request — admission wait, renderer acquisition, render —
-	// runs under the render deadline.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RenderTimeout)
+	// runs under the render deadline, capped by the client's propagated
+	// budget (the gateway forwards its remaining per-request budget so a
+	// backend never works past the point the client stopped waiting).
+	budget := s.cfg.RenderTimeout
+	if v := r.Header.Get(BudgetHeader); v != "" {
+		if ms, perr := strconv.ParseInt(v, 10, 64); perr == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < budget {
+				budget = d
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 	ctx = telemetry.WithRequestID(ctx, id)
 
@@ -580,7 +631,13 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		log.Warn("request rejected", "status", status, "reason", msg,
 			"wait_ms", float64(admitDur)/1e6)
 		rt.finish(status, time.Now())
-		httpError(w, status, "%s", msg)
+		if status == http.StatusServiceUnavailable {
+			// Shed: hint re-arrival after the queue has had a chance to
+			// drain rather than inviting an immediate repeat rejection.
+			httpUnavailable(w, 1, "%s", msg)
+		} else {
+			httpError(w, status, "%s", msg)
+		}
 		return
 	}
 	s.inflight.Add(1)
@@ -604,6 +661,10 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		}
 		log.Error("preparing volume failed", "err", err)
 		rt.finish(http.StatusInternalServerError, time.Now())
+		// A failed build is deterministic for this (volume, transfer,
+		// mode): type the response so the gateway's retry policy does not
+		// burn its budget re-rendering a volume that cannot build.
+		w.Header().Set(ErrorClassHeader, ErrClassBuildFailure)
 		httpError(w, http.StatusInternalServerError, "preparing volume: %v", err)
 		return
 	}
@@ -619,7 +680,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 			httpError(w, code, "deadline expired waiting for a renderer")
 		case errors.Is(err, shearwarp.ErrPoolClosed):
 			code = http.StatusServiceUnavailable
-			httpError(w, code, "server shutting down")
+			httpUnavailable(w, 5, "server shutting down")
 		default:
 			code = 499
 			httpError(w, code, "client went away")
@@ -698,6 +759,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 			"budget_ms", float64(s.cfg.WatchdogTimeout)/1e6,
 			"duration_ms", float64(time.Since(t0))/1e6)
 		rt.handlerExits(http.StatusInternalServerError, time.Now())
+		w.Header().Set(ErrorClassHeader, ErrClassWatchdogStall)
 		httpError(w, http.StatusInternalServerError,
 			"watchdog: frame exceeded %v and was cancelled", s.cfg.WatchdogTimeout)
 		return
@@ -727,6 +789,8 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 			httpError(w, code, "%v", ve)
 		case errors.As(res.err, &fe):
 			code = http.StatusInternalServerError
+			// The renderer has been replaced; a retry runs on a fresh one.
+			w.Header().Set(ErrorClassHeader, ErrClassFramePanic)
 			httpError(w, code, "frame failed: %v", fe)
 		case errors.Is(res.err, context.DeadlineExceeded):
 			s.cancels.Add(1)
@@ -795,6 +859,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":         s.waiting.Load(),
 		"frames":         s.frames.Load(),
 	})
+}
+
+// handleReadyz is GET /readyz: routability, distinct from /healthz
+// liveness. It flips 503 the moment graceful shutdown begins
+// (BeginDrain), before the listener closes, so fleet health checkers
+// stop routing to a draining backend while it can still answer them.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() || s.closed.Load() {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ready": true})
 }
 
 // MetricsSnapshot is the full /metrics document.

@@ -396,6 +396,8 @@ func (s *Server) endpointCounters(path string) *endpointMetrics {
 		return &s.mRender
 	case "/healthz":
 		return &s.mHealth
+	case "/readyz":
+		return &s.mReady
 	case "/metrics":
 		return &s.mMetrics
 	case "/debug/spans":

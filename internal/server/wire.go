@@ -1,0 +1,40 @@
+package server
+
+// Wire-protocol headers shared between shearwarpd and the gateway
+// (internal/gateway imports these so the two sides cannot drift).
+const (
+	// BudgetHeader carries the client's remaining time budget in
+	// milliseconds. The server caps its render deadline at the budget,
+	// so a gateway retry never waits on a backend longer than the
+	// client would.
+	BudgetHeader = "X-Shearwarp-Budget-Ms"
+
+	// GatewayRequestHeader carries the gateway's request ID; the
+	// backend threads it through its structured logs (as "gwreq") so a
+	// fleet-wide trace joins gateway and backend log lines.
+	GatewayRequestHeader = "X-Shearwarp-Gateway-Request"
+
+	// ErrorClassHeader types error responses so policy layers (the
+	// gateway's retry loop) can distinguish deterministic failures,
+	// which must not burn the retry budget, from transient ones.
+	ErrorClassHeader = "X-Shearwarp-Error"
+)
+
+// ErrorClassHeader values.
+const (
+	// ErrClassBuildFailure marks a preprocessing/pool build failure.
+	// Rebuilding the same volume deterministically fails the same way
+	// (the cache never stores failed builds), so retrying elsewhere
+	// wastes budget: NON-retryable.
+	ErrClassBuildFailure = "build-failure"
+
+	// ErrClassFramePanic marks a frame lost to a recovered worker
+	// panic. The renderer has been replaced; the next attempt runs on
+	// a fresh renderer, so this is transient: retryable.
+	ErrClassFramePanic = "frame-panic"
+
+	// ErrClassWatchdogStall marks a frame cancelled by the watchdog.
+	// The backend may be browned out; retrying on another backend is
+	// the right move: retryable.
+	ErrClassWatchdogStall = "watchdog-stall"
+)
