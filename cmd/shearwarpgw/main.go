@@ -5,13 +5,22 @@
 // latency tail, and ejects misbehaving backends behind per-backend
 // circuit breakers.
 //
+// Every proxied request is minted a fleet trace ID, forwarded to the
+// backends on every attempt, and echoed to the client in
+// X-Shearwarp-Trace; /debug/trace?id=N stitches the gateway's attempt
+// spans with every touched backend's span sets into one clock-aligned
+// Chrome trace-event document.
+//
 // Endpoints:
 //
-//	GET /render      (proxied to the fleet; budget= caps the request deadline)
-//	GET /healthz     (fleet summary; ?check=1 forces a health round)
-//	GET /readyz      (503 while draining or no backend is eligible)
-//	GET /metrics     (JSON; Prometheus text under Accept: text/plain)
-//	GET /debug/dash  (self-contained fleet dashboard)
+//	GET /render       (proxied to the fleet; budget= caps the request deadline)
+//	GET /healthz      (fleet summary; ?check=1 forces a health round)
+//	GET /readyz       (503 while draining or no backend is eligible)
+//	GET /metrics      (JSON incl. merged fleet section; Prometheus text under Accept: text/plain)
+//	GET /debug/dash   (self-contained fleet dashboard)
+//	GET /debug/spans  (retained gateway traces as Chrome trace JSON; ?id=N, ?format=raw)
+//	GET /debug/trace  (?id=N: cross-process stitched fleet trace)
+//	GET /debug/slo    (fleet-level SLO burn-rate state over merged scrapes)
 //
 // Usage:
 //
@@ -35,6 +44,7 @@ import (
 
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/gateway"
+	"shearwarp/internal/slo"
 	"shearwarp/internal/telemetry"
 )
 
@@ -56,6 +66,9 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures that open a backend's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open circuit cooldown before the half-open probe")
 	budget := flag.Duration("budget", 30*time.Second, "default per-request deadline when the client sends none")
+	traceRing := flag.Int("trace-ring", 0, "retained gateway traces for /debug/spans and /debug/trace (0 = default ring, <0 disables retention)")
+	fleetInterval := flag.Duration("fleet-interval", 10*time.Second, "backend /metrics scrape+merge period (<0 disables fleet aggregation)")
+	sloSpec := flag.String("slo", "", "fleet-level objectives over merged scrapes, e.g. 'latency@/render:le=250ms:target=99%' (empty = built-in defaults)")
 	faultSpec := flag.String("fault-spec", "", "inject deterministic transport faults toward the backends, e.g. 'kill@transport:n=7;status@transport:s=503:n=13:c=3' (see internal/faultinject)")
 	logFormat := flag.String("log-format", "", "structured log format: text | json (empty = logging off)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
@@ -76,6 +89,15 @@ func main() {
 		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
 	}
 	logger := telemetry.NewLogger(os.Stderr, *logFormat, level)
+
+	var objectives []slo.Objective
+	if *sloSpec != "" {
+		var err error
+		objectives, err = slo.Parse(*sloSpec)
+		if err != nil {
+			fatal(fmt.Errorf("bad -slo: %w", err))
+		}
+	}
 
 	var transport http.RoundTripper
 	if *faultSpec != "" {
@@ -104,6 +126,9 @@ func main() {
 		BreakerFailures: *breakerFailures,
 		BreakerCooldown: *breakerCooldown,
 		DefaultBudget:   *budget,
+		TraceRing:       *traceRing,
+		FleetInterval:   *fleetInterval,
+		SLO:             objectives,
 		Transport:       transport,
 		Logger:          logger,
 	})

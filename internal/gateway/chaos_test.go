@@ -2,17 +2,20 @@ package gateway
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"shearwarp"
 	"shearwarp/internal/faultinject"
 	"shearwarp/internal/server"
+	"shearwarp/internal/telemetry"
 	"shearwarp/internal/vol"
 )
 
@@ -29,10 +32,21 @@ type realBackend struct {
 
 func startRealBackend(t *testing.T) *realBackend {
 	t.Helper()
-	s := server.New(server.Config{Procs: 1, MaxConcurrent: 4, PoolSize: 2})
+	return startRealBackendCfg(t, server.Config{Procs: 1, MaxConcurrent: 4, PoolSize: 2}, "mri")
+}
+
+// startRealBackendCfg is the configurable form: arbitrary server config
+// (fault injectors, trace rings) and any number of volume names, all
+// registered over the same MRI phantom so affinity tests can pick a
+// volume whose ring order starts on the backend they want.
+func startRealBackendCfg(t *testing.T, cfg server.Config, volumes ...string) *realBackend {
+	t.Helper()
+	s := server.New(cfg)
 	v := vol.MRIBrain(16)
-	if err := s.RegisterVolume("mri", v.Data, v.Nx, v.Ny, v.Nz, shearwarp.TransferMRI); err != nil {
-		t.Fatal(err)
+	for _, name := range volumes {
+		if err := s.RegisterVolume(name, v.Data, v.Nx, v.Ny, v.Nz, shearwarp.TransferMRI); err != nil {
+			t.Fatal(err)
+		}
 	}
 	b := &realBackend{t: t, srv: s}
 	b.listen("")
@@ -158,6 +172,7 @@ func TestChaosSoak(t *testing.T) {
 			defer g.Close()
 
 			ok := 0
+			var traceIDs []uint64
 			for i := 0; i < requests; i++ {
 				if seed%4 == 0 {
 					switch i {
@@ -176,6 +191,12 @@ func TestChaosSoak(t *testing.T) {
 						t.Fatalf("seed %d request %d: 2xx body differs from direct render (%d vs %d bytes) — byte-identity violated",
 							seed, i, len(body), len(oracle[i]))
 					}
+					id, err := strconv.ParseUint(resp.Header.Get(server.TraceHeader), 10, 64)
+					if err != nil || id == 0 {
+						t.Fatalf("seed %d request %d: 2xx without a fleet trace id (%q)",
+							seed, i, resp.Header.Get(server.TraceHeader))
+					}
+					traceIDs = append(traceIDs, id)
 				}
 			}
 			// The policy exists to absorb this much chaos: a couple of
@@ -184,6 +205,12 @@ func TestChaosSoak(t *testing.T) {
 			if ok < requests/2 {
 				t.Fatalf("seed %d: only %d/%d requests succeeded", seed, ok, requests)
 			}
+			// Observability under the same chaos: every 2xx trace ID must
+			// resolve through the stitcher — the gateway row plus a row
+			// per attempt, at least one backend span set (the winner
+			// reached a live backend by definition), cancelled hedge
+			// losers marked rather than dropped.
+			verifySoakTraces(t, g, seed, traceIDs)
 			// No double-charged slots: every attempt that started also
 			// finished, on every backend.
 			g.Close()
@@ -199,6 +226,50 @@ func TestChaosSoak(t *testing.T) {
 		runtime.GC()
 		return runtime.NumGoroutine() <= before+2
 	})
+}
+
+// verifySoakTraces resolves each 2xx fleet trace ID through the
+// gateway's /debug/trace stitcher and checks the cross-process
+// contract held under chaos.
+func verifySoakTraces(t *testing.T, g *Gateway, seed int64, ids []uint64) {
+	t.Helper()
+	for _, id := range ids {
+		// Hedge losers drain in the background; the trace publishes when
+		// the last one does.
+		var tr *telemetry.Trace
+		waitFor(t, fmt.Sprintf("seed %d trace %d published", seed, id), func() bool {
+			tr = g.tracer.Find(id)
+			return tr != nil
+		})
+		resp, body := gwGet(t, g, fmt.Sprintf("/debug/trace?id=%d", id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: /debug/trace?id=%d = %d (%s)", seed, id, resp.StatusCode, body)
+		}
+		var doc stitchedDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("seed %d trace %d: stitched doc is not valid JSON: %v", seed, id, err)
+		}
+		if len(doc.Stitch.Rows) != 1+len(tr.Attempts) {
+			t.Fatalf("seed %d trace %d: %d stitched rows for %d attempts — an attempt was dropped",
+				seed, id, len(doc.Stitch.Rows), len(tr.Attempts))
+		}
+		withSpans := 0
+		for i, a := range tr.Attempts {
+			row := doc.Stitch.Rows[i+1]
+			if row.Canceled != a.Canceled {
+				t.Fatalf("seed %d trace %d row %d: canceled=%v but attempt canceled=%v — loser mislabeled",
+					seed, id, i+1, row.Canceled, a.Canceled)
+			}
+			if row.Err == "" && row.Spans > 0 {
+				withSpans++
+			} else if row.Err == "" {
+				t.Fatalf("seed %d trace %d row %d: no spans and no error mark: %+v", seed, id, i+1, row)
+			}
+		}
+		if withSpans < 1 {
+			t.Fatalf("seed %d trace %d: no backend span set resolved (rows %+v)", seed, id, doc.Stitch.Rows)
+		}
+	}
 }
 
 // TestChaosSoakDirectOracle double-checks the oracle itself: a clean

@@ -66,6 +66,22 @@ const dashHTML = `<!DOCTYPE html>
     <tbody></tbody>
   </table>
 </section>
+<section>
+  <h2>Fleet (merged backend metrics) <span id="fleetage" style="text-transform:none;letter-spacing:0"></span></h2>
+  <table id="fleet">
+    <thead><tr>
+      <th>backend</th><th>frames</th><th>renders</th><th>p50</th><th>p99</th><th>p99 skew</th><th>cache hit</th>
+    </tr></thead>
+    <tbody></tbody>
+  </table>
+</section>
+<section>
+  <h2>Recent traces</h2>
+  <table id="traces">
+    <thead><tr><th>trace</th><th>status</th><th>duration</th><th>attempts</th><th>label</th></tr></thead>
+    <tbody></tbody>
+  </table>
+</section>
 </main>
 <script>
 function fmtDur(s) {
@@ -103,6 +119,40 @@ async function tick() {
     document.querySelector("#backends tbody").innerHTML = rows;
     document.querySelector("#latency tbody").innerHTML =
       latRow("render (e2e)", m.render) + latRow("attempt", m.attempt);
+    const f = m.fleet || {};
+    let frows = "";
+    if (f.scraped_ago_seconds >= 0) {
+      document.getElementById("fleetage").textContent =
+        "(scraped " + f.scraped_ago_seconds.toFixed(1) + "s ago, " + f.scraped + "/" + f.backends + " up)";
+      const fq = f.render || {};
+      frows += "<tr><td><b>fleet</b></td><td>" + f.frames + "</td><td>" + (fq.count || 0) +
+        "</td><td>" + ms(fq.p50_ms || 0) + "</td><td>" + ms(fq.p99_ms || 0) +
+        "</td><td>&ndash;</td><td>" + ((f.cache_hit_rate || 0) * 100).toFixed(1) + "%</td></tr>";
+      for (const b of f.per_backend || []) {
+        if (b.err) {
+          frows += "<tr><td>" + b.url + '</td><td colspan="6" class="bad">' + b.err + "</td></tr>";
+          continue;
+        }
+        const skew = b.p99_skew_vs_fleet || 0;
+        const sk = skew > 1.5 ? '<span class="bad">' + skew.toFixed(2) + "x</span>"
+          : skew > 1.1 ? '<span class="warn">' + skew.toFixed(2) + "x</span>"
+          : skew.toFixed(2) + "x";
+        frows += "<tr><td>" + b.url + "</td><td>" + b.frames + "</td><td>" + b.render_count +
+          "</td><td>" + ms(b.render_p50_ms) + "</td><td>" + ms(b.render_p99_ms) +
+          "</td><td>" + sk + "</td><td>" + ((b.cache_hit_rate || 0) * 100).toFixed(1) + "%</td></tr>";
+      }
+    } else {
+      document.getElementById("fleetage").textContent = "(no scrape yet)";
+    }
+    document.querySelector("#fleet tbody").innerHTML = frows;
+    let trows = "";
+    for (const t of m.recent_traces || []) {
+      const cls = t.status >= 200 && t.status < 300 ? "ok" : "bad";
+      trows += '<tr><td><a style="color:#7fb3d1" href="' + t.trace_url + '">' + t.id +
+        '</a></td><td><span class="' + cls + '">' + t.status + "</span></td><td>" +
+        ms(t.dur_ms) + "</td><td>" + t.attempts + "</td><td>" + t.label + "</td></tr>";
+    }
+    document.querySelector("#traces tbody").innerHTML = trows;
     document.getElementById("err").textContent = "";
   } catch (e) {
     document.getElementById("err").textContent = "fetch failed: " + e;

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shearwarp/internal/slo"
 	"shearwarp/internal/telemetry"
 )
 
@@ -99,11 +100,26 @@ type Config struct {
 	// transport with per-backend keep-alive pools.
 	Transport http.RoundTripper
 	// Logger receives structured logs (attempt outcomes, breaker and
-	// health transitions), each line carrying the gateway request ID
-	// that is also forwarded to backends. Nil discards.
+	// health transitions), each line carrying the fleet trace ID that
+	// is also forwarded to backends. Nil discards.
 	Logger *slog.Logger
 	// Seed makes retry jitter deterministic in tests (default 1).
 	Seed int64
+
+	// TraceRing sizes the gateway's span tracer's recent-trace ring
+	// (/debug/spans, /debug/trace): 0 keeps the default of 64 retained
+	// traces, negative disables gateway span tracing entirely — trace
+	// IDs still mint and propagate, but no attempt spans are recorded
+	// and the stitcher answers 404.
+	TraceRing int
+	// FleetInterval is the backend /metrics scrape period feeding the
+	// fleet aggregation and the fleet SLO engine (default 10s;
+	// negative disables both).
+	FleetInterval time.Duration
+	// SLO lists the fleet-level objectives the gateway evaluates over
+	// the merged backend state. Nil runs slo.DefaultSpec; objectives
+	// naming endpoints other than /render are skipped with a log.
+	SLO []slo.Objective
 }
 
 func (c *Config) normalize() error {
@@ -168,6 +184,9 @@ func (c *Config) normalize() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.FleetInterval == 0 {
+		c.FleetInterval = 10 * time.Second
+	}
 	return nil
 }
 
@@ -200,11 +219,30 @@ type Gateway struct {
 	backends []*backend
 	ring     *ring
 	client   *http.Client
-	log      *slog.Logger
-	mux      *http.ServeMux
-	start    time.Time
+	// debugClient is the fault-free control-plane client the stitcher
+	// and fleet scraper use: chaos tests wrap Config.Transport with
+	// fault injectors, and a /debug/spans fetch killed by a leftover
+	// fault rule would turn an observability read into a flake.
+	debugClient *http.Client
+	log         *slog.Logger
+	mux         *http.ServeMux
+	start       time.Time
 
 	reqSeq atomic.Uint64
+	// traceBase offsets fleet trace IDs so they cannot collide with a
+	// backend's locally-minted IDs (small integers) and change across
+	// gateway restarts; masked below 2^52 so IDs survive JSON number
+	// round-trips (float64 is exact to 2^53).
+	traceBase uint64
+
+	// Gateway-side span tracing (nil tracer = disabled).
+	tracer   *telemetry.Tracer
+	epoch    time.Time
+	spanPool sync.Pool
+
+	// Fleet aggregation state and the fleet-level SLO engine.
+	fleet    fleetState
+	fleetSLO *slo.Engine
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // retry jitter
@@ -242,17 +280,25 @@ func New(cfg Config) (*Gateway, error) {
 		t.MaxIdleConnsPerHost = 32
 		tr = t
 	}
+	dbg := http.DefaultTransport.(*http.Transport).Clone()
 	g := &Gateway{
-		cfg:        cfg,
-		ring:       newRing(cfg.Backends, cfg.Replicas),
-		client:     &http.Client{Transport: tr},
-		log:        log,
-		start:      time.Now(),
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		hRender:    telemetry.NewHistogram("gateway_render", ""),
-		hAttempt:   telemetry.NewHistogram("gateway_attempt", ""),
-		healthStop: make(chan struct{}),
+		cfg:         cfg,
+		ring:        newRing(cfg.Backends, cfg.Replicas),
+		client:      &http.Client{Transport: tr},
+		debugClient: &http.Client{Transport: dbg, Timeout: 5 * time.Second},
+		log:         log,
+		start:       time.Now(),
+		traceBase:   (uint64(time.Now().Unix()) << 21) & (1<<52 - 1),
+		epoch:       time.Now(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		hRender:     telemetry.NewHistogram("gateway_render", ""),
+		hAttempt:    telemetry.NewHistogram("gateway_attempt", ""),
+		healthStop:  make(chan struct{}),
 	}
+	if cfg.TraceRing >= 0 {
+		g.tracer = telemetry.NewTracer(cfg.TraceRing, 0, 0)
+	}
+	g.spanPool.New = func() any { return telemetry.NewFrameSpans(g.epoch) }
 	for i, u := range cfg.Backends {
 		b := &backend{url: u, idx: i, breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown)}
 		b.healthy.Store(true)
@@ -264,8 +310,16 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("/readyz", g.handleReadyz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	g.mux.HandleFunc("/debug/dash", g.handleDash)
+	g.mux.HandleFunc("/debug/spans", g.handleSpans)
+	g.mux.HandleFunc("/debug/trace", g.handleTrace)
+	g.mux.HandleFunc("/debug/slo", g.handleSLO)
+	g.setupFleetSLO()
 	g.healthWG.Add(1)
 	go g.healthLoop()
+	if g.cfg.FleetInterval > 0 {
+		g.healthWG.Add(1)
+		go g.fleetLoop()
+	}
 	return g, nil
 }
 
@@ -289,6 +343,7 @@ func (g *Gateway) Close() {
 	g.healthWG.Wait()
 	g.inflight.Wait()
 	g.client.CloseIdleConnections()
+	g.debugClient.CloseIdleConnections()
 }
 
 // healthLoop polls every backend's /readyz on the configured interval.

@@ -39,6 +39,8 @@ type gatewayMetrics struct {
 	Render        telemetry.QuantileSummary `json:"render"`
 	Attempt       telemetry.QuantileSummary `json:"attempt"`
 	Backends      []backendMetrics          `json:"backends"`
+	Fleet         fleetMetrics              `json:"fleet"`
+	RecentTraces  []recentTraceRef          `json:"recent_traces,omitempty"`
 }
 
 func (g *Gateway) metrics() gatewayMetrics {
@@ -71,6 +73,8 @@ func (g *Gateway) metrics() gatewayMetrics {
 			ChecksDown:   b.checksDn.Load(),
 		})
 	}
+	m.Fleet = g.fleetSnapshot()
+	m.RecentTraces = g.recentTraces(10)
 	return m
 }
 
@@ -134,6 +138,28 @@ func (g *Gateway) writeProm(w http.ResponseWriter) {
 
 	pw.Histogram("shearwarpgw_render_seconds", "End-to-end proxied render latency (2xx only).", g.hRender.Snapshot())
 	pw.Histogram("shearwarpgw_attempt_seconds", "Per-attempt backend latency (successful attempts).", g.hAttempt.Snapshot())
+
+	// Fleet aggregation: the merged cross-backend view from the scrape
+	// loop. The histogram is the exact union of the backends' render
+	// observations (shared bucket boundaries), not a quantile average.
+	fm := g.fleetSnapshot()
+	if fm.ScrapedAgoSeconds >= 0 {
+		pw.Gauge("shearwarpgw_fleet_scraped_backends", "Backends whose last fleet scrape succeeded.", float64(fm.Scraped))
+		pw.Gauge("shearwarpgw_fleet_scrape_age_seconds", "Age of the last fleet scrape round.", fm.ScrapedAgoSeconds)
+		pw.Counter("shearwarpgw_fleet_frames_total", "Frames rendered across the fleet (summed at last scrape).", float64(fm.Frames))
+		pw.Gauge("shearwarpgw_fleet_cache_hit_rate", "Fleet-wide preprocessing cache hit rate.", fm.CacheHitRate)
+		pw.Histogram("shearwarpgw_fleet_render_seconds", "Merged fleet render latency (exact cross-backend union).",
+			g.mergedHistogramLocked("render_seconds"))
+	}
+}
+
+// mergedHistogramLocked snapshots the fleet state and merges one named
+// histogram — the prom exporter's accessor.
+func (g *Gateway) mergedHistogramLocked(name string) *telemetry.HistogramSnapshot {
+	g.fleet.mu.Lock()
+	states := append([]fleetBackendState(nil), g.fleet.backends...)
+	g.fleet.mu.Unlock()
+	return g.mergedHistogram(states, name)
 }
 
 func b2f(b bool) float64 {

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"shearwarp/internal/server"
+	"shearwarp/internal/telemetry"
 )
 
 // Error classes the gateway itself assigns to attempt outcomes (the
@@ -39,6 +42,7 @@ type bufferedResponse struct {
 // attemptResult is one attempt's outcome.
 type attemptResult struct {
 	b         *backend
+	ordinal   int // attempt launch order within the request (0 = first)
 	hedged    bool
 	resp      *bufferedResponse // nil on transport-level failure
 	err       error
@@ -52,6 +56,7 @@ type attemptResult struct {
 type proxyResult struct {
 	resp      *bufferedResponse // nil -> synthesize errStatus/errMsg
 	backend   string
+	backends  []string // every backend an attempt was launched against, in order
 	attempts  int
 	hedgedWin bool
 	errStatus int
@@ -82,9 +87,15 @@ func (g *Gateway) handleRender(w http.ResponseWriter, r *http.Request) {
 	g.inflight.Add(1)
 	defer g.inflight.Done()
 
-	id := g.reqSeq.Add(1)
+	// Mint the fleet trace ID: the one identity every attempt forwards,
+	// every backend adopts, and every log line on every process carries.
+	// It is echoed to the client so a slow response is directly
+	// explorable at /debug/trace?id=N.
+	id := g.traceBase + g.reqSeq.Add(1)
 	t0 := time.Now()
-	log := g.log.With("gwreq", id)
+	key := affinityKey(r.URL.Query())
+	log := g.log.With("trace", id)
+	w.Header().Set(server.TraceHeader, strconv.FormatUint(id, 10))
 
 	// Budget: client header wins, then a budget= query parameter, then
 	// the configured default. The whole policy — attempts, backoffs,
@@ -106,7 +117,8 @@ func (g *Gateway) handleRender(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 
-	res := g.proxy(ctx, r, id, log)
+	tr := g.startGwTrace(id, "gw render "+key, t0)
+	res := g.proxy(ctx, r, id, tr, log)
 	g.requests.Add(1)
 
 	w.Header().Set("X-Shearwarp-Attempts", strconv.Itoa(res.attempts))
@@ -116,6 +128,7 @@ func (g *Gateway) handleRender(w http.ResponseWriter, r *http.Request) {
 	if res.hedgedWin {
 		w.Header().Set("X-Shearwarp-Hedged", "1")
 	}
+	backends := strings.Join(res.backends, ",")
 	if res.resp == nil {
 		if res.errStatus == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
@@ -124,8 +137,10 @@ func (g *Gateway) handleRender(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(server.ErrorClassHeader, res.errClass)
 		}
 		writeJSONError(w, res.errStatus, res.errMsg)
+		tr.finish(res.errStatus, time.Now())
 		log.Warn("render failed", "status", res.errStatus, "class", res.errClass,
-			"attempts", res.attempts, "elapsed_ms", time.Since(t0).Milliseconds())
+			"affinity", key, "attempts", res.attempts, "backends", backends,
+			"elapsed_ms", time.Since(t0).Milliseconds())
 		return
 	}
 	// Pass the backend's response through verbatim: for a 2xx this is
@@ -141,23 +156,29 @@ func (g *Gateway) handleRender(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodHead {
 		w.Write(res.resp.body)
 	}
+	tr.finish(res.resp.status, time.Now())
 	if res.resp.status >= 200 && res.resp.status < 300 {
 		g.successes.Add(1)
 		g.hRender.Observe(time.Since(t0))
-		log.Info("render ok", "backend", res.backend, "attempts", res.attempts,
+		log.Info("render ok", "backend", res.backend, "affinity", key,
+			"attempts", res.attempts, "backends", backends,
 			"hedged_win", res.hedgedWin, "bytes", len(res.resp.body),
 			"elapsed_ms", time.Since(t0).Milliseconds())
 	} else {
 		log.Warn("render failed upstream", "backend", res.backend, "status", res.resp.status,
-			"class", res.resp.header.Get(server.ErrorClassHeader), "attempts", res.attempts,
+			"class", res.resp.header.Get(server.ErrorClassHeader),
+			"affinity", key, "attempts", res.attempts, "backends", backends,
 			"elapsed_ms", time.Since(t0).Milliseconds())
 	}
 }
 
 // proxy runs the resilience policy for one request: pick the affinity
 // backend, retry retryable failures elsewhere with jittered backoff,
-// hedge the tail, first success wins.
-func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log logger) proxyResult {
+// hedge the tail, first success wins. When tracing is on (tr non-nil)
+// the policy's own work — picks, backoffs, hedge and breaker events —
+// lands on the trace's request lane, and each attempt records its
+// phases on its ordinal's lane.
+func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, tr *gwTrace, log logger) proxyResult {
 	order := g.ring.order(affinityKey(r.URL.Query()))
 	tried := make([]bool, len(g.backends))
 	results := make(chan *attemptResult, g.cfg.MaxAttempts+1)
@@ -165,6 +186,7 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 	defer cancelAll()
 
 	launched, inFlight, retries := 0, 0, 0
+	var triedURLs []string
 
 	// pickWaits bounds how often a request with nothing in flight may
 	// sleep out a backoff waiting for SOME backend to become eligible
@@ -176,13 +198,16 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 	pickWaits := 0
 
 	launch := func(hedged, isRetry bool) bool {
+		pickAt := time.Now()
 		b, done, ok := g.pick(order, tried, isRetry)
 		if !ok {
 			return false
 		}
 		tried[b.idx] = true
+		ordinal := launched
 		launched++
 		inFlight++
+		triedURLs = append(triedURLs, b.url)
 		b.inflight.Add(1)
 		b.requests.Add(1)
 		if isRetry {
@@ -193,16 +218,42 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 			b.hedges.Add(1)
 			g.hedged.Add(1)
 		}
+		if tr != nil {
+			now := time.Now()
+			tr.span("pick", pickAt, now.Sub(pickAt))
+			tr.retain() // the attempt's reference; released after its amend
+			tr.addAttempt(telemetry.AttemptRef{
+				Ordinal: ordinal, Backend: b.url, Hedged: hedged, Retry: isRetry,
+				SendNS: tr.sinceEpochNS(now),
+			})
+		}
 		g.inflight.Add(1)
 		go func() {
 			defer g.inflight.Done()
-			res := g.attempt(actx, r, b, id, hedged)
+			res := g.attempt(actx, r, b, id, ordinal, hedged, tr)
 			b.inflight.Add(-1)
+			prior := b.breaker.State()
 			done(res.breakOut)
+			if tr != nil {
+				now := time.Now()
+				if st := b.breaker.State(); st != prior {
+					tr.event("breaker "+b.url+" "+prior.String()+"->"+st.String(), now)
+				}
+				tr.amendAttempt(ordinal, func(a *telemetry.AttemptRef) {
+					a.RecvNS = tr.sinceEpochNS(now)
+					a.Class = res.class
+					a.Canceled = res.class == classCanceled
+					if res.resp != nil {
+						a.Status = res.resp.status
+					}
+				})
+				tr.release()
+			}
 			if res.class != "" && res.class != classCanceled {
 				b.failures.Add(1)
-				log.Warn("attempt failed", "backend", b.url, "class", res.class,
-					"hedged", hedged, "retry", isRetry, "err", errString(res.err))
+				log.Warn("attempt failed", "backend", b.url, "attempt", ordinal,
+					"class", res.class, "hedged", hedged, "retry", isRetry,
+					"err", errString(res.err))
 			}
 			results <- res
 		}()
@@ -211,6 +262,7 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 
 	var backoffT *time.Timer
 	var backoffC <-chan time.Time
+	var backoffAt time.Time
 	defer func() {
 		if backoffT != nil {
 			backoffT.Stop()
@@ -219,6 +271,7 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 	armBackoff := func() {
 		backoffT = time.NewTimer(g.jitter(retries))
 		backoffC = backoffT.C
+		backoffAt = time.Now()
 		retries++
 	}
 
@@ -243,47 +296,56 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 		case res := <-results:
 			inFlight--
 			if res.resp != nil && res.resp.status >= 200 && res.resp.status < 300 {
+				if tr != nil && inFlight > 0 {
+					tr.event("cancel-losers", time.Now())
+				}
 				cancelAll()
 				if res.hedged {
 					res.b.hedgeWins.Add(1)
 					g.hedgeWins.Add(1)
 				}
 				return proxyResult{resp: res.resp, backend: res.b.url,
-					attempts: launched, hedgedWin: res.hedged}
+					backends: triedURLs, attempts: launched, hedgedWin: res.hedged}
 			}
 			if res.class == classCanceled {
 				// A hedge loser or budget casualty; it decides nothing.
 				if inFlight == 0 && backoffC == nil {
-					return g.finalFailure(last, launched)
+					return g.finalFailure(last, launched, triedURLs)
 				}
 				continue
 			}
 			last = res
 			if !res.retryable {
 				cancelAll()
-				return g.finalFailure(res, launched)
+				return g.finalFailure(res, launched, triedURLs)
 			}
 			if launched < g.cfg.MaxAttempts && backoffC == nil {
 				armBackoff()
 			} else if inFlight == 0 && backoffC == nil {
 				g.exhausted.Add(1)
-				return g.finalFailure(last, launched)
+				return g.finalFailure(last, launched, triedURLs)
 			}
 
 		case <-backoffC:
 			backoffC = nil
+			if tr != nil {
+				tr.span("backoff", backoffAt, time.Since(backoffAt))
+			}
 			if !launch(false, launched > 0) && inFlight == 0 {
 				if pickWaits < maxPickWaits {
 					pickWaits++
 					armBackoff()
 					continue
 				}
-				return g.finalFailure(last, launched)
+				return g.finalFailure(last, launched, triedURLs)
 			}
 
 		case <-hedgeC:
 			hedgeC = nil
 			if inFlight >= 1 && launched < g.cfg.MaxAttempts {
+				if tr != nil {
+					tr.event("hedge-fire", time.Now())
+				}
 				launch(true, false)
 			}
 
@@ -291,29 +353,31 @@ func (g *Gateway) proxy(ctx context.Context, r *http.Request, id uint64, log log
 			cancelAll()
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				return proxyResult{errStatus: http.StatusGatewayTimeout,
-					errMsg: "render budget exhausted", errClass: classDeadline, attempts: launched}
+					errMsg: "render budget exhausted", errClass: classDeadline,
+					attempts: launched, backends: triedURLs}
 			}
 			return proxyResult{errStatus: 499, errMsg: "client closed request",
-				errClass: classCanceled, attempts: launched}
+				errClass: classCanceled, attempts: launched, backends: triedURLs}
 		}
 	}
 }
 
 // finalFailure shapes the last failed attempt into the client-facing
 // result: pass a buffered backend error through, or synthesize a 502.
-func (g *Gateway) finalFailure(res *attemptResult, attempts int) proxyResult {
+func (g *Gateway) finalFailure(res *attemptResult, attempts int, backends []string) proxyResult {
 	if res == nil {
 		g.noBackend.Add(1)
 		return proxyResult{errStatus: http.StatusServiceUnavailable,
-			errMsg: "no ready backend", errClass: classNoBackend, attempts: attempts}
+			errMsg: "no ready backend", errClass: classNoBackend,
+			attempts: attempts, backends: backends}
 	}
 	if res.resp != nil {
 		return proxyResult{resp: res.resp, backend: res.b.url, attempts: attempts,
-			errClass: res.class}
+			backends: backends, errClass: res.class}
 	}
 	return proxyResult{errStatus: http.StatusBadGateway,
 		errMsg:   fmt.Sprintf("backend %s: %v", res.b.url, res.err),
-		errClass: res.class, backend: res.b.url, attempts: attempts}
+		errClass: res.class, backend: res.b.url, attempts: attempts, backends: backends}
 }
 
 // pick selects the next backend for an attempt in the key's ring order:
@@ -373,9 +437,12 @@ func (g *Gateway) overloaded(b *backend) bool {
 
 // attempt runs one proxied request against one backend and classifies
 // the outcome: what the client should see, whether a retry could help,
-// and what the attempt proved about the backend's health.
-func (g *Gateway) attempt(ctx context.Context, r *http.Request, b *backend, id uint64, hedged bool) *attemptResult {
-	res := &attemptResult{b: b, hedged: hedged}
+// and what the attempt proved about the backend's health. When tracing
+// is on the attempt's connect/first-byte/body phases land on its
+// ordinal's lane via httptrace (only attached when tr is non-nil, so
+// the disabled path allocates nothing extra).
+func (g *Gateway) attempt(ctx context.Context, r *http.Request, b *backend, id uint64, ordinal int, hedged bool, tr *gwTrace) *attemptResult {
+	res := &attemptResult{b: b, ordinal: ordinal, hedged: hedged}
 	q := r.URL.Query()
 	q.Del("budget") // gateway-level; not part of the backend contract
 	u := b.url + "/render"
@@ -387,9 +454,15 @@ func (g *Gateway) attempt(ctx context.Context, r *http.Request, b *backend, id u
 		res.err, res.class, res.breakOut = err, classTransport, outcomeSuccess
 		return res
 	}
-	// Thread the gateway request ID into the backend's logs, and
-	// forward the remaining budget so the backend gives up when the
+	// Propagate the fleet trace context: the backend adopts the trace ID
+	// as its own request identity and labels its span set with the
+	// attempt ordinal, which is what lets the stitcher match each
+	// gateway attempt to the backend trace that served it. The gateway
+	// request header carries the same ID for log continuity, and the
+	// remaining budget is forwarded so the backend gives up when the
 	// client stops waiting, not at its own configured timeout.
+	req.Header.Set(server.TraceHeader, strconv.FormatUint(id, 10))
+	req.Header.Set(server.AttemptHeader, strconv.Itoa(ordinal))
 	req.Header.Set(server.GatewayRequestHeader, strconv.FormatUint(id, 10))
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
@@ -400,6 +473,34 @@ func (g *Gateway) attempt(ctx context.Context, r *http.Request, b *backend, id u
 	}
 
 	t0 := time.Now()
+	if tr != nil {
+		var connStart, gotConn, firstByte time.Time
+		ct := &httptrace.ClientTrace{
+			GetConn: func(string) { connStart = time.Now() },
+			GotConn: func(httptrace.GotConnInfo) {
+				gotConn = time.Now()
+				if !connStart.IsZero() {
+					tr.attemptSpan(ordinal, "connect", connStart, gotConn.Sub(connStart))
+				}
+			},
+			GotFirstResponseByte: func() {
+				firstByte = time.Now()
+				from := gotConn
+				if from.IsZero() {
+					from = t0
+				}
+				tr.attemptSpan(ordinal, "first-byte", from, firstByte.Sub(from))
+			},
+		}
+		req = req.WithContext(httptrace.WithClientTrace(req.Context(), ct))
+		defer func() {
+			end := time.Now()
+			if !firstByte.IsZero() {
+				tr.attemptSpan(ordinal, "body", firstByte, end.Sub(firstByte))
+			}
+			tr.attemptSpan(ordinal, fmt.Sprintf("attempt %d %s", ordinal, b.url), t0, end.Sub(t0))
+		}()
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		res.err, res.dur = err, time.Since(t0)

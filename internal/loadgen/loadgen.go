@@ -157,7 +157,29 @@ type Report struct {
 
 	Latency    telemetry.QuantileSummary `json:"latency"` // client-observed, ms
 	CacheDelta CacheDelta                `json:"cache_delta"`
+
+	// SlowRequests are the run's slowest completed requests, worst first,
+	// each carrying the fleet trace ID the service echoed in
+	// X-Shearwarp-Trace — the direct path from "the tail was bad" to the
+	// stitched /debug/trace view of exactly the requests that made it bad.
+	SlowRequests []SlowRequest `json:"slow_requests,omitempty"`
 }
+
+// SlowRequest is one tail sample in the report.
+type SlowRequest struct {
+	DurMS    float64 `json:"dur_ms"`
+	Status   int     `json:"status"`
+	URL      string  `json:"url"`
+	TraceID  string  `json:"trace_id,omitempty"`
+	TraceURL string  `json:"trace_url,omitempty"` // stitched view on the target that served it
+}
+
+// traceHeader is the fleet trace-context response header
+// (server.TraceHeader; spelled out to keep loadgen service-agnostic).
+const traceHeader = "X-Shearwarp-Trace"
+
+// slowKeep bounds the retained tail samples.
+const slowKeep = 8
 
 // runState is the mutable accounting shared by request goroutines.
 type runState struct {
@@ -174,6 +196,23 @@ type runState struct {
 	statuses map[int]int64
 	volumes  map[string]int64
 	targets  map[string]int64
+	slow     []SlowRequest // worst-first, capped at slowKeep
+}
+
+// noteSlow offers one completed request to the tail list (caller holds
+// no lock). Kept sorted worst-first and capped, so the insert is O(n)
+// over a tiny n.
+func (st *runState) noteSlow(s SlowRequest) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.slow) == slowKeep && s.DurMS <= st.slow[slowKeep-1].DurMS {
+		return
+	}
+	st.slow = append(st.slow, s)
+	sort.Slice(st.slow, func(i, j int) bool { return st.slow[i].DurMS > st.slow[j].DurMS })
+	if len(st.slow) > slowKeep {
+		st.slow = st.slow[:slowKeep]
+	}
 }
 
 // Run executes one load run and returns its report. The context cancels
@@ -297,6 +336,9 @@ dispatch:
 	if len(cfg.Targets) > 1 {
 		rep.PerTarget = st.targets
 	}
+	st.mu.Lock()
+	rep.SlowRequests = append([]SlowRequest(nil), st.slow...)
+	st.mu.Unlock()
 	return rep, nil
 }
 
@@ -322,7 +364,7 @@ func requestURL(cfg Config, target, volume string, seq int) string {
 // the report, not the first-touch rejections.
 func (st *runState) do(ctx context.Context, client *http.Client, url, volume, target string) {
 	t0 := time.Now()
-	status, retryAfter, ok := st.issue(ctx, client, url)
+	status, retryAfter, traceID, ok := st.issue(ctx, client, url)
 	if ok && retryAfter > 0 {
 		st.retrySeen.Add(1)
 		if st.retryCap > 0 {
@@ -336,7 +378,7 @@ func (st *runState) do(ctx context.Context, client *http.Client, url, volume, ta
 				st.retryHonored.Add(1)
 				st.retryWaitNS.Add(int64(wait))
 				first := status
-				status, _, ok = st.issue(ctx, client, url)
+				status, _, traceID, ok = st.issue(ctx, client, url)
 				if ok && status < 400 && first >= 400 {
 					st.retrySuccess.Add(1)
 				}
@@ -347,7 +389,13 @@ func (st *runState) do(ctx context.Context, client *http.Client, url, volume, ta
 		st.transport.Add(1)
 		return
 	}
-	st.hist.Observe(time.Since(t0))
+	dur := time.Since(t0)
+	st.hist.Observe(dur)
+	slow := SlowRequest{DurMS: float64(dur) / 1e6, Status: status, URL: url, TraceID: traceID}
+	if traceID != "" {
+		slow.TraceURL = target + "/debug/trace?id=" + traceID
+	}
+	st.noteSlow(slow)
 	if status >= 500 {
 		st.srvErrs.Add(1)
 	}
@@ -359,15 +407,17 @@ func (st *runState) do(ctx context.Context, client *http.Client, url, volume, ta
 }
 
 // issue performs one HTTP exchange; retryAfter is non-zero when the
-// response was a shed (503/429) carrying a parseable Retry-After hint.
-func (st *runState) issue(ctx context.Context, client *http.Client, url string) (status int, retryAfter time.Duration, ok bool) {
+// response was a shed (503/429) carrying a parseable Retry-After hint,
+// and traceID is the fleet trace context the service echoed (empty when
+// the service predates tracing).
+func (st *runState) issue(ctx context.Context, client *http.Client, url string) (status int, retryAfter time.Duration, traceID string, ok bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, 0, false
+		return 0, 0, "", false
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, false
+		return 0, 0, "", false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -376,7 +426,7 @@ func (st *runState) issue(ctx context.Context, client *http.Client, url string) 
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, retryAfter, true
+	return resp.StatusCode, retryAfter, resp.Header.Get(traceHeader), true
 }
 
 // DiscoverVolumes reads the service's volume catalogue from /healthz.

@@ -247,6 +247,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.instrument(&s.mReady, s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.instrument(&s.mMetrics, s.handleMetrics))
 	s.mux.HandleFunc("/debug/spans", s.instrument(&s.mSpans, s.handleSpans))
+	// Alias: the gateway's stitched-trace URLs use /debug/trace; serving
+	// the same handler here lets a trace URL recorded against a bare
+	// backend (no gateway) resolve to that backend's span sets.
+	s.mux.HandleFunc("/debug/trace", s.instrument(&s.mSpans, s.handleSpans))
 	s.mux.HandleFunc("/debug/latency", s.instrument(&s.mLatency, s.handleLatency))
 	s.mux.HandleFunc("/debug/slo", s.instrument(&s.mSLO, s.handleSLO))
 	s.mux.HandleFunc("/debug/dash", s.instrument(&s.mDash, s.handleDash))
@@ -590,8 +594,28 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 
 	// Request identity: one ID shared by the structured log lines, the
 	// context (so downstream layers can correlate), and the span trace.
+	// Behind a gateway the propagated fleet trace ID is adopted in place
+	// of the local sequence, so FrameSpans, exemplars and log lines on
+	// every process a request touched key on the same ID; the attempt
+	// ordinal distinguishes this backend's span sets when the gateway
+	// retried or hedged the request here more than once.
 	t0 := time.Now()
-	id := s.tel.reqSeq.Add(1)
+	var id uint64
+	attempt := 0
+	if v := r.Header.Get(TraceHeader); v != "" {
+		if tid, perr := strconv.ParseUint(v, 10, 64); perr == nil && tid > 0 {
+			id = tid
+		}
+	}
+	if id == 0 {
+		id = s.tel.reqSeq.Add(1)
+	}
+	if v := r.Header.Get(AttemptHeader); v != "" {
+		if n, perr := strconv.Atoi(v); perr == nil && n >= 0 {
+			attempt = n
+		}
+	}
+	w.Header().Set(TraceHeader, strconv.FormatUint(id, 10))
 	setExemplarID(w, id) // the latency observation carries the trace ID as an exemplar
 	log := s.tel.logger.With("req", id, "volume", name, "alg", alg.String(), "mode", mode.String())
 	if gw := r.Header.Get(GatewayRequestHeader); gw != "" {
@@ -599,12 +623,15 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		// so a fleet-wide trace joins both sides.
 		log = log.With("gwreq", gw)
 	}
+	if attempt > 0 {
+		log = log.With("attempt", attempt)
+	}
 	log.Debug("render request", "yaw", yaw, "pitch", pitch, "format", format)
 	label := fmt.Sprintf("render %s yaw=%g pitch=%g alg=%s", name, yaw, pitch, alg)
 	if mode != shearwarp.ModeComposite {
 		label += " mode=" + mode.String()
 	}
-	rt := s.tel.startTrace(id, label, t0)
+	rt := s.tel.startTrace(id, attempt, label, t0)
 
 	// The whole request — admission wait, renderer acquisition, render —
 	// runs under the render deadline, capped by the client's propagated
@@ -894,6 +921,11 @@ type MetricsSnapshot struct {
 	CacheTenants  []TenantCacheStats          `json:"cache_tenants"` // per-volume cache traffic
 	SLO           []slo.Status                `json:"slo"`           // objective evaluations, worst first
 	Phases        perf.CumulativeSnapshot     `json:"phases"`
+	// Histograms are the sparse cross-process forms of the latency
+	// histograms the gateway's fleet aggregator merges: every backend
+	// shares the same bucket boundaries, so fleet-level quantiles from
+	// the merged buckets are exact (within the bucket scheme's error).
+	Histograms map[string]telemetry.WireSnapshot `json:"histograms,omitempty"`
 }
 
 // TenantCacheStats is one volume's cache traffic, joined with its
@@ -937,6 +969,11 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		CacheTenants: s.cacheTenants(),
 		SLO:          s.sloStatuses(),
 		Phases:       s.cum.Snapshot(),
+		Histograms: map[string]telemetry.WireSnapshot{
+			"render_seconds":         s.mRender.latency.Snapshot().Wire(),
+			"admission_wait_seconds": s.tel.hQueue.Snapshot().Wire(),
+			"cache_build_seconds":    s.tel.hBuild.Snapshot().Wire(),
+		},
 	}
 }
 

@@ -126,6 +126,7 @@ func (t *serverTelemetry) onCacheBuild(k volcache.Key, d time.Duration, err erro
 type reqTrace struct {
 	tel     *serverTelemetry
 	id      uint64
+	attempt int
 	label   string
 	startNS int64
 	spans   *telemetry.FrameSpans // pooled recorder attached to the renderer
@@ -137,7 +138,7 @@ type reqTrace struct {
 // startTrace begins tracing one /render request; returns nil when span
 // tracing is disabled. The recorder comes from the pool and goes back
 // when the trace is built.
-func (t *serverTelemetry) startTrace(id uint64, label string, start time.Time) *reqTrace {
+func (t *serverTelemetry) startTrace(id uint64, attempt int, label string, start time.Time) *reqTrace {
 	if t.tracer == nil {
 		return nil
 	}
@@ -146,6 +147,7 @@ func (t *serverTelemetry) startTrace(id uint64, label string, start time.Time) *
 	return &reqTrace{
 		tel:     t,
 		id:      id,
+		attempt: attempt,
 		label:   label,
 		startNS: t.sinceEpochNS(start),
 		spans:   fs,
@@ -166,6 +168,7 @@ func (rt *reqTrace) build(durNS int64) *telemetry.Trace {
 	spans := rt.spans.Spans()
 	tr := &telemetry.Trace{
 		ID:      rt.id,
+		Attempt: rt.attempt,
 		Label:   rt.label,
 		StartNS: rt.startNS,
 		DurNS:   durNS,
@@ -495,8 +498,13 @@ func (s *Server) latencySnapshot() LatencySnapshot {
 
 // handleSpans is GET /debug/spans: the retained request traces as Chrome
 // trace-event JSON (loadable by chrome://tracing and ui.perfetto.dev).
-// ?id=N restricts to one trace; ?view=timeline renders the paper's
-// Figure 5/6 per-worker busy/sync/imbalance bars as text instead.
+// ?id=N restricts to one fleet trace ID — all retained attempts under
+// that ID, since a backend can serve both the first try and a retry of
+// one fleet request. ?format=raw returns the traces as plain JSON (the
+// form the gateway's stitcher consumes); ?view=timeline renders the
+// paper's Figure 5/6 per-worker busy/sync/imbalance bars as text.
+// /debug/trace is an alias, so trace URLs recorded by loadgen resolve
+// against a bare backend the same way they do against the gateway.
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if s.tel.tracer == nil {
 		httpError(w, http.StatusNotFound, "span tracing disabled")
@@ -509,25 +517,27 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad id %q", v)
 			return
 		}
-		tr := s.tel.tracer.Find(id)
-		if tr == nil {
+		traces = s.tel.tracer.FindAll(id)
+		if len(traces) == 0 {
 			httpError(w, http.StatusNotFound, "no retained trace with id %d", id)
 			return
 		}
-		traces = []*telemetry.Trace{tr}
 	} else {
 		traces = s.tel.tracer.Traces()
 	}
-	if r.URL.Query().Get("view") == "timeline" {
+	switch {
+	case r.URL.Query().Get("view") == "timeline":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for _, tr := range traces {
 			fmt.Fprintln(w, telemetry.Timeline(tr))
 		}
-		return
-	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if err := telemetry.WriteChromeTrace(w, traces); err != nil {
-		s.tel.logger.Warn("span export failed", "err", err)
+	case r.URL.Query().Get("format") == "raw":
+		writeJSON(w, traces, s.tel.logger)
+	default:
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := telemetry.WriteChromeTrace(w, traces); err != nil {
+			s.tel.logger.Warn("span export failed", "err", err)
+		}
 	}
 }
 

@@ -64,7 +64,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		want := []string{"uptime_seconds", "kernel", "cpu_features", "build", "frames",
 			"rendering", "queued",
 			"frame_panics", "frames_canceled", "watchdog_stalls", "renderers_replaced",
-			"endpoints", "cache", "cache_tenants", "slo", "phases"}
+			"endpoints", "cache", "cache_tenants", "slo", "phases", "histograms"}
 		if len(doc) != len(want) {
 			t.Fatalf("JSON document has %d top-level keys, want %d: %v", len(doc), len(want), keys(doc))
 		}

@@ -18,6 +18,19 @@ const (
 	// gateway's retry loop) can distinguish deterministic failures,
 	// which must not burn the retry budget, from transient ones.
 	ErrorClassHeader = "X-Shearwarp-Error"
+
+	// TraceHeader carries the fleet trace ID minted by the gateway.
+	// The backend adopts it in place of its local request sequence so
+	// FrameSpans, exemplars and log lines across every process a
+	// request touched key on the same ID; it is echoed on responses so
+	// clients learn the ID of a trace they can later stitch.
+	TraceHeader = "X-Shearwarp-Trace"
+
+	// AttemptHeader carries the gateway's attempt ordinal within a
+	// trace (0 = first attempt, then hedges and retries in launch
+	// order). The backend labels its trace with it so the stitcher can
+	// match backend span sets to the gateway's attempt spans.
+	AttemptHeader = "X-Shearwarp-Attempt"
 )
 
 // ErrorClassHeader values.

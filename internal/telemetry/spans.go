@@ -116,14 +116,37 @@ func (fs *FrameSpans) Dropped() int64 {
 // Trace is one request's captured spans plus identification. DurNS
 // covers the whole request (admission through encode); Status is the
 // HTTP status the request answered with (0 while in flight).
+//
+// In a fleet, several processes retain traces under the same ID: the
+// gateway's trace carries Attempts (one AttemptRef per backend try) and
+// each backend's trace carries the Attempt ordinal it served, so the
+// stitcher can pair them back up.
 type Trace struct {
-	ID      uint64 `json:"id"`
-	Label   string `json:"label"`
-	StartNS int64  `json:"start_ns"`
-	DurNS   int64  `json:"dur_ns"`
-	Status  int    `json:"status"`
-	Dropped int64  `json:"dropped_spans,omitempty"`
-	Spans   []Span `json:"spans"`
+	ID       uint64       `json:"id"`
+	Label    string       `json:"label"`
+	Attempt  int          `json:"attempt,omitempty"`
+	StartNS  int64        `json:"start_ns"`
+	DurNS    int64        `json:"dur_ns"`
+	Status   int          `json:"status"`
+	Dropped  int64        `json:"dropped_spans,omitempty"`
+	Spans    []Span       `json:"spans"`
+	Attempts []AttemptRef `json:"attempts,omitempty"`
+}
+
+// AttemptRef records, on a gateway trace, one attempt the gateway made
+// against a backend: which backend, why it launched (hedge/retry), how
+// it ended, and the send/receive instants (nanoseconds on the gateway's
+// trace timeline) the clock aligner uses as its NTP-style sample.
+type AttemptRef struct {
+	Ordinal  int    `json:"ordinal"`
+	Backend  string `json:"backend"`
+	Hedged   bool   `json:"hedged,omitempty"`
+	Retry    bool   `json:"retry,omitempty"`
+	Canceled bool   `json:"canceled,omitempty"`
+	Status   int    `json:"status,omitempty"`
+	Class    string `json:"class,omitempty"`
+	SendNS   int64  `json:"send_ns"`
+	RecvNS   int64  `json:"recv_ns"`
 }
 
 // Tracer retains completed request traces for /debug/spans. Retention
@@ -239,12 +262,15 @@ func (t *Tracer) Traces() []*Trace {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	seen := make(map[uint64]bool)
+	// Dedup by pointer, not ID: the three samples share pointers, but
+	// distinct traces may legitimately share a fleet trace ID (one
+	// backend serving both the first try and a retry of one request).
+	seen := make(map[*Trace]bool)
 	var out []*Trace
 	for _, group := range [][]*Trace{t.head, t.recent, t.slow} {
 		for _, tr := range group {
-			if !seen[tr.ID] {
-				seen[tr.ID] = true
+			if !seen[tr] {
+				seen[tr] = true
 				out = append(out, tr)
 			}
 		}
@@ -263,6 +289,26 @@ func (t *Tracer) Find(id uint64) *Trace {
 	return nil
 }
 
+// FindAll returns every retained trace with the given ID, ordered by
+// attempt then start time. A backend that served several attempts of
+// one fleet request (first try and a later retry) retains one trace per
+// attempt under the shared ID; the stitcher needs all of them.
+func (t *Tracer) FindAll(id uint64) []*Trace {
+	var out []*Trace
+	for _, tr := range t.Traces() {
+		if tr.ID == id {
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attempt != out[j].Attempt {
+			return out[i].Attempt < out[j].Attempt
+		}
+		return out[i].StartNS < out[j].StartNS
+	})
+	return out
+}
+
 // chromeEvent is one Chrome trace-event (the "Trace Event Format"
 // loadable by chrome://tracing and https://ui.perfetto.dev).
 type chromeEvent struct {
@@ -277,9 +323,13 @@ type chromeEvent struct {
 }
 
 // chromeTrace is the JSON-object form of the trace-event format.
+// Stitch, set only by WriteStitchedChromeTrace, carries the stitching
+// summary (per-row clock offsets and failure notes); viewers ignore
+// unknown top-level keys.
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Stitch          any           `json:"stitch,omitempty"`
 }
 
 // WriteChromeTrace emits traces as Chrome trace-event JSON: one process
@@ -320,6 +370,105 @@ func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(ct)
+}
+
+// StitchedRow is one process's contribution to a stitched fleet trace:
+// the gateway's own trace, or one backend trace per attempt the fleet
+// request made. OffsetNS shifts the row's span timestamps onto the
+// gateway's timeline (the clock-alignment estimate). A row whose span
+// data could not be fetched (dead backend, evicted trace, attempt that
+// never reached a backend) carries Err and a nil Trace — it is marked
+// in the output rather than dropped.
+type StitchedRow struct {
+	Label    string
+	Trace    *Trace
+	OffsetNS int64
+	Canceled bool
+	Err      string
+}
+
+// stitchRowInfo is one row's entry in the stitch summary.
+type stitchRowInfo struct {
+	Label    string `json:"label"`
+	OffsetNS int64  `json:"offset_ns"`
+	Spans    int    `json:"spans"`
+	Canceled bool   `json:"canceled,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// WriteStitchedChromeTrace merges the rows of one fleet trace into a
+// single Chrome trace-event document: one process per row (pid = row
+// ordinal, starting at 1), named by the row label, with every span
+// shifted by the row's clock offset so gateway and backend spans share
+// the gateway's timeline. Rows without span data still emit their
+// process_name metadata (with the error in args) so a viewer — and the
+// chaos suite — can see that an attempt existed even when its spans are
+// gone. The top-level "stitch" object summarizes per-row offsets and
+// failures for programmatic consumers.
+func WriteStitchedChromeTrace(w io.Writer, id uint64, rows []StitchedRow) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	summary := struct {
+		ID   uint64          `json:"id"`
+		Rows []stitchRowInfo `json:"rows"`
+	}{ID: id, Rows: []stitchRowInfo{}}
+
+	for i, row := range rows {
+		pid := uint64(i + 1)
+		info := stitchRowInfo{Label: row.Label, OffsetNS: row.OffsetNS, Canceled: row.Canceled, Err: row.Err}
+		args := map[string]any{"trace_id": id}
+		if row.Canceled {
+			args["canceled"] = true
+		}
+		if row.Err != "" {
+			args["err"] = row.Err
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: mergeArgs(map[string]any{"name": row.Label}, args),
+		})
+		if row.Trace != nil {
+			info.Spans = len(row.Trace.Spans)
+			lanes := map[int]bool{}
+			for _, sp := range row.Trace.Spans {
+				tid := sp.Worker + 1
+				if !lanes[tid] {
+					lanes[tid] = true
+					name := "request"
+					if sp.Worker >= 0 {
+						name = fmt.Sprintf("worker %d", sp.Worker)
+					}
+					ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+						Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+						Args: map[string]any{"name": name},
+					})
+				}
+				ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+					Name: sp.Name, Cat: sp.Cat, Ph: "X",
+					TS:  float64(sp.StartNS+row.OffsetNS) / 1e3,
+					Dur: float64(sp.DurNS) / 1e3,
+					PID: pid, TID: tid,
+					Args: map[string]any{"status": row.Trace.Status},
+				})
+			}
+		}
+		summary.Rows = append(summary.Rows, info)
+	}
+	ct.Stitch = summary
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// mergeArgs overlays b onto a copy of a.
+func mergeArgs(a, b map[string]any) map[string]any {
+	out := make(map[string]any, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
 }
 
 // Timeline renders one trace as the paper's Figure 5/6 per-worker

@@ -1,0 +1,50 @@
+package telemetry
+
+import "strconv"
+
+// WireSnapshot is the cross-process form of a HistogramSnapshot: sparse
+// (only occupied buckets, keyed by bucket index) so a mostly-empty
+// 960-bucket histogram costs a few dozen bytes on the wire instead of
+// kilobytes of zeros. Backends publish it under /metrics "histograms";
+// the gateway's fleet scraper converts back and merges exactly, since
+// every process shares the same log-linear bucket boundaries.
+type WireSnapshot struct {
+	Count   int64            `json:"count"`
+	SumNS   int64            `json:"sum_ns"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Wire converts a snapshot to its sparse cross-process form.
+func (s *HistogramSnapshot) Wire() WireSnapshot {
+	w := WireSnapshot{}
+	if s == nil {
+		return w
+	}
+	w.Count = s.Count
+	w.SumNS = s.SumNS
+	for i, c := range s.Counts {
+		if c != 0 {
+			if w.Buckets == nil {
+				w.Buckets = make(map[string]int64)
+			}
+			w.Buckets[strconv.Itoa(i)] = c
+		}
+	}
+	return w
+}
+
+// Snapshot converts the wire form back to a dense snapshot. Unknown or
+// out-of-range bucket keys (a peer running a different bucket scheme)
+// are dropped rather than corrupting the merge.
+func (w WireSnapshot) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{Count: w.Count, SumNS: w.SumNS}
+	if len(w.Buckets) > 0 {
+		s.Counts = make([]int64, numBuckets)
+		for k, c := range w.Buckets {
+			if i, err := strconv.Atoi(k); err == nil && i >= 0 && i < numBuckets {
+				s.Counts[i] = c
+			}
+		}
+	}
+	return s
+}
